@@ -1,0 +1,93 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at
+laptop scale.  ``REPRO_BENCH_SCALE`` (float, default 1.0) multiplies the
+dataset sizes: ``REPRO_BENCH_SCALE=4 pytest benchmarks/bench_fig4_...``
+runs a 4x larger instance.
+
+Conventions:
+
+- each bench prints the same rows/series the paper reports, via
+  :mod:`repro.eval.tables`,
+- each bench also exercises the ``benchmark`` fixture (pytest-benchmark)
+  on a representative unit so ``--benchmark-only`` produces timing
+  tables; full experiments run once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro import (
+    DNND,
+    ClusterConfig,
+    CommOptConfig,
+    DNNDConfig,
+    NNDescentConfig,
+)
+from repro.runtime.netmodel import NetworkModel
+
+
+def bench_scale() -> float:
+    """User scale knob (REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 200) -> int:
+    return max(int(n * bench_scale()), minimum)
+
+
+def run_dnnd(data, k: int, nodes: int = 4, procs_per_node: int = 2,
+             metric: str = "sqeuclidean", seed: int = 0,
+             comm_opts: CommOptConfig | None = None,
+             batch_size: int = 1 << 13,
+             pruning_factor: float = 1.5,
+             net: NetworkModel | None = None,
+             optimize: bool = True):
+    """Build (and optionally optimize) a DNND graph; returns
+    ``(result, dnnd)``."""
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=k, metric=metric, seed=seed),
+        comm_opts=comm_opts or CommOptConfig.optimized(),
+        batch_size=batch_size,
+        pruning_factor=pruning_factor,
+    )
+    dnnd = DNND(data, cfg,
+                cluster=ClusterConfig(nodes=nodes, procs_per_node=procs_per_node),
+                net=net)
+    result = dnnd.build()
+    if optimize:
+        dnnd.optimize()
+    return result, dnnd
+
+
+def check_message_types(stats) -> Dict[str, tuple]:
+    """Neighbor-check message types only (the Figure 4 scope)."""
+    return {
+        t: (stats.get(t).count, stats.get(t).bytes)
+        for t in ("type1", "type2", "type2+", "type3")
+        if stats.get(t).count
+    }
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/results/.
+
+    pytest captures stdout by default (run with ``-s`` to stream), so
+    the persisted copy is the canonical record EXPERIMENTS.md cites.
+    """
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

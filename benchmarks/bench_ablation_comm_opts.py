@@ -1,0 +1,93 @@
+"""Ablation A — each Section 4.3 technique in isolation.
+
+The paper presents the three communication-saving techniques (4.3.1
+one-sided, 4.3.2 redundancy check, 4.3.3 distance pruning) as a
+package; this ablation quantifies each one's marginal contribution to
+the Figure 4 totals, holding everything else fixed.
+"""
+
+import pytest
+
+from _common import report, run_dnnd, scaled
+from repro import CommOptConfig
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.eval.recall import graph_recall
+from repro.eval.tables import ascii_table
+
+CHECK_TYPES = ("type1", "type2", "type2+", "type3")
+
+VARIANTS = [
+    ("unoptimized", CommOptConfig.unoptimized()),
+    ("+ one-sided (4.3.1)", CommOptConfig(
+        one_sided=True, redundancy_check=False, distance_pruning=False)),
+    ("+ redundancy check (4.3.2)", CommOptConfig(
+        one_sided=True, redundancy_check=True, distance_pruning=False)),
+    ("+ distance pruning (4.3.3)", CommOptConfig.optimized()),
+]
+
+_cache = {}
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(700)
+    data, spec = load_dataset("deep1b", n=n, seed=9)
+    truth = brute_force_knn_graph(data, k=10, metric=spec.metric)
+    rows = []
+    for label, opts in VARIANTS:
+        res, _ = run_dnnd(data, k=10, nodes=8, procs_per_node=2,
+                          metric=spec.metric, seed=9, comm_opts=opts,
+                          optimize=False)
+        stats = res.phase_stats["neighbor_check"]
+        rows.append({
+            "label": label,
+            "messages": stats.total_count(CHECK_TYPES),
+            "bytes": stats.total_bytes(CHECK_TYPES),
+            "distance_evals": res.distance_evals,
+            "recall": graph_recall(res.graph, truth),
+            "sim_seconds": res.sim_seconds,
+        })
+    _cache["rows"] = rows
+    return _cache
+
+
+def test_each_step_reduces_traffic(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = out["rows"]
+    msgs = [r["messages"] for r in rows]
+    byts = [r["bytes"] for r in rows]
+    # One-sided must cut messages and bytes sharply.
+    assert msgs[1] < msgs[0] * 0.8
+    assert byts[1] < byts[0] * 0.8
+    # Redundancy check reduces bytes further (fewer feature shipments).
+    assert byts[2] < byts[1]
+    # Distance pruning reduces messages further (fewer Type 3 replies).
+    assert msgs[3] < msgs[2]
+
+
+def test_quality_never_sacrificed(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    recalls = [r["recall"] for r in out["rows"]]
+    assert min(recalls) > 0.85
+    assert max(recalls) - min(recalls) < 0.08
+
+
+def test_print_ablation(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = out["rows"][0]
+    table_rows = []
+    for r in out["rows"]:
+        table_rows.append([
+            r["label"], r["messages"], r["bytes"],
+            f"{r['messages'] / base['messages']:.2f}",
+            f"{r['bytes'] / base['bytes']:.2f}",
+            r["distance_evals"], round(r["recall"], 4),
+        ])
+    report("ablation_comm_opts", ascii_table(
+        ["variant", "check msgs", "check bytes", "msg ratio",
+         "bytes ratio", "dist evals", "recall"],
+        table_rows,
+        title="Ablation: Section 4.3 techniques applied cumulatively",
+    ))

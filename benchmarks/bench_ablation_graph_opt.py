@@ -1,0 +1,75 @@
+"""Ablation C — Section 4.5 graph optimizations.
+
+Quantifies what the reverse-edge merge and the pruning factor ``m`` buy
+at query time: recall@10 and per-query work on the raw k-NNG vs the
+optimized graph at m in {1.0, 1.5, 2.0} (paper default 1.5).
+"""
+
+import pytest
+
+from _common import report, run_dnnd, scaled
+from repro.core.optimization import optimize_graph
+from repro.core.search import KNNGraphSearcher
+from repro.datasets.ann_benchmarks import make_benchmark_dataset
+from repro.eval.qps import QueryBenchmark
+from repro.eval.recall import recall_at_k
+from repro.eval.tables import ascii_table
+
+_cache = {}
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(700)
+    train, queries, gt_ids, spec = make_benchmark_dataset(
+        "deep1b", n=n, n_queries=max(40, n // 12), k_gt=10, seed=11)
+    res, _ = run_dnnd(train, k=10, nodes=4, procs_per_node=2,
+                      metric=spec.metric, seed=11, optimize=False)
+    bench = QueryBenchmark(queries=queries, gt_ids=gt_ids, k=10)
+
+    variants = [("raw k-NNG (no 4.5)", res.graph.to_adjacency())]
+    for m in (1.0, 1.5, 2.0):
+        variants.append((f"optimized m={m}", optimize_graph(res.graph, m)))
+
+    rows = []
+    for label, adj in variants:
+        searcher = KNNGraphSearcher(adj, train, metric=spec.metric, seed=0)
+        ids, _, stats = searcher.query_batch(queries, l=10, epsilon=0.1)
+        rows.append({
+            "label": label,
+            "recall": recall_at_k(ids, gt_ids),
+            "evals": stats["mean_distance_evals"],
+            "edges": adj.n_edges,
+            "max_degree": int(adj.degrees().max()),
+        })
+    _cache["rows"] = rows
+    return _cache
+
+
+def test_optimization_improves_recall(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    raw = out["rows"][0]
+    m15 = next(r for r in out["rows"] if "1.5" in r["label"])
+    assert m15["recall"] >= raw["recall"]
+
+
+def test_m_controls_degree(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    m10 = next(r for r in out["rows"] if "m=1.0" in r["label"])
+    m20 = next(r for r in out["rows"] if "m=2.0" in r["label"])
+    assert m10["max_degree"] <= 10
+    assert m20["max_degree"] <= 20
+    assert m20["edges"] >= m10["edges"]
+
+
+def test_print_graph_opt(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[r["label"], r["edges"], r["max_degree"],
+             round(r["recall"], 4), round(r["evals"], 1)]
+            for r in out["rows"]]
+    report("ablation_graph_opt", ascii_table(
+        ["graph", "edges", "max degree", "recall@10", "dist evals/query"],
+        rows,
+        title="Ablation: Section 4.5 reverse-edge merge + pruning factor m",
+    ))

@@ -1,0 +1,110 @@
+"""Ablation E — NN-Descent's rho and delta (Section 3.1 / 5.1.3).
+
+The paper fixes rho = 0.8 and delta = 0.001 for all runs.  This
+ablation sweeps both on a DEEP-like stand-in and reports the quality /
+cost trade-off each controls:
+
+- ``delta`` bounds the per-iteration update rate ``c / kN``: larger
+  values stop earlier with lower recall,
+- ``rho`` scales the per-iteration candidate sample: smaller values do
+  less work per round but need more rounds.
+"""
+
+import pytest
+
+from _common import report, scaled
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.config import NNDescentConfig
+from repro.core.nndescent import NNDescent
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.eval.convergence import trace_convergence
+from repro.eval.recall import graph_recall
+from repro.eval.tables import ascii_table
+
+DELTAS = [0.1, 0.01, 0.001, 0.0001]
+RHOS = [0.3, 0.5, 0.8, 1.0]
+
+_cache = {}
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(700)
+    data, spec = load_dataset("deep1b", n=n, seed=13)
+    truth = brute_force_knn_graph(data, k=10, metric=spec.metric)
+
+    delta_rows = []
+    for delta in DELTAS:
+        cfg = NNDescentConfig(k=10, delta=delta, metric=spec.metric, seed=13)
+        res = NNDescent(data, cfg).build()
+        delta_rows.append({
+            "delta": delta, "iterations": res.iterations,
+            "evals": res.distance_evals,
+            "recall": graph_recall(res.graph, truth),
+        })
+
+    rho_rows = []
+    for rho in RHOS:
+        cfg = NNDescentConfig(k=10, rho=rho, metric=spec.metric, seed=13)
+        res = NNDescent(data, cfg).build()
+        rho_rows.append({
+            "rho": rho, "iterations": res.iterations,
+            "evals": res.distance_evals,
+            "recall": graph_recall(res.graph, truth),
+        })
+
+    # One traced run showing the c-decay / recall-climb coupling.
+    cfg = NNDescentConfig(k=10, delta=0.0001, metric=spec.metric, seed=13)
+    _, trace = trace_convergence(NNDescent(data, cfg), truth=truth)
+
+    _cache.update({"delta": delta_rows, "rho": rho_rows, "trace": trace})
+    return _cache
+
+
+def test_delta_controls_quality_cost(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = out["delta"]
+    # Tighter delta -> more iterations and at least equal recall.
+    assert rows[-1]["iterations"] >= rows[0]["iterations"]
+    assert rows[-1]["recall"] >= rows[0]["recall"] - 0.01
+    assert rows[-1]["evals"] >= rows[0]["evals"]
+
+
+def test_rho_controls_per_round_work(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = {r["rho"]: r for r in out["rho"]}
+    per_round_low = rows[0.3]["evals"] / rows[0.3]["iterations"]
+    per_round_high = rows[1.0]["evals"] / rows[1.0]["iterations"]
+    assert per_round_high > per_round_low
+    # Paper default 0.8 reaches high recall.
+    assert rows[0.8]["recall"] > 0.9
+
+
+def test_update_counter_decays(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert out["trace"].monotone_decay()
+    # Recall must climb as c decays.
+    recalls = [r for r in out["trace"].recalls if r is not None]
+    assert recalls[-1] >= recalls[0]
+
+
+def test_print_nnd_params(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = []
+    text.append(ascii_table(
+        ["delta", "iterations", "dist evals", "recall"],
+        [[r["delta"], r["iterations"], r["evals"], round(r["recall"], 4)]
+         for r in out["delta"]],
+        title="Ablation: delta (paper uses 0.001)",
+    ))
+    text.append("")
+    text.append(ascii_table(
+        ["rho", "iterations", "dist evals", "recall"],
+        [[r["rho"], r["iterations"], r["evals"], round(r["recall"], 4)]
+         for r in out["rho"]],
+        title="Ablation: rho (paper uses 0.8)",
+    ))
+    text.append("")
+    text.append(out["trace"].report())
+    report("ablation_nnd_params", "\n".join(text))

@@ -1,0 +1,117 @@
+"""Ablation D — hash vs block vertex partitioning.
+
+Section 4: DNND distributes vertices "based on the hash values of the
+vertex IDs".  This ablation compares that choice against contiguous
+block partitioning on a *cluster-sorted* dataset (ids grouped by
+cluster, the common layout of dumped corpora) and quantifies the actual
+trade-off:
+
+- block partitioning exploits id locality: cluster neighbors are
+  co-located, so a large share of neighbor-check traffic never leaves
+  the rank (lower off-node fraction, slightly lower modeled time),
+- hash partitioning forgoes that locality but is *distribution
+  independent*: its balance never depends on how ids were assigned,
+  and vertices added later (the Metall/Section 7 dynamic scenario)
+  land uniformly without repartitioning — the property the paper's
+  design optimizes for.
+
+Both must construct graphs of identical quality; the measured
+difference is purely where the traffic flows.
+"""
+
+import numpy as np
+import pytest
+
+from _common import report, scaled
+from repro import (
+    DNND,
+    ClusterConfig,
+    DNNDConfig,
+    NNDescentConfig,
+    brute_force_knn_graph,
+    graph_recall,
+)
+from repro.datasets.synthetic import gaussian_mixture
+from repro.eval.tables import ascii_table
+from repro.runtime.partition import BlockPartitioner, HashPartitioner
+
+_cache = {}
+
+
+def cluster_sorted_dataset(n: int, seed: int) -> np.ndarray:
+    """Clustered data with ids sorted so cluster members are adjacent."""
+    data = gaussian_mixture(n, 24, n_clusters=8, cluster_std=0.15, seed=seed)
+    order = np.lexsort((data[:, 2], data[:, 1], data[:, 0]))
+    return np.ascontiguousarray(data[order])
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(800)
+    data = cluster_sorted_dataset(n, seed=12)
+    truth = brute_force_knn_graph(data, k=8)
+    rows = []
+    for label, part_cls in (("hash (paper)", HashPartitioner),
+                            ("block", BlockPartitioner)):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=8, seed=12), batch_size=1 << 13)
+        cluster = ClusterConfig(nodes=8, procs_per_node=1)
+        dnnd = DNND(data, cfg, cluster=cluster,
+                    partitioner=part_cls(n, cluster.world_size))
+        res = dnnd.build()
+        from repro.core.dnnd_phases import shard_of
+        per_rank = [shard_of(ctx).metric.count for ctx in dnnd.world.ranks]
+        mean = np.mean(per_rank)
+        rows.append({
+            "label": label,
+            "sim_seconds": res.sim_seconds,
+            "eval_imbalance": float(max(per_rank) / mean) if mean else 1.0,
+            # Rank-local (self) deliveries are free and not counted, so
+            # the remote totals directly expose partitioning locality.
+            "remote_msgs": res.message_stats.total_count(),
+            "remote_bytes": res.message_stats.total_bytes(),
+            "recall": graph_recall(res.graph, truth),
+        })
+    _cache["rows"] = rows
+    return _cache
+
+
+def test_block_exploits_sorted_locality(benchmark):
+    """On cluster-sorted ids, block keeps more traffic on-rank — the
+    locality hash partitioning deliberately gives up."""
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    hash_row, block_row = out["rows"]
+    assert block_row["remote_msgs"] < hash_row["remote_msgs"]
+
+
+def test_quality_independent_of_partitioning(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    recalls = [r["recall"] for r in out["rows"]]
+    assert min(recalls) > 0.9
+    assert abs(recalls[0] - recalls[1]) < 0.05
+
+
+def test_hash_balance_is_distribution_independent(benchmark):
+    """The reason the paper hashes: balance must not depend on the id
+    layout.  Hash's compute imbalance on sorted data stays within a
+    modest bound of block's (whose balance here is an artifact of the
+    synthetic layout, not a guarantee)."""
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    hash_row, _ = out["rows"]
+    assert hash_row["eval_imbalance"] < 1.3
+
+
+def test_print_partitioning(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[r["label"], f"{r['sim_seconds']:.5f}",
+             f"{r['eval_imbalance']:.2f}", r["remote_msgs"],
+             r["remote_bytes"], round(r["recall"], 4)]
+            for r in out["rows"]]
+    report("ablation_partitioning", ascii_table(
+        ["partitioner", "sim seconds", "compute imbalance (max/mean)",
+         "remote msgs", "remote bytes", "recall"],
+        rows,
+        title=("Ablation: vertex partitioning on cluster-sorted ids — "
+               "block wins locality, hash wins distribution independence "
+               "(Section 4's choice)"),
+    ))

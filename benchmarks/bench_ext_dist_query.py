@@ -1,0 +1,94 @@
+"""Extension experiment — distributed query execution cost.
+
+Not a paper figure: the paper gathers the graph and queries it in
+shared memory (Section 5.3.1), leaving distributed *querying* as the
+natural next step for a massive-scale framework (Section 1; Pyramid in
+Section 6).  This bench measures the library's distributed searcher:
+per-query message count/volume and recall as epsilon grows, and the
+effect of cluster size on off-node traffic.
+"""
+
+import pytest
+
+from _common import report, scaled
+from repro import ClusterConfig, brute_force_knn_graph
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.core.dist_search import DistributedKNNGraphSearcher
+from repro.core.optimization import optimize_graph
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.eval.recall import recall_at_k
+from repro.eval.tables import ascii_table
+
+_cache = {}
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(700)
+    data, spec = load_dataset("deep1b", n=n, seed=14)
+    adj = optimize_graph(brute_force_knn_graph(data, k=10, metric=spec.metric),
+                         pruning_factor=1.5)
+    queries = data[: max(30, n // 20)]
+    gt_ids, _ = brute_force_neighbors(data, queries, k=10, metric=spec.metric)
+
+    eps_rows = []
+    for eps in (0.0, 0.2, 0.4):
+        s = DistributedKNNGraphSearcher(
+            adj, data, metric=spec.metric,
+            cluster=ClusterConfig(nodes=4, procs_per_node=2), seed=14)
+        ids, _, _ = s.query_batch(queries, l=10, epsilon=eps)
+        stats = s.message_stats
+        nq = len(queries)
+        eps_rows.append({
+            "epsilon": eps,
+            "recall": recall_at_k(ids, gt_ids),
+            "msgs_per_query": stats.total_count() / nq,
+            "bytes_per_query": stats.total_bytes() / nq,
+        })
+
+    node_rows = []
+    for nodes in (2, 4, 8):
+        s = DistributedKNNGraphSearcher(
+            adj, data, metric=spec.metric,
+            cluster=ClusterConfig(nodes=nodes, procs_per_node=2), seed=14)
+        s.query_batch(queries[:10], l=10, epsilon=0.2)
+        stats = s.message_stats
+        node_rows.append({
+            "nodes": nodes,
+            "offnode_frac": (stats.offnode_count()
+                             / max(1, stats.total_count())),
+        })
+    _cache.update({"eps": eps_rows, "nodes": node_rows})
+    return _cache
+
+
+def test_epsilon_buys_recall_with_messages(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = out["eps"]
+    assert rows[-1]["recall"] >= rows[0]["recall"]
+    assert rows[-1]["msgs_per_query"] > rows[0]["msgs_per_query"]
+    assert rows[-1]["recall"] > 0.9
+
+
+def test_offnode_share_grows_with_nodes(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    fracs = [r["offnode_frac"] for r in out["nodes"]]
+    assert fracs[-1] > fracs[0]
+
+
+def test_print_dist_query(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = [ascii_table(
+        ["epsilon", "recall@10", "messages/query", "bytes/query"],
+        [[r["epsilon"], round(r["recall"], 4),
+          round(r["msgs_per_query"], 1), round(r["bytes_per_query"], 0)]
+         for r in out["eps"]],
+        title="Extension: distributed query cost vs epsilon (4 nodes)",
+    )]
+    text.append(ascii_table(
+        ["nodes", "off-node msg share"],
+        [[r["nodes"], f"{r['offnode_frac']:.0%}"] for r in out["nodes"]],
+        title="Extension: off-node traffic share vs cluster size",
+    ))
+    report("ext_dist_query", "\n\n".join(text))

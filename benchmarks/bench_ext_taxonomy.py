@@ -1,0 +1,85 @@
+"""Extension experiment — the intro's ANN taxonomy, head to head.
+
+Section 1 motivates graph methods by listing the four ANN families:
+tree-based (k-d trees), hash-based (LSH), quantization, and graph-based,
+citing surveys that graph methods "offer high flexibility and high
+accuracy compared to the other methods".  This bench puts the claim on
+one chart: k-d tree, LSH, HNSW, NN-Descent graphs (shared-memory and
+DNND), and brute force on the same dataset and query set.
+
+Expected shape (and asserted): at matched recall floors, the graph
+methods answer queries with fewer distance evaluations than the tree
+and hash baselines on this ~100-dimensional data — the curse of
+dimensionality that defeats space partitioning is exactly why the
+paper builds a graph method.
+"""
+
+import pytest
+
+from _common import report, scaled
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.datasets.synthetic import train_query_split
+from repro.eval.ann_benchmark import AnnBenchmarkRunner
+from repro.eval.plots import tradeoff_plot
+
+_cache = {}
+
+
+def run_all():
+    if _cache:
+        return _cache
+    n = scaled(800)
+    data, spec = load_dataset("deep1b", n=n, seed=15)
+    train, queries = train_query_split(data, n_queries=max(40, n // 12),
+                                       seed=15)
+    runner = AnnBenchmarkRunner(train, queries, k=10, metric=spec.metric,
+                                dataset_name="deep1b", seed=15)
+    runner.run_nndescent(graph_k=15)
+    runner.run_dnnd(graph_k=15, nodes=4)
+    runner.run_hnsw(M=12, ef_construction=60)
+    runner.run_kdtree(leaf_size=16)
+    runner.run_lsh(n_tables=16, n_bits=4)
+    runner.run_pq(m=8, n_centroids=64)
+    runner.run_bruteforce()
+    _cache["report"] = runner.report
+    return _cache
+
+
+def test_every_family_present(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert set(out["report"].results) == {
+        "dnnd", "nndescent", "hnsw", "kdtree", "lsh", "pq", "bruteforce"}
+
+
+def test_graph_methods_win_at_high_recall(benchmark):
+    """The Section 1 claim: graph-based ANN dominates space-partitioning
+    methods at high recall in moderate-to-high dimension."""
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rep = out["report"]
+    floor = 0.9
+    graph_costs = [rep.results[name].cost_at_recall(floor)
+                   for name in ("dnnd", "nndescent", "hnsw")]
+    graph_best = min(c for c in graph_costs if c is not None)
+    for other in ("kdtree", "lsh"):
+        cost = rep.results[other].cost_at_recall(floor)
+        if cost is not None:
+            assert graph_best < cost, other
+    # Brute force always "reaches" the floor at full cost.
+    assert graph_best < rep.results["bruteforce"].points[0].mean_distance_evals
+
+
+def test_exactness_of_exact_methods(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rep = out["report"]
+    assert rep.results["bruteforce"].best_recall() == 1.0
+    # kdtree with unlimited leaves is exact too.
+    assert rep.results["kdtree"].best_recall() == 1.0
+
+
+def test_print_taxonomy(benchmark):
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rep = out["report"]
+    points = {name: res.points for name, res in rep.results.items()}
+    text = rep.format() + "\n\n" + tradeoff_plot(
+        points, title="Section 1 taxonomy: recall vs query cost (DEEP-like)")
+    report("ext_taxonomy", text)

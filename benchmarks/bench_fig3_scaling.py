@@ -1,0 +1,159 @@
+"""Figure 3 / Table 3 — k-NNG construction time vs compute nodes.
+
+Paper (DEEP-1B): Hnsw A 5.90h, Hnsw B 22.60h on one node; DNND k10
+6.96h@4 -> 1.84h@16 (3.8x) -> 1.50h@32; k20 10.62/5.18/3.74 at
+8/16/32; k30 10.29@16, 6.58@32.  BigANN shows the same trend.
+
+Here: the same grid on scaled stand-ins.  DNND times are the cost
+model's simulated seconds; HNSW times are its distance-evaluation count
+divided by the paper's 256 threads under the same per-evaluation cost.
+All values are reported both raw and calibrated to the paper's scale
+(one global factor chosen so DEEP-like DNND k10 @ 4 nodes = 6.96 h),
+so shape comparisons — who wins, scaling factors, flattening — are
+direct.
+"""
+
+import pytest
+
+from _common import report, run_dnnd, scaled
+from repro.baselines.hnsw import HNSW, HNSWConfig
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.eval.tables import ascii_table
+from repro.runtime.netmodel import NetworkModel
+
+NODES = [4, 8, 16, 32]
+GRID = {10: [4, 8, 16, 32], 20: [8, 16, 32], 30: [16, 32]}
+HNSW_CONFIGS = {
+    "deep1b": {"Hnsw A": HNSWConfig(M=8, ef_construction=12, seed=0),
+               "Hnsw B": HNSWConfig(M=32, ef_construction=200, seed=0)},
+    "bigann": {"Hnsw C": HNSWConfig(M=8, ef_construction=12, seed=0),
+               "Hnsw D": HNSWConfig(M=32, ef_construction=200, seed=0)},
+}
+
+# The paper runs Hnswlib with 256 threads on a 128-rank-per-node
+# machine, i.e. two nodes' worth of DNND ranks; our simulated nodes
+# carry `procs_per_node=2` ranks, so the Hnswlib analogue gets
+# 2 x 2 = 4 thread-equivalents to keep the parallelism ratio.
+HNSW_THREAD_EQUIV = 4
+PAPER = {
+    "deep1b": {"Hnsw A": {1: 5.90}, "Hnsw B": {1: 22.60},
+               "DNND k10": {4: 6.96, 8: 3.87, 16: 1.84, 32: 1.50},
+               "DNND k20": {8: 10.62, 16: 5.18, 32: 3.74},
+               "DNND k30": {16: 10.29, 32: 6.58}},
+    "bigann": {"Hnsw C": {1: 1.70}, "Hnsw D": {1: 16.50},
+               "DNND k10": {4: 5.45, 8: 2.92, 16: 1.27, 32: 1.24},
+               "DNND k20": {8: 8.19, 16: 3.50, 32: 3.05},
+               "DNND k30": {16: 6.84, 32: 5.83}},
+}
+
+_cache = {}
+
+
+def run_dataset(name: str):
+    """All DNND and HNSW runs for one dataset; returns sim seconds."""
+    if name in _cache:
+        return _cache[name]
+    n = scaled(1000)
+    data, spec = load_dataset(name, n=n, seed=4)
+    net = NetworkModel()
+    times = {}
+    for k, node_list in GRID.items():
+        for nodes in node_list:
+            res, _ = run_dnnd(data, k=k, nodes=nodes, procs_per_node=2,
+                              metric=spec.metric, seed=4, net=net,
+                              optimize=True)
+            times[(f"DNND k{k}", nodes)] = res.sim_seconds
+    dim = data.shape[1]
+    for label, cfg in HNSW_CONFIGS[name].items():
+        index = HNSW(data, cfg, metric=spec.metric).build()
+        # Shared-memory baseline on one node (Section 5.3.2), with the
+        # paper's thread-to-rank parallelism ratio preserved.
+        times[(label, 1)] = (index.distance_evals * net.distance_cost(dim)
+                             / HNSW_THREAD_EQUIV)
+    _cache[name] = times
+    return times
+
+
+@pytest.mark.parametrize("name", ["deep1b", "bigann"])
+def test_fig3_strong_scaling(benchmark, name):
+    times = benchmark.pedantic(lambda: run_dataset(name), rounds=1, iterations=1)
+    k10 = {nodes: times[("DNND k10", nodes)] for nodes in GRID[10]}
+    # Monotone improvement over the scaling range the paper reports
+    # (4 -> 16), with a paper-like scaling factor.
+    assert k10[8] < k10[4]
+    assert k10[16] < k10[8]
+    speedup_4_to_16 = k10[4] / k10[16]
+    assert 1.5 < speedup_4_to_16 <= 4.5, speedup_4_to_16
+
+
+@pytest.mark.parametrize("name", ["deep1b", "bigann"])
+def test_fig3_k_ordering(benchmark, name):
+    # Larger k costs more at equal node count (the reason the paper
+    # needs more minimum nodes for larger k).
+    times = benchmark.pedantic(lambda: run_dataset(name), rounds=1, iterations=1)
+    assert times[("DNND k20", 16)] > times[("DNND k10", 16)]
+    assert times[("DNND k30", 16)] > times[("DNND k20", 16)]
+
+
+@pytest.mark.parametrize("name,labels", [("deep1b", ("Hnsw A", "Hnsw B")),
+                                         ("bigann", ("Hnsw C", "Hnsw D"))])
+def test_fig3_hnsw_bracketing(benchmark, name, labels):
+    """The paper's headline comparison: the cheap Hnsw config builds
+    fast, but DNND at 16 nodes beats the high-quality Hnsw config
+    (by 4.4x / 4.7x in the paper)."""
+    times = benchmark.pedantic(lambda: run_dataset(name), rounds=1, iterations=1)
+    cheap, best = labels
+    assert times[(cheap, 1)] < times[(best, 1)]
+    speedup = times[(best, 1)] / times[("DNND k20", 16)]
+    assert speedup > 1.5, speedup
+
+
+def test_print_table3(benchmark):
+    def run():
+        return {name: run_dataset(name) for name in ("deep1b", "bigann")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Calibrate: one global factor maps simulated seconds onto the
+    # paper's hour scale at the DEEP k10 / 4-node anchor point.
+    anchor = results["deep1b"][("DNND k10", 4)]
+    factor = 6.96 / anchor
+    lines = []
+    for name in ("deep1b", "bigann"):
+        times = results[name]
+        series = sorted({label for label, _ in times})
+        rows = []
+        for label in series:
+            row = [label]
+            for nodes in [1] + NODES:
+                val = times.get((label, nodes))
+                paper_val = PAPER[name].get(label, {}).get(nodes)
+                if val is None:
+                    row.append("-")
+                else:
+                    cal = val * factor
+                    cell = f"{cal:.2f}"
+                    if paper_val is not None:
+                        cell += f" (paper {paper_val})"
+                    row.append(cell)
+            rows.append(row)
+        lines.append(ascii_table(
+            ["series"] + [f"{n} node(s)" for n in [1] + NODES],
+            rows,
+            title=(f"Table 3 ({name}): construction time, calibrated hours "
+                   f"(global factor from DEEP k10@4 = 6.96h)"),
+        ))
+        k10 = {nodes: times[("DNND k10", nodes)] for nodes in GRID[10]}
+        lines.append(
+            f"{name}: k10 scaling 4->16 nodes = {k10[4] / k10[16]:.2f}x "
+            f"(paper: {PAPER[name]['DNND k10'][4] / PAPER[name]['DNND k10'][16]:.2f}x); "
+            f"16->32 = {k10[16] / k10[32]:.2f}x (flattening)\n"
+        )
+        from repro.eval.plots import scaling_plot
+        dnnd_series = {}
+        for (label, nodes), secs in times.items():
+            if label.startswith("DNND"):
+                dnnd_series.setdefault(label, {})[nodes] = secs * factor
+        lines.append(scaling_plot(
+            dnnd_series, title=f"Figure 3 ({name}): calibrated hours vs nodes"))
+        lines.append("")
+    report("fig3_table3_scaling", "\n".join(lines))

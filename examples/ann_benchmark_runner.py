@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""ANN-Benchmarks-style comparison: all algorithms on one dataset.
+
+Reproduces the paper's evaluation methodology end-to-end at laptop
+scale: split a dataset into train/queries, build an index with every
+algorithm in this library (DNND, shared-memory NN-Descent, HNSW, brute
+force), sweep each algorithm's query knob, and print the build-cost and
+recall-vs-work comparison — the raw material of the paper's Figure 2.
+
+Run:  python examples/ann_benchmark_runner.py
+"""
+
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.datasets.synthetic import train_query_split
+from repro.eval.ann_benchmark import AnnBenchmarkRunner
+
+
+def main() -> None:
+    data, spec = load_dataset("glove-25", n=1600, seed=17)
+    train, queries = train_query_split(data, n_queries=120, seed=17)
+    print(f"dataset: GloVe-25 stand-in — {len(train)} train rows, "
+          f"{len(queries)} queries, metric={spec.metric}")
+
+    runner = AnnBenchmarkRunner(train, queries, k=10, metric=spec.metric,
+                                dataset_name="glove-25", seed=17)
+    report = runner.run_all(graph_k=15)
+    # GloVe is cosine, so LSH (SimHash) applies; the k-d tree needs L2
+    # and sits this one out — exactly the flexibility gap Section 1
+    # credits graph methods with.
+    runner.run_lsh(n_tables=12, n_bits=10)
+
+    print()
+    print(report.format())
+    for floor in (0.90, 0.99):
+        winner = report.winner_at_recall(floor)
+        print(f"\ncheapest algorithm at recall >= {floor:.0%}: {winner}")
+
+
+if __name__ == "__main__":
+    main()

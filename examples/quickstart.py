@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: build a k-NN graph, optimize it, and run ANN queries.
+
+This is the smallest useful tour of the public API:
+
+1. generate a clustered dataset,
+2. build an approximate k-NN graph with shared-memory NN-Descent
+   (Algorithm 1 of the paper),
+3. apply the Section 4.5 graph optimizations,
+4. answer nearest-neighbor queries with the Section 3.3 epsilon search,
+5. check recall against exact brute force.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    KNNGraphSearcher,
+    brute_force_knn_graph,
+    brute_force_neighbors,
+    build_knn_graph,
+    graph_recall,
+    optimize_graph,
+    recall_at_k,
+)
+from repro.datasets import gaussian_mixture
+
+
+def main() -> None:
+    # 1. A clustered dataset: 2,000 points in 32 dimensions.
+    data = gaussian_mixture(2000, 32, n_clusters=20, cluster_std=0.35, seed=0)
+    print(f"dataset: {data.shape[0]} points, {data.shape[1]} dims")
+
+    # 2. NN-Descent build (k=10). delta/rho defaults follow the paper.
+    result = build_knn_graph(data, k=10, metric="sqeuclidean", seed=0)
+    print(f"NN-Descent: {result.iterations} iterations, "
+          f"{result.distance_evals:,} distance evaluations, "
+          f"converged={result.converged}")
+
+    # How good is the graph? Compare against exact brute force.
+    truth = brute_force_knn_graph(data, k=10)
+    print(f"graph recall vs brute force: {graph_recall(result.graph, truth):.4f}")
+
+    # 3. Section 4.5 optimizations: reverse-edge merge + degree pruning.
+    adjacency = optimize_graph(result.graph, pruning_factor=1.5)
+    print(f"optimized graph: {adjacency.n_edges:,} edges, "
+          f"max degree {int(adjacency.degrees().max())}")
+
+    # 4. ANN queries with the epsilon-relaxed greedy search.
+    searcher = KNNGraphSearcher(adjacency, data, metric="sqeuclidean", seed=0)
+    rng = np.random.default_rng(1)
+    queries = data[rng.choice(len(data), 100, replace=False)] + rng.normal(
+        0, 0.01, (100, data.shape[1])).astype(np.float32)
+
+    ids, dists, stats = searcher.query_batch(queries, l=10, epsilon=0.2)
+    print(f"queries: {stats['n_queries']} run, "
+          f"{stats['mean_distance_evals']:.0f} distance evals/query "
+          f"(vs {len(data)} for brute force)")
+
+    # 5. Recall@10 against exact answers.
+    gt_ids, _ = brute_force_neighbors(data, queries, k=10)
+    print(f"recall@10: {recall_at_k(ids, gt_ids):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A miniature Figure 3: strong scaling with the cost model + tracer.
+
+Builds the same DEEP-like k-NNG on simulated clusters of 2, 4, 8, and
+16 nodes, reporting:
+
+- modeled construction time per node count (the Figure 3 y-axis),
+- parallel efficiency and where it rolls off,
+- a per-phase bottleneck breakdown from the runtime tracer
+  (the Section 7 "computation vs communication" question).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import (
+    DNND,
+    ClusterConfig,
+    DNNDConfig,
+    NNDescentConfig,
+)
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.eval.tables import ascii_table
+from repro.runtime.tracing import attach_tracer
+from repro.utils.timing import format_duration
+
+
+def main() -> None:
+    data, spec = load_dataset("deep1b", n=1200, seed=5)
+    print(f"dataset: DEEP-1B stand-in, {data.shape[0]} x {data.shape[1]} "
+          f"({spec.metric})")
+
+    results = {}
+    tracers = {}
+    for nodes in (2, 4, 8, 16):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=10, seed=5),
+                         batch_size=1 << 13)
+        dnnd = DNND(data, cfg,
+                    cluster=ClusterConfig(nodes=nodes, procs_per_node=2))
+        tracers[nodes] = attach_tracer(dnnd.world)
+        results[nodes] = dnnd.build()
+
+    base = results[2].sim_seconds
+    rows = []
+    for nodes, res in results.items():
+        speedup = base / res.sim_seconds
+        efficiency = speedup / (nodes / 2)
+        rows.append([
+            nodes, nodes * 2, format_duration(res.sim_seconds),
+            f"{speedup:.2f}x", f"{efficiency:.0%}",
+            f"{res.message_stats.offnode_count() / max(1, res.message_stats.total_count()):.0%}",
+        ])
+    print()
+    print(ascii_table(
+        ["nodes", "ranks", "sim time", "speedup", "efficiency",
+         "off-node msgs"],
+        rows,
+        title="strong scaling (paper Figure 3: speedup with flattening)",
+    ))
+
+    print("\nbottleneck breakdown at 16 nodes (Section 7 profiling):")
+    print(tracers[16].report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""repro — DNND: Distributed NN-Descent for massive-scale k-NN graphs.
+
+A full reproduction of *Iwabuchi, Steil, Priest, Pearce, Sanders:
+"Towards A Massive-Scale Distributed Neighborhood Graph Construction"*
+(SC-W 2023), including the distributed runtime substrate (simulated
+MPI/YGM/Metall), the NN-Descent and DNND algorithms, the HNSW and
+brute-force baselines, the ANN search, and the full evaluation harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import build_knn_graph, KNNGraphSearcher, optimize_graph
+
+    data = np.random.default_rng(0).random((2000, 32), dtype=np.float32)
+    result = build_knn_graph(data, k=10, metric="sqeuclidean")
+    adjacency = optimize_graph(result.graph, pruning_factor=1.5)
+    searcher = KNNGraphSearcher(adjacency, data, metric="sqeuclidean")
+    hits = searcher.query(data[0], l=10, epsilon=0.1)
+
+Distributed (simulated cluster)::
+
+    from repro import DNND, DNNDConfig, ClusterConfig
+
+    dnnd = DNND(data, DNNDConfig().with_(k=10),
+                cluster=ClusterConfig(nodes=4, procs_per_node=4))
+    result = dnnd.build()
+    adjacency = dnnd.optimize()
+    print(result.message_stats.format_table())
+"""
+
+from ._version import __version__, PAPER
+from .config import (
+    ClusterConfig,
+    CommOptConfig,
+    DNNDConfig,
+    NNDescentConfig,
+)
+from .errors import (
+    ConfigError,
+    DatasetError,
+    GraphError,
+    MetricError,
+    PartitionError,
+    ReproError,
+    RuntimeStateError,
+    SearchError,
+    StoreError,
+)
+from .core import (
+    DNND,
+    DNNDResult,
+    AdjacencyGraph,
+    IncrementalIndex,
+    KNNGraph,
+    KNNGraphSearcher,
+    NNDescent,
+    NNDescentResult,
+    NeighborHeap,
+    SearchResult,
+    diversified_optimize_graph,
+    make_rp_forest,
+    optimize_graph,
+)
+from .core.dnnd import optimize_from_store
+from .core.nndescent import build_knn_graph
+from .baselines import HNSW, HNSWConfig, brute_force_knn_graph, brute_force_neighbors
+from .distances import CountingMetric, get_metric, list_metrics, register_metric
+from .runtime import (
+    BlockPartitioner,
+    HashPartitioner,
+    MessageStats,
+    MetallStore,
+    NetworkModel,
+    SimCluster,
+    YGMWorld,
+)
+from .datasets import load_dataset, make_benchmark_dataset
+from .eval import graph_recall, recall_at_k
+
+__all__ = [
+    "__version__",
+    "PAPER",
+    # configs
+    "ClusterConfig",
+    "CommOptConfig",
+    "DNNDConfig",
+    "NNDescentConfig",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "MetricError",
+    "RuntimeStateError",
+    "PartitionError",
+    "StoreError",
+    "GraphError",
+    "SearchError",
+    "DatasetError",
+    # core
+    "DNND",
+    "DNNDResult",
+    "NNDescent",
+    "NNDescentResult",
+    "IncrementalIndex",
+    "build_knn_graph",
+    "optimize_from_store",
+    "KNNGraph",
+    "AdjacencyGraph",
+    "NeighborHeap",
+    "KNNGraphSearcher",
+    "SearchResult",
+    "optimize_graph",
+    "diversified_optimize_graph",
+    "make_rp_forest",
+    # baselines
+    "HNSW",
+    "HNSWConfig",
+    "brute_force_knn_graph",
+    "brute_force_neighbors",
+    # distances
+    "get_metric",
+    "list_metrics",
+    "register_metric",
+    "CountingMetric",
+    # runtime
+    "SimCluster",
+    "YGMWorld",
+    "MetallStore",
+    "MessageStats",
+    "NetworkModel",
+    "HashPartitioner",
+    "BlockPartitioner",
+    # datasets / eval
+    "load_dataset",
+    "make_benchmark_dataset",
+    "graph_recall",
+    "recall_at_k",
+]

@@ -1,0 +1,10 @@
+"""Version metadata for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER = (
+    "Iwabuchi, Steil, Priest, Pearce, Sanders. "
+    "Towards A Massive-Scale Distributed Neighborhood Graph Construction. "
+    "SC-W 2023. doi:10.1145/3624062.3625132"
+)

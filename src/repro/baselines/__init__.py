@@ -1,0 +1,27 @@
+"""Baselines (S14-S15 plus the intro's ANN taxonomy).
+
+- :mod:`.bruteforce` — exact k-NN graph construction (the Section 5.2
+  ground truth),
+- :mod:`.hnsw` — a from-scratch HNSW implementation standing in for
+  Hnswlib (Sections 5.3.2-5.3.4),
+- :mod:`.kdtree` — tree-based ANN (Section 1's first category),
+- :mod:`.lsh` — hash-based ANN (Section 1's second category),
+- :mod:`.pq` — product quantization (Section 1's third category; the
+  Faiss reference point of Section 5.3.2).
+"""
+
+from .bruteforce import brute_force_knn_graph, brute_force_neighbors
+from .hnsw import HNSW, HNSWConfig
+from .kdtree import KDTree
+from .lsh import LSHIndex
+from .pq import PQIndex
+
+__all__ = [
+    "brute_force_knn_graph",
+    "brute_force_neighbors",
+    "HNSW",
+    "HNSWConfig",
+    "KDTree",
+    "LSHIndex",
+    "PQIndex",
+]

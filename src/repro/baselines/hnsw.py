@@ -1,0 +1,291 @@
+"""HNSW — Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+This is the from-scratch stand-in for Hnswlib, the paper's
+shared-memory comparison baseline (Sections 5.3.2-5.3.4).  It
+implements the full published algorithm:
+
+- exponentially-distributed level assignment
+  (``level = floor(-ln(U) * mL)``, ``mL = 1 / ln(M)``),
+- greedy descent through upper layers with ``ef = 1``,
+- ``SEARCH-LAYER`` beam search with a candidate min-heap and a bounded
+  result max-heap,
+- ``SELECT-NEIGHBORS-HEURISTIC`` (Algorithm 4 of the HNSW paper) for
+  link selection and shrinking, with the ``keep_pruned`` extension,
+- bidirectional link insertion with per-layer degree caps
+  (``M`` above layer 0, ``2 M`` at layer 0 — hnswlib's ``M_max0``),
+- query-time ``ef`` parameter (Table 2's ``ef`` sweep).
+
+As in hnswlib, construction quality is governed by ``M`` and
+``ef_construction`` (Table 2's ``efc``); larger values give better
+graphs and longer construction — the trade-off Figure 3 measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.search import SearchResult
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError, SearchError
+from ..utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class HNSWConfig:
+    """HNSW construction parameters (Table 2 columns).
+
+    Attributes
+    ----------
+    M:
+        Target out-degree per layer (layer 0 allows ``2 M``).
+    ef_construction:
+        Beam width used while inserting (paper's ``efc``).
+    keep_pruned:
+        Algorithm 4's ``keepPrunedConnections`` extension.
+    """
+
+    M: int = 16
+    ef_construction: int = 200
+    keep_pruned: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.M < 2:
+            raise ConfigError(f"M must be >= 2, got {self.M}")
+        if self.ef_construction < 1:
+            raise ConfigError(
+                f"ef_construction must be >= 1, got {self.ef_construction}"
+            )
+
+    @property
+    def M_max0(self) -> int:
+        return 2 * self.M
+
+    @property
+    def mL(self) -> float:
+        return 1.0 / np.log(self.M)
+
+
+class HNSW:
+    """An HNSW index over a dense dataset.
+
+    Usage::
+
+        index = HNSW(data, HNSWConfig(M=16, ef_construction=100),
+                     metric="sqeuclidean")
+        index.build()
+        result = index.query(q, k=10, ef=50)
+    """
+
+    def __init__(self, data, config: HNSWConfig | None = None,
+                 metric: str = "sqeuclidean") -> None:
+        self.config = config or HNSWConfig()
+        self.metric = CountingMetric(metric)
+        if self.metric.sparse_input:
+            raise ConfigError("HNSW baseline supports dense metrics only")
+        self.data = np.asarray(data)
+        self.n = len(self.data)
+        # _links[node] is a list of per-layer neighbor-id lists.
+        self._links: List[List[List[int]]] = []
+        self._levels: List[int] = []
+        self._entry: Optional[int] = None
+        self._max_level = -1
+        self._built = False
+        self._rng = derive_rng(self.config.seed, 0x4A5)
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self) -> "HNSW":
+        """Insert every dataset row (single pass, insertion order 0..n-1)."""
+        for i in range(self.n):
+            self._insert(i)
+        self._built = True
+        return self
+
+    @property
+    def distance_evals(self) -> int:
+        return self.metric.count
+
+    def _random_level(self) -> int:
+        u = self._rng.random()
+        # Guard the log against u == 0.
+        u = max(u, 1e-12)
+        return int(-np.log(u) * self.config.mL)
+
+    def _dist(self, i: int, j: int) -> float:
+        return self.metric(self.data[i], self.data[j])
+
+    def _dist_q(self, q: np.ndarray, j: int) -> float:
+        return self.metric(q, self.data[j])
+
+    def _insert(self, q: int) -> None:
+        level = self._random_level()
+        self._levels.append(level)
+        self._links.append([[] for _ in range(level + 1)])
+
+        if self._entry is None:
+            self._entry = q
+            self._max_level = level
+            return
+
+        ep = self._entry
+        ep_dist = self._dist(q, ep)
+
+        # Phase 1: greedy descent through layers above the new node's top.
+        for layer in range(self._max_level, level, -1):
+            ep, ep_dist = self._greedy_closest(self.data[q], ep, ep_dist, layer)
+
+        # Phase 2: beam search + link on each layer the node occupies.
+        efc = self.config.ef_construction
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(self.data[q], [(ep_dist, ep)], efc, layer)
+            m_target = self.config.M
+            selected = self._select_heuristic(q, candidates, m_target)
+            cap = self.config.M_max0 if layer == 0 else self.config.M
+            for d_e, e in selected:
+                self._links[q][layer].append(e)
+                self._links[e][layer].append(q)
+                if len(self._links[e][layer]) > cap:
+                    self._shrink(e, layer, cap)
+            if candidates:
+                ep_dist, ep = min(candidates)
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry = q
+
+    def _greedy_closest(self, q: np.ndarray, ep: int, ep_dist: float,
+                        layer: int) -> Tuple[int, float]:
+        """ef=1 greedy walk on one layer."""
+        improved = True
+        while improved:
+            improved = False
+            for e in self._links[ep][layer]:
+                d = self._dist_q(q, e)
+                if d < ep_dist:
+                    ep, ep_dist = e, d
+                    improved = True
+        return ep, ep_dist
+
+    def _search_layer(self, q: np.ndarray, entry: List[Tuple[float, int]],
+                      ef: int, layer: int) -> List[Tuple[float, int]]:
+        """SEARCH-LAYER: returns up to ``ef`` nearest ``(dist, id)``."""
+        visited = set(e for _, e in entry)
+        candidates = list(entry)  # min-heap on dist
+        heapq.heapify(candidates)
+        results = [(-d, e) for d, e in entry]  # max-heap via negation
+        heapq.heapify(results)
+        while len(results) > ef:
+            heapq.heappop(results)
+        while candidates:
+            d_c, c = heapq.heappop(candidates)
+            worst = -results[0][0] if results else np.inf
+            if d_c > worst and len(results) >= ef:
+                break
+            for e in self._links[c][layer]:
+                if e in visited:
+                    continue
+                visited.add(e)
+                d_e = self._dist_q(q, e)
+                worst = -results[0][0] if results else np.inf
+                if len(results) < ef or d_e < worst:
+                    heapq.heappush(candidates, (d_e, e))
+                    heapq.heappush(results, (-d_e, e))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-nd, e) for nd, e in results)
+
+    def _select_heuristic(self, q: int, candidates: List[Tuple[float, int]],
+                          m: int) -> List[Tuple[float, int]]:
+        """SELECT-NEIGHBORS-HEURISTIC: prefer candidates closer to q than
+        to any already-selected neighbor (diversifies link directions)."""
+        selected: List[Tuple[float, int]] = []
+        pruned: List[Tuple[float, int]] = []
+        for d_e, e in sorted(candidates):
+            if e == q:
+                continue
+            if len(selected) >= m:
+                break
+            keep = True
+            for _, s in selected:
+                if self._dist(e, s) < d_e:
+                    keep = False
+                    break
+            if keep:
+                selected.append((d_e, e))
+            else:
+                pruned.append((d_e, e))
+        if self.config.keep_pruned:
+            for d_e, e in pruned:
+                if len(selected) >= m:
+                    break
+                selected.append((d_e, e))
+        return selected
+
+    def _shrink(self, node: int, layer: int, cap: int) -> None:
+        """Re-select ``node``'s links on ``layer`` down to ``cap``."""
+        cands = [(self._dist(node, e), e) for e in self._links[node][layer]]
+        selected = self._select_heuristic(node, cands, cap)
+        self._links[node][layer] = [e for _, e in selected]
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, q: np.ndarray, k: int = 10, ef: int = 50) -> SearchResult:
+        """k-NN query with beam width ``ef`` (clamped to >= k)."""
+        if not self._built:
+            raise SearchError("query before build()")
+        if self._entry is None:
+            raise SearchError("index is empty")
+        if k < 1:
+            raise SearchError(f"k must be >= 1, got {k}")
+        ef = max(ef, k)
+        q = np.asarray(q)
+        before = self.metric.count
+        ep = self._entry
+        ep_dist = self._dist_q(q, ep)
+        for layer in range(self._max_level, 0, -1):
+            ep, ep_dist = self._greedy_closest(q, ep, ep_dist, layer)
+        found = self._search_layer(q, [(ep_dist, ep)], ef, 0)[:k]
+        ids = np.array([e for _, e in found], dtype=np.int64)
+        dists = np.array([d for d, _ in found], dtype=np.float64)
+        return SearchResult(
+            ids=ids, dists=dists,
+            n_distance_evals=self.metric.count - before,
+            n_visited=len(found),
+        )
+
+    def query_batch(self, queries, k: int = 10, ef: int = 50):
+        """Batch interface matching :meth:`KNNGraphSearcher.query_batch`."""
+        nq = len(queries)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float64)
+        total_evals = 0
+        for i in range(nq):
+            res = self.query(queries[i], k=k, ef=ef)
+            found = len(res.ids)
+            ids[i, :found] = res.ids
+            dists[i, :found] = res.dists
+            total_evals += res.n_distance_evals
+        return ids, dists, {"n_queries": nq,
+                            "mean_distance_evals": total_evals / max(1, nq)}
+
+    # -- introspection -------------------------------------------------------
+
+    def level_histogram(self) -> List[int]:
+        """Count of nodes whose top level is each value (diagnostic)."""
+        if not self._levels:
+            return []
+        hist = [0] * (max(self._levels) + 1)
+        for lv in self._levels:
+            hist[lv] += 1
+        return hist
+
+    def degree_stats(self, layer: int = 0) -> dict:
+        degs = [len(links[layer]) for links in self._links if len(links) > layer]
+        if not degs:
+            return {"mean": 0.0, "max": 0}
+        return {"mean": float(np.mean(degs)), "max": int(max(degs))}

@@ -1,0 +1,189 @@
+"""k-d tree nearest-neighbor baseline (the intro's tree-based category).
+
+Section 1 lists four ANN families: tree-based (k-d trees), hash-based
+(LSH), quantization, and graph-based.  This module implements the
+tree-based representative from scratch: a median-split k-d tree with
+exact branch-and-bound k-NN search and the classic *defeatist* /
+bounded-leaf approximate mode (stop after inspecting ``max_leaves``
+leaves — the standard way k-d trees trade recall for speed, and the
+reason they lose to graph methods in high dimension, which the
+comparison benchmarks make visible).
+
+L2-family metrics only: the k-d tree's pruning rule requires
+coordinate-aligned distance bounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.search import SearchResult
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError, SearchError
+
+
+@dataclass
+class _Node:
+    """k-d tree node; leaf iff ``members is not None``."""
+
+    members: Optional[np.ndarray] = None
+    axis: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.members is not None
+
+
+class KDTree:
+    """Median-split k-d tree over dense data.
+
+    Parameters
+    ----------
+    data:
+        Dense ``(n, dim)`` matrix.
+    leaf_size:
+        Max points per leaf.
+    metric:
+        ``"sqeuclidean"`` or ``"euclidean"``; results are reported in
+        the chosen metric (search internals use squared distances).
+    """
+
+    def __init__(self, data, leaf_size: int = 16,
+                 metric: str = "sqeuclidean") -> None:
+        if leaf_size < 1:
+            raise ConfigError(f"leaf_size must be >= 1, got {leaf_size}")
+        if metric not in ("sqeuclidean", "euclidean"):
+            raise ConfigError(
+                f"KDTree supports sqeuclidean/euclidean, got {metric!r}"
+            )
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2 or len(self.data) == 0:
+            raise ConfigError("KDTree needs a non-empty 2-D matrix")
+        self.leaf_size = int(leaf_size)
+        self.metric_name = metric
+        self.metric = CountingMetric("sqeuclidean")
+        self._root = self._build(np.arange(len(self.data), dtype=np.int64), 0)
+        self.n_leaves = sum(1 for _ in self._leaves(self._root))
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self, members: np.ndarray, depth: int) -> _Node:
+        if len(members) <= self.leaf_size:
+            return _Node(members=members)
+        # Split on the axis of largest spread (better than round-robin
+        # for anisotropic data).
+        block = self.data[members]
+        axis = int(np.argmax(block.max(axis=0) - block.min(axis=0)))
+        values = block[:, axis]
+        threshold = float(np.median(values))
+        left_mask = values <= threshold
+        if left_mask.all() or not left_mask.any():
+            # Degenerate axis (constant values): split evenly.
+            half = len(members) // 2
+            order = np.argsort(values, kind="stable")
+            return _Node(axis=axis, threshold=threshold,
+                         left=self._build(members[order[:half]], depth + 1),
+                         right=self._build(members[order[half:]], depth + 1))
+        return _Node(axis=axis, threshold=threshold,
+                     left=self._build(members[left_mask], depth + 1),
+                     right=self._build(members[~left_mask], depth + 1))
+
+    def _leaves(self, node: _Node):
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur.is_leaf:
+                yield cur
+            else:
+                stack.append(cur.left)
+                stack.append(cur.right)
+
+    # -- queries ------------------------------------------------------------
+
+    def query(self, q, k: int = 10,
+              max_leaves: Optional[int] = None) -> SearchResult:
+        """k nearest neighbors of ``q``.
+
+        ``max_leaves=None`` gives the exact branch-and-bound search;
+        a finite value caps the number of leaves inspected (defeatist
+        mode), trading recall for time.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 1 or q.shape[0] != self.data.shape[1]:
+            raise SearchError(
+                f"query dim {q.shape} != data dim {self.data.shape[1]}"
+            )
+        if k < 1:
+            raise SearchError(f"k must be >= 1, got {k}")
+        k_eff = min(k, len(self.data))
+        before = self.metric.count
+
+        results: List[Tuple[float, int]] = []  # (-sqdist, id) max-heap
+        leaves_seen = 0
+        # Best-first traversal: (lower-bound sqdist to region, node).
+        frontier: List[Tuple[float, int, _Node]] = [(0.0, 0, self._root)]
+        counter = 1
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            worst = -results[0][0] if len(results) == k_eff else np.inf
+            if bound > worst:
+                break
+            if node.is_leaf:
+                leaves_seen += 1
+                for vid in node.members:
+                    d = self.metric(q, self.data[int(vid)])
+                    if len(results) < k_eff:
+                        heapq.heappush(results, (-d, int(vid)))
+                    elif d < -results[0][0]:
+                        heapq.heapreplace(results, (-d, int(vid)))
+                if max_leaves is not None and leaves_seen >= max_leaves:
+                    break
+                continue
+            diff = q[node.axis] - node.threshold
+            near, far = ((node.left, node.right) if diff <= 0
+                         else (node.right, node.left))
+            heapq.heappush(frontier, (bound, counter, near))
+            counter += 1
+            far_bound = max(bound, diff * diff)
+            heapq.heappush(frontier, (far_bound, counter, far))
+            counter += 1
+
+        out = sorted(((-nd, vid) for nd, vid in results),
+                     key=lambda t: (t[0], t[1]))
+        dists = np.array([d for d, _ in out], dtype=np.float64)
+        if self.metric_name == "euclidean":
+            dists = np.sqrt(dists)
+        return SearchResult(
+            ids=np.array([vid for _, vid in out], dtype=np.int64),
+            dists=dists,
+            n_distance_evals=self.metric.count - before,
+            n_visited=leaves_seen,
+        )
+
+    def query_batch(self, queries, k: int = 10,
+                    max_leaves: Optional[int] = None):
+        """Batch interface matching the other searchers."""
+        nq = len(queries)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float64)
+        total = 0
+        for i in range(nq):
+            res = self.query(queries[i], k=k, max_leaves=max_leaves)
+            found = len(res.ids)
+            ids[i, :found] = res.ids
+            dists[i, :found] = res.dists
+            total += res.n_distance_evals
+        return ids, dists, {"n_queries": nq,
+                            "mean_distance_evals": total / max(1, nq)}
+
+    def depth(self) -> int:
+        def _d(node: _Node) -> int:
+            return 0 if node.is_leaf else 1 + max(_d(node.left), _d(node.right))
+        return _d(self._root)

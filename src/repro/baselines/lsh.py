@@ -1,0 +1,185 @@
+"""Locality-Sensitive Hashing baseline (the intro's hash-based category).
+
+Implements the two classic LSH families the paper's intro alludes to
+(Gionis-Indyk-Motwani):
+
+- **random-hyperplane (SimHash)** signatures for cosine distance,
+- **p-stable random projections** with quantized offsets for L2.
+
+An :class:`LSHIndex` builds ``n_tables`` hash tables of ``n_bits``-bit
+keys; a query probes its bucket in every table (optionally with
+1-bit multiprobe for SimHash), collects candidates, and re-ranks them
+with exact distances.  Recall depends on how many candidates the
+buckets yield — the classic LSH trade-off the comparison benchmarks put
+next to graph methods.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.search import SearchResult
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError, SearchError
+from ..utils.rng import derive_rng
+
+
+class LSHIndex:
+    """Multi-table LSH index over dense data.
+
+    Parameters
+    ----------
+    data:
+        Dense ``(n, dim)`` matrix.
+    metric:
+        ``"cosine"`` (SimHash family) or ``"sqeuclidean"``/``"euclidean"``
+        (p-stable family).
+    n_tables:
+        Independent hash tables; more tables -> higher recall.
+    n_bits:
+        Hash functions per table (key width); more bits -> smaller,
+        purer buckets.
+    bucket_width:
+        p-stable quantization width (L2 family only), in *projection*
+        units; the string ``"auto"`` (default) calibrates each hash
+        function's width to one third of its projection range over the
+        data, giving a few distinct buckets per hash — the practical
+        tuning rule, since useful widths scale with ``||x|| ~ sqrt(dim)``.
+    """
+
+    def __init__(self, data, metric: str = "cosine", n_tables: int = 8,
+                 n_bits: int = 12, bucket_width="auto",
+                 seed: int = 0) -> None:
+        if n_tables < 1 or n_bits < 1:
+            raise ConfigError("n_tables and n_bits must be >= 1")
+        if metric not in ("cosine", "sqeuclidean", "euclidean"):
+            raise ConfigError(f"unsupported LSH metric {metric!r}")
+        if bucket_width != "auto" and not (
+                isinstance(bucket_width, (int, float)) and bucket_width > 0):
+            raise ConfigError("bucket_width must be positive or 'auto'")
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2 or len(self.data) == 0:
+            raise ConfigError("LSHIndex needs a non-empty 2-D matrix")
+        self.metric_name = metric
+        self.metric = CountingMetric(metric)
+        self.n_tables = int(n_tables)
+        self.n_bits = int(n_bits)
+        rng = derive_rng(seed, 0x15A5)
+        dim = self.data.shape[1]
+        # Projection tensors: (tables, bits, dim) hyperplanes/directions.
+        self._planes = rng.normal(size=(self.n_tables, self.n_bits, dim))
+        if bucket_width == "auto":
+            # Per-hash width = projection range / 3 -> a handful of
+            # distinct buckets per hash function regardless of scale.
+            widths = np.empty((self.n_tables, self.n_bits))
+            for t in range(self.n_tables):
+                proj = self.data @ self._planes[t].T
+                span = proj.max(axis=0) - proj.min(axis=0)
+                widths[t] = np.maximum(span / 3.0, 1e-9)
+            self._widths = widths
+        else:
+            self._widths = np.full((self.n_tables, self.n_bits),
+                                   float(bucket_width))
+        self._offsets = rng.uniform(0.0, 1.0,
+                                    size=(self.n_tables, self.n_bits)) * self._widths
+        self._tables: List[Dict[Tuple, np.ndarray]] = []
+        self._index_all()
+
+    # -- hashing ------------------------------------------------------------
+
+    def _keys_for(self, X: np.ndarray) -> List[np.ndarray]:
+        """Per-table key component arrays for rows of ``X``."""
+        keys = []
+        for t in range(self.n_tables):
+            proj = X @ self._planes[t].T  # (n, bits)
+            if self.metric_name == "cosine":
+                comp = (proj > 0).astype(np.int64)
+            else:
+                comp = np.floor(
+                    (proj + self._offsets[t]) / self._widths[t]
+                ).astype(np.int64)
+            keys.append(comp)
+        return keys
+
+    def _index_all(self) -> None:
+        key_components = self._keys_for(self.data)
+        for t in range(self.n_tables):
+            table: Dict[Tuple, list] = defaultdict(list)
+            comp = key_components[t]
+            for vid in range(len(self.data)):
+                table[tuple(comp[vid])].append(vid)
+            self._tables.append({k: np.array(v, dtype=np.int64)
+                                 for k, v in table.items()})
+
+    # -- stats ------------------------------------------------------------
+
+    def bucket_stats(self) -> dict:
+        sizes = [len(v) for table in self._tables for v in table.values()]
+        return {
+            "n_buckets": len(sizes),
+            "mean_size": float(np.mean(sizes)) if sizes else 0.0,
+            "max_size": int(max(sizes)) if sizes else 0,
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def candidates(self, q: np.ndarray, multiprobe: int = 0) -> np.ndarray:
+        """Union of bucket members across tables (plus ``multiprobe``
+        1-bit-flip probes per table for the SimHash family)."""
+        q = np.asarray(q, dtype=np.float64).reshape(1, -1)
+        out = []
+        comps = self._keys_for(q)
+        for t in range(self.n_tables):
+            base = comps[t][0]
+            probes = [tuple(base)]
+            if multiprobe and self.metric_name == "cosine":
+                for b in range(min(multiprobe, self.n_bits)):
+                    flipped = base.copy()
+                    flipped[b] ^= 1
+                    probes.append(tuple(flipped))
+            for key in probes:
+                hit = self._tables[t].get(key)
+                if hit is not None:
+                    out.append(hit)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(out))
+
+    def query(self, q, k: int = 10, multiprobe: int = 0) -> SearchResult:
+        """Bucket-probe + exact re-rank."""
+        if k < 1:
+            raise SearchError(f"k must be >= 1, got {k}")
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 1 or q.shape[0] != self.data.shape[1]:
+            raise SearchError("query dimension mismatch")
+        before = self.metric.count
+        cand = self.candidates(q, multiprobe=multiprobe)
+        if cand.size == 0:
+            return SearchResult(ids=np.empty(0, dtype=np.int64),
+                                dists=np.empty(0, dtype=np.float64),
+                                n_distance_evals=0, n_visited=0)
+        dists = self.metric.distances_to(q, self.data[cand])
+        order = np.lexsort((cand, dists))[: min(k, cand.size)]
+        return SearchResult(
+            ids=cand[order].astype(np.int64),
+            dists=np.asarray(dists)[order],
+            n_distance_evals=self.metric.count - before,
+            n_visited=int(cand.size),
+        )
+
+    def query_batch(self, queries, k: int = 10, multiprobe: int = 0):
+        nq = len(queries)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float64)
+        total = 0
+        for i in range(nq):
+            res = self.query(queries[i], k=k, multiprobe=multiprobe)
+            found = len(res.ids)
+            ids[i, :found] = res.ids
+            dists[i, :found] = res.dists
+            total += res.n_distance_evals
+        return ids, dists, {"n_queries": nq,
+                            "mean_distance_evals": total / max(1, nq)}

@@ -1,0 +1,334 @@
+"""Product Quantization baseline (the intro's quantization category).
+
+Section 1's fourth ANN family: "quantization-based methods that
+quantize the data and utilize that information (e.g., Product
+Quantization)"; the paper also compares Hnswlib against the PQ-based
+Faiss (Section 5.3.2).  This module implements PQ from scratch
+(Jegou-Douze-Schmid):
+
+- split each vector into ``m`` subvectors,
+- k-means (Lloyd's, seeded, pure numpy) each subspace into up to 256
+  centroids, giving one byte per subvector — a ``dim*4 : m`` byte
+  compression of the dataset,
+- **ADC search**: per query, build an ``(m, n_centroids)`` table of
+  subvector-to-centroid distances, score every code by ``m`` table
+  lookups, and exactly re-rank the best ``rerank`` candidates.
+
+Work accounting: scoring a code costs ``m`` lookups where a full
+distance costs ``dim`` multiply-adds, so ADC scoring of all ``n`` codes
+is charged as ``n * m / dim`` equivalent distance evaluations, plus the
+table build (``n_centroids`` sub-distances per subspace = ``n_centroids``
+full-distance equivalents) and the exact re-rank — making PQ's cost
+comparable with every other searcher in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.search import SearchResult
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError, SearchError
+from ..utils.rng import derive_rng
+
+
+def kmeans(X: np.ndarray, n_centroids: int, rng: np.random.Generator,
+           n_iters: int = 12) -> np.ndarray:
+    """Seeded Lloyd's k-means; returns ``(n_centroids, dim)`` centroids.
+
+    k-means++ style initialization (distance-weighted), empty clusters
+    re-seeded from the farthest points.
+    """
+    n = len(X)
+    if n_centroids < 1:
+        raise ConfigError("n_centroids must be >= 1")
+    k = min(n_centroids, n)
+    # -- init: k-means++ ----------------------------------------------------
+    centroids = np.empty((k, X.shape[1]), dtype=np.float64)
+    centroids[0] = X[rng.integers(0, n)]
+    closest = ((X - centroids[0]) ** 2).sum(axis=1)
+    for c in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centroids[c:] = X[rng.integers(0, n, size=k - c)]
+            break
+        probs = closest / total
+        centroids[c] = X[rng.choice(n, p=probs)]
+        d_new = ((X - centroids[c]) ** 2).sum(axis=1)
+        np.minimum(closest, d_new, out=closest)
+    # -- Lloyd iterations -----------------------------------------------------
+    for _ in range(n_iters):
+        d2 = (
+            (X ** 2).sum(axis=1)[:, None]
+            - 2.0 * X @ centroids.T
+            + (centroids ** 2).sum(axis=1)[None, :]
+        )
+        assign = d2.argmin(axis=1)
+        moved = False
+        for c in range(k):
+            members = X[assign == c]
+            if len(members) == 0:
+                # Re-seed an empty cluster at the farthest point.
+                far = int(d2.min(axis=1).argmax())
+                centroids[c] = X[far]
+                moved = True
+                continue
+            new = members.mean(axis=0)
+            if not np.allclose(new, centroids[c]):
+                centroids[c] = new
+                moved = True
+        if not moved:
+            break
+    return centroids
+
+
+class PQIndex:
+    """Product-quantization index with ADC search + exact re-rank.
+
+    Parameters
+    ----------
+    data:
+        Dense ``(n, dim)`` matrix; ``dim`` must be divisible by ``m``
+        (pad upstream if not).
+    m:
+        Number of subquantizers (bytes per encoded vector).
+    n_centroids:
+        Codebook size per subspace, <= 256.
+    """
+
+    def __init__(self, data, m: int = 8, n_centroids: int = 64,
+                 metric: str = "sqeuclidean", seed: int = 0,
+                 kmeans_iters: int = 12) -> None:
+        if metric not in ("sqeuclidean", "euclidean"):
+            raise ConfigError("PQIndex supports L2-family metrics only")
+        if not 1 <= n_centroids <= 256:
+            raise ConfigError("n_centroids must be in [1, 256]")
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2 or len(self.data) == 0:
+            raise ConfigError("PQIndex needs a non-empty 2-D matrix")
+        n, dim = self.data.shape
+        if m < 1 or dim % m != 0:
+            raise ConfigError(
+                f"m={m} must divide the dimension {dim}"
+            )
+        self.m = int(m)
+        self.dsub = dim // self.m
+        self.n_centroids = int(n_centroids)
+        self.metric_name = metric
+        self.metric = CountingMetric("sqeuclidean")
+        rng = derive_rng(seed, 0x90)
+        self.codebooks = np.empty((self.m, min(self.n_centroids, n), self.dsub))
+        codes = np.empty((n, self.m), dtype=np.uint8)
+        for s in range(self.m):
+            sub = self.data[:, s * self.dsub:(s + 1) * self.dsub]
+            cb = kmeans(sub, self.n_centroids, rng, n_iters=kmeans_iters)
+            self.codebooks[s, :len(cb)] = cb
+            d2 = (
+                (sub ** 2).sum(axis=1)[:, None]
+                - 2.0 * sub @ cb.T
+                + (cb ** 2).sum(axis=1)[None, :]
+            )
+            codes[:, s] = d2.argmin(axis=1).astype(np.uint8)
+        self.codes = codes
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def code_bytes(self) -> int:
+        """Bytes per encoded vector (the PQ selling point)."""
+        return self.m
+
+    def compression_ratio(self) -> float:
+        raw = self.data.shape[1] * 4  # float32 storage
+        return raw / self.code_bytes
+
+    # -- search ------------------------------------------------------------
+
+    def _adc_scores(self, q: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Approximate squared distances to every code via table lookups;
+        also returns the work charged in full-distance equivalents."""
+        k = self.codebooks.shape[1]
+        tables = np.empty((self.m, k))
+        for s in range(self.m):
+            sub_q = q[s * self.dsub:(s + 1) * self.dsub]
+            diff = self.codebooks[s] - sub_q
+            tables[s] = (diff ** 2).sum(axis=1)
+        scores = np.zeros(len(self.codes))
+        for s in range(self.m):
+            scores += tables[s][self.codes[:, s]]
+        work = float(k)  # table build: k sub-distances per subspace x m = k full
+        work += len(self.codes) * self.m / self.data.shape[1]
+        return scores, work
+
+    def _adc_scores_subset(self, q: np.ndarray,
+                           subset: np.ndarray) -> Tuple[np.ndarray, float]:
+        """ADC scores for selected rows only (the IVF probing path)."""
+        k = self.codebooks.shape[1]
+        tables = np.empty((self.m, k))
+        for s in range(self.m):
+            sub_q = q[s * self.dsub:(s + 1) * self.dsub]
+            diff = self.codebooks[s] - sub_q
+            tables[s] = (diff ** 2).sum(axis=1)
+        codes = self.codes[subset]
+        scores = np.zeros(len(codes))
+        for s in range(self.m):
+            scores += tables[s][codes[:, s]]
+        work = float(k) + len(codes) * self.m / self.data.shape[1]
+        return scores, work
+
+    def query(self, q, k: int = 10, rerank: int = 50) -> SearchResult:
+        """ADC scan + exact re-rank of the best ``rerank`` candidates.
+
+        ``rerank=0`` returns pure ADC results (quantized distances).
+        """
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 1 or q.shape[0] != self.data.shape[1]:
+            raise SearchError("query dimension mismatch")
+        if k < 1:
+            raise SearchError(f"k must be >= 1, got {k}")
+        if rerank < 0:
+            raise SearchError("rerank must be >= 0")
+        n = len(self.data)
+        k_eff = min(k, n)
+        scores, work = self._adc_scores(q)
+        if rerank:
+            r = min(max(rerank, k_eff), n)
+            cand = np.argpartition(scores, r - 1)[:r]
+            exact = self.metric.distances_to(q, self.data[cand])
+            order = np.lexsort((cand, exact))[:k_eff]
+            ids = cand[order]
+            dists = np.asarray(exact)[order]
+            work += float(r)
+        else:
+            cand = np.argpartition(scores, k_eff - 1)[:k_eff]
+            order = np.lexsort((cand, scores[cand]))
+            ids = cand[order]
+            dists = scores[cand][order]
+        if self.metric_name == "euclidean":
+            dists = np.sqrt(np.maximum(dists, 0.0))
+        return SearchResult(
+            ids=ids.astype(np.int64),
+            dists=np.asarray(dists, dtype=np.float64),
+            n_distance_evals=int(round(work)),
+            n_visited=n,
+        )
+
+    def query_batch(self, queries, k: int = 10, rerank: int = 50):
+        nq = len(queries)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float64)
+        total = 0
+        for i in range(nq):
+            res = self.query(queries[i], k=k, rerank=rerank)
+            found = len(res.ids)
+            ids[i, :found] = res.ids
+            dists[i, :found] = res.dists
+            total += res.n_distance_evals
+        return ids, dists, {"n_queries": nq,
+                            "mean_distance_evals": total / max(1, nq)}
+
+
+class IVFPQIndex:
+    """IVF-PQ: a coarse inverted file in front of product quantization —
+    the architecture of the Faiss ``IVFADC`` index the paper compares
+    Hnswlib against (via [15]/[17], Section 5.3.2).
+
+    A coarse k-means partitions the dataset into ``n_lists`` cells; each
+    cell stores PQ codes of its members' *residuals* (vector minus cell
+    centroid).  A query probes its ``n_probe`` nearest cells and runs
+    ADC + exact re-rank over only those members, so query cost scales
+    with ``n_probe / n_lists`` of the data instead of all of it.
+    """
+
+    def __init__(self, data, n_lists: int = 16, m: int = 8,
+                 n_centroids: int = 64, metric: str = "sqeuclidean",
+                 seed: int = 0) -> None:
+        if metric not in ("sqeuclidean", "euclidean"):
+            raise ConfigError("IVFPQIndex supports L2-family metrics only")
+        if n_lists < 1:
+            raise ConfigError("n_lists must be >= 1")
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2 or len(self.data) == 0:
+            raise ConfigError("IVFPQIndex needs a non-empty 2-D matrix")
+        n, dim = self.data.shape
+        if m < 1 or dim % m != 0:
+            raise ConfigError(f"m={m} must divide the dimension {dim}")
+        self.metric_name = metric
+        self.metric = CountingMetric("sqeuclidean")
+        rng = derive_rng(seed, 0x1F0)
+        self.n_lists = min(int(n_lists), n)
+        self.coarse = kmeans(self.data, self.n_lists, rng)
+        d2 = (
+            (self.data ** 2).sum(axis=1)[:, None]
+            - 2.0 * self.data @ self.coarse.T
+            + (self.coarse ** 2).sum(axis=1)[None, :]
+        )
+        assign = d2.argmin(axis=1)
+        self.lists = [np.flatnonzero(assign == c).astype(np.int64)
+                      for c in range(len(self.coarse))]
+        residuals = self.data - self.coarse[assign]
+        self.pq = PQIndex(residuals, m=m, n_centroids=n_centroids,
+                          metric="sqeuclidean", seed=seed + 1)
+        self._assign = assign
+
+    def query(self, q, k: int = 10, n_probe: int = 2,
+              rerank: int = 50) -> SearchResult:
+        """Probe the ``n_probe`` nearest cells; ADC + exact re-rank."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 1 or q.shape[0] != self.data.shape[1]:
+            raise SearchError("query dimension mismatch")
+        if k < 1 or n_probe < 1:
+            raise SearchError("k and n_probe must be >= 1")
+        coarse_d = ((self.coarse - q) ** 2).sum(axis=1)
+        probe = np.argsort(coarse_d)[: min(n_probe, len(self.coarse))]
+        work = float(len(self.coarse))  # coarse scan
+        members = np.concatenate([self.lists[int(c)] for c in probe]) \
+            if len(probe) else np.empty(0, dtype=np.int64)
+        if members.size == 0:
+            return SearchResult(ids=np.empty(0, dtype=np.int64),
+                                dists=np.empty(0, dtype=np.float64),
+                                n_distance_evals=int(work), n_visited=0)
+        # ADC over probed members only, per-cell residual tables.
+        scores = np.empty(members.size)
+        pos = 0
+        for c in probe:
+            cell = self.lists[int(c)]
+            if cell.size == 0:
+                continue
+            residual_q = q - self.coarse[int(c)]
+            cell_scores, cell_work = self.pq._adc_scores_subset(
+                residual_q, cell)
+            scores[pos: pos + cell.size] = cell_scores
+            work += cell_work
+            pos += cell.size
+        k_eff = min(k, members.size)
+        r = min(max(rerank, k_eff), members.size)
+        cand_local = np.argpartition(scores, r - 1)[:r]
+        cand = members[cand_local]
+        before = self.metric.count
+        exact = self.metric.distances_to(q, self.data[cand])
+        work += self.metric.count - before
+        order = np.lexsort((cand, exact))[:k_eff]
+        dists = np.asarray(exact)[order]
+        if self.metric_name == "euclidean":
+            dists = np.sqrt(np.maximum(dists, 0.0))
+        return SearchResult(ids=cand[order].astype(np.int64), dists=dists,
+                            n_distance_evals=int(round(work)),
+                            n_visited=int(members.size))
+
+    def query_batch(self, queries, k: int = 10, n_probe: int = 2,
+                    rerank: int = 50):
+        nq = len(queries)
+        ids = np.full((nq, k), -1, dtype=np.int64)
+        dists = np.full((nq, k), np.inf, dtype=np.float64)
+        total = 0
+        for i in range(nq):
+            res = self.query(queries[i], k=k, n_probe=n_probe, rerank=rerank)
+            found = len(res.ids)
+            ids[i, :found] = res.ids
+            dists[i, :found] = res.dists
+            total += res.n_distance_evals
+        return ids, dists, {"n_queries": nq,
+                            "mean_distance_evals": total / max(1, nq)}

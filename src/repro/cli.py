@@ -1,0 +1,230 @@
+"""Command-line interface mirroring the paper's executables.
+
+Section 5.1.3: "There are two DNND execution files: one for k-NNG
+construction and the other for graph optimization."  Plus the query
+program of Section 5.3.1.  This CLI exposes the same three stages —
+each persisting through / reading from the Metall-style store — and two
+introspection helpers:
+
+- ``repro construct`` — build a k-NNG with DNND on a simulated cluster
+  and persist graph + dataset,
+- ``repro optimize``  — reopen a store, apply the Section 4.5
+  optimizations, persist the searchable graph,
+- ``repro query``     — reopen a store and run queries (epsilon dial,
+  optional threads),
+- ``repro datasets``  — list the Table 1 stand-ins,
+- ``repro experiments`` — list the reproduced tables/figures and their
+  benchmark targets.
+
+Example session::
+
+    repro construct --dataset deep1b --n 2000 --k 10 --nodes 4 \
+        --store /tmp/idx
+    repro optimize --store /tmp/idx --pruning-factor 1.5
+    repro query --store /tmp/idx --n-queries 100 --epsilon 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
+from .core.dnnd import DNND, optimize_from_store
+from .core.graph import AdjacencyGraph
+from .core.search import KNNGraphSearcher
+from .datasets.ann_benchmarks import PAPER_DATASETS, load_dataset
+from .errors import ReproError
+from .eval.experiments import EXPERIMENTS
+from .eval.parallel_query import ParallelQueryEngine
+from .eval.tables import ascii_table
+from .runtime.metall import MetallStore
+from .utils.timing import format_duration
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DNND: distributed NN-Descent (SC-W 2023 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("construct", help="build a k-NNG with DNND (executable 1)")
+    p.add_argument("--dataset", default="deep1b",
+                   choices=sorted(PAPER_DATASETS))
+    p.add_argument("--n", type=int, default=2000, help="stand-in size")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--rho", type=float, default=0.8)
+    p.add_argument("--delta", type=float, default=0.001)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs-per-node", type=int, default=2)
+    p.add_argument("--batch-size", type=int, default=1 << 13,
+                   help="Section 4.4 global requests per barrier (0=off)")
+    p.add_argument("--unoptimized-comm", action="store_true",
+                   help="use the Figure 1a message pattern")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--store", required=True, help="datastore directory")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint store path (enables crash recovery)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="iterations between checkpoints (0 = off)")
+    p.set_defaults(func=cmd_construct)
+
+    p = sub.add_parser("resume",
+                       help="resume an interrupted construct from a checkpoint")
+    p.add_argument("--dataset", default="deep1b",
+                   choices=sorted(PAPER_DATASETS))
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0,
+                   help="must match the interrupted run's dataset seed")
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs-per-node", type=int, default=2)
+    p.add_argument("--store", default=None,
+                   help="persist the finished graph here")
+    p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser("optimize", help="Section 4.5 optimizations (executable 2)")
+    p.add_argument("--store", required=True)
+    p.add_argument("--pruning-factor", type=float, default=1.5,
+                   help="m: per-vertex degree cap is k*m")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("query", help="run ANN queries against a store")
+    p.add_argument("--store", required=True)
+    p.add_argument("--n-queries", type=int, default=100)
+    p.add_argument("--l", type=int, default=10)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("datasets", help="list the Table 1 dataset stand-ins")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("experiments",
+                       help="list reproduced tables/figures and benchmarks")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def cmd_construct(args: argparse.Namespace) -> int:
+    data, spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    comm = (CommOptConfig.unoptimized() if args.unoptimized_comm
+            else CommOptConfig.optimized())
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=args.k, rho=args.rho, delta=args.delta,
+                            metric=spec.metric, seed=args.seed),
+        comm_opts=comm,
+        batch_size=args.batch_size,
+    )
+    dnnd = DNND(data, cfg, cluster=ClusterConfig(
+        nodes=args.nodes, procs_per_node=args.procs_per_node))
+    result = dnnd.build(store_path=args.store,
+                        checkpoint_path=args.checkpoint,
+                        checkpoint_every=args.checkpoint_every)
+    print(f"constructed {args.dataset} k={args.k}: "
+          f"{result.iterations} iterations, converged={result.converged}")
+    print(f"simulated time: {format_duration(result.sim_seconds)} "
+          f"on {result.world_size} ranks")
+    print(result.message_stats.format_table("messages"))
+    print(f"store written to {args.store}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    data, _spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    result = DNND.resume(
+        data, args.checkpoint,
+        cluster=ClusterConfig(nodes=args.nodes,
+                              procs_per_node=args.procs_per_node),
+        store_path=args.store)
+    print(f"resumed build finished: {result.iterations} total iterations, "
+          f"converged={result.converged}")
+    if args.store:
+        print(f"store written to {args.store}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    adjacency = optimize_from_store(args.store,
+                                    pruning_factor=args.pruning_factor)
+    print(f"optimized graph: {adjacency.n_edges:,} edges, "
+          f"max degree {int(adjacency.degrees().max())}")
+    print(f"store updated at {args.store}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    with MetallStore.open_read_only(args.store) as store:
+        if "optimized_graph" in store:
+            graph = AdjacencyGraph.from_arrays(store["optimized_graph"])
+        else:
+            from .core.graph import KNNGraph
+            graph = KNNGraph.from_arrays(store["graph"]).to_adjacency()
+            print("note: store has no optimized graph; run `repro optimize`")
+        dataset = store["dataset"]
+        if isinstance(dataset, np.memmap) or isinstance(dataset, np.ndarray):
+            dataset = np.asarray(dataset)
+        metric = store["meta"]["metric"]
+
+    rng = np.random.default_rng(args.seed)
+    idx = rng.choice(len(dataset), size=min(args.n_queries, len(dataset)),
+                     replace=False)
+    if isinstance(dataset, np.ndarray):
+        queries = dataset[idx]
+    else:
+        queries = [dataset[int(i)] for i in idx]
+
+    searcher = KNNGraphSearcher(graph, dataset, metric=metric, seed=args.seed)
+    engine = ParallelQueryEngine(searcher, n_threads=args.threads)
+    import time
+    start = time.perf_counter()
+    ids, _dists, stats = engine.query_batch(queries, l=args.l,
+                                            epsilon=args.epsilon)
+    elapsed = time.perf_counter() - start
+    # Self-queries should return themselves first: a cheap sanity recall.
+    self_hits = sum(1 for row, q in zip(ids, idx) if int(q) in row)
+    print(f"{stats['n_queries']} queries, epsilon={args.epsilon}, "
+          f"threads={stats['n_threads']}")
+    print(f"throughput: {stats['n_queries'] / max(elapsed, 1e-9):.0f} qps, "
+          f"{stats['mean_distance_evals']:.0f} distance evals/query")
+    print(f"self-recall: {self_hits}/{len(idx)}")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [[s.name, s.dim, f"{s.paper_entries:,}", s.metric, s.default_n]
+            for s in PAPER_DATASETS.values()]
+    print(ascii_table(
+        ["dataset", "paper dim", "paper entries", "metric", "stand-in n"],
+        rows, title="Table 1 datasets and their stand-ins"))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    rows = [[e.exp_id, e.paper_ref, e.bench] for e in EXPERIMENTS.values()]
+    print(ascii_table(["id", "paper artifact", "benchmark"], rows,
+                      title="reproduced experiments"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

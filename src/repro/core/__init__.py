@@ -1,0 +1,44 @@
+"""Core algorithms (S7-S13): the paper's primary contribution.
+
+- :mod:`.heap` — fixed-capacity flagged neighbor heaps (Algorithm 1's
+  ``Update``),
+- :mod:`.graph` — k-NN graph containers (fixed-degree build-time graph
+  and CSR adjacency for the optimized/searchable graph),
+- :mod:`.nndescent` — shared-memory NN-Descent (Algorithm 1 with
+  PyNNDescent's local-join formulation),
+- :mod:`.dnnd` / :mod:`.dnnd_phases` — **DNND**, the distributed
+  NN-Descent of Section 4,
+- :mod:`.optimization` — Section 4.5 graph optimizations,
+- :mod:`.search` — Section 3.3 greedy ANN search with ``epsilon``,
+- :mod:`.rptree` — random-projection-tree initialization (PyNNDescent's
+  technique, referenced in Section 6).
+"""
+
+from .heap import NeighborHeap
+from .graph import KNNGraph, AdjacencyGraph
+from .nndescent import NNDescent, NNDescentResult
+from .dnnd import DNND, DNNDResult
+from .optimization import optimize_graph
+from .diversify import diversified_optimize_graph
+from .incremental import IncrementalIndex
+from .search import KNNGraphSearcher, SearchResult
+from .dist_search import DistributedKNNGraphSearcher
+from .rptree import RPTreeForest, make_rp_forest
+
+__all__ = [
+    "NeighborHeap",
+    "KNNGraph",
+    "AdjacencyGraph",
+    "NNDescent",
+    "NNDescentResult",
+    "DNND",
+    "DNNDResult",
+    "optimize_graph",
+    "diversified_optimize_graph",
+    "IncrementalIndex",
+    "KNNGraphSearcher",
+    "SearchResult",
+    "DistributedKNNGraphSearcher",
+    "make_rp_forest",
+    "RPTreeForest",
+]

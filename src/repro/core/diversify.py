@@ -1,0 +1,113 @@
+"""Graph diversification (occlusion pruning) — PyNNDescent's extra
+search optimization.
+
+Our reference implementation, PyNNDescent, applies one more transform
+than the two the paper describes in Section 4.5: *diversification*
+drops an edge ``v -> c`` when some closer, already-kept neighbor ``b``
+occludes it — i.e. ``theta(b, c) < theta(v, c)``, meaning the search
+can reach ``c`` through ``b`` anyway.  Diversified graphs answer
+queries with fewer distance evaluations at nearly the same recall,
+which is why every modern graph-ANN system (HNSW's heuristic, NSG,
+DiskANN's alpha-pruning) uses some form of it.
+
+``prune_probability`` (PyNNDescent's knob) keeps an occluded edge with
+the given probability, softening the pruning; ``1.0`` is full
+diversification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError
+from ..utils.rng import derive_rng
+from .graph import AdjacencyGraph, KNNGraph
+from .optimization import merge_reverse_edges, prune_neighborhoods
+
+
+def diversify_neighbor_lists(
+    neighbor_lists: List[List[Tuple[int, float]]],
+    data,
+    metric="sqeuclidean",
+    prune_probability: float = 1.0,
+    seed: int = 0,
+) -> List[List[Tuple[int, float]]]:
+    """Occlusion-prune each (distance-sorted) neighbor list.
+
+    For each vertex the closest neighbor is always kept; a later
+    candidate ``c`` is dropped when a kept ``b`` satisfies
+    ``theta(b, c) < theta(v, c)`` (subject to ``prune_probability``).
+    Returns new lists; inputs must be sorted ascending by distance.
+    """
+    if not 0.0 <= prune_probability <= 1.0:
+        raise ConfigError(
+            f"prune_probability must be in [0, 1], got {prune_probability}"
+        )
+    m = CountingMetric(metric)
+    rng = derive_rng(seed, 0xD1BE)
+    out: List[List[Tuple[int, float]]] = []
+    for v, lst in enumerate(neighbor_lists):
+        kept: List[Tuple[int, float]] = []
+        for c, d_vc in lst:
+            occluded = False
+            for b, _d_vb in kept:
+                if m(data[b], data[c]) < d_vc:
+                    occluded = True
+                    break
+            if occluded and (prune_probability >= 1.0
+                             or rng.random() < prune_probability):
+                continue
+            kept.append((c, d_vc))
+        out.append(kept)
+    return out
+
+
+def diversified_optimize_graph(
+    graph: KNNGraph,
+    data,
+    metric="sqeuclidean",
+    pruning_factor: float = 1.5,
+    prune_probability: float = 1.0,
+    seed: int = 0,
+) -> AdjacencyGraph:
+    """Full PyNNDescent-style pipeline: diversify, reverse-merge the
+    surviving edges, diversify the reverse direction, cap degrees.
+
+    A drop-in alternative to :func:`repro.core.optimization.
+    optimize_graph` when query-time distance evaluations matter more
+    than maximum recall.
+    """
+    if pruning_factor < 1.0:
+        raise ConfigError(f"pruning_factor must be >= 1.0, got {pruning_factor}")
+    # Pass 1: diversify the forward lists.
+    forward = []
+    for v in range(graph.n):
+        ids, dists = graph.neighbors(v)
+        forward.append(list(zip((int(u) for u in ids), (float(d) for d in dists))))
+    forward = diversify_neighbor_lists(forward, data, metric,
+                                       prune_probability, seed)
+    # Reverse-merge the surviving edges.
+    pruned_graph = _lists_to_knn_graph(forward, graph.k)
+    merged = merge_reverse_edges(pruned_graph)
+    # Pass 2: diversify again (reverse edges may be occluded too).
+    merged = diversify_neighbor_lists(merged, data, metric,
+                                      prune_probability, seed + 1)
+    max_degree = int(np.ceil(graph.k * pruning_factor))
+    return AdjacencyGraph.from_edge_lists(
+        prune_neighborhoods(merged, max_degree))
+
+
+def _lists_to_knn_graph(lists: List[List[Tuple[int, float]]], k: int) -> KNNGraph:
+    from .graph import EMPTY
+
+    n = len(lists)
+    ids = np.full((n, k), EMPTY, dtype=np.int64)
+    dists = np.full((n, k), np.inf, dtype=np.float64)
+    for v, lst in enumerate(lists):
+        for slot, (u, d) in enumerate(lst[:k]):
+            ids[v, slot] = u
+            dists[v, slot] = d
+    return KNNGraph(ids, dists)

@@ -1,0 +1,632 @@
+"""DNND — Distributed NN-Descent (Section 4), the paper's contribution.
+
+The driver orchestrates the SPMD phases over the simulated cluster:
+
+1. **distribute** — hash-partition vertices and feature rows over ranks
+   (Section 4: vertex and neighbor list co-located on the owner rank).
+2. **init** — Algorithm 1 lines 2-5 through the Section 4.1 async
+   request/response pattern.
+3. **iterate** — per NN-Descent round: local old/new sampling, the
+   Section 4.2 reversed-matrix exchange (with destination shuffling),
+   and the Section 4.3 neighbor checks (optimized or unoptimized
+   message pattern), with Section 4.4 application-level batch barriers
+   every ``batch_size`` global async requests; terminate when the
+   allreduced update counter drops below ``delta * K * N``.
+4. **persist** — store the graph + dataset into a Metall-style store
+   (the paper's first executable ends here).
+5. **optimize** — Section 4.5 reverse-edge merge + degree pruning, again
+   by messages (the paper's second executable).
+
+The result carries the gathered :class:`~repro.core.graph.KNNGraph`,
+per-type message statistics (Figure 4), and the simulated construction
+time from the cost model (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
+from ..distances.counting import CountingMetric
+from ..errors import ConfigError, RuntimeStateError, StoreError
+from ..runtime.instrumentation import MessageStats
+from ..runtime.metall import MetallStore
+from ..runtime.netmodel import NetworkModel
+from ..runtime.partition import HashPartitioner, Partitioner
+from ..runtime.simmpi import SimCluster
+from ..runtime.ygm import RankContext, YGMWorld
+from ..types import ID_BYTES
+from ..utils.rng import derive_rng
+from ..utils.sampling import sample_without_replacement
+from .dnnd_phases import LocalShard, register_dnnd_handlers, shard_of, T1
+from .graph import EMPTY, AdjacencyGraph, KNNGraph
+from .heap import NeighborHeap
+from .nndescent import _union_with_sample
+
+
+@dataclass
+class DNNDResult:
+    """Outcome of a distributed build.
+
+    Attributes
+    ----------
+    graph:
+        The gathered fixed-degree k-NNG.
+    adjacency:
+        The Section 4.5-optimized graph, present after ``optimize()``.
+    message_stats:
+        Global per-type message counters (Figure 4's measurement).
+    sim_seconds:
+        Modeled construction time (Figure 3's y-axis, in seconds).
+    distance_evals:
+        Total scalar distance evaluations across all ranks.
+    """
+
+    graph: KNNGraph
+    iterations: int
+    update_counts: List[int]
+    converged: bool
+    message_stats: MessageStats
+    phase_stats: Dict[str, MessageStats]
+    sim_seconds: float
+    phase_seconds: Dict[str, float]
+    distance_evals: int
+    world_size: int
+    adjacency: Optional[AdjacencyGraph] = None
+    optimize_sim_seconds: float = 0.0
+    per_iteration_messages: List[Dict[str, tuple]] = field(default_factory=list)
+    dnnd: Optional["DNND"] = field(default=None, repr=False, compare=False)
+    """Set by :meth:`DNND.resume` so callers can keep driving the
+    instance (e.g. run ``optimize()``) after a resumed build."""
+
+    def summary(self) -> str:
+        """Human-readable build report (used by the CLI and examples)."""
+        from ..utils.timing import format_duration
+
+        lines = [
+            f"DNND build: n={self.graph.n}, k={self.graph.k}, "
+            f"{self.world_size} ranks",
+            f"iterations: {self.iterations} "
+            f"({'converged' if self.converged else 'hit max_iters'})",
+            f"updates per iteration: "
+            f"{', '.join(f'{c:,}' for c in self.update_counts)}",
+            f"distance evaluations: {self.distance_evals:,}",
+            f"simulated time: {format_duration(self.sim_seconds)}",
+        ]
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values()) or 1.0
+            breakdown = ", ".join(
+                f"{phase} {secs / total:.0%}"
+                for phase, secs in sorted(self.phase_seconds.items(),
+                                          key=lambda t: -t[1]))
+            lines.append(f"phase breakdown: {breakdown}")
+        if self.adjacency is not None:
+            lines.append(
+                f"optimized graph: {self.adjacency.n_edges:,} edges, "
+                f"max degree {int(self.adjacency.degrees().max())}")
+        lines.append(self.message_stats.format_table("message totals"))
+        return "\n".join(lines)
+
+
+class DNND:
+    """Distributed NN-Descent builder on a simulated cluster.
+
+    Parameters
+    ----------
+    data:
+        Dense ``(n, dim)`` matrix or sparse record dataset.
+    config:
+        Algorithm + communication configuration.
+    cluster:
+        Simulated cluster shape (nodes x procs_per_node).
+    net:
+        Cost-model constants (defaults in :class:`NetworkModel`).
+    flush_threshold:
+        YGM internal per-destination buffer size in messages.
+    partitioner:
+        Override the vertex partitioner (default: hash, as in the paper).
+    """
+
+    def __init__(self, data, config: DNNDConfig | None = None,
+                 cluster: ClusterConfig | None = None,
+                 net: NetworkModel | None = None,
+                 flush_threshold: int = 1024,
+                 partitioner: Optional[Partitioner] = None) -> None:
+        self.data = data
+        self.config = config or DNNDConfig()
+        self.cluster_config = cluster or ClusterConfig()
+        self.n = len(data)
+        if self.config.k >= self.n:
+            raise ConfigError(
+                f"k={self.config.k} must be smaller than dataset size {self.n}"
+            )
+        self.cluster = SimCluster(self.cluster_config, net)
+        self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
+                              seed=self.config.nnd.seed)
+        register_dnnd_handlers(self.world)
+        self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
+        self._sparse = getattr(CountingMetric(self.config.nnd.metric), "sparse_input")
+        self._built = False
+        self._distribute()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _distribute(self) -> None:
+        """Scatter feature rows to owner ranks (not timed: the paper
+        excludes data loading from construction time)."""
+        cfg = self.config
+        for ctx in self.world.ranks:
+            gids = self.partitioner.local_ids(ctx.rank)
+            if self._sparse:
+                feats = [self.data[int(g)] for g in gids]
+                dense_bytes = 0
+            else:
+                feats = np.ascontiguousarray(np.asarray(self.data)[gids])
+                dense_bytes = int(feats.shape[1] * feats.dtype.itemsize) if feats.size else 0
+            ctx.state["shard"] = LocalShard(
+                rank=ctx.rank,
+                partitioner=self.partitioner,
+                global_ids=gids,
+                local_index={int(g): i for i, g in enumerate(gids)},
+                features=feats,
+                heaps=[NeighborHeap(cfg.k) for _ in range(len(gids))],
+                metric=CountingMetric(cfg.nnd.metric),
+                config=cfg,
+                sparse=self._sparse,
+                feature_nbytes_dense=dense_bytes,
+            )
+
+    def _shards(self) -> List[LocalShard]:
+        return [shard_of(ctx) for ctx in self.world.ranks]
+
+    def _maybe_batch_barrier(self) -> None:
+        """Section 4.4: barrier every ``batch_size`` global requests."""
+        bs = self.config.batch_size
+        if bs and self.world.async_count_since_barrier >= bs:
+            self.world.barrier()
+
+    def _interleaved_vertices(self):
+        """Yield ``(ctx, local_index)`` round-robin across ranks, modeling
+        SPMD ranks progressing through their local vertices together."""
+        shards = self._shards()
+        max_local = max((s.n_local for s in shards), default=0)
+        for li in range(max_local):
+            for ctx in self.world.ranks:
+                if li < shard_of(ctx).n_local:
+                    yield ctx, li
+
+    # -- build ------------------------------------------------------------------
+
+    def build(self, store_path=None, checkpoint_path=None,
+              checkpoint_every: int = 0) -> DNNDResult:
+        """Construct the k-NNG; optionally persist graph + dataset.
+
+        Parameters
+        ----------
+        store_path:
+            If given, persist the final graph + dataset (the paper's
+            first executable).
+        checkpoint_path / checkpoint_every:
+            Checkpoint the in-progress build every ``checkpoint_every``
+            iterations into a Metall store at ``checkpoint_path``.
+            :meth:`resume` continues an interrupted build from such a
+            checkpoint, producing the *identical* final graph (all
+            per-iteration randomness is keyed, not streamed) — the
+            natural extension of Section 4.6's persistence to the
+            hours-long billion-scale construction itself.
+        """
+        if self._built:
+            raise RuntimeStateError("build() already ran on this DNND instance")
+        if checkpoint_every and checkpoint_path is None:
+            raise ConfigError("checkpoint_every requires checkpoint_path")
+        self._built = True
+        self._init_phase()
+        return self._run_iterations(
+            start_iteration=0, update_counts=[], per_iter_msgs=[],
+            store_path=store_path, checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every)
+
+    @classmethod
+    def resume(cls, data, checkpoint_path,
+               cluster: ClusterConfig | None = None,
+               net: NetworkModel | None = None,
+               store_path=None,
+               checkpoint_every: int = 0) -> DNNDResult:
+        """Continue an interrupted build from a checkpoint store.
+
+        ``data`` must be the same dataset the original build ran on
+        (the checkpoint records its fingerprint and refuses otherwise).
+        The cluster shape may differ — hash partitioning reassigns
+        vertices deterministically.
+        """
+        with MetallStore.open_read_only(checkpoint_path) as store:
+            meta = store["ckpt_meta"]
+            heap_ids = np.asarray(store["ckpt_ids"])
+            heap_dists = np.asarray(store["ckpt_dists"])
+            heap_flags = np.asarray(store["ckpt_flags"])
+        if meta["n"] != len(data):
+            raise ConfigError(
+                f"checkpoint was built on {meta['n']} rows, got {len(data)}"
+            )
+        if abs(float(meta["data_fingerprint"]) - _fingerprint(data)) > 1e-6:
+            raise ConfigError(
+                "checkpoint data fingerprint mismatch: not the same dataset"
+            )
+        config = DNNDConfig(
+            nnd=NNDescentConfig(**meta["nnd"]),
+            comm_opts=CommOptConfig(**meta["comm_opts"]),
+            batch_size=meta["batch_size"],
+            pruning_factor=meta["pruning_factor"],
+            shuffle_reverse_destinations=meta["shuffle_reverse_destinations"],
+        )
+        dnnd = cls(data, config, cluster=cluster, net=net)
+        dnnd._built = True
+        dnnd._restore_heaps(heap_ids, heap_dists, heap_flags)
+        result = dnnd._run_iterations(
+            start_iteration=int(meta["iteration"]),
+            update_counts=list(meta["update_counts"]),
+            per_iter_msgs=[],
+            store_path=store_path,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every)
+        dnnd._last_result = result
+        result.dnnd = dnnd  # so callers can run optimize() afterwards
+        return result
+
+    def _run_iterations(self, start_iteration: int, update_counts: List[int],
+                        per_iter_msgs: List[Dict[str, tuple]],
+                        store_path, checkpoint_path,
+                        checkpoint_every: int) -> DNNDResult:
+        cfg = self.config.nnd
+        threshold = cfg.delta * cfg.k * self.n
+        converged = False
+        iterations = start_iteration
+        for it in range(start_iteration, cfg.max_iters):
+            iterations = it + 1
+            before = {t: (s.count, s.bytes) for t, s in self.cluster.stats.by_type.items()}
+            c = self._iteration(it)
+            update_counts.append(c)
+            after = self.cluster.stats.snapshot()
+            per_iter_msgs.append({
+                t: (after[t][0] - before.get(t, (0, 0))[0],
+                    after[t][1] - before.get(t, (0, 0))[1])
+                for t in after
+            })
+            if checkpoint_every and (it + 1) % checkpoint_every == 0:
+                self._write_checkpoint(checkpoint_path, it + 1, update_counts)
+            if c < threshold:
+                converged = True
+                break
+        graph = self._gather_graph()
+        result = DNNDResult(
+            graph=graph,
+            iterations=iterations,
+            update_counts=update_counts,
+            converged=converged,
+            message_stats=self.cluster.stats,
+            phase_stats=dict(self.world.phase_stats),
+            sim_seconds=self.cluster.ledger.elapsed,
+            phase_seconds=dict(self.cluster.ledger.phase_elapsed),
+            distance_evals=sum(s.metric.count for s in self._shards()),
+            world_size=self.cluster.world_size,
+            per_iteration_messages=per_iter_msgs,
+        )
+        if store_path is not None:
+            self._persist(store_path, result)
+        self._last_result = result
+        return result
+
+    def _init_phase(self) -> None:
+        """Algorithm 1 lines 2-5 via the Section 4.1 async pattern."""
+        self.world.set_phase("init")
+        cfg = self.config.nnd
+        for ctx, li in self._interleaved_vertices():
+            shard = shard_of(ctx)
+            v = int(shard.global_ids[li])
+            rng = derive_rng(cfg.seed, 2, v)
+            cand = sample_without_replacement(rng, self.n, min(self.n - 1, cfg.k + 2))
+            cand = cand[cand != v][:cfg.k]
+            for u in cand:
+                u = int(u)
+                ctx.async_call(
+                    shard.owner(u), "init_req", v, u, shard.feature(v),
+                    nbytes=2 * ID_BYTES + shard.feature_nbytes(v),
+                    msg_type="init_req",
+                )
+            self._maybe_batch_barrier()
+        self.world.barrier()
+
+    def _iteration(self, iteration: int) -> int:
+        """One NN-Descent round; returns the allreduced update counter."""
+        cfg = self.config.nnd
+        sample_n = cfg.sample_size
+
+        # ---- local sampling (lines 8-10): no communication ------------------
+        # RNG streams are keyed by *vertex id* (not rank), and candidate
+        # lists are canonicalized before sampling, so the constructed
+        # graph is bit-identical across cluster shapes — the paper's
+        # "same quality graphs regardless of the number of compute
+        # nodes" observation, strengthened to exact reproducibility.
+        self.world.set_phase("sample")
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            shard.reset_iteration_scratch()
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                rng = derive_rng(cfg.seed, 3, iteration, v)
+                heap = shard.heaps[li]
+                shard.old_lists[li] = sorted(heap.old_ids())
+                fresh = sorted(heap.new_ids())
+                if len(fresh) > sample_n:
+                    pick = sample_without_replacement(rng, len(fresh), sample_n)
+                    sampled = [fresh[int(i)] for i in pick]
+                else:
+                    sampled = fresh
+                for u in sampled:
+                    heap.mark_old(u)
+                shard.new_lists[li] = sampled
+                ctx.charge_update(len(sampled) + len(shard.old_lists[li]))
+
+        # ---- reversed-matrix exchange (Section 4.2) --------------------------
+        self.world.set_phase("reverse")
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            outgoing = []
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                for u in shard.new_lists[li]:
+                    outgoing.append(("rev_new", int(u), v))
+                for u in shard.old_lists[li]:
+                    outgoing.append(("rev_old", int(u), v))
+            if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
+                rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
+                order = rng.permutation(len(outgoing))
+                outgoing = [outgoing[int(i)] for i in order]
+            for handler, u, v in outgoing:
+                ctx.async_call(shard.owner(u), handler, u, v,
+                               nbytes=2 * ID_BYTES, msg_type="reverse")
+                self._maybe_batch_barrier()
+        self.world.barrier()
+
+        # ---- union with sampled reversed lists (lines 14-16) -----------------
+        # Reverse entries arrive in a delivery order that depends on the
+        # cluster shape; sorting canonicalizes them before the keyed
+        # sample so shape-invariance holds here too.
+        self.world.set_phase("union")
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                rng = derive_rng(cfg.seed, 5, iteration, v)
+                shard.new_lists[li] = _union_with_sample(
+                    shard.new_lists[li], sorted(shard.rev_new[li]), sample_n, rng)
+                shard.old_lists[li] = _union_with_sample(
+                    shard.old_lists[li], sorted(shard.rev_old[li]), sample_n, rng)
+
+        # ---- neighbor checks (Section 4.3) ----------------------------------
+        self.world.set_phase("neighbor_check")
+        one_sided = self.config.comm_opts.one_sided
+        for ctx, li in self._interleaved_vertices():
+            shard = shard_of(ctx)
+            new_c = shard.new_lists[li]
+            old_c = shard.old_lists[li]
+            for i, u1 in enumerate(new_c):
+                for u2 in new_c[i + 1:]:
+                    if u1 != u2:
+                        self._emit_check(ctx, shard, u1, u2, one_sided)
+                for u2 in old_c:
+                    if u1 != u2:
+                        self._emit_check(ctx, shard, u1, u2, one_sided)
+            self._maybe_batch_barrier()
+        self.world.barrier()
+
+        # ---- termination counter (line 23): allreduce ------------------------
+        return int(self.cluster.allreduce_sum(
+            [shard_of(ctx).update_count for ctx in self.world.ranks]
+        ))
+
+    def _emit_check(self, ctx: RankContext, shard: LocalShard,
+                    u1: int, u2: int, one_sided: bool) -> None:
+        """Emit the Type 1 message(s) for one candidate pair."""
+        if one_sided:
+            ctx.async_call(shard.owner(u1), "check_opt", int(u1), int(u2),
+                           nbytes=2 * ID_BYTES, msg_type=T1)
+        else:
+            ctx.async_call(shard.owner(u1), "check_unopt", int(u1), int(u2),
+                           nbytes=2 * ID_BYTES, msg_type=T1)
+            ctx.async_call(shard.owner(u2), "check_unopt", int(u2), int(u1),
+                           nbytes=2 * ID_BYTES, msg_type=T1)
+
+    # -- gather -----------------------------------------------------------------
+
+    def _gather_graph(self) -> KNNGraph:
+        """Collect per-rank heap contents into one global KNNGraph,
+        charging the gather's communication cost."""
+        self.world.set_phase("gather")
+        k = self.config.k
+        ids = np.full((self.n, k), EMPTY, dtype=np.int64)
+        dists = np.full((self.n, k), np.inf, dtype=np.float64)
+        contributions = []
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            rows = []
+            for li in range(shard.n_local):
+                row_ids, row_dists, _ = shard.heaps[li].sorted_arrays()
+                rows.append((int(shard.global_ids[li]), row_ids, row_dists))
+            contributions.append(rows)
+        per_rank_bytes = max(1, (self.n // self.cluster.world_size) * k * (ID_BYTES + 4))
+        gathered = self.cluster.gather(contributions, root=0, item_bytes=per_rank_bytes)
+        for rows in gathered:
+            for gid, row_ids, row_dists in rows:
+                ids[gid] = row_ids
+                dists[gid] = row_dists
+        return KNNGraph(ids, dists)
+
+    # -- optimize (Section 4.5, the paper's second executable) --------------------
+
+    def optimize(self, pruning_factor: Optional[float] = None) -> AdjacencyGraph:
+        """Distributed reverse-edge merge + degree pruning.
+
+        Must run after :meth:`build` (or use :func:`optimize_from_store`
+        to mirror the paper's separate executable).
+        """
+        if not self._built:
+            raise RuntimeStateError("optimize() requires build() first")
+        m = pruning_factor if pruning_factor is not None else self.config.pruning_factor
+        if m < 1.0:
+            raise ConfigError(f"pruning_factor must be >= 1.0, got {m}")
+        start = self.cluster.ledger.elapsed
+        self.world.set_phase("optimize")
+        # Stage 1: seed local merge maps with forward edges, ship reversed
+        # edges to their owners.
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            shard.merged = [dict() for _ in range(shard.n_local)]
+            for li in range(shard.n_local):
+                for u, d, _flag in shard.heaps[li].entries():
+                    bucket = shard.merged[li]
+                    prev = bucket.get(u)
+                    if prev is None or d < prev:
+                        bucket[u] = d
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                for u, d, _flag in shard.heaps[li].entries():
+                    ctx.async_call(shard.owner(u), "opt_rev_edge", int(u), v, float(d),
+                                   nbytes=2 * ID_BYTES + 4, msg_type="opt_rev")
+                    self._maybe_batch_barrier()
+        self.world.barrier()
+        # Stage 2: local prune to ceil(k * m) and gather.
+        max_degree = int(np.ceil(self.config.k * m))
+        neighbor_lists: List[List] = [None] * self.n
+        for ctx in self.world.ranks:
+            shard = shard_of(ctx)
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                lst = sorted(shard.merged[li].items(), key=lambda t: (t[1], t[0]))
+                neighbor_lists[v] = lst[:max_degree]
+                ctx.charge_update(len(lst))
+        self.world.barrier()
+        adjacency = AdjacencyGraph.from_edge_lists(neighbor_lists)
+        if getattr(self, "_last_result", None) is not None:
+            self._last_result.adjacency = adjacency
+            self._last_result.optimize_sim_seconds = self.cluster.ledger.elapsed - start
+            self._last_result.sim_seconds = self.cluster.ledger.elapsed
+        return adjacency
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def _write_checkpoint(self, checkpoint_path, iteration: int,
+                          update_counts: List[int]) -> None:
+        """Snapshot raw heap state (ids/dists/flags in *heap order* —
+        slot order feeds the keyed sampling, so exact restoration makes
+        a resumed build bit-identical to an uninterrupted one)."""
+        k = self.config.k
+        ids = np.full((self.n, k), -1, dtype=np.int64)
+        dists = np.full((self.n, k), np.inf, dtype=np.float64)
+        flags = np.zeros((self.n, k), dtype=bool)
+        for shard in self._shards():
+            for li in range(shard.n_local):
+                gid = int(shard.global_ids[li])
+                heap = shard.heaps[li]
+                ids[gid] = heap.ids
+                dists[gid] = heap.dists
+                flags[gid] = heap.flags
+        cfg = self.config
+        meta = {
+            "iteration": iteration,
+            "update_counts": list(update_counts),
+            "n": self.n,
+            "k": k,
+            "data_fingerprint": _fingerprint(self.data),
+            "nnd": {
+                "k": cfg.nnd.k, "rho": cfg.nnd.rho, "delta": cfg.nnd.delta,
+                "max_iters": cfg.nnd.max_iters, "metric": cfg.nnd.metric,
+                "seed": cfg.nnd.seed,
+            },
+            "comm_opts": {
+                "one_sided": cfg.comm_opts.one_sided,
+                "redundancy_check": cfg.comm_opts.redundancy_check,
+                "distance_pruning": cfg.comm_opts.distance_pruning,
+            },
+            "batch_size": cfg.batch_size,
+            "pruning_factor": cfg.pruning_factor,
+            "shuffle_reverse_destinations": cfg.shuffle_reverse_destinations,
+        }
+        if MetallStore.exists(checkpoint_path):
+            store = MetallStore.open(checkpoint_path)
+        else:
+            store = MetallStore.create(checkpoint_path)
+        with store:
+            store["ckpt_ids"] = ids
+            store["ckpt_dists"] = dists
+            store["ckpt_flags"] = flags
+            store["ckpt_meta"] = meta
+
+    def _restore_heaps(self, ids: np.ndarray, dists: np.ndarray,
+                       flags: np.ndarray) -> None:
+        if ids.shape != (self.n, self.config.k):
+            raise StoreError(
+                f"checkpoint heap shape {ids.shape} does not match "
+                f"(n={self.n}, k={self.config.k})"
+            )
+        for shard in self._shards():
+            for li in range(shard.n_local):
+                gid = int(shard.global_ids[li])
+                heap = shard.heaps[li]
+                heap.ids[:] = ids[gid]
+                heap.dists[:] = dists[gid]
+                heap.flags[:] = flags[gid]
+                heap._members = {int(v) for v in ids[gid] if v != -1}
+                heap.check_invariants()
+
+    # -- persistence ----------------------------------------------------------
+
+    def _persist(self, store_path, result: DNNDResult) -> None:
+        """Store graph + dataset, as the paper's construction executable
+        does with Metall (Section 5.1.3)."""
+        with MetallStore.create(store_path) as store:
+            store["graph"] = result.graph.to_arrays()
+            if not self._sparse:
+                store["dataset"] = np.asarray(self.data)
+            else:
+                store["dataset"] = [np.asarray(self.data[i]) for i in range(self.n)]
+            store["meta"] = {
+                "k": self.config.k,
+                "metric": self.config.nnd.metric,
+                "n": self.n,
+                "iterations": result.iterations,
+                "pruning_factor": self.config.pruning_factor,
+            }
+
+
+def _fingerprint(data) -> float:
+    """Cheap order-sensitive dataset fingerprint for checkpoint safety."""
+    if isinstance(data, np.ndarray):
+        weights = np.arange(1, min(64, data.shape[0]) + 1, dtype=np.float64)
+        head = data[: len(weights)].astype(np.float64)
+        return float((head.sum(axis=1) * weights).sum())
+    total = 0.0
+    for i in range(min(64, len(data))):
+        total += (i + 1) * float(np.asarray(data[i]).sum())
+    return total
+
+
+def optimize_from_store(store_path, pruning_factor: Optional[float] = None) -> AdjacencyGraph:
+    """The paper's second executable: reopen the Metall store written by
+    :meth:`DNND.build`, run the Section 4.5 optimizations, and persist
+    the optimized adjacency back into the store."""
+    from .optimization import optimize_graph
+
+    with MetallStore.open(store_path) as store:
+        graph = KNNGraph.from_arrays(store["graph"])
+        meta = store["meta"]
+        m = pruning_factor if pruning_factor is not None else meta.get("pruning_factor", 1.5)
+        adjacency = optimize_graph(graph, pruning_factor=m)
+        store["optimized_graph"] = adjacency.to_arrays()
+        store["meta"] = {**meta, "optimized": True, "pruning_factor": m}
+    return adjacency

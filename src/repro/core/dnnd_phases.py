@@ -1,0 +1,303 @@
+"""DNND's rank-local state and message handlers (Section 4).
+
+DNND partitions vertices over ranks by id hash; each rank holds its
+vertices' feature rows and neighbor heaps (:class:`LocalShard`).  The
+three communication phases of Section 4 are implemented as YGM handlers:
+
+**Initialization** (Section 4.1's example pattern)
+    ``init_req`` carries ``v``'s feature vector to ``owner(u)``, which
+    computes ``theta(v, u)`` and replies with ``init_resp`` carrying the
+    distance back to ``owner(v)``.
+
+**Reverse-matrix generation** (Section 4.2)
+    ``rev_new`` / ``rev_old`` ship one reversed entry ``(u, v)`` to
+    ``owner(u)``; the sender shuffles destination order to avoid
+    congestion bursts.
+
+**Neighbor checks** (Section 4.3, Figure 1)
+    *Unoptimized* (Figure 1a): the center vertex sends a Type 1 request
+    to both endpoints; each endpoint ships its feature vector (Type 2)
+    to the other; both sides compute the distance and update their own
+    heaps.
+
+    *Optimized* (Figure 1b): Type 1 goes only to ``u1`` (one-sided,
+    4.3.1).  ``u1`` skips the exchange entirely when ``u2`` is already a
+    neighbor (4.3.2), otherwise sends a Type 2+ message — its feature
+    plus its worst-neighbor distance bound (4.3.3) — to ``u2``.  ``u2``
+    computes the distance, updates its own heap, and replies with a tiny
+    Type 3 distance message only if the distance beats the bound and
+    ``u1`` is not already a neighbor of ``u2``.
+
+**Graph optimization** (Section 4.5)
+    ``opt_rev_edge`` ships each final edge reversed to the neighbor's
+    owner for the reverse-merge + prune pass.
+
+Message sizes follow Section 2's accounting: ids are 4 bytes, distances
+4 bytes, features ``dim * itemsize`` (ragged records use their actual
+byte size), so Figure 4's bytes axis is modeled, not pickled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import DNNDConfig
+from ..distances.counting import CountingMetric
+from ..errors import PartitionError
+from ..runtime.partition import Partitioner
+from ..runtime.ygm import RankContext, YGMWorld
+from ..types import DIST_BYTES, ID_BYTES
+from .heap import NeighborHeap
+
+# Message-type labels used in Figure 4.
+T1 = "type1"
+T2 = "type2"
+T2P = "type2+"
+T3 = "type3"
+
+
+@dataclass
+class LocalShard:
+    """Everything one simulated rank owns.
+
+    Attributes
+    ----------
+    global_ids:
+        Ascending global ids of the vertices this rank owns.
+    local_index:
+        global id -> row index into ``features`` / ``heaps``.
+    features:
+        Dense ``(n_local, dim)`` array, or a list of ragged sparse
+        records.
+    heaps:
+        One :class:`NeighborHeap` per local vertex — the distributed
+        ``G_v`` (vertex and neighbor list co-located, Section 4).
+    """
+
+    rank: int
+    partitioner: Partitioner
+    global_ids: np.ndarray
+    local_index: Dict[int, int]
+    features: object
+    heaps: List[NeighborHeap]
+    metric: CountingMetric
+    config: DNNDConfig
+    sparse: bool = False
+    feature_nbytes_dense: int = 0
+
+    # Per-iteration scratch:
+    new_lists: List[List[int]] = field(default_factory=list)
+    old_lists: List[List[int]] = field(default_factory=list)
+    rev_new: List[List[int]] = field(default_factory=list)
+    rev_old: List[List[int]] = field(default_factory=list)
+    update_count: int = 0
+
+    # Optimization-phase scratch: per local vertex {neighbor: dist}.
+    merged: List[Dict[int, float]] = field(default_factory=list)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def n_local(self) -> int:
+        return len(self.global_ids)
+
+    def local(self, gid: int) -> int:
+        try:
+            return self.local_index[int(gid)]
+        except KeyError:
+            raise PartitionError(
+                f"vertex {gid} dereferenced on rank {self.rank}, "
+                f"owner is {self.partitioner.owner(int(gid))}"
+            ) from None
+
+    def feature(self, gid: int):
+        return self.features[self.local(gid)]
+
+    def heap(self, gid: int) -> NeighborHeap:
+        return self.heaps[self.local(gid)]
+
+    def owner(self, gid: int) -> int:
+        return self.partitioner.owner(int(gid))
+
+    def feature_nbytes(self, gid: int) -> int:
+        """Wire size of one feature vector (Type 2 payload size)."""
+        if self.sparse:
+            return int(self.features[self.local(gid)].nbytes)
+        return self.feature_nbytes_dense
+
+    def reset_iteration_scratch(self) -> None:
+        self.new_lists = [[] for _ in range(self.n_local)]
+        self.old_lists = [[] for _ in range(self.n_local)]
+        self.rev_new = [[] for _ in range(self.n_local)]
+        self.rev_old = [[] for _ in range(self.n_local)]
+        self.update_count = 0
+
+
+def shard_of(ctx: RankContext) -> LocalShard:
+    return ctx.state["shard"]
+
+
+# ---------------------------------------------------------------------------
+# Initialization handlers (Section 4.1 communication example)
+# ---------------------------------------------------------------------------
+
+
+def h_init_request(ctx: RankContext, v_gid: int, u_gid: int, v_feature) -> None:
+    """Runs at owner(u): compute theta(v, u), reply with the distance."""
+    shard = shard_of(ctx)
+    d = shard.metric(v_feature, shard.feature(u_gid))
+    ctx.charge_distance(_dim_of(v_feature))
+    ctx.async_call(
+        shard.owner(v_gid), "init_resp", v_gid, u_gid, d,
+        nbytes=2 * ID_BYTES + DIST_BYTES, msg_type="init_resp",
+    )
+
+
+def h_init_response(ctx: RankContext, v_gid: int, u_gid: int, d: float) -> None:
+    """Runs at owner(v): record the initial neighbor."""
+    shard = shard_of(ctx)
+    shard.heap(v_gid).checked_push(int(u_gid), float(d), True)
+    ctx.charge_update()
+
+
+# ---------------------------------------------------------------------------
+# Reverse-matrix handlers (Section 4.2)
+# ---------------------------------------------------------------------------
+
+
+def h_reverse_new(ctx: RankContext, u_gid: int, v_gid: int) -> None:
+    """Runs at owner(u): u gained a reversed *new* entry v."""
+    shard = shard_of(ctx)
+    shard.rev_new[shard.local(u_gid)].append(int(v_gid))
+
+
+def h_reverse_old(ctx: RankContext, u_gid: int, v_gid: int) -> None:
+    shard = shard_of(ctx)
+    shard.rev_old[shard.local(u_gid)].append(int(v_gid))
+
+
+# ---------------------------------------------------------------------------
+# Neighbor-check handlers — unoptimized pattern (Figure 1a)
+# ---------------------------------------------------------------------------
+
+
+def h_check_request_unopt(ctx: RankContext, target_gid: int, other_gid: int) -> None:
+    """Runs at owner(target): Type 1 received; ship target's feature
+    (Type 2) to the other endpoint."""
+    shard = shard_of(ctx)
+    ctx.async_call(
+        shard.owner(other_gid), "feature_unopt",
+        other_gid, target_gid, shard.feature(target_gid),
+        nbytes=2 * ID_BYTES + shard.feature_nbytes(target_gid), msg_type=T2,
+    )
+
+
+def h_feature_unopt(ctx: RankContext, recv_gid: int, sender_gid: int, feature) -> None:
+    """Runs at owner(recv): Type 2 received; compute the distance and
+    update recv's own heap (both directions happen symmetrically)."""
+    shard = shard_of(ctx)
+    d = shard.metric(shard.feature(recv_gid), feature)
+    ctx.charge_distance(_dim_of(feature))
+    shard.update_count += shard.heap(recv_gid).checked_push(int(sender_gid), float(d), True)
+    ctx.charge_update()
+
+
+# ---------------------------------------------------------------------------
+# Neighbor-check handlers — optimized pattern (Figure 1b)
+# ---------------------------------------------------------------------------
+
+
+def h_check_request_opt(ctx: RankContext, u1_gid: int, u2_gid: int) -> None:
+    """Runs at owner(u1): Type 1 received (one-sided, Section 4.3.1)."""
+    shard = shard_of(ctx)
+    opts = shard.config.comm_opts
+    heap1 = shard.heap(u1_gid)
+    if opts.redundancy_check and int(u2_gid) in heap1:
+        # Section 4.3.2: the pair is already adjacent; the whole
+        # Type 2+/Type 3 exchange would be wasted.
+        return
+    if opts.distance_pruning:
+        bound = heap1.worst_distance()
+        extra = DIST_BYTES  # the attached bound, "negligible in size"
+        msg_type = T2P
+    else:
+        bound = np.inf
+        extra = 0
+        msg_type = T2
+    ctx.async_call(
+        shard.owner(u2_gid), "feature_opt",
+        u2_gid, u1_gid, shard.feature(u1_gid), bound,
+        nbytes=2 * ID_BYTES + shard.feature_nbytes(u1_gid) + extra,
+        msg_type=msg_type,
+    )
+
+
+def h_feature_opt(ctx: RankContext, u2_gid: int, u1_gid: int, feature, bound: float) -> None:
+    """Runs at owner(u2): Type 2+/2 received; compute once, update u2's
+    heap locally, and reply (Type 3) only when useful."""
+    shard = shard_of(ctx)
+    opts = shard.config.comm_opts
+    heap2 = shard.heap(u2_gid)
+    if opts.redundancy_check and int(u1_gid) in heap2:
+        # Section 4.3.2 applied on the u2 side before Type 3.
+        return
+    d = shard.metric(shard.feature(u2_gid), feature)
+    ctx.charge_distance(_dim_of(feature))
+    shard.update_count += heap2.checked_push(int(u1_gid), float(d), True)
+    ctx.charge_update()
+    if opts.distance_pruning and d >= bound:
+        # Section 4.3.3: u1 could not accept this distance anyway.
+        return
+    ctx.async_call(
+        shard.owner(u1_gid), "distance_reply", u1_gid, u2_gid, d,
+        nbytes=2 * ID_BYTES + DIST_BYTES, msg_type=T3,
+    )
+
+
+def h_distance_reply(ctx: RankContext, u1_gid: int, u2_gid: int, d: float) -> None:
+    """Runs at owner(u1): Type 3 received; update u1's heap."""
+    shard = shard_of(ctx)
+    shard.update_count += shard.heap(u1_gid).checked_push(int(u2_gid), float(d), True)
+    ctx.charge_update()
+
+
+# ---------------------------------------------------------------------------
+# Graph-optimization handlers (Section 4.5)
+# ---------------------------------------------------------------------------
+
+
+def h_opt_reverse_edge(ctx: RankContext, u_gid: int, v_gid: int, d: float) -> None:
+    """Runs at owner(u): merge the reversed edge u -> v."""
+    shard = shard_of(ctx)
+    bucket = shard.merged[shard.local(u_gid)]
+    v = int(v_gid)
+    prev = bucket.get(v)
+    if prev is None or d < prev:
+        bucket[v] = float(d)
+    ctx.charge_update()
+
+
+def register_dnnd_handlers(world: YGMWorld) -> None:
+    """Register every DNND handler on a world (idempotent per world)."""
+    world.register_handlers(
+        init_req=h_init_request,
+        init_resp=h_init_response,
+        rev_new=h_reverse_new,
+        rev_old=h_reverse_old,
+        check_unopt=h_check_request_unopt,
+        feature_unopt=h_feature_unopt,
+        check_opt=h_check_request_opt,
+        feature_opt=h_feature_opt,
+        distance_reply=h_distance_reply,
+        opt_rev_edge=h_opt_reverse_edge,
+    )
+
+
+def _dim_of(feature) -> int:
+    shape = getattr(feature, "shape", None)
+    if shape:
+        return int(shape[0])
+    return max(1, len(feature))

@@ -1,0 +1,172 @@
+"""Fixed-capacity flagged neighbor heaps — Algorithm 1's ``Update``.
+
+Every vertex's candidate list ``G[v]`` is a bounded max-heap on
+distance: the root is the *farthest* current neighbor, so a new
+candidate either beats the root (replace + sift) or is rejected in O(1).
+Each entry carries the ``new``/``old`` flag NN-Descent uses to avoid
+re-checking pairs (Section 3.1).
+
+The layout follows PyNNDescent: three parallel arrays (ids, distances,
+flags) with ``INVALID_ID``/``inf`` placeholders, so a heap is usable
+before it is full (during distributed initialization, entries arrive as
+asynchronous messages in arbitrary order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+#: Placeholder id for an empty slot.
+EMPTY = -1
+
+
+class NeighborHeap:
+    """Bounded max-heap of ``(id, distance, flag)`` neighbor entries.
+
+    Parameters
+    ----------
+    k:
+        Capacity — the ``K`` of the output k-NNG.
+
+    Notes
+    -----
+    ``checked_push`` implements Algorithm 1's ``Update(H, (v, d, f))``:
+    reject if ``v`` already present or ``d`` not better than the current
+    worst; otherwise replace the worst and return 1.
+    """
+
+    __slots__ = ("k", "ids", "dists", "flags", "_members")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise GraphError(f"heap capacity must be >= 1, got {k}")
+        self.k = int(k)
+        self.ids = np.full(self.k, EMPTY, dtype=np.int64)
+        self.dists = np.full(self.k, np.inf, dtype=np.float64)
+        self.flags = np.zeros(self.k, dtype=bool)
+        self._members: set[int] = set()
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, vid: int) -> bool:
+        return int(vid) in self._members
+
+    @property
+    def full(self) -> bool:
+        return len(self._members) == self.k
+
+    def worst_distance(self) -> float:
+        """Distance of the farthest neighbor (``inf`` while not full).
+
+        This is the bound attached to Type 2+ messages (Section 4.3.3).
+        """
+        return float(self.dists[0])
+
+    def entries(self) -> Iterator[Tuple[int, float, bool]]:
+        """Yield ``(id, dist, flag)`` for occupied slots, heap order."""
+        for i in range(self.k):
+            if self.ids[i] != EMPTY:
+                yield int(self.ids[i]), float(self.dists[i]), bool(self.flags[i])
+
+    def new_ids(self) -> List[int]:
+        """Ids currently flagged *new* (Algorithm 1 line 9 source)."""
+        mask = (self.ids != EMPTY) & self.flags
+        return [int(i) for i in self.ids[mask]]
+
+    def old_ids(self) -> List[int]:
+        """Ids currently flagged *old* (Algorithm 1 line 8)."""
+        mask = (self.ids != EMPTY) & ~self.flags
+        return [int(i) for i in self.ids[mask]]
+
+    # -- mutation -----------------------------------------------------------
+
+    def checked_push(self, vid: int, dist: float, flag: bool = True) -> int:
+        """Algorithm 1 ``Update``: insert if new and closer than the
+        worst; returns 1 if the heap changed, else 0."""
+        vid = int(vid)
+        if vid in self._members:
+            return 0
+        if dist >= self.dists[0]:
+            # Not better than the current worst (inf while not full, so
+            # any finite distance is accepted until full).
+            return 0
+        evicted = int(self.ids[0])
+        if evicted != EMPTY:
+            self._members.discard(evicted)
+        self._members.add(vid)
+        self.ids[0] = vid
+        self.dists[0] = dist
+        self.flags[0] = flag
+        self._siftdown(0)
+        return 1
+
+    def mark_old(self, vid: int) -> None:
+        """Clear the *new* flag of ``vid`` (Algorithm 1 line 10)."""
+        idx = np.flatnonzero(self.ids == int(vid))
+        if idx.size:
+            self.flags[idx[0]] = False
+
+    def _siftdown(self, i: int) -> None:
+        """Restore the max-heap property from slot ``i`` downwards."""
+        ids, dists, flags = self.ids, self.dists, self.flags
+        k = self.k
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            largest = i
+            if left < k and dists[left] > dists[largest]:
+                largest = left
+            if right < k and dists[right] > dists[largest]:
+                largest = right
+            if largest == i:
+                return
+            ids[i], ids[largest] = ids[largest], ids[i]
+            dists[i], dists[largest] = dists[largest], dists[i]
+            flags[i], flags[largest] = flags[largest], flags[i]
+            i = largest
+
+    # -- extraction ----------------------------------------------------------
+
+    def sorted_entries(self) -> List[Tuple[int, float, bool]]:
+        """Occupied entries sorted ascending by distance (closest first)."""
+        occupied = [(int(i), float(d), bool(f))
+                    for i, d, f in zip(self.ids, self.dists, self.flags)
+                    if i != EMPTY]
+        occupied.sort(key=lambda t: (t[1], t[0]))
+        return occupied
+
+    def sorted_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, dists, flags)`` sorted ascending by distance, padded to
+        capacity with ``EMPTY``/``inf``/False."""
+        entries = self.sorted_entries()
+        ids = np.full(self.k, EMPTY, dtype=np.int64)
+        dists = np.full(self.k, np.inf, dtype=np.float64)
+        flags = np.zeros(self.k, dtype=bool)
+        for slot, (vid, dist, flag) in enumerate(entries):
+            ids[slot] = vid
+            dists[slot] = dist
+            flags[slot] = flag
+        return ids, dists, flags
+
+    # -- invariant check (used by property tests) -------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`GraphError` if any heap invariant is violated."""
+        occupied = self.ids != EMPTY
+        if len(self._members) != int(occupied.sum()):
+            raise GraphError("member-set size disagrees with occupied slots")
+        if set(int(i) for i in self.ids[occupied]) != self._members:
+            raise GraphError("member set disagrees with id slots")
+        for i in range(self.k):
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < self.k and self.dists[child] > self.dists[i]:
+                    raise GraphError(f"heap order violated at slot {i}->{child}")
+        if np.any(np.isfinite(self.dists[~occupied])):
+            raise GraphError("empty slot holds a finite distance")

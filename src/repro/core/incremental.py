@@ -1,0 +1,145 @@
+"""Incremental k-NN graph maintenance — the Section 7 scenario.
+
+The paper's future work: "new data points may be added/deleted,
+followed by a short graph refinement phase, which will fit NN-Descent's
+iterative nature well."  This module implements that lifecycle on the
+shared-memory side:
+
+- :meth:`IncrementalIndex.add` appends rows and runs a *warm-started*
+  NN-Descent refinement: existing rows keep their converged neighbor
+  lists (flagged *new* so one round of checks integrates the arrivals),
+  so the delta-termination criterion fires after a few iterations
+  instead of a full rebuild.
+- :meth:`IncrementalIndex.remove` deletes rows, compacts ids, drops
+  dangling edges, and refills the holes with a short refinement.
+
+It pairs naturally with the Metall store: open, mutate, snapshot — see
+``examples/persistent_index.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import NNDescentConfig
+from ..errors import ConfigError, DatasetError
+from .graph import EMPTY, KNNGraph
+from .nndescent import NNDescent, NNDescentResult
+
+
+class IncrementalIndex:
+    """A maintainable k-NN graph over a growable dense dataset.
+
+    Parameters
+    ----------
+    data:
+        Initial dense ``(n, dim)`` matrix.
+    config:
+        NN-Descent parameters; ``max_iters`` bounds each refinement.
+    refinement_iters:
+        Cap on NN-Descent iterations per :meth:`add`/:meth:`remove`
+        (the "short graph refinement phase").
+    """
+
+    def __init__(self, data: np.ndarray, config: NNDescentConfig,
+                 refinement_iters: int = 8) -> None:
+        if refinement_iters < 1:
+            raise ConfigError("refinement_iters must be >= 1")
+        self._data = np.array(data, copy=True)
+        if self._data.ndim != 2:
+            raise DatasetError("IncrementalIndex needs a dense 2-D matrix")
+        self.config = config
+        self.refinement_iters = int(refinement_iters)
+        self._graph: Optional[KNNGraph] = None
+        self._total_build_iters = 0
+        self._rebuild(initial=None)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def graph(self) -> KNNGraph:
+        assert self._graph is not None
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def total_refinement_iterations(self) -> int:
+        """Iterations spent across the initial build and all updates."""
+        return self._total_build_iters
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, points: np.ndarray) -> NNDescentResult:
+        """Append rows and refine.
+
+        Existing vertices keep their neighbor lists as the warm start;
+        new vertices start empty and are filled by the random-init pass
+        plus the refinement's neighbor propagation.
+        """
+        points = np.asarray(points)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[1] != self._data.shape[1]:
+            raise DatasetError(
+                f"new points have dim {points.shape[1]}, index has "
+                f"{self._data.shape[1]}"
+            )
+        self._data = np.vstack([self._data, points.astype(self._data.dtype)])
+        return self._rebuild(initial=self._graph)
+
+    def remove(self, ids: Sequence[int]) -> NNDescentResult:
+        """Delete rows by id and refine.
+
+        Remaining vertices are renumbered compactly (ascending order is
+        preserved); edges to removed vertices are dropped from the warm
+        start and the refinement refills the freed slots.
+        """
+        drop = set(int(i) for i in ids)
+        n = len(self._data)
+        bad = [i for i in drop if not 0 <= i < n]
+        if bad:
+            raise DatasetError(f"cannot remove out-of-range ids {bad}")
+        if len(drop) >= n - self.config.k:
+            raise DatasetError(
+                f"removing {len(drop)} of {n} rows would leave fewer than "
+                f"k+1 = {self.config.k + 1} points"
+            )
+        keep = np.array([i for i in range(n) if i not in drop], dtype=np.int64)
+        remap = np.full(n, EMPTY, dtype=np.int64)
+        remap[keep] = np.arange(len(keep))
+
+        old_graph = self.graph
+        new_ids = np.full((len(keep), self.config.k), EMPTY, dtype=np.int64)
+        new_dists = np.full((len(keep), self.config.k), np.inf, dtype=np.float64)
+        for new_v, old_v in enumerate(keep):
+            slot = 0
+            for u, d in zip(old_graph.ids[old_v], old_graph.dists[old_v]):
+                if u == EMPTY or int(u) in drop:
+                    continue
+                new_ids[new_v, slot] = remap[int(u)]
+                new_dists[new_v, slot] = d
+                slot += 1
+        self._data = self._data[keep]
+        return self._rebuild(initial=KNNGraph(new_ids, new_dists))
+
+    # -- internals ----------------------------------------------------------
+
+    def _rebuild(self, initial: Optional[KNNGraph]) -> NNDescentResult:
+        cfg = self.config.with_(
+            max_iters=self.refinement_iters if initial is not None
+            else self.config.max_iters,
+            seed=self.config.seed + self._total_build_iters + len(self._data),
+        )
+        builder = NNDescent(self._data, cfg, initial_graph=initial)
+        result = builder.build()
+        self._graph = result.graph
+        self._total_build_iters += result.iterations
+        return result

@@ -1,0 +1,81 @@
+"""Section 4.5 — k-NN graph optimizations for search quality.
+
+Two post-construction transforms, both from PyNNDescent:
+
+1. **Reverse-edge merge** — add every edge in the opposite direction
+   (union the graph with its transpose), removing duplicates.  This
+   densifies connectivity so greedy search escapes local minima.
+2. **Degree pruning** — the merge can blow up in-degree-heavy vertices;
+   cap every adjacency list at ``k * m`` closest neighbors
+   (``m >= 1``, paper default 1.5).
+
+The functions here are the shared-memory reference; DNND performs the
+same transform with messages (each rank ships reverse edges to the
+owning ranks) and the tests assert both produce identical graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .graph import EMPTY, AdjacencyGraph, KNNGraph
+
+
+def merge_reverse_edges(graph: KNNGraph) -> List[List[Tuple[int, float]]]:
+    """Per-vertex neighbor lists of ``G ∪ G^T`` with duplicates removed.
+
+    Returns ragged ``[(neighbor, dist), ...]`` lists sorted ascending by
+    ``(dist, id)``.
+    """
+    n = graph.n
+    merged: List[Dict[int, float]] = [dict() for _ in range(n)]
+    rows, cols = np.nonzero(graph.ids != EMPTY)
+    for r, c in zip(rows, cols):
+        u = int(graph.ids[r, c])
+        d = float(graph.dists[r, c])
+        v = int(r)
+        # Forward edge v -> u and reverse edge u -> v; distances are
+        # symmetric (Section 2), so a duplicate keeps the smaller value
+        # defensively.
+        if u != v:
+            prev = merged[v].get(u)
+            if prev is None or d < prev:
+                merged[v][u] = d
+            prev = merged[u].get(v)
+            if prev is None or d < prev:
+                merged[u][v] = d
+    out: List[List[Tuple[int, float]]] = []
+    for v in range(n):
+        lst = sorted(merged[v].items(), key=lambda t: (t[1], t[0]))
+        out.append(lst)
+    return out
+
+
+def prune_neighborhoods(
+    neighbor_lists: List[List[Tuple[int, float]]], max_degree: int
+) -> List[List[Tuple[int, float]]]:
+    """Keep at most ``max_degree`` closest neighbors per vertex."""
+    if max_degree < 1:
+        raise ConfigError(f"max_degree must be >= 1, got {max_degree}")
+    return [lst[:max_degree] for lst in neighbor_lists]
+
+
+def optimize_graph(graph: KNNGraph, pruning_factor: float = 1.5) -> AdjacencyGraph:
+    """Full Section 4.5 pipeline: reverse merge then prune to ``k * m``.
+
+    Parameters
+    ----------
+    graph:
+        The fixed-degree k-NNG produced by NN-Descent/DNND.
+    pruning_factor:
+        ``m`` — per-vertex degree cap is ``ceil(k * m)``.
+    """
+    if pruning_factor < 1.0:
+        raise ConfigError(f"pruning_factor (m) must be >= 1.0, got {pruning_factor}")
+    max_degree = int(np.ceil(graph.k * pruning_factor))
+    merged = merge_reverse_edges(graph)
+    pruned = prune_neighborhoods(merged, max_degree)
+    return AdjacencyGraph.from_edge_lists(pruned)

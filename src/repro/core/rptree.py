@@ -1,0 +1,147 @@
+"""Random-projection-tree forest (PyNNDescent's initialization).
+
+PyNNDescent seeds NN-Descent with candidates drawn from the leaves of a
+small forest of random-projection trees, and also uses tree leaves to
+pick search entry points (paper Section 6, Related Work).  A tree splits
+the data recursively with random hyperplanes through pairs of sampled
+points until leaves hold at most ``leaf_size`` points; points sharing a
+leaf are likely neighbors, giving a far better starting graph than
+uniform random initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils.rng import derive_rng
+
+
+@dataclass
+class _Node:
+    """Internal RP-tree node (leaf iff ``members is not None``)."""
+
+    members: Optional[np.ndarray] = None
+    normal: Optional[np.ndarray] = None
+    offset: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.members is not None
+
+
+class RPTree:
+    """A single random-projection tree over dense data."""
+
+    def __init__(self, data: np.ndarray, leaf_size: int,
+                 rng: np.random.Generator, max_depth: int = 64) -> None:
+        if leaf_size < 2:
+            raise ConfigError(f"leaf_size must be >= 2, got {leaf_size}")
+        self.data = np.asarray(data, dtype=np.float64)
+        self.leaf_size = int(leaf_size)
+        self._root = self._build(np.arange(len(data), dtype=np.int64), rng, max_depth)
+
+    def _build(self, members: np.ndarray, rng: np.random.Generator,
+               depth: int) -> _Node:
+        if len(members) <= self.leaf_size or depth <= 0:
+            return _Node(members=members)
+        # Random hyperplane through the midpoint of two random members
+        # (the classic Dasgupta-Freund split PyNNDescent uses).
+        i, j = rng.choice(len(members), size=2, replace=False)
+        a = self.data[members[i]]
+        b = self.data[members[j]]
+        normal = a - b
+        norm = np.linalg.norm(normal)
+        if norm == 0.0:
+            # Degenerate (duplicate points): split arbitrarily in half.
+            half = len(members) // 2
+            perm = rng.permutation(len(members))
+            return _Node(
+                normal=np.zeros_like(normal), offset=0.0,
+                left=self._build(members[perm[:half]], rng, depth - 1),
+                right=self._build(members[perm[half:]], rng, depth - 1),
+            )
+        normal = normal / norm
+        midpoint = (a + b) / 2.0
+        offset = float(np.dot(normal, midpoint))
+        side = self.data[members] @ normal - offset
+        left_mask = side <= 0
+        # Guard against empty splits.
+        if left_mask.all() or not left_mask.any():
+            half = len(members) // 2
+            perm = rng.permutation(len(members))
+            left_members, right_members = members[perm[:half]], members[perm[half:]]
+        else:
+            left_members, right_members = members[left_mask], members[~left_mask]
+        return _Node(
+            normal=normal, offset=offset,
+            left=self._build(left_members, rng, depth - 1),
+            right=self._build(right_members, rng, depth - 1),
+        )
+
+    def leaves(self) -> Iterator[np.ndarray]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node.members
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+
+    def leaf_for(self, q: np.ndarray) -> np.ndarray:
+        """Member ids of the leaf a query point routes to."""
+        node = self._root
+        q = np.asarray(q, dtype=np.float64)
+        while not node.is_leaf:
+            if node.normal is None or float(q @ node.normal) - node.offset <= 0:
+                node = node.left
+            else:
+                node = node.right
+        return node.members
+
+    def depth(self) -> int:
+        def _d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+        return _d(self._root)
+
+
+class RPTreeForest:
+    """A forest of independent RP trees."""
+
+    def __init__(self, trees: List[RPTree]) -> None:
+        if not trees:
+            raise ConfigError("forest needs at least one tree")
+        self.trees = trees
+
+    def leaves(self) -> Iterator[np.ndarray]:
+        for tree in self.trees:
+            yield from tree.leaves()
+
+    def candidates_for(self, q: np.ndarray) -> np.ndarray:
+        """Union of the leaf members ``q`` routes to in every tree —
+        PyNNDescent-style search entry candidates."""
+        parts = [tree.leaf_for(q) for tree in self.trees]
+        return np.unique(np.concatenate(parts))
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+
+def make_rp_forest(data: np.ndarray, n_trees: int = 4, leaf_size: int = 30,
+                   seed: int = 0) -> RPTreeForest:
+    """Build an RP-tree forest over dense ``data``."""
+    if n_trees < 1:
+        raise ConfigError(f"n_trees must be >= 1, got {n_trees}")
+    trees = [
+        RPTree(data, leaf_size=leaf_size, rng=derive_rng(seed, 0x7EE, t))
+        for t in range(n_trees)
+    ]
+    return RPTreeForest(trees)

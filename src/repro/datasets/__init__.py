@@ -1,0 +1,37 @@
+"""Dataset generators and paper-dataset stand-ins (S16).
+
+The paper evaluates on eight datasets (Table 1) from ANN-Benchmarks and
+Big-ANN-Benchmarks.  Those corpora are not redistributable here (and the
+billion-scale ones would not fit a laptop), so :mod:`.ann_benchmarks`
+provides *synthetic stand-ins* with matching dimensionality, metric,
+dtype, and (scaled) cardinality — clustered Gaussian mixtures for dense
+data and power-law item sets for Kosarak — which exercise the same code
+paths and produce non-trivial neighborhood structure.
+"""
+
+from .synthetic import (
+    gaussian_mixture,
+    uniform_hypercube,
+    power_law_sets,
+    planted_neighbors,
+)
+from .ann_benchmarks import (
+    DatasetSpec,
+    PAPER_DATASETS,
+    load_dataset,
+    make_benchmark_dataset,
+)
+from .ground_truth import exact_ground_truth, with_query_split
+
+__all__ = [
+    "gaussian_mixture",
+    "uniform_hypercube",
+    "power_law_sets",
+    "planted_neighbors",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "load_dataset",
+    "make_benchmark_dataset",
+    "exact_ground_truth",
+    "with_query_split",
+]

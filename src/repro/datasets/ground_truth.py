@@ -1,0 +1,31 @@
+"""Exact ground truth computation and query-split helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors
+from ..core.graph import KNNGraph
+from ..errors import DatasetError
+from .synthetic import train_query_split
+
+
+def exact_ground_truth(data, k: int, metric="sqeuclidean") -> KNNGraph:
+    """Exact k-NN graph — Section 5.2's brute-force reference."""
+    return brute_force_knn_graph(data, k=k, metric=metric)
+
+
+def with_query_split(data, n_queries: int, k_gt: int = 10,
+                     metric="sqeuclidean", seed: int = 0) -> Tuple:
+    """Split data into (train, queries) and compute exact query ground
+    truth over the train part.
+
+    Returns ``(train, queries, gt_ids, gt_dists)``.
+    """
+    if n_queries < 1:
+        raise DatasetError(f"n_queries must be >= 1, got {n_queries}")
+    train, queries = train_query_split(data, n_queries, seed=seed)
+    gt_ids, gt_dists = brute_force_neighbors(train, queries, k=k_gt, metric=metric)
+    return train, queries, gt_ids, gt_dists

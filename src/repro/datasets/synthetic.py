@@ -1,0 +1,156 @@
+"""Synthetic data generators.
+
+Clustered Gaussian mixtures are the workhorse: real embedding datasets
+(GloVe, DEEP, SIFT/BigANN) are strongly clustered with moderate local
+intrinsic dimension, and NN-Descent/HNSW behaviour (convergence rate,
+recall-vs-work trade-off) is driven by exactly those properties, not by
+the raw values.  ``power_law_sets`` models Kosarak-style transaction
+data for the Jaccard metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..distances.sparse import SparseDataset
+from ..errors import DatasetError
+from ..utils.rng import derive_rng
+
+
+def gaussian_mixture(n: int, dim: int, n_clusters: int = 16,
+                     cluster_std: float = 0.15, seed: int = 0,
+                     dtype=np.float32, box: float = 1.0,
+                     arrangement: str = "uniform",
+                     chain_step: float = 0.6) -> np.ndarray:
+    """``n`` points from ``n_clusters`` isotropic Gaussians.
+
+    ``arrangement`` controls where the cluster centers live:
+
+    - ``"uniform"`` — i.i.d. uniform in a ``[0, box]^dim`` cube: well
+      separated in high dimension, which makes *hard, island-like*
+      neighborhoods (k-NN graphs over them disconnect as n grows),
+    - ``"chain"`` — a Gaussian random walk of centers whose step is
+      ``chain_step`` cluster-radii, so consecutive clusters overlap:
+      the k-NN graph stays *connected at any n*, like real embedding
+      corpora whose density varies smoothly.  Use this for
+      search-quality experiments; smaller ``chain_step`` means heavier
+      overlap, i.e. a *harder* dataset.
+
+    ``cluster_std`` is relative to ``box``; smaller values make tighter,
+    easier neighborhoods (in the uniform arrangement; the chain is
+    scale-invariant in ``cluster_std`` and tuned via ``chain_step``).
+    """
+    if n < 1 or dim < 1 or n_clusters < 1:
+        raise DatasetError("n, dim, n_clusters must all be >= 1")
+    if arrangement not in ("uniform", "chain"):
+        raise DatasetError(f"unknown arrangement {arrangement!r}")
+    if chain_step <= 0:
+        raise DatasetError(f"chain_step must be positive, got {chain_step}")
+    rng = derive_rng(seed, 0xDA7A, n, dim)
+    if arrangement == "uniform":
+        centers = rng.uniform(0.0, box, size=(n_clusters, dim))
+    else:
+        # Random-walk centers.  In high dimension the step norm
+        # concentrates at step * sqrt(dim) (no near pairs by chance),
+        # so the per-coordinate step must stay well below cluster_std
+        # for adjacent blobs to overlap.
+        step = chain_step * cluster_std * box
+        steps = rng.normal(0.0, step, size=(n_clusters, dim))
+        centers = np.cumsum(steps, axis=0) + rng.uniform(0.0, box, size=dim)
+    assignment = rng.integers(0, n_clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, cluster_std * box, size=(n, dim))
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        info = np.iinfo(dtype)
+        lo, hi = points.min(), points.max()
+        scaled = (points - lo) / max(hi - lo, 1e-12) * (info.max - info.min) + info.min
+        return scaled.astype(dtype)
+    return points.astype(dtype)
+
+
+def uniform_hypercube(n: int, dim: int, seed: int = 0,
+                      dtype=np.float32) -> np.ndarray:
+    """Uniform points in the unit cube — the hardest (structure-free)
+    case for graph-based ANN; used in robustness tests."""
+    if n < 1 or dim < 1:
+        raise DatasetError("n and dim must be >= 1")
+    rng = derive_rng(seed, 0x0F12E, n, dim)
+    return rng.uniform(0.0, 1.0, size=(n, dim)).astype(dtype)
+
+
+def planted_neighbors(n: int, dim: int, group: int = 4, spread: float = 1e-3,
+                      seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Points in tight groups of ``group`` near-duplicates.
+
+    Returns ``(data, group_ids)``; within a group, every point's true
+    nearest neighbors are the other members — a planted ground truth for
+    correctness tests that does not need brute force.
+    """
+    if group < 2:
+        raise DatasetError(f"group must be >= 2, got {group}")
+    rng = derive_rng(seed, 0x91A7, n, dim)
+    n_groups = -(-n // group)
+    anchors = rng.uniform(0.0, 1.0, size=(n_groups, dim))
+    # Keep anchors well separated relative to the intra-group spread.
+    data = np.empty((n, dim), dtype=np.float64)
+    group_ids = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        g = i // group
+        data[i] = anchors[g] + rng.normal(0.0, spread, size=dim)
+        group_ids[i] = g
+    return data.astype(np.float32), group_ids
+
+
+def power_law_sets(n: int, universe: int = 2000, mean_size: float = 20.0,
+                   alpha: float = 1.5, seed: int = 0,
+                   n_topics: int = 16) -> SparseDataset:
+    """Kosarak-style transaction sets: item popularity follows a power
+    law and records cluster around topics (shared popular item pools),
+    so Jaccard neighborhoods are meaningful."""
+    if universe < 4 or n < 1:
+        raise DatasetError("universe must be >= 4 and n >= 1")
+    rng = derive_rng(seed, 0x5E75, n, universe)
+    # Zipfian item weights.
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    # Topic pools: each topic prefers a contiguous slice of items.
+    topic_of = rng.integers(0, n_topics, size=n)
+    pool = max(universe // n_topics, 4)
+    records = []
+    for i in range(n):
+        size = max(2, int(rng.poisson(mean_size)))
+        t = int(topic_of[i])
+        lo = (t * pool) % max(universe - pool, 1)
+        # Mix topic-local items with popularity-weighted global draws.
+        local = rng.integers(lo, lo + pool, size=max(1, size // 2))
+        glob = rng.choice(universe, size=size - len(local), p=weights)
+        records.append(np.concatenate([local, glob]))
+    return SparseDataset(records)
+
+
+def add_query_noise(data: np.ndarray, scale: float = 0.02,
+                    seed: int = 0) -> np.ndarray:
+    """Perturbed copies of dataset rows, used to derive query sets whose
+    true neighbors are known to be near their source rows."""
+    rng = derive_rng(seed, 0x9E15E)
+    noise = rng.normal(0.0, scale, size=data.shape)
+    return (data.astype(np.float64) + noise).astype(data.dtype if
+            np.issubdtype(data.dtype, np.floating) else np.float32)
+
+
+def train_query_split(data, n_queries: int, seed: int = 0):
+    """Split rows into (train, queries) deterministically."""
+    n = len(data)
+    if not 0 < n_queries < n:
+        raise DatasetError(f"n_queries must be in (0, {n}), got {n_queries}")
+    rng = derive_rng(seed, 0x5917)
+    perm = rng.permutation(n)
+    q_idx = np.sort(perm[:n_queries])
+    t_idx = np.sort(perm[n_queries:])
+    if isinstance(data, np.ndarray):
+        return data[t_idx], data[q_idx]
+    train = [data[int(i)] for i in t_idx]
+    queries = [data[int(i)] for i in q_idx]
+    return train, queries

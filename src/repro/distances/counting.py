@@ -1,0 +1,60 @@
+"""Distance-evaluation counting.
+
+The paper's Section 7 calls for profiling "how much the computation or
+communication is heavier than the other"; our cost model charges
+simulated compute time *per distance evaluation*, so every algorithm
+(NN-Descent, DNND, HNSW, brute force) routes its metric calls through a
+:class:`CountingMetric`, making construction cost comparable across
+algorithms in a platform-independent unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import Metric, get_metric
+
+
+class CountingMetric:
+    """Wraps a :class:`Metric`, counting scalar and batched evaluations.
+
+    ``count`` reports the number of *pairwise distance evaluations*
+    performed, regardless of whether they were done one at a time or in a
+    vectorized batch — batched calls add the batch size.
+    """
+
+    def __init__(self, metric) -> None:
+        self._metric: Metric = get_metric(metric)
+        self.count: int = 0
+
+    @property
+    def name(self) -> str:
+        return self._metric.name
+
+    @property
+    def sparse_input(self) -> bool:
+        return self._metric.sparse_input
+
+    @property
+    def inner(self) -> Metric:
+        return self._metric
+
+    def __call__(self, a, b) -> float:
+        self.count += 1
+        return self._metric.scalar(a, b)
+
+    def distances_to(self, q, X) -> np.ndarray:
+        out = self._metric.distances_to(q, X)
+        self.count += int(out.shape[0])
+        return out
+
+    def block(self, A, B) -> np.ndarray:
+        out = self._metric.block(A, B)
+        self.count += int(out.shape[0] * out.shape[1])
+        return out
+
+    def reset(self) -> int:
+        """Reset the counter, returning the value it had."""
+        prev = self.count
+        self.count = 0
+        return prev

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by public API entry points derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``ValueError`` raised by numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An algorithm or runtime configuration value is invalid."""
+
+
+class MetricError(ReproError):
+    """An unknown metric name was requested, or a metric was applied to
+    data of an incompatible kind (e.g. Jaccard on dense vectors)."""
+
+
+class RuntimeStateError(ReproError):
+    """The simulated runtime was used outside of its legal lifecycle
+    (e.g. sending messages after shutdown, nested barriers)."""
+
+
+class PartitionError(ReproError):
+    """A vertex id was routed to or dereferenced on the wrong rank."""
+
+
+class StoreError(ReproError):
+    """A persistent-store (Metall-style) operation failed: missing store,
+    double-create, unknown attached object, version mismatch."""
+
+
+class GraphError(ReproError):
+    """A k-NN graph container invariant was violated (shape mismatch,
+    duplicate neighbor insertion with inconsistent distance, etc.)."""
+
+
+class SearchError(ReproError):
+    """A query-time failure: empty graph, dimension mismatch between the
+    query vector and the indexed dataset, invalid ``epsilon``."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters or a
+    malformed file."""

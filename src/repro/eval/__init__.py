@@ -1,0 +1,35 @@
+"""Evaluation harness (S18, S21, S27): recall, throughput, comparison
+runner, convergence diagnostics, plots, experiment registry."""
+
+from .recall import graph_recall, recall_at_k, per_vertex_recall
+from .qps import QueryBenchmark, TradeoffPoint, sweep_epsilon, sweep_ef
+from .tables import ascii_table, format_series
+from .experiments import EXPERIMENTS, get_experiment, list_experiments
+from .ann_benchmark import AlgorithmResult, AnnBenchmarkRunner, BenchmarkReport
+from .convergence import ConvergenceTrace, trace_convergence
+from .parallel_query import ParallelQueryEngine
+from .plots import ascii_plot, scaling_plot, tradeoff_plot
+
+__all__ = [
+    "graph_recall",
+    "recall_at_k",
+    "per_vertex_recall",
+    "QueryBenchmark",
+    "TradeoffPoint",
+    "sweep_epsilon",
+    "sweep_ef",
+    "ascii_table",
+    "format_series",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "AnnBenchmarkRunner",
+    "AlgorithmResult",
+    "BenchmarkReport",
+    "ConvergenceTrace",
+    "trace_convergence",
+    "ParallelQueryEngine",
+    "ascii_plot",
+    "tradeoff_plot",
+    "scaling_plot",
+]

@@ -1,0 +1,262 @@
+"""A miniature ANN-Benchmarks runner.
+
+The paper's datasets come from ANN-Benchmarks / Big-ANN-Benchmarks,
+whose methodology is: build each algorithm's index on a train split,
+sweep its query-time knob, and plot recall@k against throughput.  This
+module packages that workflow over this library's algorithms so a user
+can compare, on any registered dataset stand-in (or their own data):
+
+- DNND (distributed construction) + epsilon-swept graph search,
+- shared-memory NN-Descent + the same search,
+- HNSW with an ef sweep,
+- brute force as the exact reference.
+
+Used by ``examples/ann_benchmark_runner.py`` and the Figure 2 bench's
+sibling extension study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines.bruteforce import brute_force_neighbors
+from ..baselines.hnsw import HNSW, HNSWConfig
+from ..config import ClusterConfig, DNNDConfig, NNDescentConfig
+from ..core.dnnd import DNND
+from ..core.nndescent import NNDescent
+from ..core.optimization import optimize_graph
+from ..core.search import KNNGraphSearcher
+from ..errors import ConfigError
+from .qps import QueryBenchmark, TradeoffPoint, sweep_ef, sweep_epsilon
+from .tables import ascii_table
+
+
+@dataclass
+class AlgorithmResult:
+    """One algorithm's build cost + trade-off curve."""
+
+    name: str
+    build_seconds: float
+    build_distance_evals: int
+    points: List[TradeoffPoint] = field(default_factory=list)
+
+    def best_recall(self) -> float:
+        return max((p.recall for p in self.points), default=0.0)
+
+    def cost_at_recall(self, floor: float) -> Optional[float]:
+        """Min distance evals/query reaching ``floor`` recall."""
+        eligible = [p.mean_distance_evals for p in self.points
+                    if p.recall >= floor]
+        return min(eligible) if eligible else None
+
+
+@dataclass
+class BenchmarkReport:
+    """All algorithms on one dataset."""
+
+    dataset: str
+    n: int
+    k: int
+    results: Dict[str, AlgorithmResult] = field(default_factory=dict)
+
+    def winner_at_recall(self, floor: float) -> Optional[str]:
+        """Algorithm answering queries cheapest at >= ``floor`` recall."""
+        best_name, best_cost = None, None
+        for name, res in self.results.items():
+            cost = res.cost_at_recall(floor)
+            if cost is not None and (best_cost is None or cost < best_cost):
+                best_name, best_cost = name, cost
+        return best_name
+
+    def format(self) -> str:
+        rows = []
+        for name, res in sorted(self.results.items()):
+            for p in res.points:
+                rows.append([name, p.param, round(p.recall, 4),
+                             round(p.qps, 0),
+                             round(p.mean_distance_evals, 1)])
+        summary = [[name, f"{res.build_seconds:.2f}",
+                    res.build_distance_evals, round(res.best_recall(), 4)]
+                   for name, res in sorted(self.results.items())]
+        return "\n\n".join([
+            ascii_table(["algorithm", "build sec (host)",
+                         "build dist evals", "best recall@k"],
+                        summary,
+                        title=f"{self.dataset} (n={self.n}, k={self.k}): build"),
+            ascii_table(["algorithm", "param", "recall@k", "qps (host)",
+                         "dist evals/query"],
+                        rows, title="query trade-off"),
+        ])
+
+
+class AnnBenchmarkRunner:
+    """Runs the compare-everything workflow on one dataset.
+
+    Parameters
+    ----------
+    train / queries:
+        Dataset split (dense matrices or sparse records).
+    k:
+        Neighbors per query (recall@k denominator).
+    metric:
+        Registered metric name shared by every algorithm.
+    """
+
+    def __init__(self, train, queries, k: int = 10,
+                 metric: str = "sqeuclidean", dataset_name: str = "dataset",
+                 seed: int = 0) -> None:
+        if k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        self.train = train
+        self.queries = queries
+        self.k = k
+        self.metric = metric
+        self.dataset_name = dataset_name
+        self.seed = seed
+        gt_ids, _ = brute_force_neighbors(train, queries, k=k, metric=metric)
+        self.bench = QueryBenchmark(queries=queries, gt_ids=gt_ids, k=k)
+        self.report = BenchmarkReport(dataset_name, len(train), k)
+
+    # -- algorithm entries --------------------------------------------------------
+
+    def run_dnnd(self, graph_k: int = 20, nodes: int = 4,
+                 procs_per_node: int = 2,
+                 epsilons=(0.0, 0.1, 0.2, 0.3, 0.4)) -> AlgorithmResult:
+        start = time.perf_counter()
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=graph_k, metric=self.metric,
+                                             seed=self.seed))
+        dnnd = DNND(self.train, cfg,
+                    cluster=ClusterConfig(nodes=nodes,
+                                          procs_per_node=procs_per_node))
+        res = dnnd.build()
+        adjacency = dnnd.optimize()
+        elapsed = time.perf_counter() - start
+        searcher = KNNGraphSearcher(adjacency, self.train,
+                                    metric=self.metric, seed=self.seed)
+        points = sweep_epsilon(searcher, self.bench, "dnnd",
+                               epsilons=list(epsilons))
+        out = AlgorithmResult("dnnd", elapsed, res.distance_evals, points)
+        self.report.results["dnnd"] = out
+        return out
+
+    def run_nndescent(self, graph_k: int = 20,
+                      epsilons=(0.0, 0.1, 0.2, 0.3, 0.4)) -> AlgorithmResult:
+        start = time.perf_counter()
+        cfg = NNDescentConfig(k=graph_k, metric=self.metric, seed=self.seed)
+        res = NNDescent(self.train, cfg).build()
+        adjacency = optimize_graph(res.graph, pruning_factor=1.5)
+        elapsed = time.perf_counter() - start
+        searcher = KNNGraphSearcher(adjacency, self.train,
+                                    metric=self.metric, seed=self.seed)
+        points = sweep_epsilon(searcher, self.bench, "nndescent",
+                               epsilons=list(epsilons))
+        out = AlgorithmResult("nndescent", elapsed, res.distance_evals, points)
+        self.report.results["nndescent"] = out
+        return out
+
+    def run_hnsw(self, M: int = 16, ef_construction: int = 100,
+                 efs=(20, 50, 100, 200)) -> AlgorithmResult:
+        start = time.perf_counter()
+        index = HNSW(self.train,
+                     HNSWConfig(M=M, ef_construction=ef_construction,
+                                seed=self.seed),
+                     metric=self.metric).build()
+        elapsed = time.perf_counter() - start
+        points = sweep_ef(index, self.bench, "hnsw", efs=list(efs))
+        out = AlgorithmResult("hnsw", elapsed, index.distance_evals, points)
+        self.report.results["hnsw"] = out
+        return out
+
+    def run_kdtree(self, leaf_size: int = 16,
+                   max_leaves_sweep=(1, 4, 16, None)) -> AlgorithmResult:
+        """Tree-based ANN (Section 1's first category); L2 only."""
+        from ..baselines.kdtree import KDTree
+
+        if self.metric not in ("sqeuclidean", "euclidean"):
+            raise ConfigError("kdtree baseline requires an L2-family metric")
+        start = time.perf_counter()
+        tree = KDTree(self.train, leaf_size=leaf_size, metric=self.metric)
+        elapsed = time.perf_counter() - start
+        points = []
+        for max_leaves in max_leaves_sweep:
+            def run(queries, k, _ml=max_leaves):
+                return tree.query_batch(queries, k=k, max_leaves=_ml)
+            param = float(max_leaves) if max_leaves is not None else float("inf")
+            points.append(self.bench.measure(run, "kdtree", param))
+        out = AlgorithmResult("kdtree", elapsed, tree.metric.count, points)
+        self.report.results["kdtree"] = out
+        return out
+
+    def run_lsh(self, n_tables: int = 12, n_bits: int = 10,
+                bucket_width="auto",
+                multiprobe_sweep=(0, 1, 3)) -> AlgorithmResult:
+        """Hash-based ANN (Section 1's second category)."""
+        from ..baselines.lsh import LSHIndex
+
+        metric = self.metric if self.metric in ("cosine", "sqeuclidean",
+                                                "euclidean") else None
+        if metric is None:
+            raise ConfigError("lsh baseline requires cosine or L2 metrics")
+        start = time.perf_counter()
+        index = LSHIndex(self.train, metric=metric, n_tables=n_tables,
+                         n_bits=n_bits, bucket_width=bucket_width,
+                         seed=self.seed)
+        elapsed = time.perf_counter() - start
+        points = []
+        for probes in multiprobe_sweep:
+            def run(queries, k, _p=probes):
+                return index.query_batch(queries, k=k, multiprobe=_p)
+            points.append(self.bench.measure(run, "lsh", float(probes)))
+        out = AlgorithmResult("lsh", elapsed, index.metric.count, points)
+        self.report.results["lsh"] = out
+        return out
+
+    def run_pq(self, m: int = 8, n_centroids: int = 64,
+               rerank_sweep=(10, 50, 200)) -> AlgorithmResult:
+        """Quantization-based ANN (Section 1's third category; Faiss's
+        family, Section 5.3.2); L2 only."""
+        from ..baselines.pq import PQIndex
+
+        if self.metric not in ("sqeuclidean", "euclidean"):
+            raise ConfigError("pq baseline requires an L2-family metric")
+        dim = np.asarray(self.train).shape[1] if hasattr(
+            self.train, "shape") else len(self.train[0])
+        while m > 1 and dim % m != 0:
+            m -= 1
+        start = time.perf_counter()
+        index = PQIndex(self.train, m=m, n_centroids=n_centroids,
+                        metric=self.metric, seed=self.seed)
+        elapsed = time.perf_counter() - start
+        points = []
+        for rerank in rerank_sweep:
+            def run(queries, k, _r=rerank):
+                return index.query_batch(queries, k=k, rerank=_r)
+            points.append(self.bench.measure(run, "pq", float(rerank)))
+        out = AlgorithmResult("pq", elapsed, 0, points)
+        self.report.results["pq"] = out
+        return out
+
+    def run_bruteforce(self) -> AlgorithmResult:
+        """Exact search as the reference point (recall 1 by definition)."""
+        n = len(self.train)
+
+        def run_batch(queries, k):
+            ids, dists = brute_force_neighbors(self.train, queries, k=k,
+                                               metric=self.metric)
+            return ids, dists, {"mean_distance_evals": float(n)}
+
+        point = self.bench.measure(run_batch, "bruteforce", 0.0)
+        out = AlgorithmResult("bruteforce", 0.0, 0, [point])
+        self.report.results["bruteforce"] = out
+        return out
+
+    def run_all(self, graph_k: int = 20) -> BenchmarkReport:
+        self.run_nndescent(graph_k=graph_k)
+        self.run_dnnd(graph_k=graph_k)
+        self.run_hnsw()
+        self.run_bruteforce()
+        return self.report

@@ -1,0 +1,89 @@
+"""Calibrating simulated times onto the paper's scale (Figure 3).
+
+The cost model produces simulated seconds whose *ratios* are
+meaningful; to compare against the paper's tables directly we map them
+onto its hour scale with one global factor fixed at an anchor point
+(DEEP-1B, DNND k=10, 4 nodes = 6.96 h in Table 3a).  This module keeps
+that logic reusable and testable instead of inlined in the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Table 3a's anchor: (series, nodes) -> hours.
+PAPER_ANCHOR = ("DNND k10", 4, 6.96)
+
+SeriesTimes = Dict[Tuple[str, int], float]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """A fixed simulated-seconds -> calibrated-hours factor."""
+
+    factor: float
+    anchor_series: str
+    anchor_nodes: int
+    anchor_hours: float
+
+    def hours(self, sim_seconds: float) -> float:
+        return sim_seconds * self.factor
+
+    def apply(self, times: SeriesTimes) -> Dict[Tuple[str, int], float]:
+        return {key: self.hours(v) for key, v in times.items()}
+
+
+def calibrate(times: SeriesTimes,
+              anchor: Tuple[str, int, float] = PAPER_ANCHOR) -> Calibration:
+    """Fit the single factor mapping ``times`` onto the paper's scale.
+
+    Raises if the anchor configuration is missing from ``times``.
+    """
+    series, nodes, hours = anchor
+    key = (series, nodes)
+    if key not in times:
+        raise ReproError(
+            f"anchor {key} not present in measured times {sorted(times)}"
+        )
+    measured = times[key]
+    if measured <= 0:
+        raise ReproError(f"anchor time must be positive, got {measured}")
+    return Calibration(factor=hours / measured, anchor_series=series,
+                       anchor_nodes=nodes, anchor_hours=hours)
+
+
+def scaling_factor(times: SeriesTimes, series: str,
+                   from_nodes: int, to_nodes: int) -> float:
+    """Speedup of ``series`` between two node counts (paper's 3.8x
+    style numbers); calibration-independent."""
+    try:
+        return times[(series, from_nodes)] / times[(series, to_nodes)]
+    except KeyError as missing:
+        raise ReproError(f"missing configuration {missing} in times") from None
+    except ZeroDivisionError:
+        raise ReproError("target time is zero") from None
+
+
+def efficiency(times: SeriesTimes, series: str,
+               base_nodes: int, nodes: int) -> float:
+    """Parallel efficiency relative to ``base_nodes`` (1.0 = ideal)."""
+    speedup = scaling_factor(times, series, base_nodes, nodes)
+    return speedup / (nodes / base_nodes)
+
+
+def compare_with_paper(measured: SeriesTimes,
+                       paper: Dict[str, Dict[int, float]],
+                       calibration: Optional[Calibration] = None
+                       ) -> Dict[Tuple[str, int], Tuple[float, float]]:
+    """``{(series, nodes): (calibrated_hours, paper_hours)}`` for every
+    configuration both sides report."""
+    cal = calibration or calibrate(measured)
+    out = {}
+    for (series, nodes), sim in measured.items():
+        paper_val = paper.get(series, {}).get(nodes)
+        if paper_val is not None:
+            out[(series, nodes)] = (cal.hours(sim), paper_val)
+    return out

@@ -1,0 +1,87 @@
+"""NN-Descent convergence diagnostics.
+
+Section 3.1: the ``delta`` early-termination threshold trades graph
+quality against construction cost.  These helpers make that trade-off
+observable: they track, per NN-Descent iteration, the update counter
+``c`` (Algorithm 1's convergence signal) and — when ground truth is
+supplied — the true graph recall, so one run shows how recall climbs
+while ``c`` decays and where a given ``delta`` would have stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.graph import KNNGraph
+from ..core.nndescent import NNDescent, NNDescentResult
+from .recall import graph_recall
+from .tables import ascii_table
+
+
+@dataclass
+class ConvergenceTrace:
+    """Per-iteration convergence record of one NN-Descent run."""
+
+    update_counts: List[int] = field(default_factory=list)
+    recalls: List[Optional[float]] = field(default_factory=list)
+    n: int = 0
+    k: int = 0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.update_counts)
+
+    def update_rate(self, iteration: int) -> float:
+        """``c / (k * N)`` — the quantity ``delta`` thresholds."""
+        if self.n == 0 or self.k == 0:
+            return 0.0
+        return self.update_counts[iteration] / (self.k * self.n)
+
+    def iterations_for_delta(self, delta: float) -> int:
+        """How many iterations a given ``delta`` would have run."""
+        for it in range(self.iterations):
+            if self.update_rate(it) < delta:
+                return it + 1
+        return self.iterations
+
+    def monotone_decay(self) -> bool:
+        """Whether the update counter decays (weakly, allowing one bump —
+        the sampling is stochastic)."""
+        bumps = sum(1 for a, b in zip(self.update_counts,
+                                      self.update_counts[1:]) if b > a)
+        return bumps <= 1
+
+    def report(self) -> str:
+        rows = []
+        for it in range(self.iterations):
+            recall = self.recalls[it]
+            rows.append([
+                it + 1,
+                self.update_counts[it],
+                f"{self.update_rate(it):.4f}",
+                "-" if recall is None else f"{recall:.4f}",
+            ])
+        return ascii_table(
+            ["iteration", "updates (c)", "c / kN", "graph recall"],
+            rows, title="NN-Descent convergence",
+        )
+
+
+def trace_convergence(builder: NNDescent,
+                      truth: Optional[KNNGraph] = None
+                      ) -> tuple[NNDescentResult, ConvergenceTrace]:
+    """Run ``builder`` while recording a :class:`ConvergenceTrace`.
+
+    Passing the exact graph as ``truth`` adds per-iteration recall
+    (costs one recall computation per round).
+    """
+    trace = ConvergenceTrace(n=builder.n, k=builder.config.k)
+
+    def callback(iteration: int, c: int, snapshot: KNNGraph) -> None:
+        trace.update_counts.append(c)
+        trace.recalls.append(
+            graph_recall(snapshot, truth) if truth is not None else None)
+
+    result = builder.build(iteration_callback=callback)
+    return result, trace

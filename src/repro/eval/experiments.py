@@ -1,0 +1,178 @@
+"""Experiment registry: paper table/figure id -> reproduction metadata.
+
+DESIGN.md's per-experiment index, in executable form: each entry maps a
+paper artifact to the modules implementing it and the benchmark that
+regenerates it, plus the paper's headline numbers for EXPERIMENTS.md's
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper table or figure and how this repo reproduces it."""
+
+    exp_id: str
+    paper_ref: str
+    description: str
+    modules: List[str] = field(default_factory=list)
+    bench: str = ""
+    paper_numbers: Dict[str, object] = field(default_factory=dict)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(
+        exp_id="table1",
+        paper_ref="Table 1",
+        description="Dataset inventory: 8 datasets with dims/entries/metric",
+        modules=["repro.datasets.ann_benchmarks"],
+        bench="benchmarks/bench_table1_datasets.py",
+        paper_numbers={
+            "fashion-mnist": (784, 60_000, "L2"),
+            "glove-25": (25, 1_183_514, "Cosine"),
+            "kosarak": (27_983, 74_962, "Jaccard"),
+            "mnist": (784, 60_000, "L2"),
+            "nytimes": (256, 290_000, "Cosine"),
+            "lastfm": (65, 292_385, "Cosine"),
+            "deep1b": (96, 1_000_000_000, "L2"),
+            "bigann": (128, 1_000_000_000, "L2"),
+        },
+    ),
+    "sec5.2": Experiment(
+        exp_id="sec5.2",
+        paper_ref="Section 5.2 (text)",
+        description="DNND k=100 graph recall vs brute force on 6 small datasets",
+        modules=["repro.core.dnnd", "repro.baselines.bruteforce", "repro.eval.recall"],
+        bench="benchmarks/bench_sec52_graph_quality.py",
+        paper_numbers={"nytimes": 0.93, "lastfm": 0.98, "others_min": 0.99},
+    ),
+    "table2": Experiment(
+        exp_id="table2",
+        paper_ref="Table 2",
+        description="Hnswlib parameter survey and selected configs A-D",
+        modules=["repro.baselines.hnsw", "repro.eval.qps"],
+        bench="benchmarks/bench_table2_hnsw_survey.py",
+        paper_numbers={
+            "Hnsw A": {"M": 64, "efc": 50},
+            "Hnsw B": {"M": 64, "efc": 200},
+            "Hnsw C": {"M": 32, "efc": 25},
+            "Hnsw D": {"M": 64, "efc": 200},
+            "ef_range_deep": (20, 1200),
+            "ef_range_bigann": (20, 1000),
+        },
+    ),
+    "fig2": Experiment(
+        exp_id="fig2",
+        paper_ref="Figure 2 (a-d)",
+        description="Recall@10 vs query throughput trade-off, DNND k10/k20/k30 vs Hnsw",
+        modules=["repro.core.search", "repro.baselines.hnsw", "repro.eval.qps"],
+        bench="benchmarks/bench_fig2_recall_qps.py",
+        paper_numbers={
+            "claim": "DNND k20 matches Hnsw best; DNND k30 exceeds it",
+            "epsilon_sweep": (0.0, 0.1, 0.4, 0.025),
+        },
+    ),
+    "fig3": Experiment(
+        exp_id="fig3",
+        paper_ref="Figure 3 / Table 3 (a, b)",
+        description="k-NNG construction time vs node count (strong scaling)",
+        modules=["repro.core.dnnd", "repro.runtime.netmodel", "repro.baselines.hnsw"],
+        bench="benchmarks/bench_fig3_scaling.py",
+        paper_numbers={
+            "deep": {"Hnsw A": {1: 5.90}, "Hnsw B": {1: 22.60},
+                     "DNND k10": {4: 6.96, 8: 3.87, 16: 1.84, 32: 1.50},
+                     "DNND k20": {8: 10.62, 16: 5.18, 32: 3.74},
+                     "DNND k30": {16: 10.29, 32: 6.58}},
+            "bigann": {"Hnsw C": {1: 1.70}, "Hnsw D": {1: 16.50},
+                       "DNND k10": {4: 5.45, 8: 2.92, 16: 1.27, 32: 1.24},
+                       "DNND k20": {8: 8.19, 16: 3.50, 32: 3.05},
+                       "DNND k30": {16: 6.84, 32: 5.83}},
+            "scaling_factor_deep_k10_4to16": 3.8,
+            "speedup_vs_hnsw_16nodes": {"deep": 4.4, "bigann": 4.7},
+        },
+    ),
+    "fig4": Experiment(
+        exp_id="fig4",
+        paper_ref="Figure 4 (a, b)",
+        description="Neighbor-check message count & volume, unoptimized vs optimized",
+        modules=["repro.core.dnnd_phases", "repro.runtime.instrumentation"],
+        bench="benchmarks/bench_fig4_message_savings.py",
+        paper_numbers={"reduction": 0.5, "k": 10, "nodes": 16},
+    ),
+    "ablation-comm": Experiment(
+        exp_id="ablation-comm",
+        paper_ref="Sections 4.3.1-4.3.3 (design choices)",
+        description="Each communication-saving technique in isolation",
+        modules=["repro.core.dnnd_phases"],
+        bench="benchmarks/bench_ablation_comm_opts.py",
+    ),
+    "ablation-batch": Experiment(
+        exp_id="ablation-batch",
+        paper_ref="Section 4.4 (design choice)",
+        description="Application-level batch-size sensitivity",
+        modules=["repro.runtime.ygm"],
+        bench="benchmarks/bench_ablation_batching.py",
+    ),
+    "ablation-flush": Experiment(
+        exp_id="ablation-flush",
+        paper_ref="Section 4.4 (YGM internal buffering)",
+        description="YGM internal buffer byte-cap sweep",
+        modules=["repro.runtime.ygm"],
+        bench="benchmarks/bench_ablation_flush.py",
+    ),
+    "ext-taxonomy": Experiment(
+        exp_id="ext-taxonomy",
+        paper_ref="Extension (Section 1's ANN-family taxonomy)",
+        description="Tree / hash / graph / exact methods head-to-head",
+        modules=["repro.baselines.kdtree", "repro.baselines.lsh",
+                 "repro.eval.ann_benchmark"],
+        bench="benchmarks/bench_ext_taxonomy.py",
+    ),
+    "ext-dist-query": Experiment(
+        exp_id="ext-dist-query",
+        paper_ref="Extension (Sections 1 / 6: massive-scale framework, Pyramid)",
+        description="Distributed query execution: network cost vs recall",
+        modules=["repro.core.dist_search"],
+        bench="benchmarks/bench_ext_dist_query.py",
+    ),
+    "ablation-nnd-params": Experiment(
+        exp_id="ablation-nnd-params",
+        paper_ref="Sections 3.1 / 5.1.3 (rho = 0.8, delta = 0.001)",
+        description="NN-Descent rho/delta sweeps + convergence trace",
+        modules=["repro.core.nndescent", "repro.eval.convergence"],
+        bench="benchmarks/bench_ablation_nnd_params.py",
+    ),
+    "ablation-partition": Experiment(
+        exp_id="ablation-partition",
+        paper_ref="Section 4 (design choice: hash partitioning)",
+        description="Hash vs block vertex partitioning on cluster-sorted ids",
+        modules=["repro.runtime.partition"],
+        bench="benchmarks/bench_ablation_partitioning.py",
+    ),
+    "ablation-graphopt": Experiment(
+        exp_id="ablation-graphopt",
+        paper_ref="Section 4.5 (design choice)",
+        description="Reverse-edge merge on/off and pruning factor m sweep",
+        modules=["repro.core.optimization", "repro.core.search"],
+        bench="benchmarks/bench_ablation_graph_opt.py",
+    ),
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,125 @@
+"""ASCII figure rendering.
+
+The benchmark harness prints the paper's figures as terminal plots so
+the *shape* claims (crossovers, flattening, trade-off fronts) are
+visible directly in ``benchmarks/results/*.txt`` without a plotting
+stack.  Pure text: a fixed-size character grid, linear or log axes,
+one glyph per series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ReproError
+
+GLYPHS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise ReproError(f"log axis requires positive values, got {v}")
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def ascii_plot(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+               width: int = 64, height: int = 20,
+               x_label: str = "x", y_label: str = "y",
+               log_x: bool = False, log_y: bool = False,
+               title: str | None = None) -> str:
+    """Render ``{name: (xs, ys)}`` as a character-grid scatter/line plot.
+
+    Each series gets one glyph; a legend maps glyphs to names; axis
+    extremes are printed numerically.  Overlapping points keep the
+    first-drawn glyph.
+    """
+    if not series:
+        raise ReproError("ascii_plot needs at least one series")
+    if width < 16 or height < 6:
+        raise ReproError("plot must be at least 16x6 characters")
+
+    all_x: List[float] = []
+    all_y: List[float] = []
+    transformed = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ReproError(f"series {name!r} has mismatched x/y lengths")
+        if not len(xs):
+            continue
+        tx = _transform(xs, log_x)
+        ty = _transform(ys, log_y)
+        transformed[name] = (tx, ty)
+        all_x.extend(tx)
+        all_y.extend(ty)
+    if not all_x:
+        raise ReproError("all series are empty")
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (tx, ty)) in enumerate(transformed.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for x, y in zip(tx, ty):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            r = height - 1 - row
+            if grid[r][col] == " ":
+                grid[r][col] = glyph
+
+    def fmt(v: float, log: bool) -> str:
+        raw = 10 ** v if log else v
+        if raw != 0 and (abs(raw) >= 10_000 or abs(raw) < 0.01):
+            return f"{raw:.2g}"
+        return f"{raw:g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={fmt(y_hi, log_y)}, bottom={fmt(y_lo, log_y)})"
+                 + ("  [log y]" if log_y else ""))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {fmt(x_lo, log_x)} .. {fmt(x_hi, log_x)}"
+                 + ("  [log x]" if log_x else ""))
+    legend = "  ".join(f"{GLYPHS[i % len(GLYPHS)]}={name}"
+                       for i, name in enumerate(transformed))
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def tradeoff_plot(points_by_series, width: int = 64, height: int = 18,
+                  title: str | None = None) -> str:
+    """Figure 2-style plot from ``{name: [TradeoffPoint, ...]}``:
+    recall on x, distance evaluations per query on y (log)."""
+    series = {
+        name: ([p.recall for p in pts],
+               [max(p.mean_distance_evals, 1e-9) for p in pts])
+        for name, pts in points_by_series.items() if pts
+    }
+    return ascii_plot(series, width=width, height=height,
+                      x_label="recall@k", y_label="dist evals/query",
+                      log_y=True, title=title)
+
+
+def scaling_plot(times_by_series, width: int = 56, height: int = 16,
+                 title: str | None = None) -> str:
+    """Figure 3-style plot from ``{name: {nodes: seconds}}``: nodes on
+    x (log), time on y (log) — both axes logged, as in the paper."""
+    series = {
+        name: (list(vals.keys()), list(vals.values()))
+        for name, vals in times_by_series.items() if vals
+    }
+    return ascii_plot(series, width=width, height=height,
+                      x_label="nodes", y_label="construction time",
+                      log_x=True, log_y=True, title=title)

@@ -1,0 +1,113 @@
+"""Query-throughput / recall trade-off measurement (Figure 2).
+
+Figure 2 plots recall@10 (x) against queries-per-second (y); each point
+on a line is one query-parameter setting — ``epsilon`` for DNND graphs
+(0, then 0.1..0.4 step 0.025) and ``ef`` (20..1200) for HNSW.
+:func:`sweep_epsilon` / :func:`sweep_ef` produce those series.
+
+Wall-clock qps on this machine is not comparable to the paper's
+256-thread Mammoth node, so each point also carries the *mean distance
+evaluations per query*, a platform-independent inverse-throughput proxy
+(the paper itself uses this measure to cross-validate its query program
+against PyNNDescent, Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .recall import recall_at_k
+
+
+@dataclass
+class TradeoffPoint:
+    """One point on a Figure 2 line."""
+
+    label: str
+    param: float
+    recall: float
+    qps: float
+    mean_distance_evals: float
+
+    def as_row(self) -> List:
+        return [self.label, self.param, round(self.recall, 4),
+                round(self.qps, 1), round(self.mean_distance_evals, 1)]
+
+
+@dataclass
+class QueryBenchmark:
+    """Reusable query-set harness bound to ground truth."""
+
+    queries: object
+    gt_ids: np.ndarray
+    k: int = 10
+
+    def measure(self, run_batch, label: str, param: float) -> TradeoffPoint:
+        """``run_batch(queries, k)`` -> ``(ids, dists, stats)``."""
+        start = time.perf_counter()
+        ids, _dists, stats = run_batch(self.queries, self.k)
+        elapsed = time.perf_counter() - start
+        nq = len(self.gt_ids)
+        return TradeoffPoint(
+            label=label,
+            param=param,
+            recall=recall_at_k(ids, self.gt_ids),
+            qps=nq / max(elapsed, 1e-9),
+            mean_distance_evals=float(stats.get("mean_distance_evals", 0.0)),
+        )
+
+
+def sweep_epsilon(searcher, bench: QueryBenchmark, label: str,
+                  epsilons: Sequence[float] | None = None) -> List[TradeoffPoint]:
+    """DNND-side Figure 2 series: one point per ``epsilon``.
+
+    Default sweep matches Section 5.3.1: 0, then 0.1 to 0.4 step 0.025.
+    """
+    if epsilons is None:
+        epsilons = [0.0] + list(np.arange(0.1, 0.401, 0.025))
+    points = []
+    for eps in epsilons:
+        def run(queries, k, _eps=eps):
+            return searcher.query_batch(queries, l=k, epsilon=_eps)
+        points.append(bench.measure(run, label, float(eps)))
+    return points
+
+
+def sweep_ef(index, bench: QueryBenchmark, label: str,
+             efs: Sequence[int] | None = None) -> List[TradeoffPoint]:
+    """HNSW-side Figure 2 series: one point per ``ef`` (Table 2 sweeps
+    20-1200 for DEEP, 20-1000 for BigANN)."""
+    if efs is None:
+        efs = [20, 40, 80, 160, 320, 640, 1200]
+    points = []
+    for ef in efs:
+        def run(queries, k, _ef=ef):
+            return index.query_batch(queries, k=k, ef=_ef)
+        points.append(bench.measure(run, label, float(ef)))
+    return points
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """Non-dominated subset (higher recall, higher qps): the shape
+    comparisons in Figure 2 are between these frontiers."""
+    best: List[TradeoffPoint] = []
+    for p in sorted(points, key=lambda t: (-t.recall, -t.qps)):
+        if not best or p.qps > best[-1].qps:
+            best.append(p)
+    return sorted(best, key=lambda t: t.recall)
+
+
+def dominates_at_recall(points_a: Sequence[TradeoffPoint],
+                        points_b: Sequence[TradeoffPoint],
+                        recall_floor: float) -> bool:
+    """True if series A reaches ``recall_floor`` with fewer mean distance
+    evaluations than series B (platform-independent "faster at equal
+    quality", the Section 5.3.2 selection criterion)."""
+    def best_cost(points):
+        eligible = [p.mean_distance_evals for p in points if p.recall >= recall_floor]
+        return min(eligible) if eligible else np.inf
+    return best_cost(points_a) < best_cost(points_b)

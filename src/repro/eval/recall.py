@@ -1,0 +1,73 @@
+"""Recall metrics.
+
+Two notions from the paper:
+
+- **graph recall** (Section 5.2): for each vertex, the fraction of its
+  true k nearest neighbors present in its constructed neighbor list;
+  report the mean over vertices.
+- **recall@k** (Section 5.3.3): for each query, the fraction of the
+  ground-truth k ids found among the returned k; report the mean over
+  queries.
+
+Both are set-based (order inside the list does not matter), matching
+"the ratio of the neighbor IDs that exist in the corresponding ground
+truth data".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import EMPTY, KNNGraph
+from ..errors import DatasetError
+
+
+def per_vertex_recall(graph: KNNGraph, truth: KNNGraph) -> np.ndarray:
+    """Per-vertex recall of ``graph`` against the exact ``truth`` graph."""
+    if graph.n != truth.n:
+        raise DatasetError(
+            f"graph has {graph.n} vertices, ground truth has {truth.n}"
+        )
+    out = np.empty(graph.n, dtype=np.float64)
+    for v in range(graph.n):
+        true_ids = truth.ids[v][truth.ids[v] != EMPTY]
+        got_ids = graph.ids[v][graph.ids[v] != EMPTY]
+        if len(true_ids) == 0:
+            out[v] = 1.0
+            continue
+        out[v] = len(np.intersect1d(true_ids, got_ids, assume_unique=True)) / len(true_ids)
+    return out
+
+
+def graph_recall(graph: KNNGraph, truth: KNNGraph) -> float:
+    """Mean per-vertex recall — the Section 5.2 score."""
+    return float(per_vertex_recall(graph, truth).mean())
+
+
+def recall_at_k(found_ids: np.ndarray, gt_ids: np.ndarray) -> float:
+    """Mean query recall@k.
+
+    Parameters
+    ----------
+    found_ids:
+        ``(nq, k)`` returned ids (``-1`` = empty slot).
+    gt_ids:
+        ``(nq, k_gt)`` ground-truth ids; recall denominators use
+        ``k_gt`` per query.
+    """
+    found_ids = np.asarray(found_ids)
+    gt_ids = np.asarray(gt_ids)
+    if found_ids.shape[0] != gt_ids.shape[0]:
+        raise DatasetError(
+            f"query count mismatch: {found_ids.shape[0]} vs {gt_ids.shape[0]}"
+        )
+    nq = found_ids.shape[0]
+    scores = np.empty(nq, dtype=np.float64)
+    for i in range(nq):
+        gt = gt_ids[i][gt_ids[i] >= 0]
+        if len(gt) == 0:
+            scores[i] = 1.0
+            continue
+        got = found_ids[i][found_ids[i] >= 0]
+        scores[i] = len(np.intersect1d(gt, got)) / len(gt)
+    return float(scores.mean())

@@ -1,0 +1,47 @@
+"""ASCII table / series rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],
+                title: str | None = None) -> str:
+    """Fixed-width table with a header rule."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure line as ``name: (x, y) (x, y) ...`` rows."""
+    pairs = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)

@@ -1,0 +1,19 @@
+"""Vector-file formats (S17).
+
+The paper's datasets ship in the ANN-Benchmarks ``.fvecs``/``.ivecs``/
+``.bvecs`` formats and the Big-ANN-Benchmarks ``.fbin``/``.u8bin``
+formats; graphs are exchanged as flat binary (Section 2's size
+accounting is the literal file size).  These readers/writers make the
+repository interoperable with the real corpora when they are available.
+"""
+
+from .vecs import read_fvecs, read_ivecs, read_bvecs, write_fvecs, write_ivecs, write_bvecs
+from .bigann import read_bin, write_bin, read_ground_truth, write_ground_truth
+from .graph_io import save_graph, load_graph, save_adjacency, load_adjacency
+
+__all__ = [
+    "read_fvecs", "read_ivecs", "read_bvecs",
+    "write_fvecs", "write_ivecs", "write_bvecs",
+    "read_bin", "write_bin", "read_ground_truth", "write_ground_truth",
+    "save_graph", "load_graph", "save_adjacency", "load_adjacency",
+]

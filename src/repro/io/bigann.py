@@ -1,0 +1,87 @@
+"""Big-ANN-Benchmarks binary formats (Section 5.3.3's query bundles).
+
+``.fbin`` / ``.u8bin`` / ``.i8bin``: ``uint32 n, uint32 dim`` header
+followed by ``n * dim`` elements row-major.  Ground-truth files: the
+same header, then ``n * dim`` int32 neighbor ids, then ``n * dim``
+float32 distances.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+
+_DTYPES = {
+    ".fbin": np.float32,
+    ".u8bin": np.uint8,
+    ".i8bin": np.int8,
+}
+
+
+def _dtype_for(path, dtype) -> np.dtype:
+    if dtype is not None:
+        return np.dtype(dtype)
+    suffix = Path(path).suffix
+    if suffix in _DTYPES:
+        return np.dtype(_DTYPES[suffix])
+    raise DatasetError(
+        f"cannot infer element dtype from suffix {suffix!r}; pass dtype="
+    )
+
+
+def read_bin(path, dtype=None) -> np.ndarray:
+    """Read a Big-ANN ``.*bin`` vector file -> ``(n, dim)`` array."""
+    p = Path(path)
+    raw = p.read_bytes()
+    if len(raw) < 8:
+        raise DatasetError(f"truncated bigann file: {p}")
+    n, dim = (int(x) for x in np.frombuffer(raw, dtype="<u4", count=2))
+    dt = _dtype_for(path, dtype)
+    expected = 8 + n * dim * dt.itemsize
+    if len(raw) != expected:
+        raise DatasetError(
+            f"size mismatch in {p}: header says {n}x{dim} {dt} "
+            f"({expected} bytes), file has {len(raw)}"
+        )
+    return np.frombuffer(raw, dtype=dt, offset=8).reshape(n, dim).copy()
+
+
+def write_bin(path, data: np.ndarray) -> None:
+    arr = np.asarray(data)
+    if arr.ndim != 2:
+        raise DatasetError("bigann writer needs a 2-D array")
+    with Path(path).open("wb") as fh:
+        fh.write(np.array(arr.shape, dtype="<u4").tobytes())
+        fh.write(np.ascontiguousarray(arr).tobytes())
+
+
+def read_ground_truth(path):
+    """Read a Big-ANN ground-truth file -> ``(ids, dists)`` arrays."""
+    p = Path(path)
+    raw = p.read_bytes()
+    if len(raw) < 8:
+        raise DatasetError(f"truncated ground-truth file: {p}")
+    n, k = (int(x) for x in np.frombuffer(raw, dtype="<u4", count=2))
+    expected = 8 + n * k * 4 * 2
+    if len(raw) != expected:
+        raise DatasetError(
+            f"size mismatch in {p}: header says {n}x{k} "
+            f"({expected} bytes), file has {len(raw)}"
+        )
+    ids = np.frombuffer(raw, dtype="<i4", count=n * k, offset=8).reshape(n, k).copy()
+    dists = np.frombuffer(raw, dtype="<f4", offset=8 + n * k * 4).reshape(n, k).copy()
+    return ids, dists
+
+
+def write_ground_truth(path, ids: np.ndarray, dists: np.ndarray) -> None:
+    ids = np.asarray(ids, dtype="<i4")
+    dists = np.asarray(dists, dtype="<f4")
+    if ids.shape != dists.shape or ids.ndim != 2:
+        raise DatasetError("ids/dists must be matching 2-D arrays")
+    with Path(path).open("wb") as fh:
+        fh.write(np.array(ids.shape, dtype="<u4").tobytes())
+        fh.write(np.ascontiguousarray(ids).tobytes())
+        fh.write(np.ascontiguousarray(dists).tobytes())

@@ -1,0 +1,34 @@
+"""k-NN graph serialization (``.npz``-based)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.graph import AdjacencyGraph, KNNGraph
+from ..errors import DatasetError
+
+
+def save_graph(path, graph: KNNGraph) -> None:
+    """Persist a fixed-degree k-NN graph."""
+    np.savez_compressed(Path(path), kind="knn", **graph.to_arrays())
+
+
+def load_graph(path) -> KNNGraph:
+    with np.load(Path(path), allow_pickle=False) as z:
+        if str(z.get("kind")) != "knn":
+            raise DatasetError(f"{path} does not contain a k-NN graph")
+        return KNNGraph(z["ids"], z["dists"])
+
+
+def save_adjacency(path, graph: AdjacencyGraph) -> None:
+    """Persist a CSR adjacency graph (the optimized/searchable form)."""
+    np.savez_compressed(Path(path), kind="adjacency", **graph.to_arrays())
+
+
+def load_adjacency(path) -> AdjacencyGraph:
+    with np.load(Path(path), allow_pickle=False) as z:
+        if str(z.get("kind")) != "adjacency":
+            raise DatasetError(f"{path} does not contain an adjacency graph")
+        return AdjacencyGraph(z["indptr"], z["indices"], z["dists"])

@@ -1,0 +1,90 @@
+"""ANN-Benchmarks ``.fvecs`` / ``.ivecs`` / ``.bvecs`` formats.
+
+Each record is ``int32 dim`` followed by ``dim`` elements (float32 for
+fvecs, int32 for ivecs, uint8 for bvecs).  All records in one file share
+the same dimension; we validate that on read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+def _read_vecs(path, elem_dtype: np.dtype, elem_size: int) -> np.ndarray:
+    raw = Path(path).read_bytes()
+    if len(raw) == 0:
+        raise DatasetError(f"empty vecs file: {path}")
+    if len(raw) < 4:
+        raise DatasetError(f"truncated vecs file: {path}")
+    dim = int(np.frombuffer(raw, dtype="<i4", count=1)[0])
+    if dim <= 0:
+        raise DatasetError(f"invalid dimension {dim} in {path}")
+    record_bytes = 4 + dim * elem_size
+    if len(raw) % record_bytes != 0:
+        raise DatasetError(
+            f"file size {len(raw)} is not a multiple of record size "
+            f"{record_bytes} (dim={dim}) in {path}"
+        )
+    n = len(raw) // record_bytes
+    if elem_size == 4:
+        # Homogeneous 4-byte elements: one view + slice.
+        flat = np.frombuffer(raw, dtype="<i4").reshape(n, dim + 1)
+        dims = flat[:, 0]
+        if np.any(dims != dim):
+            raise DatasetError(f"inconsistent record dimensions in {path}")
+        body = flat[:, 1:]
+        return body.view("<f4").copy() if elem_dtype == np.float32 else body.astype(np.int32)
+    # uint8 payload with int32 headers: strided parse.
+    out = np.empty((n, dim), dtype=np.uint8)
+    buf = np.frombuffer(raw, dtype=np.uint8)
+    for i in range(n):
+        off = i * record_bytes
+        d = int(np.frombuffer(raw, dtype="<i4", count=1, offset=off)[0])
+        if d != dim:
+            raise DatasetError(f"inconsistent record dimensions in {path}")
+        out[i] = buf[off + 4: off + 4 + dim]
+    return out
+
+
+def read_fvecs(path) -> np.ndarray:
+    """Read a ``.fvecs`` file -> ``(n, dim)`` float32."""
+    return _read_vecs(path, np.float32, 4)
+
+
+def read_ivecs(path) -> np.ndarray:
+    """Read a ``.ivecs`` file -> ``(n, dim)`` int32 (ground-truth ids)."""
+    return _read_vecs(path, np.int32, 4)
+
+
+def read_bvecs(path) -> np.ndarray:
+    """Read a ``.bvecs`` file -> ``(n, dim)`` uint8 (SIFT/BigANN style)."""
+    return _read_vecs(path, np.uint8, 1)
+
+
+def _write_vecs(path, data: np.ndarray, elem_dtype) -> None:
+    arr = np.asarray(data)
+    if arr.ndim != 2 or arr.size == 0:
+        raise DatasetError("vecs writer needs a non-empty 2-D array")
+    n, dim = arr.shape
+    arr = arr.astype(elem_dtype)
+    with Path(path).open("wb") as fh:
+        header = np.full(1, dim, dtype="<i4").tobytes()
+        for i in range(n):
+            fh.write(header)
+            fh.write(arr[i].tobytes())
+
+
+def write_fvecs(path, data: np.ndarray) -> None:
+    _write_vecs(path, data, "<f4")
+
+
+def write_ivecs(path, data: np.ndarray) -> None:
+    _write_vecs(path, data, "<i4")
+
+
+def write_bvecs(path, data: np.ndarray) -> None:
+    _write_vecs(path, data, np.uint8)

@@ -1,0 +1,50 @@
+"""Simulated distributed runtime (S2-S6).
+
+The paper runs DNND on an MPI cluster through two LLNL libraries:
+
+- **YGM** — buffered, fire-and-forget asynchronous RPC with a global
+  barrier (Section 4.1), and
+- **Metall** — a persistent memory allocator (Section 4.6).
+
+This subpackage provides drop-in *simulated* equivalents that preserve
+the semantics and — crucially for Figure 4 — measure every message:
+
+- :mod:`.simmpi` — a deterministic single-process cluster with per-rank
+  mailboxes and the collectives DNND needs,
+- :mod:`.ygm` — the YGM-style async RPC layer with per-destination
+  buffering, flush thresholds, barrier, and per-type instrumentation,
+- :mod:`.netmodel` — an alpha-beta network + compute cost model giving
+  each phase a simulated duration (Figure 3's y-axis),
+- :mod:`.partition` — hash partitioning of vertices over ranks
+  (Section 4: "based on the hash values of the vertex IDs"),
+- :mod:`.metall` — a Metall-style persistent object store,
+- :mod:`.instrumentation` — message statistics by type and phase.
+"""
+
+from .instrumentation import MessageStats, TypeStats
+from .netmodel import NetworkModel, CostLedger
+from .partition import HashPartitioner, BlockPartitioner, Partitioner
+from .simmpi import SimCluster
+from .ygm import YGMWorld, RankContext
+from .metall import MetallStore
+from .containers import DistributedBag, DistributedCounter, DistributedMap
+from .tracing import RuntimeTracer, attach_tracer
+
+__all__ = [
+    "MessageStats",
+    "TypeStats",
+    "NetworkModel",
+    "CostLedger",
+    "HashPartitioner",
+    "BlockPartitioner",
+    "Partitioner",
+    "SimCluster",
+    "YGMWorld",
+    "RankContext",
+    "MetallStore",
+    "DistributedBag",
+    "DistributedCounter",
+    "DistributedMap",
+    "RuntimeTracer",
+    "attach_tracer",
+]

@@ -1,0 +1,203 @@
+"""YGM-style distributed containers.
+
+The real YGM ships distributed containers (``ygm::container::bag``,
+``map``, ``counting_set``) built on the async RPC layer; TriPoll and
+DNND-adjacent applications use them for irregular aggregations.  This
+module provides the simulated equivalents on :class:`YGMWorld`:
+
+- :class:`DistributedBag` — unordered multiset; ``async_insert`` sends
+  the item to a pseudo-random owner (load balancing), ``gather`` and
+  ``local_size`` read it back,
+- :class:`DistributedCounter` — a counting map keyed by hashable items,
+  owner-partitioned by hash; supports ``async_add`` and global top-k,
+- :class:`DistributedMap` — an owner-partitioned key-value map with
+  ``async_insert`` / ``async_visit`` (run a named callback *at* the
+  key's owner — YGM's signature idiom).
+
+All mutation is fire-and-forget; reads require a preceding
+``world.barrier()``, exactly like the real library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import RuntimeStateError
+from .partition import splitmix64
+from .ygm import RankContext, YGMWorld
+
+_REGISTRY_KEY = "_ygm_containers"
+_VISIT_REGISTRY: Dict[str, Callable] = {}
+
+
+def _container_state(ctx: RankContext, cid: str, kind: str):
+    registry = ctx.state.setdefault(_REGISTRY_KEY, {})
+    if cid not in registry:
+        registry[cid] = [] if kind == "bag" else {}
+    return registry[cid]
+
+
+def _h_bag_insert(ctx: RankContext, cid: str, item: Any) -> None:
+    _container_state(ctx, cid, "bag").append(item)
+
+
+def _h_counter_add(ctx: RankContext, cid: str, key: Any, amount: int) -> None:
+    state = _container_state(ctx, cid, "map")
+    state[key] = state.get(key, 0) + amount
+
+
+def _h_map_insert(ctx: RankContext, cid: str, key: Any, value: Any) -> None:
+    _container_state(ctx, cid, "map")[key] = value
+
+
+def _h_map_visit(ctx: RankContext, cid: str, key: Any, visitor: str,
+                 args: tuple) -> None:
+    fn = _VISIT_REGISTRY.get(visitor)
+    if fn is None:
+        raise RuntimeStateError(f"unknown visitor {visitor!r}")
+    state = _container_state(ctx, cid, "map")
+    fn(ctx, state, key, *args)
+
+
+def register_visitor(name: str, fn: Callable) -> None:
+    """Register a map visitor callable ``fn(ctx, local_map, key, *args)``.
+
+    Visitors run at the key's owner rank (YGM's ``async_visit``)."""
+    if name in _VISIT_REGISTRY:
+        raise RuntimeStateError(f"visitor {name!r} already registered")
+    _VISIT_REGISTRY[name] = fn
+
+
+def _ensure_handlers(world: YGMWorld) -> None:
+    if getattr(world, "_containers_registered", False):
+        return
+    world.register_handlers(
+        _bag_insert=_h_bag_insert,
+        _counter_add=_h_counter_add,
+        _map_insert=_h_map_insert,
+        _map_visit=_h_map_visit,
+    )
+    world._containers_registered = True  # type: ignore[attr-defined]
+
+
+class _ContainerBase:
+    _kind = "map"
+
+    def __init__(self, world: YGMWorld, name: str) -> None:
+        _ensure_handlers(world)
+        self.world = world
+        self.cid = f"{type(self).__name__}:{name}"
+
+    def _owner_of(self, key: Any) -> int:
+        return int(splitmix64(hash(key) & ((1 << 63) - 1))
+                   % self.world.world_size)
+
+    def _local(self, rank: int):
+        return _container_state(self.world.ranks[rank], self.cid, self._kind)
+
+
+class DistributedBag(_ContainerBase):
+    """Unordered distributed multiset with round-robin-ish placement."""
+
+    _kind = "bag"
+
+    def __init__(self, world: YGMWorld, name: str = "bag") -> None:
+        super().__init__(world, name)
+        self._spray = 0
+
+    def async_insert(self, src_rank: int, item: Any, nbytes: int = 8) -> None:
+        dest = self._spray % self.world.world_size
+        self._spray += 1
+        self.world.async_call(src_rank, dest, "_bag_insert", self.cid, item,
+                              nbytes=nbytes, msg_type="bag")
+
+    def local_size(self, rank: int) -> int:
+        return len(self._local(rank))
+
+    def size(self) -> int:
+        """Global size (call after a barrier)."""
+        return sum(self.local_size(r) for r in range(self.world.world_size))
+
+    def gather(self) -> List[Any]:
+        out: List[Any] = []
+        for r in range(self.world.world_size):
+            out.extend(self._local(r))
+        return out
+
+    def balance_factor(self) -> float:
+        sizes = [self.local_size(r) for r in range(self.world.world_size)]
+        mean = sum(sizes) / len(sizes)
+        return max(sizes) / mean if mean else 1.0
+
+
+class DistributedCounter(_ContainerBase):
+    """Owner-partitioned counting map (``ygm::container::counting_set``)."""
+
+    def __init__(self, world: YGMWorld, name: str = "counter") -> None:
+        super().__init__(world, name)
+
+    def async_add(self, src_rank: int, key: Any, amount: int = 1,
+                  nbytes: int = 12) -> None:
+        self.world.async_call(src_rank, self._owner_of(key), "_counter_add",
+                              self.cid, key, amount,
+                              nbytes=nbytes, msg_type="counter")
+
+    def count_of(self, key: Any) -> int:
+        """Count for ``key`` (after a barrier)."""
+        owner = self._owner_of(key)
+        return self._local(owner).get(key, 0)
+
+    def total(self) -> int:
+        return sum(sum(self._local(r).values())
+                   for r in range(self.world.world_size))
+
+    def top_k(self, k: int) -> List[Tuple[Any, int]]:
+        """Globally heaviest ``k`` keys (after a barrier)."""
+        merged: Dict[Any, int] = {}
+        for r in range(self.world.world_size):
+            for key, cnt in self._local(r).items():
+                merged[key] = merged.get(key, 0) + cnt
+        return sorted(merged.items(), key=lambda t: (-t[1], str(t[0])))[:k]
+
+
+class DistributedMap(_ContainerBase):
+    """Owner-partitioned key-value map with remote visitation.
+
+    Ordering guarantee (same as real YGM): writes from a single source
+    rank apply in program order; writes from *different* ranks to the
+    same key apply in delivery order, which is deterministic in the
+    simulation but not the program order — use
+    :class:`DistributedCounter` or a commutative visitor when
+    concurrent updates must merge.
+    """
+
+    def __init__(self, world: YGMWorld, name: str = "map") -> None:
+        super().__init__(world, name)
+
+    def async_insert(self, src_rank: int, key: Any, value: Any,
+                     nbytes: int = 16) -> None:
+        self.world.async_call(src_rank, self._owner_of(key), "_map_insert",
+                              self.cid, key, value,
+                              nbytes=nbytes, msg_type="map")
+
+    def async_visit(self, src_rank: int, key: Any, visitor: str,
+                    *args: Any, nbytes: int = 16) -> None:
+        """Run ``visitor`` (see :func:`register_visitor`) at the owner of
+        ``key`` — YGM's hallmark primitive; the visitor may mutate the
+        local entry and send further messages."""
+        self.world.async_call(src_rank, self._owner_of(key), "_map_visit",
+                              self.cid, key, visitor, args,
+                              nbytes=nbytes, msg_type="map")
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Owner-local read (after a barrier)."""
+        return self._local(self._owner_of(key)).get(key, default)
+
+    def size(self) -> int:
+        return sum(len(self._local(r)) for r in range(self.world.world_size))
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        out: List[Tuple[Any, Any]] = []
+        for r in range(self.world.world_size):
+            out.extend(self._local(r).items())
+        return out

@@ -1,0 +1,110 @@
+"""Message statistics by type — the measurement behind Figure 4.
+
+The paper names four message kinds in the neighbor-check step
+(Section 4.3 / Figure 1):
+
+- ``type1`` — neighbor-check request from the center vertex,
+- ``type2`` — feature-vector message (unoptimized pattern),
+- ``type2+`` — feature vector + sender's worst-neighbor distance
+  (optimized pattern, Section 4.3.3),
+- ``type3`` — distance reply (optimized pattern, Section 4.3.1).
+
+Figure 4 reports, per pattern, the number of messages and total bytes.
+:class:`MessageStats` tracks exactly that, split by message type and by
+whether the message crossed a node boundary ("sent off nodes" in the
+paper's wording).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass
+class TypeStats:
+    """Counters for one message type."""
+
+    count: int = 0
+    bytes: int = 0
+    offnode_count: int = 0
+    offnode_bytes: int = 0
+
+    def record(self, nbytes: int, offnode: bool) -> None:
+        self.count += 1
+        self.bytes += int(nbytes)
+        if offnode:
+            self.offnode_count += 1
+            self.offnode_bytes += int(nbytes)
+
+    def merged(self, other: "TypeStats") -> "TypeStats":
+        return TypeStats(
+            self.count + other.count,
+            self.bytes + other.bytes,
+            self.offnode_count + other.offnode_count,
+            self.offnode_bytes + other.offnode_bytes,
+        )
+
+
+@dataclass
+class MessageStats:
+    """Per-type message accounting for one run (or one phase of a run)."""
+
+    by_type: Dict[str, TypeStats] = field(default_factory=dict)
+
+    def record(self, msg_type: str, nbytes: int, offnode: bool) -> None:
+        stats = self.by_type.get(msg_type)
+        if stats is None:
+            stats = self.by_type[msg_type] = TypeStats()
+        stats.record(nbytes, offnode)
+
+    # -- aggregate views ----------------------------------------------------
+
+    def total_count(self, types: Iterable[str] | None = None) -> int:
+        return sum(s.count for t, s in self.by_type.items() if types is None or t in set(types))
+
+    def total_bytes(self, types: Iterable[str] | None = None) -> int:
+        return sum(s.bytes for t, s in self.by_type.items() if types is None or t in set(types))
+
+    def offnode_count(self, types: Iterable[str] | None = None) -> int:
+        return sum(
+            s.offnode_count for t, s in self.by_type.items() if types is None or t in set(types)
+        )
+
+    def offnode_bytes(self, types: Iterable[str] | None = None) -> int:
+        return sum(
+            s.offnode_bytes for t, s in self.by_type.items() if types is None or t in set(types)
+        )
+
+    def get(self, msg_type: str) -> TypeStats:
+        return self.by_type.get(msg_type, TypeStats())
+
+    def merged(self, other: "MessageStats") -> "MessageStats":
+        out = MessageStats()
+        for t in set(self.by_type) | set(other.by_type):
+            out.by_type[t] = self.get(t).merged(other.get(t))
+        return out
+
+    def snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """``{type: (count, bytes)}`` — compact view for reports."""
+        return {t: (s.count, s.bytes) for t, s in sorted(self.by_type.items())}
+
+    def reset(self) -> None:
+        self.by_type.clear()
+
+    def format_table(self, title: str = "messages") -> str:
+        """Fixed-width report used by benchmarks and examples."""
+        lines = [
+            f"{title}",
+            f"{'type':<10s} {'count':>14s} {'bytes':>16s} {'off-node count':>16s} {'off-node bytes':>16s}",
+        ]
+        for t in sorted(self.by_type):
+            s = self.by_type[t]
+            lines.append(
+                f"{t:<10s} {s.count:>14,d} {s.bytes:>16,d} {s.offnode_count:>16,d} {s.offnode_bytes:>16,d}"
+            )
+        lines.append(
+            f"{'TOTAL':<10s} {self.total_count():>14,d} {self.total_bytes():>16,d} "
+            f"{self.offnode_count():>16,d} {self.offnode_bytes():>16,d}"
+        )
+        return "\n".join(lines)

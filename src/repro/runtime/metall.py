@@ -1,0 +1,243 @@
+"""Metall-style persistent object store (Section 4.6).
+
+Metall is an mmap-backed C++ allocator that lets applications keep STL
+data structures in a file system transparently; DNND uses it so the
+construction executable can persist the k-NNG + dataset, and the
+optimization/query executables can reopen them later without rebuilds.
+
+This module reproduces that *lifecycle* in Python:
+
+- ``MetallStore.create(path)`` — create a new datastore (error if one
+  already exists, like ``metall::create_only``),
+- ``MetallStore.open(path)`` / ``open_read_only`` — attach to an
+  existing datastore (error if absent, like ``metall::open_only``),
+- ``store[name] = obj`` — named-object construction
+  (``construct<T>(name)``),
+- ``store.snapshot()`` / close-on-exit — durability point,
+- numpy arrays are stored as ``.npy`` and *memory-mapped on open*, which
+  mirrors Metall's mmap-backed access (no full read at open time).
+
+Arbitrary picklable objects are supported; numpy arrays and dicts of
+arrays get the mmap fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+from ..errors import StoreError
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+class MetallStore:
+    """A directory-backed persistent object store.
+
+    Use the classmethod constructors, not ``__init__`` directly::
+
+        with MetallStore.create(path) as store:
+            store["graph_ids"] = ids_array
+        ...
+        with MetallStore.open(path) as store:
+            ids = store["graph_ids"]       # np.memmap-backed
+    """
+
+    def __init__(self, path: Path, writable: bool, manifest: Dict[str, Any]) -> None:
+        self._path = Path(path)
+        self._writable = writable
+        self._manifest = manifest
+        self._cache: Dict[str, Any] = {}
+        self._dirty: Dict[str, Any] = {}
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path) -> "MetallStore":
+        """Create a fresh datastore (``metall::create_only`` semantics)."""
+        p = Path(path)
+        if p.exists():
+            if not p.is_dir():
+                raise StoreError(f"datastore path {p} exists and is not a directory")
+            if (p / _MANIFEST).exists():
+                raise StoreError(f"datastore already exists at {p}")
+            if any(p.iterdir()):
+                raise StoreError(f"datastore path {p} is a non-empty directory")
+        p.mkdir(parents=True, exist_ok=True)
+        manifest = {"format_version": _FORMAT_VERSION, "objects": {}}
+        store = cls(p, writable=True, manifest=manifest)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path) -> "MetallStore":
+        """Attach to an existing datastore (``metall::open_only``)."""
+        return cls._open(path, writable=True)
+
+    @classmethod
+    def open_read_only(cls, path) -> "MetallStore":
+        return cls._open(path, writable=False)
+
+    @classmethod
+    def _open(cls, path, writable: bool) -> "MetallStore":
+        p = Path(path)
+        mf = p / _MANIFEST
+        if not mf.exists():
+            raise StoreError(f"no datastore at {p}")
+        manifest = json.loads(mf.read_text())
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise StoreError(
+                f"datastore format version {manifest.get('format_version')} "
+                f"!= supported {_FORMAT_VERSION}"
+            )
+        return cls(p, writable=writable, manifest=manifest)
+
+    @staticmethod
+    def exists(path) -> bool:
+        return (Path(path) / _MANIFEST).exists()
+
+    @staticmethod
+    def remove(path) -> None:
+        """Destroy a datastore directory (if present)."""
+        p = Path(path)
+        if p.exists():
+            shutil.rmtree(p)
+
+    def __enter__(self) -> "MetallStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Persist pending objects and detach."""
+        if self._closed:
+            return
+        if self._writable:
+            self.snapshot()
+        self._closed = True
+
+    # -- object access ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreError("datastore is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if not self._writable:
+            raise StoreError("datastore opened read-only")
+
+    def __setitem__(self, name: str, obj: Any) -> None:
+        """Stage a named object; persisted at :meth:`snapshot`/close."""
+        self._check_writable()
+        _validate_name(name)
+        self._dirty[name] = obj
+        self._cache[name] = obj
+
+    def __getitem__(self, name: str) -> Any:
+        self._check_open()
+        if name in self._cache:
+            return self._cache[name]
+        meta = self._manifest["objects"].get(name)
+        if meta is None:
+            raise StoreError(f"no object named {name!r} in datastore")
+        obj = self._load(name, meta)
+        self._cache[name] = obj
+        return obj
+
+    def __contains__(self, name: str) -> bool:
+        self._check_open()
+        return name in self._cache or name in self._manifest["objects"]
+
+    def __delitem__(self, name: str) -> None:
+        self._check_writable()
+        self._cache.pop(name, None)
+        self._dirty.pop(name, None)
+        meta = self._manifest["objects"].pop(name, None)
+        if meta is not None:
+            for fname in meta.get("files", []):
+                f = self._path / fname
+                if f.exists():
+                    f.unlink()
+            self._write_manifest()
+
+    def keys(self) -> List[str]:
+        self._check_open()
+        return sorted(set(self._manifest["objects"]) | set(self._dirty))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write all staged objects to disk and update the manifest —
+        Metall's ``snapshot()`` durability point."""
+        self._check_writable()
+        for name, obj in self._dirty.items():
+            self._manifest["objects"][name] = self._save(name, obj)
+        self._dirty.clear()
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        tmp = self._path / (_MANIFEST + ".tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=1, sort_keys=True))
+        tmp.replace(self._path / _MANIFEST)
+
+    def _save(self, name: str, obj: Any) -> Dict[str, Any]:
+        if isinstance(obj, np.ndarray):
+            fname = f"{name}.npy"
+            np.save(self._path / fname, obj)
+            return {"kind": "ndarray", "files": [fname]}
+        if isinstance(obj, dict) and obj and all(
+            isinstance(v, np.ndarray) for v in obj.values()
+        ):
+            fname = f"{name}.npz"
+            np.savez(self._path / fname, **obj)
+            return {"kind": "npz", "files": [fname]}
+        fname = f"{name}.pkl"
+        with (self._path / fname).open("wb") as fh:
+            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return {"kind": "pickle", "files": [fname]}
+
+    def _load(self, name: str, meta: Dict[str, Any]) -> Any:
+        kind = meta["kind"]
+        fname = meta["files"][0]
+        fpath = self._path / fname
+        if not fpath.exists():
+            raise StoreError(f"datastore object file missing: {fpath}")
+        if kind == "ndarray":
+            # mmap-backed, mirroring Metall's lazy paging.
+            mode = "r+" if self._writable else "r"
+            return np.load(fpath, mmap_mode=mode)
+        if kind == "npz":
+            with np.load(fpath) as z:
+                return {k: z[k] for k in z.files}
+        if kind == "pickle":
+            with fpath.open("rb") as fh:
+                return pickle.load(fh)
+        raise StoreError(f"unknown object kind {kind!r} for {name!r}")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def writable(self) -> bool:
+        return self._writable
+
+
+def _validate_name(name: str) -> None:
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise StoreError(f"invalid object name {name!r}")

@@ -1,0 +1,141 @@
+"""Execution tracing for the simulated runtime — Section 7's ask.
+
+The paper's first future-work item: "further performance profiling is
+required to identify bottlenecks, such as finding how much the
+computation or communication is heavier than the other and
+understanding communication patterns deeply."  The simulated runtime
+makes that cheap: :class:`RuntimeTracer` snapshots the cost ledger and
+message statistics at every barrier and can answer exactly those
+questions afterwards:
+
+- per-superstep duration and which phase it belonged to,
+- compute vs communication share per phase (from the cost model's
+  charge decomposition),
+- per-rank load imbalance at each barrier,
+- message-type timelines (how Type 2+ traffic decays as the graph
+  converges).
+
+Attach with :func:`attach_tracer` before ``DNND.build()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .simmpi import SimCluster
+from .ygm import YGMWorld
+
+
+@dataclass
+class BarrierRecord:
+    """One superstep's snapshot."""
+
+    index: int
+    phase: str
+    duration: float
+    imbalance: float
+    messages_delta: Dict[str, int] = field(default_factory=dict)
+    bytes_delta: Dict[str, int] = field(default_factory=dict)
+
+
+class RuntimeTracer:
+    """Collects one :class:`BarrierRecord` per barrier.
+
+    Wraps ``world.barrier`` — create via :func:`attach_tracer`.
+    """
+
+    def __init__(self, world: YGMWorld) -> None:
+        self.world = world
+        self.records: List[BarrierRecord] = []
+        self._last_counts: Dict[str, int] = {}
+        self._last_bytes: Dict[str, int] = {}
+
+    # -- capture -----------------------------------------------------------
+
+    def _on_barrier(self, phase: str, duration: float, imbalance: float) -> None:
+        stats = self.world.cluster.stats
+        counts = {t: s.count for t, s in stats.by_type.items()}
+        nbytes = {t: s.bytes for t, s in stats.by_type.items()}
+        record = BarrierRecord(
+            index=len(self.records),
+            phase=phase,
+            duration=duration,
+            imbalance=imbalance,
+            messages_delta={
+                t: counts[t] - self._last_counts.get(t, 0) for t in counts
+                if counts[t] != self._last_counts.get(t, 0)
+            },
+            bytes_delta={
+                t: nbytes[t] - self._last_bytes.get(t, 0) for t in nbytes
+                if nbytes[t] != self._last_bytes.get(t, 0)
+            },
+        )
+        self._last_counts = counts
+        self._last_bytes = nbytes
+        self.records.append(record)
+
+    # -- queries ------------------------------------------------------------
+
+    def total_supersteps(self) -> int:
+        return len(self.records)
+
+    def phase_durations(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.phase] = out.get(r.phase, 0.0) + r.duration
+        return out
+
+    def peak_imbalance(self) -> float:
+        return max((r.imbalance for r in self.records), default=1.0)
+
+    def message_timeline(self, msg_type: str) -> List[int]:
+        """Messages of ``msg_type`` sent in each superstep window."""
+        return [r.messages_delta.get(msg_type, 0) for r in self.records]
+
+    def busiest_supersteps(self, top: int = 5) -> List[BarrierRecord]:
+        return sorted(self.records, key=lambda r: -r.duration)[:top]
+
+    def report(self) -> str:
+        """Human-readable bottleneck summary."""
+        # Imported here: repro.eval pulls in the algorithm stack, which
+        # itself imports repro.runtime — a module-level import would be
+        # circular.
+        from ..eval.tables import ascii_table
+
+        durations = self.phase_durations()
+        total = sum(durations.values()) or 1.0
+        rows = [
+            [phase, f"{secs:.6f}", f"{secs / total:.1%}"]
+            for phase, secs in sorted(durations.items(), key=lambda t: -t[1])
+        ]
+        out = [ascii_table(["phase", "sim seconds", "share"], rows,
+                           title="phase breakdown")]
+        busiest = self.busiest_supersteps(3)
+        rows = [[r.index, r.phase, f"{r.duration:.6f}", f"{r.imbalance:.2f}",
+                 sum(r.messages_delta.values())]
+                for r in busiest]
+        out.append(ascii_table(
+            ["step", "phase", "duration", "imbalance", "messages"],
+            rows, title="busiest supersteps"))
+        return "\n\n".join(out)
+
+
+def attach_tracer(world: YGMWorld) -> RuntimeTracer:
+    """Instrument ``world.barrier`` to record a trace; returns the tracer.
+
+    The wrapper preserves barrier semantics exactly; it only observes.
+    """
+    tracer = RuntimeTracer(world)
+    original_barrier = world.barrier
+    cluster: SimCluster = world.cluster
+
+    def traced_barrier(phase: str | None = None) -> float:
+        effective_phase = phase or world._phase
+        imbalance = cluster.ledger.imbalance()
+        duration = original_barrier(phase)
+        tracer._on_barrier(effective_phase, duration, imbalance)
+        return duration
+
+    world.barrier = traced_barrier  # type: ignore[method-assign]
+    return tracer

@@ -1,0 +1,272 @@
+"""YGM-style asynchronous RPC layer (Section 4.1).
+
+YGM's programming model is *fire-and-forget remote procedure calls*: a
+sender names a destination rank, a function, and arguments; the function
+runs at the destination at some later time; nobody is notified of
+completion; a global ``barrier()`` waits until all messages (including
+those generated while processing messages) are done.  YGM buffers
+messages per destination and ships a buffer when it exceeds a threshold.
+
+:class:`YGMWorld` reproduces those semantics on the simulated cluster:
+
+- ``async_call(src, dest, handler, *args)`` buffers an RPC and records
+  it in the per-type message statistics (the Figure 4 measurement),
+- buffers auto-flush at ``flush_threshold`` messages or
+  ``flush_threshold_bytes`` modeled bytes per destination (real YGM
+  caps by bytes), charging the sender one latency ``alpha`` per flush
+  plus ``beta`` per byte — batching behaviour has a visible cost
+  signature,
+- ``barrier()`` flushes everything and drains mailboxes to quiescence,
+  running handlers on their destination ranks (which may send more),
+  then folds per-rank clocks into the BSP makespan,
+- ``async_count_since_barrier`` supports the paper's Section 4.4
+  application-level batching (barrier every N global requests).
+
+Handlers receive a :class:`RankContext` giving them their rank id, a
+rank-local state namespace, a per-rank RNG, and the ability to send
+further async calls and charge modeled compute time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import RuntimeStateError
+from ..utils.rng import derive_rng
+from .instrumentation import MessageStats
+from .simmpi import SimCluster
+
+Handler = Callable[..., None]
+
+
+class RankContext:
+    """What a handler sees as "this MPI rank".
+
+    Attributes
+    ----------
+    rank:
+        This rank's id in ``[0, world_size)``.
+    state:
+        Rank-local storage: the application hangs its shard here (the
+        vertex features and neighbor lists this rank owns).
+    rng:
+        A per-rank deterministic generator.
+    """
+
+    def __init__(self, world: "YGMWorld", rank: int, seed: int) -> None:
+        self.world = world
+        self.rank = int(rank)
+        self.state: Dict[str, Any] = {}
+        self.rng: np.random.Generator = derive_rng(seed, rank)
+
+    @property
+    def world_size(self) -> int:
+        return self.world.world_size
+
+    def async_call(self, dest: int, handler: str, *args: Any,
+                   nbytes: int = 0, msg_type: str = "other") -> None:
+        """Fire-and-forget RPC to ``dest`` (may be this rank)."""
+        self.world.async_call(self.rank, dest, handler, *args,
+                              nbytes=nbytes, msg_type=msg_type)
+
+    def charge_compute(self, seconds: float) -> None:
+        """Charge modeled compute time to this rank's clock."""
+        self.world.cluster.ledger.charge(self.rank, seconds)
+
+    def charge_distance(self, dim: int, count: int = 1) -> None:
+        """Charge ``count`` distance evaluations of dimension ``dim``."""
+        net = self.world.cluster.net
+        self.charge_compute(net.distance_cost(dim) * count)
+
+    def charge_update(self, count: int = 1) -> None:
+        """Charge ``count`` neighbor-heap update attempts."""
+        net = self.world.cluster.net
+        self.charge_compute(net.compute_per_update * count)
+
+
+class YGMWorld:
+    """The simulated YGM communicator.
+
+    Parameters
+    ----------
+    cluster:
+        Underlying simulated MPI cluster.
+    flush_threshold:
+        Messages buffered per destination before an automatic flush —
+        models YGM's internal buffer (Section 4.4: "YGM buffers messages
+        internally ... automatically sends messages when its internal
+        buffer exceeds a certain threshold").
+    seed:
+        Root seed for per-rank RNGs.
+    """
+
+    def __init__(self, cluster: SimCluster, flush_threshold: int = 1024,
+                 flush_threshold_bytes: int = 1 << 20,
+                 seed: int = 0) -> None:
+        if flush_threshold < 1:
+            raise RuntimeStateError("flush_threshold must be >= 1")
+        if flush_threshold_bytes < 1:
+            raise RuntimeStateError("flush_threshold_bytes must be >= 1")
+        self.cluster = cluster
+        self.world_size = cluster.world_size
+        self.flush_threshold = int(flush_threshold)
+        self.flush_threshold_bytes = int(flush_threshold_bytes)
+        self._handlers: Dict[str, Handler] = {}
+        # _buffers[src][dest] -> list of (handler_name, args)
+        self._buffers: List[List[List[Tuple[str, tuple]]]] = [
+            [[] for _ in range(self.world_size)] for _ in range(self.world_size)
+        ]
+        self._buffer_bytes: List[List[int]] = [
+            [0] * self.world_size for _ in range(self.world_size)
+        ]
+        self.ranks: List[RankContext] = [
+            RankContext(self, r, seed) for r in range(self.world_size)
+        ]
+        self.async_count_since_barrier = 0
+        self.flush_count = 0
+        self.handler_invocations = 0
+        self._in_barrier = False
+        self._phase = "default"
+        self.phase_stats: Dict[str, MessageStats] = {}
+
+    # -- handler registry -----------------------------------------------------
+
+    def register_handler(self, name: str, fn: Handler) -> None:
+        """Register ``fn`` to run as ``name``; the first positional
+        argument passed to ``fn`` is the destination :class:`RankContext`."""
+        if name in self._handlers:
+            raise RuntimeStateError(f"handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def register_handlers(self, **handlers: Handler) -> None:
+        for name, fn in handlers.items():
+            self.register_handler(name, fn)
+
+    # -- phases (stats scoping) -------------------------------------------------
+
+    def set_phase(self, phase: str) -> None:
+        """Name the current phase; message stats are also recorded per phase."""
+        self._phase = phase
+        self.phase_stats.setdefault(phase, MessageStats())
+
+    @property
+    def stats(self) -> MessageStats:
+        return self.cluster.stats
+
+    def stats_for(self, phase: str) -> MessageStats:
+        return self.phase_stats.get(phase, MessageStats())
+
+    # -- sending ------------------------------------------------------------
+
+    def async_call(self, src: int, dest: int, handler: str, *args: Any,
+                   nbytes: int = 0, msg_type: str = "other") -> None:
+        if handler not in self._handlers:
+            raise RuntimeStateError(f"unknown handler {handler!r}")
+        if not 0 <= dest < self.world_size:
+            raise RuntimeStateError(f"destination rank {dest} out of range")
+        self.async_count_since_barrier += 1
+        if src != dest:
+            offnode = self.cluster.is_offnode(src, dest)
+            self.cluster.stats.record(msg_type, nbytes, offnode)
+            self.phase_stats.setdefault(self._phase, MessageStats()).record(
+                msg_type, nbytes, offnode
+            )
+            self._buffers[src][dest].append((handler, args))
+            self._buffer_bytes[src][dest] += nbytes
+            # Real YGM caps its buffers by *bytes* (a feature-vector
+            # message fills a buffer far faster than a Type 3 reply);
+            # the message-count cap is the secondary guard.
+            if (len(self._buffers[src][dest]) >= self.flush_threshold
+                    or self._buffer_bytes[src][dest] >= self.flush_threshold_bytes):
+                self._flush(src, dest)
+        else:
+            # Local async call: no wire traffic, but still deferred
+            # delivery (YGM runs even self-messages from the queue).
+            self.cluster.deliver(src, dest, (handler, args))
+
+    def _flush(self, src: int, dest: int) -> None:
+        buf = self._buffers[src][dest]
+        if not buf:
+            return
+        offnode = self.cluster.is_offnode(src, dest)
+        nbytes = self._buffer_bytes[src][dest]
+        net = self.cluster.net
+        self.cluster.ledger.charge(
+            src, net.flush_cost(offnode) + net.message_cost(nbytes, offnode)
+        )
+        self.flush_count += 1
+        for item in buf:
+            self.cluster.deliver(src, dest, item)
+        self._buffers[src][dest] = []
+        self._buffer_bytes[src][dest] = 0
+
+    def flush_all(self) -> None:
+        for src in range(self.world_size):
+            for dest in range(self.world_size):
+                self._flush(src, dest)
+
+    # -- draining / barrier ----------------------------------------------------
+
+    def _process_round(self) -> int:
+        """Deliver every currently-queued message once, in deterministic
+        rank order; returns how many handlers ran."""
+        ran = 0
+        for rank in range(self.world_size):
+            # Snapshot the queue length so messages enqueued by handlers
+            # in this round are processed in a later round (fair order).
+            pending = len(self.cluster._mailboxes[rank])
+            for _ in range(pending):
+                item = self.cluster.drain_one(rank)
+                if item is None:
+                    break
+                _src, (handler, args) = item
+                self._handlers[handler](self.ranks[rank], *args)
+                self.handler_invocations += 1
+                ran += 1
+        return ran
+
+    def barrier(self, phase: str | None = None) -> float:
+        """Flush everything and run handlers until global quiescence, then
+        synchronize simulated clocks.  Returns superstep duration in
+        simulated seconds."""
+        if self._in_barrier:
+            raise RuntimeStateError("nested barrier (handler called barrier)")
+        self._in_barrier = True
+        try:
+            while True:
+                self.flush_all()
+                if self._process_round() == 0 and self.cluster.all_quiescent():
+                    # A handler may have refilled buffers; loop until both
+                    # buffers and mailboxes are empty.
+                    if not self._has_buffered():
+                        break
+            self.async_count_since_barrier = 0
+            return self.cluster.ledger.barrier(self.cluster.net, phase or self._phase)
+        finally:
+            self._in_barrier = False
+
+    def _has_buffered(self) -> bool:
+        return any(
+            self._buffers[s][d]
+            for s in range(self.world_size)
+            for d in range(self.world_size)
+        )
+
+    # -- SPMD driver helpers ------------------------------------------------------
+
+    def run_on_all(self, fn: Callable[[RankContext], None]) -> None:
+        """Run ``fn`` once per rank (the SPMD program section between
+        barriers)."""
+        for ctx in self.ranks:
+            fn(ctx)
+
+    def allreduce_sum(self, value_fn: Callable[[RankContext], float]) -> float:
+        """Sum-allreduce of a per-rank value (used for the Algorithm 1
+        line 23 termination counter)."""
+        return self.cluster.allreduce_sum([value_fn(ctx) for ctx in self.ranks])
+
+    @property
+    def elapsed_sim_seconds(self) -> float:
+        return self.cluster.ledger.elapsed

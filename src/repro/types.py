@@ -1,0 +1,69 @@
+"""Shared type aliases and size constants.
+
+Section 2 of the paper fixes the data-size accounting used throughout the
+evaluation: a dataset is ``N x dim x E`` bytes (``E`` = element size), and
+a k-NN graph is ``k x N x T`` bytes (``T`` = size of the point-id type,
+4 bytes for ``uint32`` in the paper's billion-scale runs).  The constants
+here make the same accounting explicit in our message/size models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+#: Dense feature matrix: shape ``(n, dim)``.
+FeatureMatrix = np.ndarray
+
+#: A single feature vector: shape ``(dim,)``.
+FeatureVector = np.ndarray
+
+#: Sparse set-valued record (for Jaccard): a sorted 1-D integer array.
+SparseRecord = np.ndarray
+
+#: A scalar distance function ``theta(a, b) -> float``.
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+#: Global vertex identifier.
+VertexId = int
+
+#: Rank identifier inside a simulated cluster.
+RankId = int
+
+#: dtype used for point ids, matching the paper's ``uint32``.
+ID_DTYPE = np.uint32
+
+#: dtype used for distances on the wire and in graphs.
+DIST_DTYPE = np.float32
+
+#: Size in bytes of a point id on the wire (``T`` in Section 2).
+ID_BYTES = 4
+
+#: Size in bytes of a serialized distance value.
+DIST_BYTES = 4
+
+#: Sentinel id marking an empty heap/graph slot.
+INVALID_ID = np.iinfo(np.uint32).max
+
+ArrayLike = Union[np.ndarray, list, tuple]
+
+
+def feature_bytes(dim: int, dtype: np.dtype) -> int:
+    """Size in bytes of one feature vector on the wire.
+
+    This is the dominant term of a Type 2 message (Section 4.3): the
+    paper's communication-saving analysis is expressed in terms of how
+    many of these vectors cross the network.
+    """
+    return int(dim) * np.dtype(dtype).itemsize
+
+
+def dataset_bytes(n: int, dim: int, dtype: np.dtype) -> int:
+    """``N x dim x E`` of Section 2."""
+    return int(n) * feature_bytes(dim, dtype)
+
+
+def graph_bytes(n: int, k: int) -> int:
+    """``k x N x T`` of Section 2 (ids only, uint32)."""
+    return int(n) * int(k) * ID_BYTES

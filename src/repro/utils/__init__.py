@@ -1,0 +1,23 @@
+"""Small shared utilities: seeded RNG streams, timing, sampling, arrays."""
+
+from .rng import SeedSequenceFactory, derive_rng, permutation_of, spawn_rngs
+from .timing import Stopwatch, Timer, format_duration
+from .sampling import reservoir_sample, sample_items, sample_without_replacement
+from .arrays import as_float32_matrix, chunk_ranges, ensure_2d, pad_columns
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "permutation_of",
+    "spawn_rngs",
+    "Stopwatch",
+    "Timer",
+    "format_duration",
+    "reservoir_sample",
+    "sample_items",
+    "sample_without_replacement",
+    "as_float32_matrix",
+    "chunk_ranges",
+    "ensure_2d",
+    "pad_columns",
+]

@@ -1,0 +1,37 @@
+"""Per-rank logging for the simulated runtime.
+
+Real DNND prints progress from rank 0; the simulated cluster mimics that:
+each rank gets a child logger named ``repro.rank{r}`` and, by default,
+only rank 0 emits at INFO while the others stay at WARNING, so a 128-rank
+simulation does not flood the console.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    return logging.getLogger(name)
+
+
+def rank_logger(rank: int, verbose_all_ranks: bool = False) -> logging.Logger:
+    """Logger for a simulated rank, quiet unless rank 0 or verbose mode."""
+    logger = logging.getLogger(f"{_ROOT_NAME}.rank{rank}")
+    if rank != 0 and not verbose_all_ranks:
+        logger.setLevel(logging.WARNING)
+    return logger
+
+
+def configure(level: int = logging.INFO) -> None:
+    """One-shot basic configuration used by examples and benchmarks."""
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,64 @@
+"""Sampling primitives used by the NN-Descent ``Sample`` function.
+
+Algorithm 1 calls ``Sample(S, n)`` in two places: drawing the random
+initial neighbors, and sub-sampling the reversed old/new lists down to
+``rho * K`` entries.  Both uses need sampling *without replacement* capped
+at ``len(S)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, n: int
+) -> np.ndarray:
+    """Sample ``min(n, population)`` distinct ints from ``[0, population)``.
+
+    Chooses the algorithm by sampling fraction: permutation-based for
+    dense draws, rejection for sparse ones (cheap at NN-Descent's typical
+    ``rho*K`` out of thousands).
+    """
+    if population <= 0 or n <= 0:
+        return np.empty(0, dtype=np.int64)
+    n = min(int(n), int(population))
+    if n * 4 >= population:
+        return rng.permutation(population)[:n].astype(np.int64)
+    # Sparse draw: rejection sampling with a growing batch.
+    chosen: set[int] = set()
+    while len(chosen) < n:
+        need = n - len(chosen)
+        draws = rng.integers(0, population, size=max(need * 2, 8))
+        for d in draws:
+            chosen.add(int(d))
+            if len(chosen) == n:
+                break
+    return np.fromiter(chosen, dtype=np.int64, count=n)
+
+
+def sample_items(rng: np.random.Generator, items: Sequence[T], n: int) -> List[T]:
+    """``Sample(S, n)`` of Algorithm 1 over an arbitrary sequence."""
+    idx = sample_without_replacement(rng, len(items), n)
+    return [items[int(i)] for i in idx]
+
+
+def reservoir_sample(rng: np.random.Generator, stream: Iterable[T], n: int) -> List[T]:
+    """Uniform reservoir sample of size ``n`` from a one-pass stream.
+
+    Used when sub-sampling reversed-neighbor lists whose length is not
+    known in advance (they arrive as asynchronous messages).
+    """
+    reservoir: List[T] = []
+    for i, item in enumerate(stream):
+        if i < n:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < n:
+                reservoir[j] = item
+    return reservoir

@@ -1,0 +1,84 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: ``'1.84 h'``, ``'3.2 min'``, ``'45 ms'``."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.0f} ms"
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    >>> t = Timer()
+    >>> with t.measure("phase"):
+    ...     pass
+    >>> t.total("phase") >= 0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def report(self) -> str:
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<30s} {format_duration(self.totals[name]):>10s}"
+                f"  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+class Stopwatch:
+    """Single start/stop stopwatch with lap support."""
+
+    def __init__(self, autostart: bool = True) -> None:
+        self._start: float | None = time.perf_counter() if autostart else None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def lap(self) -> float:
+        """Elapsed time so far without stopping."""
+        running = time.perf_counter() - self._start if self._start is not None else 0.0
+        return self._elapsed + running
+
+    @property
+    def elapsed(self) -> float:
+        return self.lap()

@@ -1,0 +1,64 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, DNNDConfig, NNDescentConfig
+from repro.datasets.synthetic import (
+    gaussian_mixture,
+    planted_neighbors,
+    power_law_sets,
+    uniform_hypercube,
+)
+
+
+@pytest.fixture(scope="session")
+def small_dense():
+    """300 x 12 clustered float32 points — the workhorse dataset."""
+    return gaussian_mixture(300, 12, n_clusters=6, cluster_std=0.12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dense():
+    """80 x 8 points for the fastest structural tests."""
+    return gaussian_mixture(80, 8, n_clusters=4, cluster_std=0.10, seed=11)
+
+
+@pytest.fixture(scope="session")
+def uniform_dense():
+    """Structure-free uniform data (hard case)."""
+    return uniform_hypercube(200, 10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def planted():
+    """(data, group_ids) with near-duplicate groups of 4."""
+    return planted_neighbors(160, 10, group=4, seed=5)
+
+
+@pytest.fixture(scope="session")
+def sparse_sets():
+    """Kosarak-style Jaccard records."""
+    return power_law_sets(150, universe=500, mean_size=12, seed=9)
+
+
+@pytest.fixture()
+def nnd_config():
+    return NNDescentConfig(k=6, rho=0.8, delta=0.001, metric="sqeuclidean", seed=13)
+
+
+@pytest.fixture()
+def dnnd_config(nnd_config):
+    return DNNDConfig(nnd=nnd_config, batch_size=1 << 12)
+
+
+@pytest.fixture()
+def cluster_2x2():
+    return ClusterConfig(nodes=2, procs_per_node=2)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

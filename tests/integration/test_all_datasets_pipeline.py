@@ -1,0 +1,36 @@
+"""Smoke the full pipeline on every Table 1 stand-in.
+
+Build (DNND) -> optimize -> (dense only) search, at tiny sizes: every
+dataset's dtype/metric/raggedness must flow through the whole stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DNND,
+    ClusterConfig,
+    DNNDConfig,
+    KNNGraphSearcher,
+    NNDescentConfig,
+)
+from repro.datasets.ann_benchmarks import PAPER_DATASETS, load_dataset
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+def test_pipeline(name):
+    data, spec = load_dataset(name, n=150, seed=3)
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=5, metric=spec.metric, seed=3))
+    dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    result = dnnd.build()
+    result.graph.validate()
+    adjacency = dnnd.optimize()
+    adjacency.validate()
+    searcher = KNNGraphSearcher(adjacency, data, metric=spec.metric, seed=0)
+    q = data[0]
+    res = searcher.query(q, l=5, epsilon=0.2)
+    assert len(res.ids) == 5
+    # Self-distance zero for every metric on its own representation.
+    assert 0 in res.ids or res.dists[0] >= 0.0
+    # Messages were priced (non-zero traffic on a 4-rank cluster).
+    assert result.message_stats.total_count() > 0

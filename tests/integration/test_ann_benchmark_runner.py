@@ -1,0 +1,90 @@
+"""The ANN-Benchmarks-style comparison harness."""
+
+import pytest
+
+from repro.datasets.ann_benchmarks import load_dataset
+from repro.datasets.synthetic import train_query_split
+from repro.errors import ConfigError
+from repro.eval.ann_benchmark import AnnBenchmarkRunner
+
+
+@pytest.fixture(scope="module")
+def report():
+    data, spec = load_dataset("deep1b", n=440, seed=23)
+    train, queries = train_query_split(data, n_queries=40, seed=23)
+    runner = AnnBenchmarkRunner(train, queries, k=5, metric=spec.metric,
+                                dataset_name="deep1b", seed=23)
+    runner.run_nndescent(graph_k=8, epsilons=(0.0, 0.3))
+    runner.run_dnnd(graph_k=8, nodes=2, epsilons=(0.0, 0.3))
+    runner.run_hnsw(M=8, ef_construction=40, efs=(20, 80))
+    runner.run_kdtree(leaf_size=16, max_leaves_sweep=(2, None))
+    runner.run_lsh(n_tables=8, n_bits=4)
+    runner.run_pq(m=8, n_centroids=32, rerank_sweep=(10, 80))
+    runner.run_bruteforce()
+    return runner.report
+
+
+class TestRunner:
+    def test_all_algorithms_present(self, report):
+        assert set(report.results) == {
+            "dnnd", "nndescent", "hnsw", "kdtree", "lsh", "pq", "bruteforce"}
+
+    def test_kdtree_exact_mode_in_sweep(self, report):
+        assert report.results["kdtree"].best_recall() == 1.0
+
+    def test_lsh_produces_candidates(self, report):
+        assert report.results["lsh"].best_recall() > 0.3
+
+    def test_pq_rerank_recall(self, report):
+        assert report.results["pq"].best_recall() > 0.7
+
+    def test_metric_guards(self):
+        from repro.datasets.synthetic import gaussian_mixture, train_query_split
+        data = gaussian_mixture(200, 8, seed=0)
+        train, queries = train_query_split(data, 20, seed=0)
+        runner = AnnBenchmarkRunner(train, queries, k=3, metric="cosine")
+        with pytest.raises(ConfigError):
+            runner.run_kdtree()  # cosine not supported by the k-d tree
+
+    def test_bruteforce_is_exact(self, report):
+        assert report.results["bruteforce"].best_recall() == 1.0
+
+    def test_graph_algorithms_reach_high_recall(self, report):
+        assert report.results["nndescent"].best_recall() > 0.85
+        assert report.results["dnnd"].best_recall() > 0.85
+        assert report.results["hnsw"].best_recall() > 0.85
+
+    def test_graph_search_cheaper_than_bruteforce(self, report):
+        bf = report.results["bruteforce"].points[0].mean_distance_evals
+        for name in ("dnnd", "nndescent", "hnsw"):
+            cheapest = min(p.mean_distance_evals
+                           for p in report.results[name].points)
+            assert cheapest < bf, name
+
+    def test_winner_at_recall(self, report):
+        # Everyone reaches 0.5; the winner must be a graph algorithm.
+        winner = report.winner_at_recall(0.5)
+        assert winner in ("dnnd", "nndescent", "hnsw")
+
+    def test_winner_unreachable_recall(self, report):
+        assert report.winner_at_recall(1.01) is None
+
+    def test_cost_at_recall_semantics(self, report):
+        res = report.results["bruteforce"]
+        assert res.cost_at_recall(0.99) is not None
+        assert res.cost_at_recall(1.01) is None
+
+    def test_format_renders(self, report):
+        text = report.format()
+        assert "build" in text and "query trade-off" in text
+        assert "dnnd" in text and "hnsw" in text
+
+    def test_invalid_k(self):
+        data, spec = load_dataset("deep1b", n=128, seed=1)
+        with pytest.raises(ConfigError):
+            AnnBenchmarkRunner(data[:100], data[100:], k=0)
+
+    def test_build_cost_recorded(self, report):
+        for name in ("dnnd", "nndescent", "hnsw"):
+            assert report.results[name].build_distance_evals > 0
+            assert report.results[name].build_seconds > 0

@@ -1,0 +1,102 @@
+"""CLI: the paper's two executables plus the query program."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runtime.metall import MetallStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return str(tmp_path / "idx")
+
+
+def run(argv):
+    return main(argv)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_construct_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["construct"])
+
+    def test_dataset_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["construct", "--dataset", "nope", "--store", "x"])
+
+
+class TestWorkflow:
+    def test_construct_creates_store(self, store, capsys):
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store])
+        assert rc == 0
+        assert MetallStore.exists(store)
+        out = capsys.readouterr().out
+        assert "constructed deep1b" in out
+        assert "type1" in out  # message table printed
+
+    def test_optimize_then_query(self, store, capsys):
+        run(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+             "--nodes", "2", "--store", store])
+        rc = run(["optimize", "--store", store, "--pruning-factor", "1.5"])
+        assert rc == 0
+        rc = run(["query", "--store", store, "--n-queries", "20",
+                  "--epsilon", "0.2", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "qps" in out
+        assert "self-recall" in out
+
+    def test_query_without_optimize_warns(self, store, capsys):
+        run(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+             "--nodes", "2", "--store", store])
+        rc = run(["query", "--store", store, "--n-queries", "5"])
+        assert rc == 0
+        assert "repro optimize" in capsys.readouterr().out
+
+    def test_unoptimized_comm_flag(self, store, capsys):
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store,
+                  "--unoptimized-comm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "type2 " in out or "type2" in out
+        assert "type2+" not in out
+
+    def test_sparse_dataset_workflow(self, store):
+        rc = run(["construct", "--dataset", "kosarak", "--n", "128",
+                  "--k", "4", "--nodes", "2", "--store", store])
+        assert rc == 0
+        assert run(["optimize", "--store", store]) == 0
+        assert run(["query", "--store", store, "--n-queries", "10"]) == 0
+
+
+class TestErrors:
+    def test_optimize_missing_store(self, tmp_path, capsys):
+        rc = run(["optimize", "--store", str(tmp_path / "ghost")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_construct_over_existing_store(self, store, capsys):
+        run(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+             "--nodes", "2", "--store", store])
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store])
+        assert rc == 1
+
+
+class TestIntrospection:
+    def test_datasets_listing(self, capsys):
+        assert run(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "kosarak" in out and "1,000,000,000" in out
+
+    def test_experiments_listing(self, capsys):
+        assert run(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "bench_fig4_message_savings.py" in out

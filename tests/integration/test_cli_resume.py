@@ -1,0 +1,60 @@
+"""CLI checkpoint / resume workflow."""
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.metall import MetallStore
+
+
+class TestCheckpointFlag:
+    def test_construct_with_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        rc = main(["construct", "--dataset", "deep1b", "--n", "256",
+                   "--k", "5", "--nodes", "2", "--store",
+                   str(tmp_path / "idx"), "--checkpoint", ckpt,
+                   "--checkpoint-every", "1"])
+        assert rc == 0
+        assert MetallStore.exists(ckpt)
+
+    def test_checkpoint_every_without_path_errors(self, tmp_path, capsys):
+        rc = main(["construct", "--dataset", "deep1b", "--n", "256",
+                   "--k", "5", "--nodes", "2",
+                   "--store", str(tmp_path / "idx"),
+                   "--checkpoint-every", "1"])
+        assert rc == 1
+        assert "checkpoint" in capsys.readouterr().err
+
+
+class TestResumeCommand:
+    def test_resume_completes_and_persists(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        main(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+              "--nodes", "2", "--store", str(tmp_path / "idx1"),
+              "--checkpoint", ckpt, "--checkpoint-every", "1"])
+        capsys.readouterr()
+        rc = main(["resume", "--dataset", "deep1b", "--n", "256",
+                   "--checkpoint", ckpt, "--nodes", "2",
+                   "--store", str(tmp_path / "idx2")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed build finished" in out
+        assert MetallStore.exists(tmp_path / "idx2")
+        # The resumed store is queryable end to end.
+        assert main(["optimize", "--store", str(tmp_path / "idx2")]) == 0
+        assert main(["query", "--store", str(tmp_path / "idx2"),
+                     "--n-queries", "10"]) == 0
+
+    def test_resume_wrong_seed_rejected(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        main(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+              "--nodes", "2", "--store", str(tmp_path / "idx"),
+              "--checkpoint", ckpt, "--checkpoint-every", "1"])
+        rc = main(["resume", "--dataset", "deep1b", "--n", "256",
+                   "--seed", "999", "--checkpoint", ckpt])
+        assert rc == 1
+        assert "fingerprint" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint(self, tmp_path, capsys):
+        rc = main(["resume", "--dataset", "deep1b", "--n", "256",
+                   "--checkpoint", str(tmp_path / "ghost")])
+        assert rc == 1

@@ -1,0 +1,99 @@
+"""The paper's two-executable lifecycle through the Metall store
+(Sections 4.6 / 5.1.3): build+persist, then reopen+optimize+query."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DNND,
+    ClusterConfig,
+    DNNDConfig,
+    KNNGraph,
+    KNNGraphSearcher,
+    MetallStore,
+    NNDescentConfig,
+    optimize_from_store,
+)
+from repro.core.graph import AdjacencyGraph
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return tmp_path / "dnnd_store"
+
+
+def build_into_store(data, store_path, k=5, seed=3):
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=k, seed=seed))
+    dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    return dnnd.build(store_path=store_path)
+
+
+class TestConstructionExecutable:
+    def test_store_created_with_graph_and_dataset(self, small_dense, store_path):
+        res = build_into_store(small_dense, store_path)
+        assert MetallStore.exists(store_path)
+        with MetallStore.open_read_only(store_path) as store:
+            assert "graph" in store and "dataset" in store and "meta" in store
+            graph = KNNGraph.from_arrays(store["graph"])
+            np.testing.assert_array_equal(graph.ids, res.graph.ids)
+            assert store["meta"]["k"] == 5
+            assert store["meta"]["n"] == len(small_dense)
+
+    def test_dataset_roundtrip(self, small_dense, store_path):
+        build_into_store(small_dense, store_path)
+        with MetallStore.open_read_only(store_path) as store:
+            np.testing.assert_array_equal(np.asarray(store["dataset"]), small_dense)
+
+    def test_sparse_dataset_persisted(self, sparse_sets, store_path):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=4, metric="jaccard", seed=3))
+        dnnd = DNND(sparse_sets, cfg, cluster=ClusterConfig(nodes=1, procs_per_node=2))
+        dnnd.build(store_path=store_path)
+        with MetallStore.open_read_only(store_path) as store:
+            records = store["dataset"]
+            assert len(records) == len(sparse_sets)
+            np.testing.assert_array_equal(records[0], sparse_sets[0])
+
+
+class TestOptimizationExecutable:
+    def test_optimize_from_store(self, small_dense, store_path):
+        build_into_store(small_dense, store_path)
+        adjacency = optimize_from_store(store_path)
+        assert isinstance(adjacency, AdjacencyGraph)
+        adjacency.validate()
+        assert adjacency.degrees().max() <= int(np.ceil(5 * 1.5))
+
+    def test_optimized_graph_persisted_back(self, small_dense, store_path):
+        build_into_store(small_dense, store_path)
+        optimize_from_store(store_path)
+        with MetallStore.open_read_only(store_path) as store:
+            assert "optimized_graph" in store
+            assert store["meta"]["optimized"] is True
+
+    def test_custom_pruning_factor(self, small_dense, store_path):
+        build_into_store(small_dense, store_path)
+        adjacency = optimize_from_store(store_path, pruning_factor=1.0)
+        assert adjacency.degrees().max() <= 5
+
+    def test_missing_store_raises(self, tmp_path):
+        from repro.errors import StoreError
+        with pytest.raises(StoreError):
+            optimize_from_store(tmp_path / "ghost")
+
+
+class TestQueryAfterReopen:
+    def test_full_pipeline(self, small_dense, store_path):
+        """Construct -> persist -> reopen -> optimize -> query: the full
+        workflow of Section 5.1.3's two executables plus the query
+        program."""
+        build_into_store(small_dense, store_path)
+        optimize_from_store(store_path)
+        with MetallStore.open_read_only(store_path) as store:
+            adjacency = AdjacencyGraph.from_arrays(store["optimized_graph"])
+            dataset = np.asarray(store["dataset"])
+            metric = store["meta"]["metric"]
+        searcher = KNNGraphSearcher(adjacency, dataset, metric=metric, seed=0)
+        # The clustered fixture's exact graph is disconnected across
+        # clusters, so use enough entry points to land in the query's
+        # component (Section 3.3 starts from l random points).
+        res = searcher.query(dataset[7], l=20, epsilon=0.2)
+        assert 7 in res.ids

@@ -1,0 +1,78 @@
+"""Full pipeline: DNND build -> optimize -> epsilon search -> recall@10.
+
+Mirrors the Section 5.3.3 evaluation on a laptop-scale dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DNND,
+    HNSW,
+    HNSWConfig,
+    ClusterConfig,
+    DNNDConfig,
+    KNNGraphSearcher,
+    NNDescentConfig,
+    recall_at_k,
+)
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.datasets.ann_benchmarks import make_benchmark_dataset
+from repro.eval.qps import QueryBenchmark, sweep_ef, sweep_epsilon
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    train, queries, gt_ids, spec = make_benchmark_dataset(
+        "deep1b", n=600, n_queries=40, k_gt=10, seed=2)
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=10, metric=spec.metric, seed=2))
+    dnnd = DNND(train, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    dnnd.build()
+    adjacency = dnnd.optimize()
+    searcher = KNNGraphSearcher(adjacency, train, metric=spec.metric, seed=0)
+    return train, queries, gt_ids, spec, searcher
+
+
+class TestRecallAtTen:
+    def test_recall_high_at_moderate_epsilon(self, pipeline):
+        _, queries, gt_ids, _, searcher = pipeline
+        ids, _, _ = searcher.query_batch(queries, l=10, epsilon=0.2)
+        assert recall_at_k(ids, gt_ids) > 0.85
+
+    def test_epsilon_tradeoff_monotone_in_work(self, pipeline):
+        _, queries, gt_ids, _, searcher = pipeline
+        bench = QueryBenchmark(queries=queries, gt_ids=gt_ids, k=10)
+        points = sweep_epsilon(searcher, bench, "k10", epsilons=[0.0, 0.2, 0.4])
+        evals = [p.mean_distance_evals for p in points]
+        assert evals == sorted(evals)
+
+    def test_queries_visit_small_fraction(self, pipeline):
+        train, queries, _, _, searcher = pipeline
+        res = searcher.query(queries[0], l=10, epsilon=0.1)
+        assert res.n_visited < len(train) * 0.6
+
+
+class TestAgainstHNSW:
+    def test_both_reach_high_recall(self, pipeline):
+        train, queries, gt_ids, spec, searcher = pipeline
+        index = HNSW(train, HNSWConfig(M=12, ef_construction=80, seed=0),
+                     metric=spec.metric).build()
+        bench = QueryBenchmark(queries=queries, gt_ids=gt_ids, k=10)
+        dnnd_pts = sweep_epsilon(searcher, bench, "dnnd", epsilons=[0.3])
+        hnsw_pts = sweep_ef(index, bench, "hnsw", efs=[100])
+        assert dnnd_pts[0].recall > 0.85
+        assert hnsw_pts[0].recall > 0.85
+
+
+class TestQueriesNotInDataset:
+    def test_held_out_queries(self, pipeline):
+        # Queries were split out before building: true ANN generalization.
+        train, queries, gt_ids, _, searcher = pipeline
+        ids, dists, _ = searcher.query_batch(queries[:10], l=10, epsilon=0.3)
+        want, _ = brute_force_neighbors(train, queries[:10], k=10)
+        assert recall_at_k(ids, want) > 0.8
+        # Distances ascending per row.
+        finite = np.isfinite(dists)
+        for row in range(10):
+            d = dists[row][finite[row]]
+            assert (np.diff(d) >= 0).all()

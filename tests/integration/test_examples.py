@@ -1,0 +1,40 @@
+"""The shipped examples stay importable and expose a main().
+
+Full example runs take minutes (they are demos, not tests); importing
+them catches API drift — every symbol an example uses must still exist
+with compatible signatures.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_four_examples():
+    # Deliverable: quickstart plus >= 3 scenario examples.
+    assert len(EXAMPLES) >= 4
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_importable_with_main(name):
+    module = load_module(name)
+    assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+
+
+def test_examples_have_docstrings():
+    for name in EXAMPLES:
+        module = load_module(name)
+        assert module.__doc__ and len(module.__doc__) > 40, name

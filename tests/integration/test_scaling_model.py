@@ -1,0 +1,85 @@
+"""The simulated-time model behind Figure 3.
+
+These tests assert the *mechanisms* that produce the paper's scaling
+shape: more ranks -> shorter simulated construction; diminishing
+returns at high rank counts; communication share grows with scale.
+"""
+
+import pytest
+
+from repro import (
+    DNND,
+    ClusterConfig,
+    DNNDConfig,
+    NNDescentConfig,
+)
+from repro.datasets.synthetic import gaussian_mixture
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    data = gaussian_mixture(600, 24, n_clusters=12, cluster_std=0.15, seed=5)
+    out = {}
+    for nodes in (1, 2, 4, 8):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=6, seed=5), batch_size=1 << 13)
+        dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=nodes, procs_per_node=2))
+        out[nodes] = dnnd.build()
+    return out
+
+
+class TestStrongScaling:
+    def test_sim_time_decreases_with_nodes(self, scaling_results):
+        times = {n: r.sim_seconds for n, r in scaling_results.items()}
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+
+    def test_scaling_factor_reasonable(self, scaling_results):
+        # Paper: 3.8x speedup from 4x more nodes (4 -> 16). Here 4x more
+        # ranks should speed up by >2x but <= ideal 4x.
+        speedup = scaling_results[1].sim_seconds / scaling_results[4].sim_seconds
+        assert 1.8 < speedup <= 4.5
+
+    def test_diminishing_returns(self, scaling_results):
+        # Efficiency (speedup / node-ratio) decreases with scale - the
+        # flattening visible between 16 and 32 nodes in Figure 3.
+        s2 = scaling_results[1].sim_seconds / scaling_results[2].sim_seconds
+        s8 = scaling_results[1].sim_seconds / scaling_results[8].sim_seconds
+        eff2 = s2 / 2
+        eff8 = s8 / 8
+        assert eff8 < eff2
+
+    def test_quality_unaffected_by_scale(self, scaling_results):
+        from repro import brute_force_knn_graph, graph_recall
+        data = gaussian_mixture(600, 24, n_clusters=12, cluster_std=0.15, seed=5)
+        truth = brute_force_knn_graph(data, k=6)
+        recalls = [graph_recall(r.graph, truth) for r in scaling_results.values()]
+        assert min(recalls) > 0.9
+        assert max(recalls) - min(recalls) < 0.05
+
+
+class TestCostComposition:
+    def test_offnode_traffic_grows_with_nodes(self, scaling_results):
+        # With more nodes, a larger fraction of messages crosses nodes.
+        def offnode_fraction(res):
+            total = res.message_stats.total_count()
+            return res.message_stats.offnode_count() / total if total else 0.0
+        assert offnode_fraction(scaling_results[8]) > offnode_fraction(scaling_results[2])
+
+    def test_total_messages_grow_with_ranks(self, scaling_results):
+        # More ranks -> fewer co-located (free) vertex pairs.
+        assert (scaling_results[8].message_stats.total_count()
+                > scaling_results[1].message_stats.total_count())
+
+    def test_phase_seconds_sum_to_total(self, scaling_results):
+        res = scaling_results[4]
+        assert sum(res.phase_seconds.values()) == pytest.approx(res.sim_seconds,
+                                                                rel=1e-6)
+
+
+class TestWorkPerRank:
+    def test_distance_work_divides(self, scaling_results):
+        # Total distance evaluations are roughly scale-independent
+        # (same algorithm), so per-rank work shrinks with ranks.
+        e1 = scaling_results[1].distance_evals
+        e8 = scaling_results[8].distance_evals
+        assert 0.5 < e8 / e1 < 2.0

@@ -1,0 +1,96 @@
+"""Property tests for the taxonomy baselines (kdtree / LSH / PQ)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.kdtree import KDTree
+from repro.baselines.lsh import LSHIndex
+from repro.baselines.pq import PQIndex
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(20, 80))
+    dim = draw(st.sampled_from([2, 4, 8]))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return rng.random((n, dim)).astype(np.float32), seed
+
+
+@given(setup=datasets(), k=st.integers(1, 6),
+       leaf=st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_kdtree_exact_mode_is_exact(setup, k, leaf):
+    """The branch-and-bound search must be exact for every dataset,
+    leaf size, and k — the defining property of the tree."""
+    data, seed = setup
+    k = min(k, len(data))
+    tree = KDTree(data, leaf_size=leaf)
+    want, want_d = brute_force_neighbors(data, data[:5], k=k)
+    for i in range(5):
+        res = tree.query(data[i], k=k)
+        np.testing.assert_allclose(np.sort(res.dists), np.sort(want_d[i]),
+                                   rtol=1e-5, atol=1e-9)
+
+
+@given(setup=datasets())
+@settings(max_examples=25, deadline=None)
+def test_kdtree_bounded_mode_subset_of_exact_cost(setup):
+    data, seed = setup
+    tree = KDTree(data, leaf_size=4)
+    exact = tree.query(data[0], k=3)
+    fast = tree.query(data[0], k=3, max_leaves=1)
+    assert fast.n_distance_evals <= exact.n_distance_evals
+    assert len(fast.ids) <= 3
+
+
+@given(setup=datasets(), tables=st.integers(1, 8), bits=st.integers(1, 10))
+@settings(max_examples=25, deadline=None)
+def test_lsh_indexes_every_point_once_per_table(setup, tables, bits):
+    data, seed = setup
+    idx = LSHIndex(data, metric="cosine", n_tables=tables, n_bits=bits,
+                   seed=seed)
+    for table in idx._tables:
+        members = np.concatenate(list(table.values()))
+        assert sorted(members.tolist()) == list(range(len(data)))
+
+
+@given(setup=datasets())
+@settings(max_examples=25, deadline=None)
+def test_lsh_self_bucket_membership(setup):
+    """A dataset point always collides with itself in every table."""
+    data, seed = setup
+    idx = LSHIndex(data, metric="sqeuclidean", n_tables=4, n_bits=4,
+                   seed=seed)
+    for i in range(0, len(data), max(1, len(data) // 5)):
+        assert i in idx.candidates(data[i])
+
+
+@given(setup=datasets(), m_choice=st.integers(0, 2))
+@settings(max_examples=25, deadline=None)
+def test_pq_full_rerank_is_exact(setup, m_choice):
+    """With rerank = n, PQ degenerates to exact search: the ADC stage
+    only orders candidates, and all of them get exact distances."""
+    data, seed = setup
+    divisors = [m for m in (1, 2, 4) if data.shape[1] % m == 0]
+    m = divisors[m_choice % len(divisors)]
+    idx = PQIndex(data, m=m, n_centroids=16, seed=seed)
+    k = min(3, len(data))
+    want, want_d = brute_force_neighbors(data, data[:3], k=k)
+    for i in range(3):
+        res = idx.query(data[i], k=k, rerank=len(data))
+        np.testing.assert_allclose(np.sort(res.dists), np.sort(want_d[i]),
+                                   rtol=1e-5, atol=1e-9)
+
+
+@given(setup=datasets(), m_choice=st.integers(0, 1))
+@settings(max_examples=20, deadline=None)
+def test_pq_codes_within_codebook(setup, m_choice):
+    data, seed = setup
+    divisors = [m for m in (2, 4, 1) if data.shape[1] % m == 0]
+    m = divisors[m_choice % len(divisors)]
+    idx = PQIndex(data, m=m, n_centroids=8, seed=seed)
+    assert idx.codes.max() < idx.codebooks.shape[1]
+    assert idx.codes.shape == (len(data), m)

@@ -1,0 +1,136 @@
+"""Metric axioms, property-based.
+
+Section 2 requires theta symmetric with values in [0, inf); the true
+metrics additionally satisfy the triangle inequality and identity.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distances import dense, sparse
+
+vec = hnp.arrays(
+    np.float64, st.integers(2, 12),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+)
+
+
+def paired(n=2):
+    """n same-length float vectors."""
+    return st.integers(2, 12).flatmap(
+        lambda d: st.tuples(*[
+            hnp.arrays(np.float64, d,
+                       elements=st.floats(-50, 50, allow_nan=False))
+            for _ in range(n)
+        ])
+    )
+
+
+METRICS = [dense.euclidean, dense.sqeuclidean, dense.manhattan,
+           dense.chebyshev, dense.cosine, dense.hamming]
+TRUE_METRICS = [dense.euclidean, dense.manhattan, dense.chebyshev]
+
+
+@given(ab=paired(2))
+@settings(max_examples=150, deadline=None)
+def test_symmetry(ab):
+    a, b = ab
+    for m in METRICS:
+        assert m(a, b) == m(b, a)
+
+
+@given(ab=paired(2))
+@settings(max_examples=150, deadline=None)
+def test_nonnegative(ab):
+    a, b = ab
+    for m in METRICS:
+        assert m(a, b) >= 0.0
+
+
+@given(a=vec)
+@settings(max_examples=100, deadline=None)
+def test_self_distance_zero(a):
+    for m in (dense.euclidean, dense.sqeuclidean, dense.manhattan,
+              dense.chebyshev, dense.hamming):
+        assert m(a, a) == 0.0
+
+
+@given(abc=paired(3))
+@settings(max_examples=150, deadline=None)
+def test_triangle_inequality(abc):
+    a, b, c = abc
+    for m in TRUE_METRICS:
+        assert m(a, c) <= m(a, b) + m(b, c) + 1e-9
+
+
+@given(ab=paired(2))
+@settings(max_examples=100, deadline=None)
+def test_sqeuclidean_is_euclidean_squared(ab):
+    a, b = ab
+    np.testing.assert_allclose(
+        dense.sqeuclidean(a, b), dense.euclidean(a, b) ** 2, rtol=1e-9, atol=1e-12)
+
+
+@given(ab=paired(2))
+@settings(max_examples=100, deadline=None)
+def test_cosine_bounded(ab):
+    a, b = ab
+    assert 0.0 <= dense.cosine(a, b) <= 2.0 + 1e-12
+
+
+@given(ab=paired(2))
+@settings(max_examples=80, deadline=None)
+def test_cosine_scale_invariant(ab):
+    a, b = ab
+    if np.linalg.norm(a) == 0 or np.linalg.norm(b) == 0:
+        return
+    np.testing.assert_allclose(
+        dense.cosine(a, b), dense.cosine(3.0 * a, 0.5 * b), atol=1e-9)
+
+
+sets = st.lists(st.integers(0, 100), min_size=0, max_size=30)
+
+
+@given(sa=sets, sb=sets)
+@settings(max_examples=150, deadline=None)
+def test_jaccard_axioms(sa, sb):
+    a = sparse.as_sorted_set(sa)
+    b = sparse.as_sorted_set(sb)
+    d = sparse.jaccard(a, b)
+    assert 0.0 <= d <= 1.0
+    assert sparse.jaccard(b, a) == d
+    assert sparse.jaccard(a, a) == 0.0
+
+
+@given(sa=sets, sb=sets, sc=sets)
+@settings(max_examples=120, deadline=None)
+def test_jaccard_triangle(sa, sb, sc):
+    # Jaccard distance is a metric: triangle inequality holds.
+    a, b, c = (sparse.as_sorted_set(x) for x in (sa, sb, sc))
+    assert sparse.jaccard(a, c) <= sparse.jaccard(a, b) + sparse.jaccard(b, c) + 1e-12
+
+
+@given(sa=sets, sb=sets)
+@settings(max_examples=100, deadline=None)
+def test_dice_vs_jaccard_relation(sa, sb):
+    # dice = 2j/(1+j) similarity relation implies dice distance <= jaccard.
+    a = sparse.as_sorted_set(sa)
+    b = sparse.as_sorted_set(sb)
+    assert sparse.dice(a, b) <= sparse.jaccard(a, b) + 1e-12
+
+
+@given(ab=paired(2))
+@settings(max_examples=60, deadline=None)
+def test_one_to_many_consistency(ab):
+    a, b = ab
+    X = np.stack([b, a, (a + b) / 2])
+    for scalar, batch in [
+        (dense.euclidean, dense.euclidean_one_to_many),
+        (dense.cosine, dense.cosine_one_to_many),
+        (dense.manhattan, dense.manhattan_one_to_many),
+    ]:
+        got = batch(a, X)
+        want = [scalar(a, X[i]) for i in range(3)]
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,93 @@
+"""Graph container and optimization properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import AdjacencyGraph, KNNGraph
+from repro.core.optimization import merge_reverse_edges, optimize_graph
+
+
+@st.composite
+def knn_graphs(draw):
+    """Random valid KNNGraph: sorted rows, no dups, no self-loops."""
+    n = draw(st.integers(3, 24))
+    k = draw(st.integers(1, min(6, n - 1)))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    ids = np.empty((n, k), dtype=np.int64)
+    dists = np.empty((n, k), dtype=np.float64)
+    for v in range(n):
+        others = np.setdiff1d(np.arange(n), [v])
+        pick = rng.choice(others, size=k, replace=False)
+        d = np.sort(rng.random(k))
+        ids[v] = pick
+        dists[v] = d
+    return KNNGraph(ids, dists)
+
+
+@given(g=knn_graphs())
+@settings(max_examples=60, deadline=None)
+def test_generated_graphs_valid(g):
+    g.validate()
+
+
+@given(g=knn_graphs())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_preserves_edges(g):
+    adj = g.to_adjacency()
+    assert adj.edge_set() == g.edge_set()
+    adj.validate()
+
+
+@given(g=knn_graphs())
+@settings(max_examples=60, deadline=None)
+def test_merge_reverse_is_symmetric_closure(g):
+    merged = merge_reverse_edges(g)
+    edges = {(v, u) for v in range(g.n) for u, _ in merged[v]}
+    # Symmetric:
+    assert all((u, v) in edges for v, u in edges)
+    # Contains the original edges:
+    assert g.edge_set() <= edges
+    # Contains nothing else:
+    expected = g.edge_set() | {(u, v) for v, u in g.edge_set()}
+    assert edges == expected
+
+
+@given(g=knn_graphs(), m=st.floats(1.0, 3.0))
+@settings(max_examples=60, deadline=None)
+def test_optimize_degree_cap(g, m):
+    adj = optimize_graph(g, pruning_factor=m)
+    assert adj.degrees().max() <= int(np.ceil(g.k * m))
+    adj.validate()
+
+
+@given(g=knn_graphs())
+@settings(max_examples=60, deadline=None)
+def test_optimize_keeps_closest_edges(g):
+    """Pruning keeps each vertex's closest merged neighbors."""
+    adj = optimize_graph(g, pruning_factor=1.0)
+    merged = merge_reverse_edges(g)
+    for v in range(g.n):
+        kept_ids, kept_d = adj.neighbors(v)
+        want = merged[v][: len(kept_ids)]
+        assert [u for u, _ in want] == kept_ids.tolist()
+        np.testing.assert_allclose([d for _, d in want], kept_d)
+
+
+@given(g=knn_graphs())
+@settings(max_examples=40, deadline=None)
+def test_sort_rows_idempotent(g):
+    s1 = g.sort_rows()
+    s2 = s1.sort_rows()
+    np.testing.assert_array_equal(s1.ids, s2.ids)
+    np.testing.assert_allclose(s1.dists, s2.dists)
+
+
+@given(g=knn_graphs())
+@settings(max_examples=40, deadline=None)
+def test_arrays_roundtrip(g):
+    g2 = KNNGraph.from_arrays(g.to_arrays())
+    np.testing.assert_array_equal(g.ids, g2.ids)
+    adj = g.to_adjacency()
+    adj2 = AdjacencyGraph.from_arrays(adj.to_arrays())
+    np.testing.assert_array_equal(adj.indices, adj2.indices)

@@ -1,0 +1,75 @@
+"""HNSW structural invariants over random datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.hnsw import HNSW, HNSWConfig
+
+
+@st.composite
+def hnsw_indexes(draw):
+    n = draw(st.integers(10, 60))
+    dim = draw(st.integers(2, 6))
+    M = draw(st.integers(4, 8))
+    efc = draw(st.integers(8, 40))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    data = rng.random((n, dim)).astype(np.float32)
+    index = HNSW(data, HNSWConfig(M=M, ef_construction=efc, seed=seed)).build()
+    return data, index
+
+
+@given(setup=hnsw_indexes())
+@settings(max_examples=30, deadline=None)
+def test_structure_invariants(setup):
+    data, index = setup
+    cfg = index.config
+    n = len(data)
+    assert len(index._links) == n
+    for node, links in enumerate(index._links):
+        assert len(links) == index._levels[node] + 1
+        for layer, nbrs in enumerate(links):
+            cap = cfg.M_max0 if layer == 0 else cfg.M
+            assert len(nbrs) <= cap
+            assert node not in nbrs  # no self-links
+            assert all(0 <= e < n for e in nbrs)
+            # A link at layer L implies the target reaches layer L.
+            for e in nbrs:
+                assert index._levels[e] >= layer
+    assert index._levels[index._entry] == index._max_level
+
+
+@given(setup=hnsw_indexes())
+@settings(max_examples=30, deadline=None)
+def test_query_contract(setup):
+    data, index = setup
+    res = index.query(data[0], k=min(5, len(data)), ef=40)
+    assert len(res.ids) == min(5, len(data))
+    assert (np.diff(res.dists) >= 0).all()
+    assert len(set(res.ids.tolist())) == len(res.ids)
+
+
+@given(setup=hnsw_indexes())
+@settings(max_examples=20, deadline=None)
+def test_exhaustive_ef_is_near_exact(setup):
+    """With ef = n the beam covers (almost) the whole reachable graph,
+    so top-1 must be the true nearest neighbor whenever the graph is
+    reachable from the entry point (guaranteed: inserts link upward)."""
+    data, index = setup
+    n = len(data)
+    q = data[n // 2]
+    res = index.query(q, k=1, ef=n)
+    true_ids, _ = brute_force_neighbors(data, q.reshape(1, -1), k=1)
+    assert res.ids[0] == true_ids[0, 0]
+
+
+@given(setup=hnsw_indexes())
+@settings(max_examples=20, deadline=None)
+def test_determinism(setup):
+    data, index = setup
+    a = index.query(data[0], k=3, ef=20)
+    b = index.query(data[0], k=3, ef=20)
+    np.testing.assert_array_equal(a.ids, b.ids)

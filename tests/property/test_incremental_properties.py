@@ -1,0 +1,64 @@
+"""Incremental-index invariants under random add/remove sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NNDescentConfig
+from repro.core.incremental import IncrementalIndex
+
+
+@st.composite
+def workloads(draw):
+    seed = draw(st.integers(0, 2**31))
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), st.integers(1, 10)),
+            st.tuples(st.just("remove"), st.integers(1, 6)),
+        ),
+        min_size=1, max_size=5,
+    ))
+    return seed, ops
+
+
+@given(wl=workloads())
+@settings(max_examples=15, deadline=None)
+def test_index_stays_consistent(wl):
+    """After any add/remove sequence: graph size == data size, the graph
+    validates, and all neighbor distances are true distances."""
+    seed, ops = wl
+    rng = np.random.default_rng(seed)
+    data = rng.random((60, 6)).astype(np.float32)
+    index = IncrementalIndex(data, NNDescentConfig(k=4, seed=seed),
+                             refinement_iters=4)
+    for op, amount in ops:
+        if op == "add":
+            index.add(rng.random((amount, 6)).astype(np.float32))
+        else:
+            n = len(index)
+            amount = min(amount, n - 6)  # keep > k+1 rows
+            if amount < 1:
+                continue
+            ids = rng.choice(n, size=amount, replace=False)
+            index.remove([int(i) for i in ids])
+        assert index.graph.n == len(index)
+        index.graph.validate()
+    # Spot-check stored distances against the data.
+    from repro.distances.dense import sqeuclidean
+    g = index.graph
+    for v in range(0, g.n, max(1, g.n // 8)):
+        ids, dists = g.neighbors(v)
+        for u, d in zip(ids[:2], dists[:2]):
+            assert abs(d - sqeuclidean(index.data[v], index.data[int(u)])) < 1e-4
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=10, deadline=None)
+def test_add_preserves_existing_rows(seed):
+    rng = np.random.default_rng(seed)
+    data = rng.random((50, 5)).astype(np.float32)
+    index = IncrementalIndex(data, NNDescentConfig(k=4, seed=seed))
+    added = rng.random((7, 5)).astype(np.float32)
+    index.add(added)
+    np.testing.assert_array_equal(index.data[:50], data)
+    np.testing.assert_array_equal(index.data[50:], added)

@@ -1,0 +1,73 @@
+"""Round-trip properties of the vector file formats."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.io.bigann import read_bin, write_bin, read_ground_truth, write_ground_truth
+from repro.io.vecs import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+
+shapes = st.tuples(st.integers(1, 12), st.integers(1, 16))
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_fvecs_roundtrip(tmp_path_factory, shape, data):
+    arr = data.draw(hnp.arrays(np.float32, shape,
+                               elements=st.floats(-1e6, 1e6, width=32,
+                                                  allow_nan=False)))
+    path = tmp_path_factory.mktemp("vecs") / "x.fvecs"
+    write_fvecs(path, arr)
+    np.testing.assert_array_equal(read_fvecs(path), arr)
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_ivecs_roundtrip(tmp_path_factory, shape, data):
+    arr = data.draw(hnp.arrays(np.int32, shape,
+                               elements=st.integers(-2**31, 2**31 - 1)))
+    path = tmp_path_factory.mktemp("vecs") / "x.ivecs"
+    write_ivecs(path, arr)
+    np.testing.assert_array_equal(read_ivecs(path), arr)
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_bvecs_roundtrip(tmp_path_factory, shape, data):
+    arr = data.draw(hnp.arrays(np.uint8, shape, elements=st.integers(0, 255)))
+    path = tmp_path_factory.mktemp("vecs") / "x.bvecs"
+    write_bvecs(path, arr)
+    np.testing.assert_array_equal(read_bvecs(path), arr)
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_fbin_roundtrip(tmp_path_factory, shape, data):
+    arr = data.draw(hnp.arrays(np.float32, shape,
+                               elements=st.floats(-1e6, 1e6, width=32,
+                                                  allow_nan=False)))
+    path = tmp_path_factory.mktemp("bin") / "x.fbin"
+    write_bin(path, arr)
+    np.testing.assert_array_equal(read_bin(path), arr)
+
+
+@given(shape=shapes, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_ground_truth_roundtrip(tmp_path_factory, shape, data):
+    ids = data.draw(hnp.arrays(np.int32, shape, elements=st.integers(0, 10**6)))
+    dists = data.draw(hnp.arrays(np.float32, shape,
+                                 elements=st.floats(0, 1e6, width=32,
+                                                    allow_nan=False)))
+    path = tmp_path_factory.mktemp("bin") / "gt.bin"
+    write_ground_truth(path, ids, dists)
+    got_ids, got_dists = read_ground_truth(path)
+    np.testing.assert_array_equal(got_ids, ids)
+    np.testing.assert_array_equal(got_dists, dists)

@@ -1,0 +1,71 @@
+"""NN-Descent behavioural properties on small random instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.config import NNDescentConfig
+from repro.core.nndescent import NNDescent
+from repro.eval.recall import graph_recall
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(30, 90))
+    dim = draw(st.integers(2, 6))
+    k = draw(st.integers(2, 6))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    data = rng.random((n, dim)).astype(np.float32)
+    return data, k, seed
+
+
+@given(inst=instances())
+@settings(max_examples=25, deadline=None)
+def test_output_always_structurally_valid(inst):
+    data, k, seed = inst
+    res = NNDescent(data, NNDescentConfig(k=k, seed=seed)).build()
+    res.graph.validate()
+    assert res.graph.n == len(data)
+    assert res.graph.k == k
+
+
+@given(inst=instances())
+@settings(max_examples=20, deadline=None)
+def test_distances_are_true_distances(inst):
+    """Every stored neighbor distance equals theta(v, u) recomputed."""
+    from repro.distances.dense import sqeuclidean
+
+    data, k, seed = inst
+    res = NNDescent(data, NNDescentConfig(k=k, seed=seed)).build()
+    g = res.graph
+    for v in range(0, g.n, max(1, g.n // 10)):
+        ids, dists = g.neighbors(v)
+        for u, d in zip(ids, dists):
+            assert abs(d - sqeuclidean(data[v], data[int(u)])) < 1e-5
+
+
+@given(inst=instances())
+@settings(max_examples=15, deadline=None)
+def test_reasonable_recall_on_random_data(inst):
+    """Even on structure-free uniform data, NN-Descent beats random
+    neighbor lists by a wide margin.  (At k=2 the candidate propagation
+    has almost no slack — see the planted-neighbors unit test — so the
+    bound is deliberately loose; random lists score ~k/n ~ 0.05.)"""
+    data, k, seed = inst
+    res = NNDescent(data, NNDescentConfig(k=k, seed=seed)).build()
+    truth = brute_force_knn_graph(data, k=k)
+    assert graph_recall(res.graph, truth) > 0.3
+
+
+@given(inst=instances())
+@settings(max_examples=15, deadline=None)
+def test_update_counts_eventually_below_threshold(inst):
+    data, k, seed = inst
+    cfg = NNDescentConfig(k=k, seed=seed, delta=0.01, max_iters=40)
+    res = NNDescent(data, cfg).build()
+    if res.converged:
+        assert res.update_counts[-1] < cfg.delta * k * len(data)
+    else:
+        assert res.iterations == cfg.max_iters

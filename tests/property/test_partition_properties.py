@@ -1,0 +1,67 @@
+"""Partitioner properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.partition import BlockPartitioner, HashPartitioner
+
+
+@given(n=st.integers(1, 2000), p=st.integers(1, 32))
+@settings(max_examples=80, deadline=None)
+def test_hash_owner_total_function(n, p):
+    part = HashPartitioner(n, p)
+    owners = part.owner_array(np.arange(n))
+    assert owners.min() >= 0 and owners.max() < p
+
+
+@given(n=st.integers(1, 1000), p=st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_hash_local_ids_are_a_partition(n, p):
+    part = HashPartitioner(n, p)
+    seen = np.zeros(n, dtype=int)
+    for r in range(p):
+        for g in part.local_ids(r):
+            seen[g] += 1
+            assert part.owner(int(g)) == r
+    assert (seen == 1).all()
+
+
+@given(n=st.integers(1, 1000), p=st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_block_local_ids_are_a_partition(n, p):
+    part = BlockPartitioner(n, p)
+    seen = np.zeros(n, dtype=int)
+    for r in range(p):
+        for g in part.local_ids(r):
+            seen[g] += 1
+            assert part.owner(int(g)) == r
+    assert (seen == 1).all()
+
+
+@given(n=st.integers(64, 4000), p=st.integers(2, 16))
+@settings(max_examples=40, deadline=None)
+def test_hash_owner_stable_across_instances(n, p):
+    a = HashPartitioner(n, p)
+    b = HashPartitioner(n, p)
+    ids = np.arange(min(n, 200))
+    np.testing.assert_array_equal(a.owner_array(ids), b.owner_array(ids))
+
+
+@given(n=st.integers(1000, 8000), p=st.integers(2, 32))
+@settings(max_examples=30, deadline=None)
+def test_hash_balance_bound(n, p):
+    # With n >> p, hash partitioning keeps the imbalance modest.
+    part = HashPartitioner(n, p)
+    assert part.max_imbalance() < 1.6
+
+
+@given(n=st.integers(1, 500), p=st.integers(1, 8), scale=st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_owner_independent_of_other_vertices(n, p, scale):
+    """Hash ownership of vertex v depends only on (v, p) — adding more
+    vertices must not reassign existing ones (stability under growth)."""
+    small = HashPartitioner(n, p)
+    big = HashPartitioner(n * scale, p)
+    ids = np.arange(n)
+    np.testing.assert_array_equal(small.owner_array(ids), big.owner_array(ids))

@@ -1,0 +1,38 @@
+"""Sampling properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_rng
+from repro.utils.sampling import reservoir_sample, sample_without_replacement
+
+
+@given(pop=st.integers(0, 500), n=st.integers(0, 60), seed=st.integers(0, 10**6))
+@settings(max_examples=120, deadline=None)
+def test_swr_size_and_uniqueness(pop, n, seed):
+    rng = derive_rng(seed)
+    out = sample_without_replacement(rng, pop, n)
+    assert len(out) == min(max(n, 0), max(pop, 0))
+    assert len(np.unique(out)) == len(out)
+    if len(out):
+        assert out.min() >= 0 and out.max() < pop
+
+
+@given(pop=st.integers(1, 200), n=st.integers(1, 200), seed=st.integers(0, 10**6))
+@settings(max_examples=80, deadline=None)
+def test_swr_deterministic_per_seed(pop, n, seed):
+    a = sample_without_replacement(derive_rng(seed), pop, n)
+    b = sample_without_replacement(derive_rng(seed), pop, n)
+    np.testing.assert_array_equal(np.sort(a), np.sort(b))
+
+
+@given(stream_len=st.integers(0, 300), n=st.integers(1, 40),
+       seed=st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_reservoir_size_and_membership(stream_len, n, seed):
+    rng = derive_rng(seed)
+    out = reservoir_sample(rng, range(stream_len), n)
+    assert len(out) == min(n, stream_len)
+    assert all(0 <= x < stream_len for x in out)
+    assert len(set(out)) == len(out)

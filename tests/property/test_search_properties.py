@@ -1,0 +1,74 @@
+"""Search invariants over random datasets and graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors
+from repro.core.optimization import optimize_graph
+from repro.core.search import KNNGraphSearcher
+
+
+@st.composite
+def search_setups(draw):
+    n = draw(st.integers(20, 80))
+    dim = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    data = rng.random((n, dim)).astype(np.float32)
+    k = draw(st.integers(2, min(8, n - 1)))
+    graph = brute_force_knn_graph(data, k=k)
+    adj = optimize_graph(graph, pruning_factor=1.5)
+    return data, adj, seed
+
+
+@given(setup=search_setups(), l=st.integers(1, 12),
+       eps=st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_results_sorted_and_distinct(setup, l, eps):
+    data, adj, seed = setup
+    s = KNNGraphSearcher(adj, data, seed=seed)
+    res = s.query(data[0], l=l, epsilon=eps)
+    assert len(res.ids) == min(l, len(data))
+    assert len(set(res.ids.tolist())) == len(res.ids)
+    assert (np.diff(res.dists) >= 0).all()
+
+
+@given(setup=search_setups(), l=st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_distances_are_true_distances(setup, l):
+    data, adj, seed = setup
+    s = KNNGraphSearcher(adj, data, seed=seed)
+    q = data[1]
+    res = s.query(q, l=l, epsilon=0.2)
+    from repro.distances.dense import sqeuclidean
+    for vid, d in zip(res.ids, res.dists):
+        assert d == pytest.approx(sqeuclidean(q, data[int(vid)]), rel=1e-5)
+
+
+@given(setup=search_setups())
+@settings(max_examples=30, deadline=None)
+def test_result_never_better_than_exact(setup):
+    """Approximate results are a subset of the dataset, so their
+    distances are >= the true k-NN distances, pointwise."""
+    data, adj, seed = setup
+    s = KNNGraphSearcher(adj, data, seed=seed)
+    q = data[2]
+    res = s.query(q, l=5, epsilon=0.3)
+    _, true_d = brute_force_neighbors(data, q.reshape(1, -1), k=5)
+    got = np.sort(res.dists)[:5]
+    want = np.sort(true_d[0])
+    for g, w in zip(got, want):
+        assert g >= w - 1e-9
+
+
+@given(setup=search_setups())
+@settings(max_examples=25, deadline=None)
+def test_visited_counts_bounded(setup):
+    data, adj, seed = setup
+    s = KNNGraphSearcher(adj, data, seed=seed)
+    res = s.query(data[0], l=5, epsilon=0.1)
+    assert res.n_visited <= len(data)
+    assert res.n_distance_evals <= len(data)
+    assert res.n_distance_evals >= len(res.ids)

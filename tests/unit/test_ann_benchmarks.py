@@ -1,0 +1,102 @@
+"""Table 1 dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ann_benchmarks import (
+    BILLION_DATASETS,
+    PAPER_DATASETS,
+    SMALL_DATASETS,
+    load_dataset,
+    make_benchmark_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestInventory:
+    def test_eight_datasets(self):
+        assert len(PAPER_DATASETS) == 8
+        assert set(SMALL_DATASETS) | set(BILLION_DATASETS) == set(PAPER_DATASETS)
+
+    def test_table1_metadata(self):
+        # Exact Table 1 values.
+        spec = PAPER_DATASETS["glove-25"]
+        assert spec.dim == 25 and spec.paper_entries == 1_183_514
+        assert spec.metric == "cosine"
+        spec = PAPER_DATASETS["kosarak"]
+        assert spec.dim == 27_983 and spec.metric == "jaccard"
+        spec = PAPER_DATASETS["deep1b"]
+        assert spec.dim == 96 and spec.paper_entries == 10**9
+        spec = PAPER_DATASETS["bigann"]
+        assert spec.dim == 128 and spec.dtype == "uint8"
+
+    def test_scaled_n(self):
+        spec = PAPER_DATASETS["mnist"]
+        assert spec.scaled_n() == spec.default_n
+        assert spec.scaled_n(0.5) == spec.default_n // 2
+        assert spec.scaled_n(0.0001) == 64  # floor
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", ["fashion-mnist", "glove-25", "nytimes",
+                                      "lastfm", "deep1b"])
+    def test_dense_stand_in_properties(self, name):
+        data, spec = load_dataset(name, n=128, seed=0)
+        assert data.shape == (128, spec.dim)
+        assert data.dtype == np.float32
+
+    def test_bigann_is_uint8(self):
+        data, spec = load_dataset("bigann", n=128, seed=0)
+        assert data.dtype == np.uint8
+        assert data.shape == (128, 128)
+
+    def test_kosarak_is_sparse(self):
+        data, spec = load_dataset("kosarak", n=100, seed=0)
+        assert spec.sparse
+        assert len(data) == 100
+        assert hasattr(data, "nbytes_of")
+
+    def test_case_insensitive(self):
+        data, spec = load_dataset("MNIST", n=64)
+        assert spec.name == "mnist"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("sift-999")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("mnist", n=10)
+
+    def test_deterministic(self):
+        a, _ = load_dataset("deep1b", n=64, seed=3)
+        b, _ = load_dataset("deep1b", n=64, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_difficulty_ordering(self):
+        # NYTimes stand-in must be harder (more spread) than MNIST's.
+        assert (PAPER_DATASETS["nytimes"].cluster_std
+                > PAPER_DATASETS["mnist"].cluster_std)
+
+
+class TestBenchmarkBundle:
+    def test_dense_bundle(self):
+        train, queries, gt_ids, spec = make_benchmark_dataset(
+            "deep1b", n=200, n_queries=20, k_gt=5, seed=0)
+        assert len(train) == 200
+        assert len(queries) == 20
+        assert gt_ids.shape == (20, 5)
+        assert gt_ids.max() < 200
+
+    def test_sparse_bundle(self):
+        train, queries, gt_ids, spec = make_benchmark_dataset(
+            "kosarak", n=80, n_queries=10, k_gt=3, seed=0)
+        assert len(train) == 80 and len(queries) == 10
+        assert gt_ids.shape == (10, 3)
+
+    def test_ground_truth_is_exact(self):
+        train, queries, gt_ids, spec = make_benchmark_dataset(
+            "glove-25", n=150, n_queries=10, k_gt=4, seed=1)
+        from repro.baselines.bruteforce import brute_force_neighbors
+        want, _ = brute_force_neighbors(train, queries, k=4, metric=spec.metric)
+        np.testing.assert_array_equal(gt_ids, want)

@@ -1,0 +1,103 @@
+"""Brute-force exact k-NN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import (
+    brute_force_distance_evals,
+    brute_force_knn_graph,
+    brute_force_neighbors,
+    counting_brute_force,
+)
+from repro.errors import DatasetError
+
+
+class TestNeighbors:
+    def test_exact_on_line(self):
+        # Points on a line: neighbors are adjacent indices.
+        data = np.arange(10, dtype=np.float32).reshape(-1, 1)
+        ids, dists = brute_force_neighbors(data, data, k=2, exclude_self=True)
+        assert set(ids[5].tolist()) == {4, 6}
+        np.testing.assert_allclose(sorted(dists[5]), [1.0, 1.0])
+
+    def test_self_included_when_not_excluded(self):
+        data = np.arange(5, dtype=np.float32).reshape(-1, 1)
+        ids, dists = brute_force_neighbors(data, data, k=1)
+        np.testing.assert_array_equal(ids[:, 0], np.arange(5))
+        np.testing.assert_allclose(dists[:, 0], 0.0)
+
+    def test_sorted_ascending(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((50, 4)).astype(np.float32)
+        _, dists = brute_force_neighbors(data, data[:10], k=8)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_blocking_invariant(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((37, 3)).astype(np.float32)
+        a = brute_force_neighbors(data, data, k=5, block=7)
+        b = brute_force_neighbors(data, data, k=5, block=1000)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_external_queries(self):
+        data = np.array([[0.0], [1.0], [2.0]], dtype=np.float32)
+        q = np.array([[0.9]], dtype=np.float32)
+        ids, _ = brute_force_neighbors(data, q, k=2)
+        assert set(ids[0].tolist()) == {0, 1}
+        assert ids[0][0] == 1
+
+    def test_k_too_large(self):
+        data = np.zeros((3, 2), dtype=np.float32)
+        with pytest.raises(DatasetError):
+            brute_force_neighbors(data, data, k=3, exclude_self=True)
+        with pytest.raises(DatasetError):
+            brute_force_neighbors(data, data, k=4)
+
+    def test_bad_k(self):
+        data = np.zeros((3, 2), dtype=np.float32)
+        with pytest.raises(DatasetError):
+            brute_force_neighbors(data, data, k=0)
+
+    def test_sparse_metric(self, sparse_sets):
+        ids, dists = brute_force_neighbors(
+            sparse_sets, sparse_sets, k=3, metric="jaccard", exclude_self=True)
+        assert ids.shape == (len(sparse_sets), 3)
+        assert (dists >= 0).all() and (dists <= 1).all()
+
+    def test_tie_break_by_id(self):
+        # Equidistant points resolve to the smaller id.
+        data = np.array([[0.0], [1.0], [-1.0]], dtype=np.float32)
+        ids, _ = brute_force_neighbors(data, data[:1], k=2, exclude_self=True)
+        np.testing.assert_array_equal(ids[0], [1, 2])
+
+
+class TestGraph:
+    def test_graph_valid(self, small_dense):
+        brute_force_knn_graph(small_dense, k=5).validate()
+
+    def test_graph_matches_neighbors(self, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4)
+        ids, dists = brute_force_neighbors(
+            tiny_dense, tiny_dense, k=4, exclude_self=True)
+        np.testing.assert_array_equal(g.ids, ids)
+
+    def test_cosine_graph(self, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4, metric="cosine")
+        g.validate()
+
+
+class TestCounting:
+    def test_eval_count_formula(self):
+        assert brute_force_distance_evals(100) == 4950
+
+    def test_counting_brute_force(self, tiny_dense):
+        g, evals = counting_brute_force(tiny_dense, k=4)
+        g.validate()
+        n = len(tiny_dense)
+        assert evals == n * n  # row-at-a-time counts all pairs incl. self
+
+    def test_counting_matches_blocked(self, tiny_dense):
+        g1, _ = counting_brute_force(tiny_dense, k=4)
+        g2 = brute_force_knn_graph(tiny_dense, k=4)
+        np.testing.assert_array_equal(g1.ids, g2.ids)

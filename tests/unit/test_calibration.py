@@ -1,0 +1,73 @@
+"""Figure 3 calibration helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.calibration import (
+    Calibration,
+    calibrate,
+    compare_with_paper,
+    efficiency,
+    scaling_factor,
+)
+
+TIMES = {
+    ("DNND k10", 4): 0.008,
+    ("DNND k10", 8): 0.005,
+    ("DNND k10", 16): 0.003,
+    ("DNND k20", 8): 0.016,
+}
+
+
+class TestCalibrate:
+    def test_anchor_maps_exactly(self):
+        cal = calibrate(TIMES)
+        assert cal.hours(TIMES[("DNND k10", 4)]) == pytest.approx(6.96)
+
+    def test_ratios_preserved(self):
+        cal = calibrate(TIMES)
+        out = cal.apply(TIMES)
+        assert (out[("DNND k10", 4)] / out[("DNND k10", 16)]
+                == pytest.approx(TIMES[("DNND k10", 4)] / TIMES[("DNND k10", 16)]))
+
+    def test_missing_anchor(self):
+        with pytest.raises(ReproError):
+            calibrate({("DNND k20", 8): 1.0})
+
+    def test_custom_anchor(self):
+        cal = calibrate(TIMES, anchor=("DNND k20", 8, 10.62))
+        assert cal.hours(0.016) == pytest.approx(10.62)
+
+    def test_zero_anchor_rejected(self):
+        with pytest.raises(ReproError):
+            calibrate({("DNND k10", 4): 0.0})
+
+
+class TestScaling:
+    def test_scaling_factor(self):
+        assert scaling_factor(TIMES, "DNND k10", 4, 16) == pytest.approx(8 / 3)
+
+    def test_efficiency(self):
+        # 2.67x speedup on 4x the nodes -> 2/3 efficiency.
+        assert efficiency(TIMES, "DNND k10", 4, 16) == pytest.approx(2 / 3)
+
+    def test_missing_config(self):
+        with pytest.raises(ReproError):
+            scaling_factor(TIMES, "DNND k30", 16, 32)
+
+
+class TestCompare:
+    def test_pairs_only_shared_configs(self):
+        paper = {"DNND k10": {4: 6.96, 16: 1.84}, "DNND k30": {16: 10.29}}
+        out = compare_with_paper(TIMES, paper)
+        assert set(out) == {("DNND k10", 4), ("DNND k10", 16)}
+        ours, theirs = out[("DNND k10", 4)]
+        assert ours == pytest.approx(6.96)
+        assert theirs == 6.96
+
+    def test_explicit_calibration_object(self):
+        cal = Calibration(factor=1000.0, anchor_series="x",
+                          anchor_nodes=1, anchor_hours=1.0)
+        out = compare_with_paper(TIMES, {"DNND k10": {8: 5.0}},
+                                 calibration=cal)
+        assert out[("DNND k10", 8)][0] == pytest.approx(5.0)

@@ -1,0 +1,68 @@
+"""The chain arrangement keeps search datasets connected at any size.
+
+Regression guard for the Figure 2 / query experiments: a disconnected
+graph silently caps greedy-search recall, so the search stand-ins must
+produce connected k-NN graphs as they grow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.core.optimization import optimize_graph
+from repro.datasets.ann_benchmarks import PAPER_DATASETS, load_dataset
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import DatasetError
+
+SEARCH_DATASETS = ["glove-25", "nytimes", "lastfm", "deep1b", "bigann"]
+
+
+class TestChainGenerator:
+    def test_shapes_and_dtype(self):
+        data = gaussian_mixture(100, 8, arrangement="chain", seed=0)
+        assert data.shape == (100, 8)
+        assert data.dtype == np.float32
+
+    def test_rejects_unknown_arrangement(self):
+        with pytest.raises(DatasetError):
+            gaussian_mixture(50, 4, arrangement="spiral")
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(DatasetError):
+            gaussian_mixture(50, 4, arrangement="chain", chain_step=0.0)
+
+    def test_deterministic(self):
+        a = gaussian_mixture(60, 6, arrangement="chain", seed=5)
+        b = gaussian_mixture(60, 6, arrangement="chain", seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_chain_differs_from_uniform(self):
+        a = gaussian_mixture(60, 6, arrangement="chain", seed=5)
+        b = gaussian_mixture(60, 6, arrangement="uniform", seed=5)
+        assert not np.array_equal(a, b)
+
+    def test_smaller_step_means_better_connectivity(self):
+        # The chain_step knob's purpose: tighter chains keep the k-NN
+        # graph connected where wide steps let it fall apart.
+        def connectivity(step):
+            d = gaussian_mixture(400, 32, n_clusters=20, cluster_std=0.3,
+                                 arrangement="chain", chain_step=step, seed=3)
+            adj = optimize_graph(brute_force_knn_graph(d, k=8), 1.5)
+            return adj.connected_fraction()
+
+        assert connectivity(0.4) >= connectivity(5.0)
+        assert connectivity(0.4) > 0.95
+
+
+class TestSearchDatasetConnectivity:
+    @pytest.mark.parametrize("name", SEARCH_DATASETS)
+    def test_spec_uses_chain(self, name):
+        assert PAPER_DATASETS[name].arrangement == "chain"
+
+    @pytest.mark.parametrize("name", ["deep1b", "lastfm"])
+    @pytest.mark.parametrize("n", [300, 900])
+    def test_connected_at_multiple_sizes(self, name, n):
+        data, spec = load_dataset(name, n=n, seed=2)
+        graph = brute_force_knn_graph(data, k=10, metric=spec.metric)
+        adj = optimize_graph(graph, pruning_factor=1.5)
+        assert adj.connected_fraction() > 0.98, (name, n)

@@ -1,0 +1,72 @@
+"""Convergence diagnostics."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.config import NNDescentConfig
+from repro.core.nndescent import NNDescent
+from repro.eval.convergence import ConvergenceTrace, trace_convergence
+
+
+@pytest.fixture(scope="module")
+def traced(small_dense):
+    truth = brute_force_knn_graph(small_dense, k=6)
+    builder = NNDescent(small_dense, NNDescentConfig(k=6, seed=71, delta=0.0001))
+    result, trace = trace_convergence(builder, truth=truth)
+    return result, trace, truth
+
+
+class TestTrace:
+    def test_one_record_per_iteration(self, traced):
+        result, trace, _ = traced
+        assert trace.iterations == result.iterations
+        assert trace.update_counts == result.update_counts
+
+    def test_recall_climbs(self, traced):
+        _, trace, _ = traced
+        assert trace.recalls[-1] >= trace.recalls[0]
+        assert trace.recalls[-1] > 0.9
+
+    def test_update_rate(self, traced):
+        _, trace, _ = traced
+        rate = trace.update_rate(0)
+        assert rate == pytest.approx(trace.update_counts[0] / (6 * trace.n))
+
+    def test_iterations_for_delta(self, traced):
+        _, trace, _ = traced
+        # A huge delta stops after the first iteration...
+        assert trace.iterations_for_delta(10.0) == 1
+        # ...and delta=0 never triggers inside the recorded window.
+        assert trace.iterations_for_delta(0.0) == trace.iterations
+
+    def test_monotone_decay(self, traced):
+        _, trace, _ = traced
+        assert trace.monotone_decay()
+
+    def test_report_renders(self, traced):
+        _, trace, _ = traced
+        text = trace.report()
+        assert "NN-Descent convergence" in text
+        assert "graph recall" in text
+
+    def test_trace_without_truth(self, small_dense):
+        builder = NNDescent(small_dense, NNDescentConfig(k=5, seed=72))
+        result, trace = trace_convergence(builder)
+        assert all(r is None for r in trace.recalls)
+        assert trace.iterations == result.iterations
+        assert "-" in trace.report()
+
+    def test_callback_contract(self, small_dense):
+        snapshots = []
+        builder = NNDescent(small_dense, NNDescentConfig(k=5, seed=73))
+        builder.build(iteration_callback=lambda it, c, g: snapshots.append((it, c, g.n)))
+        assert [s[0] for s in snapshots] == list(range(len(snapshots)))
+        assert all(s[2] == len(small_dense) for s in snapshots)
+
+
+class TestEmptyTrace:
+    def test_zero_state(self):
+        trace = ConvergenceTrace()
+        assert trace.iterations == 0
+        assert trace.update_rate(0) == 0.0 if trace.update_counts else True
+        assert trace.monotone_decay()

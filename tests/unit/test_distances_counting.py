@@ -1,0 +1,47 @@
+"""CountingMetric: the work-unit instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.distances.counting import CountingMetric
+
+
+class TestCounting:
+    def test_scalar_counts(self):
+        m = CountingMetric("euclidean")
+        m(np.zeros(2), np.ones(2))
+        m(np.zeros(2), np.ones(2))
+        assert m.count == 2
+
+    def test_batch_counts_batch_size(self):
+        m = CountingMetric("sqeuclidean")
+        m.distances_to(np.zeros(3), np.zeros((7, 3)))
+        assert m.count == 7
+
+    def test_block_counts_area(self):
+        m = CountingMetric("sqeuclidean")
+        m.block(np.zeros((3, 2)), np.zeros((5, 2)))
+        assert m.count == 15
+
+    def test_reset_returns_previous(self):
+        m = CountingMetric("euclidean")
+        m(np.zeros(1), np.ones(1))
+        assert m.reset() == 1
+        assert m.count == 0
+
+    def test_name_and_sparse_flags(self):
+        assert CountingMetric("jaccard").sparse_input
+        assert CountingMetric("l2").name == "euclidean"
+
+    def test_values_unchanged(self):
+        m = CountingMetric("euclidean")
+        assert m(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_inner_metric_accessible(self):
+        m = CountingMetric("cosine")
+        assert m.inner.name == "cosine"
+
+    def test_accepts_metric_object(self):
+        from repro.distances.registry import get_metric
+        m = CountingMetric(get_metric("euclidean"))
+        assert m.name == "euclidean"

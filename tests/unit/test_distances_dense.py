@@ -1,0 +1,125 @@
+"""Dense metric correctness: scalar, one-to-many, and pairwise forms."""
+
+import numpy as np
+import pytest
+
+from repro.distances import dense
+
+
+A = np.array([1.0, 2.0, 3.0])
+B = np.array([4.0, 6.0, 3.0])
+
+
+class TestScalar:
+    def test_sqeuclidean(self):
+        assert dense.sqeuclidean(A, B) == pytest.approx(9 + 16)
+
+    def test_euclidean(self):
+        assert dense.euclidean(A, B) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert dense.manhattan(A, B) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert dense.chebyshev(A, B) == pytest.approx(4.0)
+
+    def test_cosine_identical_is_zero(self):
+        assert dense.cosine(A, A) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_orthogonal_is_one(self):
+        assert dense.cosine([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_cosine_zero_vector(self):
+        assert dense.cosine([0, 0], [1, 2]) == 1.0
+        assert dense.cosine([1, 2], [0, 0]) == 1.0
+
+    def test_inner_product(self):
+        assert dense.inner_product([1, 2], [3, 4]) == pytest.approx(1 - 11)
+
+    def test_hamming(self):
+        assert dense.hamming([1, 2, 3, 4], [1, 0, 3, 0]) == pytest.approx(0.5)
+
+    def test_hamming_identical(self):
+        assert dense.hamming([1, 2], [1, 2]) == 0.0
+
+    def test_identity_of_indiscernibles_l2(self):
+        assert dense.euclidean(A, A) == 0.0
+
+    def test_uint8_inputs(self):
+        a = np.array([250, 3], dtype=np.uint8)
+        b = np.array([1, 255], dtype=np.uint8)
+        # Must not overflow uint8 arithmetic.
+        assert dense.sqeuclidean(a, b) == pytest.approx(249**2 + 252**2)
+
+
+ONE_TO_MANY = [
+    (dense.sqeuclidean, dense.sqeuclidean_one_to_many),
+    (dense.euclidean, dense.euclidean_one_to_many),
+    (dense.manhattan, dense.manhattan_one_to_many),
+    (dense.chebyshev, dense.chebyshev_one_to_many),
+    (dense.cosine, dense.cosine_one_to_many),
+    (dense.inner_product, dense.inner_product_one_to_many),
+]
+
+
+class TestOneToMany:
+    @pytest.mark.parametrize("scalar,batch", ONE_TO_MANY)
+    def test_matches_scalar(self, scalar, batch):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=7)
+        X = rng.normal(size=(20, 7))
+        got = batch(q, X)
+        want = np.array([scalar(q, X[i]) for i in range(20)])
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    def test_hamming_one_to_many(self):
+        q = np.array([1, 2, 3])
+        X = np.array([[1, 2, 3], [0, 0, 0], [1, 0, 3]])
+        np.testing.assert_allclose(
+            dense.hamming_one_to_many(q, X), [0.0, 1.0, 1 / 3]
+        )
+
+    def test_cosine_zero_rows(self):
+        q = np.array([1.0, 0.0])
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        out = dense.cosine_one_to_many(q, X)
+        assert out[0] == 1.0 and out[1] == pytest.approx(0.0, abs=1e-12)
+
+
+PAIRWISE = [
+    (dense.sqeuclidean, dense.sqeuclidean_pairwise),
+    (dense.euclidean, dense.euclidean_pairwise),
+    (dense.manhattan, dense.manhattan_pairwise),
+    (dense.chebyshev, dense.chebyshev_pairwise),
+    (dense.cosine, dense.cosine_pairwise),
+    (dense.inner_product, dense.inner_product_pairwise),
+]
+
+
+class TestPairwise:
+    @pytest.mark.parametrize("scalar,pairwise", PAIRWISE)
+    def test_matches_scalar(self, scalar, pairwise):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(6, 5))
+        Y = rng.normal(size=(4, 5))
+        got = pairwise(X, Y)
+        want = np.array([[scalar(X[i], Y[j]) for j in range(4)] for i in range(6)])
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_sqeuclidean_nonnegative_after_cancellation(self):
+        # Near-identical rows stress the expanded-form cancellation.
+        X = np.full((3, 4), 1e6)
+        out = dense.sqeuclidean_pairwise(X, X)
+        assert (out >= 0).all()
+
+    def test_hamming_pairwise(self):
+        X = np.array([[1, 2], [3, 4]])
+        out = dense.hamming_pairwise(X, X)
+        np.testing.assert_allclose(out, [[0, 1], [1, 0]])
+
+    def test_cosine_pairwise_zero_rows(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = dense.cosine_pairwise(X, X)
+        assert out[0, 0] == 1.0  # zero vs zero
+        assert out[0, 1] == 1.0
+        assert out[1, 1] == pytest.approx(0.0, abs=1e-12)

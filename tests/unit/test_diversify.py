@@ -1,0 +1,96 @@
+"""Graph diversification (occlusion pruning)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors
+from repro.core.diversify import (
+    diversified_optimize_graph,
+    diversify_neighbor_lists,
+)
+from repro.core.optimization import optimize_graph
+from repro.core.search import KNNGraphSearcher
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import ConfigError
+from repro.eval.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(300, 10, n_clusters=5, cluster_std=0.45, seed=31)
+
+
+class TestDiversifyLists:
+    def test_collinear_occlusion(self):
+        # Points on a line: 0 -- 1 -- 2. From 0's perspective, 2 is
+        # occluded by 1 (d(1,2)=1 < d(0,2)=2).
+        pts = np.array([[0.0], [1.0], [2.0]])
+        lists = [[(1, 1.0), (2, 4.0)], [], []]  # sqeuclidean distances
+        out = diversify_neighbor_lists(lists, pts, metric="sqeuclidean")
+        assert out[0] == [(1, 1.0)]
+
+    def test_non_occluded_kept(self):
+        # Symmetric points left and right: neither occludes the other.
+        pts = np.array([[0.0], [1.0], [-1.0]])
+        lists = [[(1, 1.0), (2, 1.0)], [], []]
+        out = diversify_neighbor_lists(lists, pts, metric="sqeuclidean")
+        assert out[0] == [(1, 1.0), (2, 1.0)]
+
+    def test_closest_always_kept(self, data):
+        g = brute_force_knn_graph(data, k=8)
+        lists = [list(zip(*map(list, g.neighbors(v)))) for v in range(g.n)]
+        lists = [[(int(u), float(d)) for u, d in lst] for lst in lists]
+        out = diversify_neighbor_lists(lists, data)
+        for v in range(g.n):
+            if lists[v]:
+                assert out[v][0] == lists[v][0]
+
+    def test_prune_probability_zero_keeps_everything(self):
+        pts = np.array([[0.0], [1.0], [2.0]])
+        lists = [[(1, 1.0), (2, 4.0)], [], []]
+        out = diversify_neighbor_lists(lists, pts, prune_probability=0.0)
+        assert out[0] == lists[0]
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError):
+            diversify_neighbor_lists([[]], np.zeros((1, 1)),
+                                     prune_probability=1.5)
+
+
+class TestDiversifiedOptimize:
+    def test_fewer_edges_than_plain_optimize(self, data):
+        g = brute_force_knn_graph(data, k=10)
+        plain = optimize_graph(g, pruning_factor=1.5)
+        div = diversified_optimize_graph(g, data, pruning_factor=1.5)
+        assert div.n_edges < plain.n_edges
+
+    def test_valid_graph(self, data):
+        g = brute_force_knn_graph(data, k=10)
+        diversified_optimize_graph(g, data).validate()
+
+    def test_queries_cheaper_with_similar_recall(self, data):
+        """The point of diversification: fewer distance evaluations per
+        query at (near) equal recall."""
+        g = brute_force_knn_graph(data, k=10)
+        plain = optimize_graph(g, pruning_factor=1.5)
+        div = diversified_optimize_graph(g, data, pruning_factor=1.5)
+        gt_ids, _ = brute_force_neighbors(data, data[:40], k=10)
+
+        s_plain = KNNGraphSearcher(plain, data, seed=0)
+        s_div = KNNGraphSearcher(div, data, seed=0)
+        ids_p, _, st_p = s_plain.query_batch(data[:40], l=10, epsilon=0.2)
+        ids_d, _, st_d = s_div.query_batch(data[:40], l=10, epsilon=0.2)
+        r_plain = recall_at_k(ids_p, gt_ids)
+        r_div = recall_at_k(ids_d, gt_ids)
+        assert st_d["mean_distance_evals"] <= st_p["mean_distance_evals"]
+        assert r_div > r_plain - 0.10
+
+    def test_bad_pruning_factor(self, data):
+        g = brute_force_knn_graph(data, k=5)
+        with pytest.raises(ConfigError):
+            diversified_optimize_graph(g, data, pruning_factor=0.5)
+
+    def test_degree_cap_respected(self, data):
+        g = brute_force_knn_graph(data, k=8)
+        div = diversified_optimize_graph(g, data, pruning_factor=1.5)
+        assert div.degrees().max() <= int(np.ceil(8 * 1.5))

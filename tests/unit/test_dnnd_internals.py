@@ -1,0 +1,78 @@
+"""DNND driver internals: interleaving, fingerprinting, gather."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, DNND, DNNDConfig, NNDescentConfig
+from repro.core.dnnd import _fingerprint
+from repro.core.dnnd_phases import shard_of
+
+
+@pytest.fixture()
+def dnnd(tiny_dense):
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=99))
+    return DNND(tiny_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+
+
+class TestInterleaving:
+    def test_covers_every_vertex_once(self, dnnd, tiny_dense):
+        seen = []
+        for ctx, li in dnnd._interleaved_vertices():
+            shard = shard_of(ctx)
+            seen.append(int(shard.global_ids[li]))
+        assert sorted(seen) == list(range(len(tiny_dense)))
+
+    def test_round_robin_order(self, dnnd):
+        """Ranks progress together: local index never jumps ahead by
+        more than one relative to other ranks (SPMD modeling)."""
+        last_li = -1
+        for ctx, li in dnnd._interleaved_vertices():
+            assert li in (last_li, last_li + 1)
+            last_li = li
+
+
+class TestFingerprint:
+    def test_deterministic(self, tiny_dense):
+        assert _fingerprint(tiny_dense) == _fingerprint(tiny_dense)
+
+    def test_sensitive_to_values(self, tiny_dense):
+        other = tiny_dense.copy()
+        other[0, 0] += 1.0
+        assert _fingerprint(other) != _fingerprint(tiny_dense)
+
+    def test_sensitive_to_row_order(self, tiny_dense):
+        permuted = tiny_dense[::-1].copy()
+        assert _fingerprint(permuted) != _fingerprint(tiny_dense)
+
+    def test_sparse_records_supported(self, sparse_sets):
+        assert _fingerprint(sparse_sets) == _fingerprint(sparse_sets)
+
+
+class TestDistribution:
+    def test_shards_partition_dataset(self, dnnd, tiny_dense):
+        gids = np.concatenate([shard_of(ctx).global_ids
+                               for ctx in dnnd.world.ranks])
+        assert sorted(gids.tolist()) == list(range(len(tiny_dense)))
+
+    def test_features_colocated_with_ids(self, dnnd, tiny_dense):
+        for ctx in dnnd.world.ranks:
+            shard = shard_of(ctx)
+            for li, gid in enumerate(shard.global_ids):
+                np.testing.assert_array_equal(shard.features[li],
+                                              tiny_dense[int(gid)])
+
+    def test_heap_per_vertex(self, dnnd):
+        for ctx in dnnd.world.ranks:
+            shard = shard_of(ctx)
+            assert len(shard.heaps) == shard.n_local
+            assert all(h.k == 4 for h in shard.heaps)
+
+
+class TestGather:
+    def test_gathered_graph_matches_shards(self, dnnd, tiny_dense):
+        result = dnnd.build()
+        for ctx in dnnd.world.ranks:
+            shard = shard_of(ctx)
+            for li, gid in enumerate(shard.global_ids):
+                ids, dists, _ = shard.heaps[li].sorted_arrays()
+                np.testing.assert_array_equal(result.graph.ids[int(gid)], ids)

@@ -1,0 +1,215 @@
+"""DNND message handlers in isolation (Section 4.3 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
+from repro.core.dnnd_phases import (
+    LocalShard,
+    register_dnnd_handlers,
+    shard_of,
+)
+from repro.core.heap import NeighborHeap
+from repro.distances.counting import CountingMetric
+from repro.errors import PartitionError, RuntimeStateError
+from repro.runtime.partition import BlockPartitioner
+from repro.runtime.simmpi import SimCluster
+from repro.runtime.ygm import YGMWorld
+
+
+def make_world_with_shards(n=8, k=3, comm_opts=None):
+    """2-rank world, block partition (ranks own [0,4) and [4,8)),
+    1-D features equal to the vertex id."""
+    cluster = SimCluster(ClusterConfig(nodes=2, procs_per_node=1))
+    world = YGMWorld(cluster, flush_threshold=64)
+    register_dnnd_handlers(world)
+    part = BlockPartitioner(n, 2)
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=k, metric="sqeuclidean"),
+        comm_opts=comm_opts or CommOptConfig.optimized(),
+    )
+    data = np.arange(n, dtype=np.float32).reshape(-1, 1)
+    for ctx in world.ranks:
+        gids = part.local_ids(ctx.rank)
+        shard = LocalShard(
+            rank=ctx.rank,
+            partitioner=part,
+            global_ids=gids,
+            local_index={int(g): i for i, g in enumerate(gids)},
+            features=data[gids],
+            heaps=[NeighborHeap(k) for _ in gids],
+            metric=CountingMetric("sqeuclidean"),
+            config=cfg,
+            feature_nbytes_dense=4,
+        )
+        shard.reset_iteration_scratch()
+        ctx.state["shard"] = shard
+    return world, part
+
+
+class TestLocalShard:
+    def test_local_index(self):
+        world, part = make_world_with_shards()
+        shard = shard_of(world.ranks[1])
+        assert shard.local(4) == 0
+        assert shard.local(7) == 3
+
+    def test_wrong_rank_dereference(self):
+        world, part = make_world_with_shards()
+        shard = shard_of(world.ranks[0])
+        with pytest.raises(PartitionError):
+            shard.local(7)
+
+    def test_feature_lookup(self):
+        world, _ = make_world_with_shards()
+        shard = shard_of(world.ranks[1])
+        assert shard.feature(5)[0] == 5.0
+
+    def test_feature_nbytes_dense(self):
+        world, _ = make_world_with_shards()
+        assert shard_of(world.ranks[0]).feature_nbytes(1) == 4
+
+    def test_owner(self):
+        world, _ = make_world_with_shards()
+        shard = shard_of(world.ranks[0])
+        assert shard.owner(6) == 1
+
+
+class TestInitProtocol:
+    def test_init_request_response(self):
+        world, _ = make_world_with_shards()
+        shard0 = shard_of(world.ranks[0])
+        # Rank 0 asks owner(6)=rank1 for theta(v=1, u=6).
+        world.ranks[0].async_call(1, "init_req", 1, 6, shard0.feature(1),
+                                  nbytes=12, msg_type="init_req")
+        world.barrier()
+        heap = shard0.heap(1)
+        assert 6 in heap
+        entries = dict((i, d) for i, d, _ in heap.entries())
+        assert entries[6] == pytest.approx(25.0)  # (6-1)^2
+
+    def test_init_entry_flagged_new(self):
+        world, _ = make_world_with_shards()
+        shard0 = shard_of(world.ranks[0])
+        world.ranks[0].async_call(1, "init_req", 1, 6, shard0.feature(1),
+                                  nbytes=12, msg_type="init_req")
+        world.barrier()
+        assert shard0.heap(1).new_ids() == [6]
+
+
+class TestReverseProtocol:
+    def test_reverse_entries_land_at_owner(self):
+        world, _ = make_world_with_shards()
+        world.ranks[0].async_call(1, "rev_new", 5, 2, nbytes=8, msg_type="reverse")
+        world.ranks[0].async_call(1, "rev_old", 6, 3, nbytes=8, msg_type="reverse")
+        world.barrier()
+        shard1 = shard_of(world.ranks[1])
+        assert shard1.rev_new[shard1.local(5)] == [2]
+        assert shard1.rev_old[shard1.local(6)] == [3]
+
+
+class TestOptimizedCheckProtocol:
+    def test_full_chain_updates_both_heaps(self):
+        world, _ = make_world_with_shards()
+        shard0 = shard_of(world.ranks[0])
+        shard1 = shard_of(world.ranks[1])
+        # Center (anyone) asks u1=2 (rank0) to check against u2=5 (rank1).
+        world.ranks[1].async_call(0, "check_opt", 2, 5, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert 5 in shard0.heap(2)   # via Type 3 reply
+        assert 2 in shard1.heap(5)   # local update at u2
+        assert shard0.update_count == 1
+        assert shard1.update_count == 1
+
+    def test_redundancy_check_suppresses_type2(self):
+        world, _ = make_world_with_shards()
+        shard0 = shard_of(world.ranks[0])
+        # Pre-install 5 in heap(2): the exchange must be skipped.
+        shard0.heap(2).checked_push(5, 9.0, True)
+        world.ranks[1].async_call(0, "check_opt", 2, 5, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert world.stats.get("type2+").count == 0
+        assert world.stats.get("type3").count == 0
+
+    def test_redundancy_check_on_u2_side_suppresses_type3(self):
+        world, _ = make_world_with_shards()
+        shard1 = shard_of(world.ranks[1])
+        shard1.heap(5).checked_push(2, 9.0, True)
+        world.ranks[1].async_call(0, "check_opt", 2, 5, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert world.stats.get("type2+").count == 1
+        assert world.stats.get("type3").count == 0
+
+    def test_distance_pruning_suppresses_type3(self):
+        world, _ = make_world_with_shards()
+        shard0 = shard_of(world.ranks[0])
+        # Fill heap(2) with close neighbors so its bound is tight.
+        for vid, d in ((1, 1.0), (3, 1.0), (0, 4.0)):
+            shard0.heap(2).checked_push(vid, d, True)
+        assert shard0.heap(2).worst_distance() == 4.0
+        # theta(2, 7) = 25 >= 4 -> no Type 3.
+        world.ranks[1].async_call(0, "check_opt", 2, 7, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert world.stats.get("type3").count == 0
+        # But u2's own heap still learned about u1.
+        shard1 = shard_of(world.ranks[1])
+        assert 2 in shard1.heap(7)
+
+    def test_pruning_disabled_always_replies(self):
+        opts = CommOptConfig(one_sided=True, redundancy_check=False,
+                             distance_pruning=False)
+        world, _ = make_world_with_shards(comm_opts=opts)
+        shard0 = shard_of(world.ranks[0])
+        for vid, d in ((1, 1.0), (3, 1.0), (0, 4.0)):
+            shard0.heap(2).checked_push(vid, d, True)
+        world.ranks[1].async_call(0, "check_opt", 2, 7, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert world.stats.get("type3").count == 1
+        # Message typed plain type2 without the bound attachment.
+        assert world.stats.get("type2").count == 1
+        assert world.stats.get("type2+").count == 0
+
+
+class TestUnoptimizedCheckProtocol:
+    def test_feature_exchange_both_directions(self):
+        opts = CommOptConfig.unoptimized()
+        world, _ = make_world_with_shards(comm_opts=opts)
+        shard0 = shard_of(world.ranks[0])
+        shard1 = shard_of(world.ranks[1])
+        # The unoptimized pattern: Type 1 to each endpoint.
+        world.ranks[1].async_call(0, "check_unopt", 2, 5, nbytes=8, msg_type="type1")
+        world.ranks[1].async_call(1, "check_unopt", 5, 2, nbytes=8, msg_type="type1")
+        world.barrier()
+        assert 5 in shard0.heap(2)
+        assert 2 in shard1.heap(5)
+        # Each endpoint shipped its feature: type2 in both directions.
+        assert world.stats.get("type2").count == 2
+        assert world.stats.get("type3").count == 0
+
+    def test_distance_computed_twice(self):
+        opts = CommOptConfig.unoptimized()
+        world, _ = make_world_with_shards(comm_opts=opts)
+        world.ranks[1].async_call(0, "check_unopt", 2, 5, nbytes=8, msg_type="type1")
+        world.ranks[1].async_call(1, "check_unopt", 5, 2, nbytes=8, msg_type="type1")
+        world.barrier()
+        total = (shard_of(world.ranks[0]).metric.count
+                 + shard_of(world.ranks[1]).metric.count)
+        assert total == 2  # the redundant compute the one-sided pattern saves
+
+
+class TestOptimizePhaseHandler:
+    def test_reverse_edge_merge(self):
+        world, _ = make_world_with_shards()
+        shard1 = shard_of(world.ranks[1])
+        shard1.merged = [dict() for _ in range(shard1.n_local)]
+        world.ranks[0].async_call(1, "opt_rev_edge", 5, 1, 0.25,
+                                  nbytes=12, msg_type="opt_rev")
+        world.ranks[0].async_call(1, "opt_rev_edge", 5, 1, 0.75,
+                                  nbytes=12, msg_type="opt_rev")
+        world.barrier()
+        assert shard1.merged[shard1.local(5)] == {1: 0.25}
+
+    def test_register_twice_rejected(self):
+        world, _ = make_world_with_shards()
+        with pytest.raises(RuntimeStateError):
+            register_dnnd_handlers(world)

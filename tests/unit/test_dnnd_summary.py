@@ -1,0 +1,41 @@
+"""DNNDResult.summary() report rendering."""
+
+import pytest
+
+from repro import DNND, ClusterConfig, DNNDConfig, NNDescentConfig
+
+
+@pytest.fixture(scope="module")
+def result(tiny_dense):
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=81))
+    dnnd = DNND(tiny_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    res = dnnd.build()
+    dnnd.optimize()
+    return res
+
+
+class TestSummary:
+    def test_contains_headline_fields(self, result, tiny_dense):
+        text = result.summary()
+        assert f"n={len(tiny_dense)}" in text
+        assert "iterations:" in text
+        assert "converged" in text
+        assert "distance evaluations:" in text
+        assert "simulated time:" in text
+
+    def test_phase_breakdown_listed(self, result):
+        text = result.summary()
+        assert "phase breakdown:" in text
+        assert "neighbor_check" in text
+
+    def test_message_table_included(self, result):
+        text = result.summary()
+        assert "message totals" in text
+        assert "type1" in text
+
+    def test_optimized_graph_line(self, result):
+        assert "optimized graph:" in result.summary()
+
+    def test_update_counts_rendered(self, result):
+        text = result.summary()
+        assert "updates per iteration:" in text

@@ -1,0 +1,37 @@
+"""The exception hierarchy is catchable via the base class."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.MetricError,
+    errors.RuntimeStateError,
+    errors.PartitionError,
+    errors.StoreError,
+    errors.GraphError,
+    errors.SearchError,
+    errors.DatasetError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_errors_are_distinct(tmp_path):
+    # Catching one subclass must not swallow another.
+    with pytest.raises(errors.StoreError):
+        try:
+            raise errors.StoreError("x")
+        except errors.GraphError:  # pragma: no cover
+            pytest.fail("GraphError caught a StoreError")

@@ -1,0 +1,94 @@
+"""QPS / trade-off sweep harness (Figure 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors
+from repro.baselines.hnsw import HNSW, HNSWConfig
+from repro.core.optimization import optimize_graph
+from repro.core.search import KNNGraphSearcher
+from repro.eval.qps import (
+    QueryBenchmark,
+    TradeoffPoint,
+    dominates_at_recall,
+    pareto_front,
+    sweep_ef,
+    sweep_epsilon,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_setup():
+    from repro.datasets.synthetic import gaussian_mixture
+    data = gaussian_mixture(250, 10, n_clusters=5, cluster_std=0.4, seed=3)
+    queries = data[:20]
+    gt_ids, _ = brute_force_neighbors(data, queries, k=5)
+    bench = QueryBenchmark(queries=queries, gt_ids=gt_ids, k=5)
+    adj = optimize_graph(brute_force_knn_graph(data, k=8), pruning_factor=1.5)
+    searcher = KNNGraphSearcher(adj, data, seed=0)
+    return data, bench, searcher
+
+
+class TestQueryBenchmark:
+    def test_measure_fields(self, bench_setup):
+        data, bench, searcher = bench_setup
+        point = bench.measure(
+            lambda q, k: searcher.query_batch(q, l=k, epsilon=0.1), "dnnd", 0.1)
+        assert 0.0 <= point.recall <= 1.0
+        assert point.qps > 0
+        assert point.mean_distance_evals > 0
+        assert point.label == "dnnd" and point.param == 0.1
+
+    def test_as_row(self):
+        p = TradeoffPoint("x", 0.1, 0.95, 1234.5, 100.0)
+        row = p.as_row()
+        assert row[0] == "x" and row[2] == 0.95
+
+
+class TestSweeps:
+    def test_epsilon_sweep_default_matches_paper(self, bench_setup):
+        data, bench, searcher = bench_setup
+        points = sweep_epsilon(searcher, bench, "k8", epsilons=[0.0, 0.2])
+        assert [p.param for p in points] == [0.0, 0.2]
+        # More epsilon -> more work.
+        assert points[1].mean_distance_evals >= points[0].mean_distance_evals
+
+    def test_epsilon_default_grid(self, bench_setup):
+        data, bench, searcher = bench_setup
+        points = sweep_epsilon(searcher, bench, "k8", epsilons=None)
+        # 0 plus 0.1..0.4 step 0.025 -> 14 points (Section 5.3.1).
+        assert len(points) == 14
+        assert points[0].param == 0.0
+        assert points[-1].param == pytest.approx(0.4)
+
+    def test_ef_sweep(self, bench_setup):
+        data, bench, _ = bench_setup
+        index = HNSW(data, HNSWConfig(M=8, ef_construction=40, seed=0)).build()
+        points = sweep_ef(index, bench, "hnsw", efs=[10, 80])
+        assert points[1].mean_distance_evals > points[0].mean_distance_evals
+
+
+class TestParetoAndDominance:
+    def test_pareto_front(self):
+        pts = [
+            TradeoffPoint("a", 0, 0.8, 100, 10),
+            TradeoffPoint("a", 0, 0.9, 50, 20),
+            TradeoffPoint("a", 0, 0.7, 60, 30),   # dominated
+            TradeoffPoint("a", 0, 0.95, 10, 40),
+        ]
+        front = pareto_front(pts)
+        recalls = [p.recall for p in front]
+        assert 0.7 not in recalls
+        assert recalls == sorted(recalls)
+
+    def test_dominates_at_recall(self):
+        a = [TradeoffPoint("a", 0, 0.95, 0, 100)]
+        b = [TradeoffPoint("b", 0, 0.95, 0, 200)]
+        assert dominates_at_recall(a, b, 0.9)
+        assert not dominates_at_recall(b, a, 0.9)
+
+    def test_dominates_unreachable_recall(self):
+        a = [TradeoffPoint("a", 0, 0.5, 0, 100)]
+        b = [TradeoffPoint("b", 0, 0.95, 0, 200)]
+        assert not dominates_at_recall(a, b, 0.9)
+        assert dominates_at_recall(b, a, 0.9)

@@ -1,0 +1,81 @@
+"""Recall metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import EMPTY, KNNGraph
+from repro.errors import DatasetError
+from repro.eval.recall import graph_recall, per_vertex_recall, recall_at_k
+
+
+def graph_from(ids, dists=None):
+    ids = np.asarray(ids)
+    if dists is None:
+        dists = np.where(ids == EMPTY, np.inf, 0.5).astype(np.float64)
+    return KNNGraph(ids, dists)
+
+
+class TestGraphRecall:
+    def test_perfect(self):
+        g = graph_from([[1, 2], [0, 2], [0, 1]])
+        assert graph_recall(g, g) == 1.0
+
+    def test_half(self):
+        truth = graph_from([[1, 2], [0, 2], [0, 1]])
+        got = graph_from([[1, 3], [0, 3], [0, 3]])
+        # Row recalls: 1/2, 1/2, 1/2.
+        assert graph_recall(got, truth) == pytest.approx(0.5)
+
+    def test_order_irrelevant(self):
+        truth = graph_from([[1, 2]])
+        got = graph_from([[2, 1]])
+        assert graph_recall(got, truth) == 1.0
+
+    def test_per_vertex(self):
+        truth = graph_from([[1, 2], [0, 2], [0, 1]])
+        got = graph_from([[1, 2], [0, 3], [3, 4]])
+        np.testing.assert_allclose(per_vertex_recall(got, truth), [1.0, 0.5, 0.0])
+
+    def test_padding_in_truth(self):
+        truth = graph_from([[1, EMPTY]])
+        got = graph_from([[1, 5]])
+        assert graph_recall(got, truth) == 1.0
+
+    def test_empty_truth_row_counts_full(self):
+        truth = graph_from([[EMPTY, EMPTY]])
+        got = graph_from([[1, 2]])
+        assert graph_recall(got, truth) == 1.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(DatasetError):
+            graph_recall(graph_from([[1]]), graph_from([[1], [0]]))
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(gt, gt) == 1.0
+
+    def test_partial(self):
+        found = np.array([[1, 9, 8]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(found, gt) == pytest.approx(1 / 3)
+
+    def test_mean_over_queries(self):
+        found = np.array([[1, 2], [9, 8]])
+        gt = np.array([[1, 2], [1, 2]])
+        assert recall_at_k(found, gt) == pytest.approx(0.5)
+
+    def test_padding_ignored(self):
+        found = np.array([[1, -1, -1]])
+        gt = np.array([[1, 2, -1]])
+        assert recall_at_k(found, gt) == pytest.approx(0.5)
+
+    def test_query_count_mismatch(self):
+        with pytest.raises(DatasetError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_empty_gt_row(self):
+        found = np.array([[1, 2]])
+        gt = np.array([[-1, -1]])
+        assert recall_at_k(found, gt) == 1.0

@@ -1,0 +1,42 @@
+"""ASCII table rendering."""
+
+from repro.eval.tables import ascii_table, format_series
+
+
+class TestAsciiTable:
+    def test_basic(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = ascii_table(["c"], [[1]], title="Table 3")
+        assert out.splitlines()[0] == "Table 3"
+
+    def test_column_width_adapts(self):
+        out = ascii_table(["x"], [["longvalue"]])
+        header = out.splitlines()[0]
+        assert len(header) >= len("longvalue")
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_ints_commas(self):
+        out = ascii_table(["v"], [[1_000_000]])
+        assert "1,000,000" in out
+
+    def test_nan(self):
+        out = ascii_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("DNND k10", [4, 8], [6.96, 3.87],
+                            x_label="nodes", y_label="hours")
+        assert "DNND k10" in out
+        assert "(4, 6.96)" in out
+        assert "nodes -> hours" in out

@@ -1,0 +1,47 @@
+"""Experiment registry completeness."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.experiments import EXPERIMENTS, get_experiment, list_experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        # One entry per evaluated table/figure plus ablations.
+        for required in ("table1", "sec5.2", "table2", "fig2", "fig3", "fig4"):
+            assert required in EXPERIMENTS
+
+    def test_get_experiment(self):
+        exp = get_experiment("fig4")
+        assert exp.paper_ref.startswith("Figure 4")
+        assert exp.paper_numbers["reduction"] == 0.5
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            get_experiment("fig99")
+
+    def test_list_sorted(self):
+        names = list_experiments()
+        assert names == sorted(names)
+
+    def test_bench_files_exist(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.bench, exp.exp_id
+            assert (REPO_ROOT / exp.bench).exists(), exp.bench
+
+    def test_modules_importable(self):
+        import importlib
+        for exp in EXPERIMENTS.values():
+            for mod in exp.modules:
+                importlib.import_module(mod)
+
+    def test_table3_numbers_recorded(self):
+        exp = get_experiment("fig3")
+        deep = exp.paper_numbers["deep"]
+        assert deep["DNND k10"][16] == 1.84
+        assert deep["Hnsw B"][1] == 22.60

@@ -1,0 +1,136 @@
+"""HNSW baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.hnsw import HNSW, HNSWConfig
+from repro.errors import ConfigError, SearchError
+from repro.eval.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def built_index():
+    from repro.datasets.synthetic import gaussian_mixture
+    data = gaussian_mixture(300, 12, n_clusters=6, cluster_std=0.12, seed=7)
+    index = HNSW(data, HNSWConfig(M=8, ef_construction=60, seed=0))
+    index.build()
+    return data, index
+
+
+class TestConfig:
+    def test_m_max0_is_double(self):
+        assert HNSWConfig(M=16).M_max0 == 32
+
+    def test_mL(self):
+        assert HNSWConfig(M=16).mL == pytest.approx(1 / np.log(16))
+
+    def test_bad_m(self):
+        with pytest.raises(ConfigError):
+            HNSWConfig(M=1)
+
+    def test_bad_efc(self):
+        with pytest.raises(ConfigError):
+            HNSWConfig(ef_construction=0)
+
+
+class TestBuild:
+    def test_levels_exponential(self, built_index):
+        _, index = built_index
+        hist = index.level_histogram()
+        # Level 0 must hold the most nodes; counts decay upward.
+        assert hist[0] == max(hist)
+        assert sum(hist) == 300
+
+    def test_degree_caps_respected(self, built_index):
+        _, index = built_index
+        cfg = index.config
+        for node, links in enumerate(index._links):
+            for layer, nbrs in enumerate(links):
+                cap = cfg.M_max0 if layer == 0 else cfg.M
+                assert len(nbrs) <= cap, (node, layer)
+
+    def test_links_bidirectional_enough_for_search(self, built_index):
+        # Not strictly bidirectional after shrinking, but no dangling ids.
+        _, index = built_index
+        n = index.n
+        for links in index._links:
+            for nbrs in links:
+                assert all(0 <= e < n for e in nbrs)
+
+    def test_entry_point_has_max_level(self, built_index):
+        _, index = built_index
+        assert index._levels[index._entry] == index._max_level
+
+    def test_distance_evals_counted(self, built_index):
+        _, index = built_index
+        assert index.distance_evals > 0
+
+    def test_sparse_rejected(self, sparse_sets):
+        with pytest.raises(ConfigError):
+            HNSW(sparse_sets, metric="jaccard")
+
+    def test_single_point(self):
+        index = HNSW(np.zeros((1, 3), dtype=np.float32)).build()
+        res = index.query(np.zeros(3), k=1)
+        assert res.ids.tolist() == [0]
+
+
+class TestQuery:
+    def test_self_query(self, built_index):
+        data, index = built_index
+        res = index.query(data[42], k=1, ef=30)
+        assert res.ids[0] == 42
+
+    def test_high_recall_with_large_ef(self, built_index):
+        data, index = built_index
+        gt_ids, _ = brute_force_neighbors(data, data[:40], k=10)
+        ids, _, _ = index.query_batch(data[:40], k=10, ef=120)
+        assert recall_at_k(ids, gt_ids) > 0.9
+
+    def test_ef_trade_off(self, built_index):
+        # Larger ef -> more distance evals and >= recall (the Table 2 knob).
+        data, index = built_index
+        gt_ids, _ = brute_force_neighbors(data, data[:30], k=10)
+        ids_lo, _, st_lo = index.query_batch(data[:30], k=10, ef=10)
+        ids_hi, _, st_hi = index.query_batch(data[:30], k=10, ef=200)
+        assert st_hi["mean_distance_evals"] > st_lo["mean_distance_evals"]
+        assert recall_at_k(ids_hi, gt_ids) >= recall_at_k(ids_lo, gt_ids) - 0.02
+
+    def test_ef_clamped_to_k(self, built_index):
+        data, index = built_index
+        res = index.query(data[0], k=10, ef=1)
+        assert len(res.ids) == 10
+
+    def test_sorted_results(self, built_index):
+        data, index = built_index
+        res = index.query(data[0], k=10, ef=50)
+        assert (np.diff(res.dists) >= 0).all()
+
+    def test_query_before_build_rejected(self, small_dense):
+        index = HNSW(small_dense)
+        with pytest.raises(SearchError):
+            index.query(small_dense[0], k=3)
+
+    def test_bad_k(self, built_index):
+        data, index = built_index
+        with pytest.raises(SearchError):
+            index.query(data[0], k=0)
+
+    def test_batch_shapes(self, built_index):
+        data, index = built_index
+        ids, dists, stats = index.query_batch(data[:7], k=5, ef=20)
+        assert ids.shape == (7, 5)
+        assert stats["n_queries"] == 7
+
+
+class TestConstructionCost:
+    def test_efc_increases_cost(self, small_dense):
+        lo = HNSW(small_dense, HNSWConfig(M=8, ef_construction=10, seed=0)).build()
+        hi = HNSW(small_dense, HNSWConfig(M=8, ef_construction=120, seed=0)).build()
+        assert hi.distance_evals > lo.distance_evals
+
+    def test_degree_stats(self, built_index):
+        _, index = built_index
+        stats = index.degree_stats(0)
+        assert 0 < stats["mean"] <= index.config.M_max0

@@ -1,0 +1,143 @@
+"""Incremental index maintenance (Section 7 scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.config import NNDescentConfig
+from repro.core.incremental import IncrementalIndex
+from repro.core.nndescent import NNDescent
+from repro.datasets.synthetic import gaussian_mixture
+from repro.errors import ConfigError, DatasetError
+from repro.eval.recall import graph_recall
+
+
+@pytest.fixture()
+def base_data():
+    return gaussian_mixture(300, 12, n_clusters=6, cluster_std=0.3, seed=21)
+
+
+@pytest.fixture()
+def index(base_data):
+    return IncrementalIndex(base_data, NNDescentConfig(k=6, seed=21))
+
+
+class TestConstruction:
+    def test_initial_build_quality(self, index, base_data):
+        truth = brute_force_knn_graph(base_data, k=6)
+        assert graph_recall(index.graph, truth) > 0.9
+
+    def test_len(self, index, base_data):
+        assert len(index) == len(base_data)
+
+    def test_rejects_bad_refinement_iters(self, base_data):
+        with pytest.raises(ConfigError):
+            IncrementalIndex(base_data, NNDescentConfig(k=6), refinement_iters=0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(DatasetError):
+            IncrementalIndex(np.zeros(10), NNDescentConfig(k=3))
+
+
+class TestAdd:
+    def test_add_grows_index(self, index):
+        new = gaussian_mixture(40, 12, n_clusters=6, cluster_std=0.3, seed=99)
+        index.add(new)
+        assert len(index) == 340
+        assert index.graph.n == 340
+
+    def test_add_single_vector(self, index):
+        v = np.zeros(12, dtype=np.float32)
+        index.add(v)
+        assert len(index) == 301
+
+    def test_added_points_get_good_neighbors(self, index):
+        new = gaussian_mixture(40, 12, n_clusters=6, cluster_std=0.3, seed=99)
+        index.add(new)
+        truth = brute_force_knn_graph(index.data, k=6)
+        assert graph_recall(index.graph, truth) > 0.9
+
+    def test_add_dim_mismatch(self, index):
+        with pytest.raises(DatasetError):
+            index.add(np.zeros((3, 5)))
+
+    def test_refinement_cheaper_than_rebuild(self, base_data):
+        """The Section 7 claim: warm-started refinement beats a full
+        rebuild in distance evaluations."""
+        index = IncrementalIndex(base_data, NNDescentConfig(k=6, seed=21))
+        new = gaussian_mixture(30, 12, n_clusters=6, cluster_std=0.3, seed=77)
+        res_inc = index.add(new)
+        rebuild = NNDescent(index.data, NNDescentConfig(k=6, seed=5)).build()
+        assert res_inc.distance_evals < rebuild.distance_evals
+
+    def test_graph_valid_after_adds(self, index):
+        for seed in (1, 2):
+            index.add(gaussian_mixture(20, 12, n_clusters=6,
+                                       cluster_std=0.3, seed=seed))
+        index.graph.validate()
+
+
+class TestRemove:
+    def test_remove_shrinks_index(self, index):
+        index.remove([0, 5, 10])
+        assert len(index) == 297
+        assert index.graph.n == 297
+
+    def test_removed_ids_absent_from_graph(self, index):
+        # Remove the rows; the *new* ids are compacted, so validate the
+        # graph structurally and check the data rows moved.
+        before = index.data.copy()
+        index.remove([2])
+        index.graph.validate()
+        np.testing.assert_array_equal(index.data[2], before[3])
+
+    def test_quality_after_removal(self, index):
+        index.remove(list(range(0, 60)))
+        truth = brute_force_knn_graph(index.data, k=6)
+        assert graph_recall(index.graph, truth) > 0.9
+
+    def test_remove_out_of_range(self, index):
+        with pytest.raises(DatasetError):
+            index.remove([10_000])
+
+    def test_remove_too_many(self, index):
+        with pytest.raises(DatasetError):
+            index.remove(list(range(297)))
+
+    def test_add_then_remove_roundtrip(self, index, base_data):
+        n0 = len(index)
+        index.add(gaussian_mixture(10, 12, n_clusters=6,
+                                   cluster_std=0.3, seed=3))
+        index.remove(list(range(n0, n0 + 10)))
+        assert len(index) == n0
+        np.testing.assert_array_equal(index.data, base_data)
+
+
+class TestWarmStart:
+    def test_initial_graph_too_large_rejected(self, base_data):
+        g = brute_force_knn_graph(base_data, k=4)
+        with pytest.raises(ConfigError):
+            NNDescent(base_data[:100], NNDescentConfig(k=4), initial_graph=g)
+
+    def test_warm_start_from_exact_graph_converges_fast(self, base_data):
+        exact = brute_force_knn_graph(base_data, k=6)
+        res = NNDescent(base_data, NNDescentConfig(k=6, seed=0),
+                        initial_graph=exact).build()
+        # Already optimal: one or two check rounds, still recall 1.0.
+        assert res.iterations <= 3
+        assert graph_recall(res.graph, exact) == 1.0
+
+    def test_warm_start_skips_stale_ids(self, base_data):
+        exact = brute_force_knn_graph(base_data, k=6)
+        # Use the full graph on a truncated dataset: rows >= 200 must be
+        # skipped rather than crash.
+        truncated = exact.ids[:200], exact.dists[:200]
+        from repro.core.graph import KNNGraph
+        res = NNDescent(base_data[:200], NNDescentConfig(k=6, seed=0),
+                        initial_graph=KNNGraph(*truncated)).build()
+        res.graph.validate()
+
+    def test_total_refinement_counter(self, index):
+        before = index.total_refinement_iterations
+        index.add(np.zeros((5, 12), dtype=np.float32))
+        assert index.total_refinement_iterations > before

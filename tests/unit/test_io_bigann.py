@@ -1,0 +1,99 @@
+"""Big-ANN .fbin/.u8bin and ground-truth formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.io.bigann import (
+    read_bin,
+    read_ground_truth,
+    write_bin,
+    write_ground_truth,
+)
+
+
+class TestBinRoundTrip:
+    def test_fbin(self, tmp_path):
+        data = np.random.default_rng(0).random((6, 4)).astype(np.float32)
+        path = tmp_path / "v.fbin"
+        write_bin(path, data)
+        np.testing.assert_array_equal(read_bin(path), data)
+
+    def test_u8bin(self, tmp_path):
+        data = np.random.default_rng(1).integers(0, 256, (5, 8)).astype(np.uint8)
+        path = tmp_path / "v.u8bin"
+        write_bin(path, data)
+        np.testing.assert_array_equal(read_bin(path), data)
+
+    def test_i8bin(self, tmp_path):
+        data = np.random.default_rng(2).integers(-128, 128, (3, 2)).astype(np.int8)
+        path = tmp_path / "v.i8bin"
+        write_bin(path, data)
+        np.testing.assert_array_equal(read_bin(path), data)
+
+    def test_explicit_dtype_overrides_suffix(self, tmp_path):
+        data = np.ones((2, 3), dtype=np.float32)
+        path = tmp_path / "v.dat"
+        write_bin(path, data)
+        np.testing.assert_array_equal(read_bin(path, dtype=np.float32), data)
+
+    def test_unknown_suffix_without_dtype(self, tmp_path):
+        path = tmp_path / "v.dat"
+        write_bin(path, np.ones((1, 1), dtype=np.float32))
+        with pytest.raises(DatasetError):
+            read_bin(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "v.fbin"
+        path.write_bytes(b"\x00\x00")
+        with pytest.raises(DatasetError):
+            read_bin(path)
+
+    def test_size_mismatch(self, tmp_path):
+        path = tmp_path / "v.fbin"
+        path.write_bytes(np.array([10, 10], dtype="<u4").tobytes() + b"\x00" * 8)
+        with pytest.raises(DatasetError):
+            read_bin(path)
+
+    def test_writer_rejects_1d(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_bin(tmp_path / "v.fbin", np.zeros(4))
+
+
+class TestGroundTruth:
+    def test_roundtrip(self, tmp_path):
+        ids = np.arange(12, dtype=np.int32).reshape(3, 4)
+        dists = np.random.default_rng(0).random((3, 4)).astype(np.float32)
+        path = tmp_path / "gt.bin"
+        write_ground_truth(path, ids, dists)
+        got_ids, got_dists = read_ground_truth(path)
+        np.testing.assert_array_equal(got_ids, ids)
+        np.testing.assert_array_equal(got_dists, dists)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_ground_truth(tmp_path / "gt.bin",
+                               np.zeros((2, 3), dtype=np.int32),
+                               np.zeros((2, 4), dtype=np.float32))
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "gt.bin"
+        path.write_bytes(b"\x01")
+        with pytest.raises(DatasetError):
+            read_ground_truth(path)
+
+    def test_size_mismatch(self, tmp_path):
+        path = tmp_path / "gt.bin"
+        path.write_bytes(np.array([5, 5], dtype="<u4").tobytes() + b"\x00" * 4)
+        with pytest.raises(DatasetError):
+            read_ground_truth(path)
+
+    def test_mirrors_paper_query_bundle(self, tmp_path):
+        # Section 5.3.3: 10,000 queries x 10 ground-truth neighbors;
+        # scaled-down shape check of the same layout.
+        ids = np.zeros((100, 10), dtype=np.int32)
+        dists = np.zeros((100, 10), dtype=np.float32)
+        path = tmp_path / "gt.bin"
+        write_ground_truth(path, ids, dists)
+        got_ids, _ = read_ground_truth(path)
+        assert got_ids.shape == (100, 10)

@@ -1,0 +1,54 @@
+"""Graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.core.optimization import optimize_graph
+from repro.errors import DatasetError
+from repro.io.graph_io import load_adjacency, load_graph, save_adjacency, save_graph
+
+
+class TestKNNGraphIO:
+    def test_roundtrip(self, tmp_path, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4)
+        path = tmp_path / "g.npz"
+        save_graph(path, g)
+        g2 = load_graph(path)
+        np.testing.assert_array_equal(g.ids, g2.ids)
+        np.testing.assert_allclose(g.dists, g2.dists)
+
+    def test_wrong_kind_rejected(self, tmp_path, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4)
+        adj = optimize_graph(g)
+        path = tmp_path / "a.npz"
+        save_adjacency(path, adj)
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+
+class TestAdjacencyIO:
+    def test_roundtrip(self, tmp_path, tiny_dense):
+        adj = optimize_graph(brute_force_knn_graph(tiny_dense, k=4))
+        path = tmp_path / "a.npz"
+        save_adjacency(path, adj)
+        adj2 = load_adjacency(path)
+        np.testing.assert_array_equal(adj.indptr, adj2.indptr)
+        np.testing.assert_array_equal(adj.indices, adj2.indices)
+        np.testing.assert_allclose(adj.dists, adj2.dists)
+
+    def test_wrong_kind_rejected(self, tmp_path, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4)
+        path = tmp_path / "g.npz"
+        save_graph(path, g)
+        with pytest.raises(DatasetError):
+            load_adjacency(path)
+
+    def test_loaded_graph_usable_for_search(self, tmp_path, tiny_dense):
+        from repro.core.search import KNNGraphSearcher
+        adj = optimize_graph(brute_force_knn_graph(tiny_dense, k=4))
+        path = tmp_path / "a.npz"
+        save_adjacency(path, adj)
+        s = KNNGraphSearcher(load_adjacency(path), tiny_dense, seed=0)
+        res = s.query(tiny_dense[0], l=3, epsilon=0.3)
+        assert len(res.ids) == 3

@@ -1,0 +1,99 @@
+"""fvecs/ivecs/bvecs round-trips and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.io.vecs import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+
+
+class TestRoundTrip:
+    def test_fvecs(self, tmp_path):
+        data = np.random.default_rng(0).random((7, 5)).astype(np.float32)
+        path = tmp_path / "x.fvecs"
+        write_fvecs(path, data)
+        np.testing.assert_array_equal(read_fvecs(path), data)
+
+    def test_ivecs(self, tmp_path):
+        data = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = tmp_path / "x.ivecs"
+        write_ivecs(path, data)
+        np.testing.assert_array_equal(read_ivecs(path), data)
+
+    def test_bvecs(self, tmp_path):
+        data = np.random.default_rng(1).integers(0, 256, (4, 9)).astype(np.uint8)
+        path = tmp_path / "x.bvecs"
+        write_bvecs(path, data)
+        np.testing.assert_array_equal(read_bvecs(path), data)
+
+    def test_single_row(self, tmp_path):
+        data = np.ones((1, 3), dtype=np.float32)
+        path = tmp_path / "one.fvecs"
+        write_fvecs(path, data)
+        assert read_fvecs(path).shape == (1, 3)
+
+    def test_negative_floats(self, tmp_path):
+        data = np.array([[-1.5, 2.25]], dtype=np.float32)
+        path = tmp_path / "neg.fvecs"
+        write_fvecs(path, data)
+        np.testing.assert_array_equal(read_fvecs(path), data)
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        with pytest.raises(DatasetError):
+            read_fvecs(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.fvecs"
+        path.write_bytes(b"\x02")
+        with pytest.raises(DatasetError):
+            read_fvecs(path)
+
+    def test_bad_dimension(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(np.array([-1], dtype="<i4").tobytes())
+        with pytest.raises(DatasetError):
+            read_fvecs(path)
+
+    def test_size_not_multiple(self, tmp_path):
+        path = tmp_path / "odd.fvecs"
+        good = np.array([2], dtype="<i4").tobytes() + np.zeros(2, dtype="<f4").tobytes()
+        path.write_bytes(good + b"\x00")
+        with pytest.raises(DatasetError):
+            read_fvecs(path)
+
+    def test_inconsistent_dims(self, tmp_path):
+        path = tmp_path / "mixed.fvecs"
+        rec1 = np.array([2], dtype="<i4").tobytes() + np.zeros(2, dtype="<f4").tobytes()
+        # Second record claims dim=1 but is padded to the same record
+        # size, producing an inconsistent header.
+        rec2 = np.array([1], dtype="<i4").tobytes() + np.zeros(2, dtype="<f4").tobytes()
+        path.write_bytes(rec1 + rec2)
+        with pytest.raises(DatasetError):
+            read_fvecs(path)
+
+    def test_writer_rejects_1d(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fvecs(tmp_path / "x.fvecs", np.zeros(3))
+
+    def test_writer_rejects_empty(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fvecs(tmp_path / "x.fvecs", np.zeros((0, 3)))
+
+    def test_bvecs_inconsistent_dims(self, tmp_path):
+        path = tmp_path / "mixed.bvecs"
+        rec1 = np.array([3], dtype="<i4").tobytes() + bytes(3)
+        rec2 = np.array([2], dtype="<i4").tobytes() + bytes(3)
+        path.write_bytes(rec1 + rec2)
+        with pytest.raises(DatasetError):
+            read_bvecs(path)

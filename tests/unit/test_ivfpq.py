@@ -1,0 +1,97 @@
+"""IVF-PQ (the Faiss IVFADC architecture)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.pq import IVFPQIndex
+from repro.errors import ConfigError, SearchError
+from repro.eval.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.datasets.synthetic import gaussian_mixture
+    return gaussian_mixture(500, 16, n_clusters=10, cluster_std=0.25, seed=61)
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    return IVFPQIndex(data, n_lists=12, m=4, n_centroids=32, seed=0)
+
+
+class TestConstruction:
+    def test_lists_partition_dataset(self, index, data):
+        members = np.concatenate(index.lists)
+        assert sorted(members.tolist()) == list(range(len(data)))
+
+    def test_lists_capped_at_n(self, data):
+        idx = IVFPQIndex(data[:6], n_lists=40, m=4, n_centroids=4, seed=0)
+        assert idx.n_lists <= 6
+
+    def test_validation(self, data):
+        with pytest.raises(ConfigError):
+            IVFPQIndex(data, n_lists=0)
+        with pytest.raises(ConfigError):
+            IVFPQIndex(data, m=5)
+        with pytest.raises(ConfigError):
+            IVFPQIndex(data, metric="cosine")
+        with pytest.raises(ConfigError):
+            IVFPQIndex(np.empty((0, 4)))
+
+    def test_assignment_is_nearest_cell(self, index, data):
+        for i in (0, 100, 250):
+            d = ((index.coarse - data[i]) ** 2).sum(axis=1)
+            assert index._assign[i] == d.argmin()
+
+
+class TestQueries:
+    def test_self_query(self, index, data):
+        res = index.query(data[42], k=3, n_probe=2, rerank=30)
+        assert res.ids[0] == 42
+        assert res.dists[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_recall_grows_with_probes(self, index, data):
+        gt, _ = brute_force_neighbors(data, data[:40], k=5)
+        def recall(p):
+            ids, _, _ = index.query_batch(data[:40], k=5, n_probe=p, rerank=60)
+            return recall_at_k(ids, gt)
+        r_all = recall(index.n_lists)
+        assert r_all >= recall(1) - 0.02
+        assert r_all > 0.85
+
+    def test_fewer_probes_less_work(self, index, data):
+        lo = index.query(data[0], k=5, n_probe=1)
+        hi = index.query(data[0], k=5, n_probe=index.n_lists)
+        assert lo.n_visited <= hi.n_visited
+        assert lo.n_distance_evals <= hi.n_distance_evals
+
+    def test_probing_scans_fraction(self, index, data):
+        res = index.query(data[0], k=5, n_probe=2)
+        assert res.n_visited < len(data)
+
+    def test_sorted_distinct(self, index, data):
+        res = index.query(data[3], k=8, n_probe=3)
+        assert (np.diff(res.dists) >= 0).all()
+        assert len(set(res.ids.tolist())) == len(res.ids)
+
+    def test_validation(self, index, data):
+        with pytest.raises(SearchError):
+            index.query(np.zeros(3), k=2)
+        with pytest.raises(SearchError):
+            index.query(data[0], k=0)
+        with pytest.raises(SearchError):
+            index.query(data[0], k=2, n_probe=0)
+
+    def test_batch(self, index, data):
+        ids, dists, stats = index.query_batch(data[:8], k=4, n_probe=2)
+        assert ids.shape == (8, 4)
+        assert stats["mean_distance_evals"] > 0
+
+    def test_deterministic(self, data):
+        a = IVFPQIndex(data, n_lists=8, m=4, n_centroids=16, seed=3)
+        b = IVFPQIndex(data, n_lists=8, m=4, n_centroids=16, seed=3)
+        np.testing.assert_array_equal(a._assign, b._assign)
+        ra = a.query(data[0], k=5)
+        rb = b.query(data[0], k=5)
+        np.testing.assert_array_equal(ra.ids, rb.ids)

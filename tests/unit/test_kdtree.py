@@ -1,0 +1,105 @@
+"""k-d tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.kdtree import KDTree
+from repro.errors import ConfigError, SearchError
+from repro.eval.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def tree(small_dense):
+    return KDTree(small_dense, leaf_size=12)
+
+
+class TestConstruction:
+    def test_leaves_partition(self, tree, small_dense):
+        members = np.concatenate([leaf.members
+                                  for leaf in tree._leaves(tree._root)])
+        assert sorted(members.tolist()) == list(range(len(small_dense)))
+
+    def test_leaf_size_respected(self, tree):
+        for leaf in tree._leaves(tree._root):
+            assert len(leaf.members) <= 12
+
+    def test_depth_logarithmic(self, tree, small_dense):
+        import math
+        assert tree.depth() <= 4 * math.ceil(math.log2(len(small_dense)))
+
+    def test_duplicate_points(self):
+        data = np.ones((60, 4), dtype=np.float32)
+        tree = KDTree(data, leaf_size=8)
+        res = tree.query(np.ones(4), k=3)
+        assert len(res.ids) == 3
+
+    def test_invalid_inputs(self, small_dense):
+        with pytest.raises(ConfigError):
+            KDTree(small_dense, leaf_size=0)
+        with pytest.raises(ConfigError):
+            KDTree(small_dense, metric="cosine")
+        with pytest.raises(ConfigError):
+            KDTree(np.empty((0, 3)))
+
+
+class TestExactSearch:
+    def test_matches_brute_force(self, tree, small_dense):
+        """Exact mode must be exact — the k-d tree can serve as ground
+        truth."""
+        want, want_d = brute_force_neighbors(small_dense, small_dense[:25], k=8)
+        for i in range(25):
+            res = tree.query(small_dense[i], k=8)
+            np.testing.assert_array_equal(np.sort(res.ids), np.sort(want[i]))
+            # atol covers float32-vs-float64 rounding of self-distances
+            # (brute force computes in mixed precision).
+            np.testing.assert_allclose(np.sort(res.dists), np.sort(want_d[i]),
+                                       rtol=1e-6, atol=1e-9)
+
+    def test_prunes_branches(self, tree, small_dense):
+        res = tree.query(small_dense[0], k=5)
+        # Exactness without inspecting every point is the tree's reason
+        # to exist (at this dimensionality pruning still works a bit).
+        assert res.n_distance_evals <= len(small_dense)
+
+    def test_sorted_output(self, tree, small_dense):
+        res = tree.query(small_dense[3], k=10)
+        assert (np.diff(res.dists) >= 0).all()
+
+    def test_k_capped_at_n(self, tree, small_dense):
+        res = tree.query(small_dense[0], k=10_000)
+        assert len(res.ids) == len(small_dense)
+
+    def test_euclidean_metric_reporting(self, small_dense):
+        t2 = KDTree(small_dense, metric="euclidean")
+        res = t2.query(small_dense[0], k=2)
+        assert res.dists[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_query_validation(self, tree):
+        with pytest.raises(SearchError):
+            tree.query(np.zeros(3), k=2)
+        with pytest.raises(SearchError):
+            tree.query(np.zeros(12), k=0)
+
+
+class TestApproximateMode:
+    def test_max_leaves_bounds_work(self, tree, small_dense):
+        exact = tree.query(small_dense[7], k=5)
+        fast = tree.query(small_dense[7], k=5, max_leaves=2)
+        assert fast.n_distance_evals <= exact.n_distance_evals
+        assert fast.n_visited <= 2
+
+    def test_recall_grows_with_leaves(self, tree, small_dense):
+        gt, _ = brute_force_neighbors(small_dense, small_dense[:30], k=5)
+        def recall(leaves):
+            ids, _, _ = tree.query_batch(small_dense[:30], k=5,
+                                         max_leaves=leaves)
+            return recall_at_k(ids, gt)
+        assert recall(8) >= recall(1) - 0.05
+        assert recall(None) == 1.0
+
+    def test_batch_interface(self, tree, small_dense):
+        ids, dists, stats = tree.query_batch(small_dense[:10], k=4,
+                                             max_leaves=4)
+        assert ids.shape == (10, 4)
+        assert stats["mean_distance_evals"] > 0

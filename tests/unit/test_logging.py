@@ -1,0 +1,33 @@
+"""Per-rank logging helpers."""
+
+import logging
+
+from repro.utils.logging import configure, get_logger, rank_logger
+
+
+def test_rank0_info_enabled():
+    logger = rank_logger(0)
+    assert logger.getEffectiveLevel() <= logging.INFO or logger.level == 0
+
+
+def test_nonzero_rank_quiet():
+    logger = rank_logger(3)
+    assert logger.level == logging.WARNING
+
+
+def test_verbose_all_ranks():
+    logger = rank_logger(5, verbose_all_ranks=True)
+    assert logger.level != logging.WARNING or logger.level == 0
+
+
+def test_configure_idempotent():
+    configure()
+    root = get_logger()
+    handlers_before = len(root.handlers)
+    configure()
+    assert len(get_logger().handlers) == handlers_before
+
+
+def test_logger_naming():
+    assert rank_logger(7).name == "repro.rank7"
+    assert get_logger().name == "repro"

@@ -1,0 +1,118 @@
+"""LSH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.lsh import LSHIndex
+from repro.errors import ConfigError, SearchError
+from repro.eval.recall import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def cosine_index(small_dense):
+    return LSHIndex(small_dense, metric="cosine", n_tables=12, n_bits=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def l2_index(small_dense):
+    return LSHIndex(small_dense, metric="sqeuclidean", n_tables=12,
+                    n_bits=6, bucket_width=0.8, seed=0)
+
+
+class TestConstruction:
+    def test_table_count(self, cosine_index):
+        assert len(cosine_index._tables) == 12
+
+    def test_every_point_indexed(self, cosine_index, small_dense):
+        for table in cosine_index._tables:
+            members = np.concatenate(list(table.values()))
+            assert sorted(members.tolist()) == list(range(len(small_dense)))
+
+    def test_bucket_stats(self, cosine_index, small_dense):
+        stats = cosine_index.bucket_stats()
+        assert stats["n_buckets"] > 0
+        assert 0 < stats["mean_size"] <= len(small_dense)
+
+    def test_invalid_config(self, small_dense):
+        with pytest.raises(ConfigError):
+            LSHIndex(small_dense, n_tables=0)
+        with pytest.raises(ConfigError):
+            LSHIndex(small_dense, metric="jaccard")
+        with pytest.raises(ConfigError):
+            LSHIndex(small_dense, metric="sqeuclidean", bucket_width=0)
+        with pytest.raises(ConfigError):
+            LSHIndex(np.empty((0, 3)))
+
+
+class TestLocality:
+    def test_self_in_candidates(self, cosine_index, small_dense):
+        # A point always hashes into its own buckets.
+        for i in (0, 5, 17):
+            assert i in cosine_index.candidates(small_dense[i])
+
+    def test_candidates_fraction(self, cosine_index, small_dense):
+        # Buckets must prune: far fewer candidates than the dataset.
+        sizes = [cosine_index.candidates(small_dense[i]).size
+                 for i in range(20)]
+        assert np.mean(sizes) < len(small_dense)
+
+    def test_multiprobe_adds_candidates(self, cosine_index, small_dense):
+        base = cosine_index.candidates(small_dense[0], multiprobe=0).size
+        probed = cosine_index.candidates(small_dense[0], multiprobe=3).size
+        assert probed >= base
+
+
+class TestQueries:
+    def test_self_query_cosine(self, cosine_index, small_dense):
+        res = cosine_index.query(small_dense[9], k=3)
+        assert res.ids[0] == 9
+
+    def test_self_query_l2(self, l2_index, small_dense):
+        res = l2_index.query(small_dense[9], k=3)
+        assert res.ids[0] == 9
+
+    def test_reasonable_recall_cosine(self, cosine_index, small_dense):
+        gt, _ = brute_force_neighbors(small_dense, small_dense[:40], k=5,
+                                      metric="cosine")
+        ids, _, _ = cosine_index.query_batch(small_dense[:40], k=5,
+                                             multiprobe=2)
+        assert recall_at_k(ids, gt) > 0.5
+
+    def test_reasonable_recall_l2(self, l2_index, small_dense):
+        gt, _ = brute_force_neighbors(small_dense, small_dense[:40], k=5)
+        ids, _, _ = l2_index.query_batch(small_dense[:40], k=5)
+        assert recall_at_k(ids, gt) > 0.5
+
+    def test_more_tables_more_recall(self, small_dense):
+        gt, _ = brute_force_neighbors(small_dense, small_dense[:30], k=5,
+                                      metric="cosine")
+        def recall(tables):
+            idx = LSHIndex(small_dense, metric="cosine", n_tables=tables,
+                           n_bits=10, seed=1)
+            ids, _, _ = idx.query_batch(small_dense[:30], k=5)
+            return recall_at_k(ids, gt)
+        assert recall(16) >= recall(2) - 0.05
+
+    def test_sorted_distinct_results(self, cosine_index, small_dense):
+        res = cosine_index.query(small_dense[2], k=8)
+        assert (np.diff(res.dists) >= 0).all()
+        assert len(set(res.ids.tolist())) == len(res.ids)
+
+    def test_empty_candidates_path(self, small_dense):
+        # Very wide keys make a miss possible for an out-of-sample query.
+        idx = LSHIndex(small_dense, metric="cosine", n_tables=1, n_bits=24,
+                       seed=0)
+        res = idx.query(-small_dense[0] * 100, k=3)
+        assert len(res.ids) <= 3  # possibly empty, never crashes
+
+    def test_query_validation(self, cosine_index, small_dense):
+        with pytest.raises(SearchError):
+            cosine_index.query(small_dense[0], k=0)
+        with pytest.raises(SearchError):
+            cosine_index.query(np.zeros(3), k=2)
+
+    def test_batch_shapes(self, cosine_index, small_dense):
+        ids, dists, stats = cosine_index.query_batch(small_dense[:7], k=4)
+        assert ids.shape == (7, 4)
+        assert stats["n_queries"] == 7

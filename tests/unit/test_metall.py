@@ -1,0 +1,191 @@
+"""MetallStore lifecycle — the Section 4.6 persistence substitute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.runtime.metall import MetallStore
+
+
+class TestLifecycle:
+    def test_create_open_roundtrip(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["arr"] = np.arange(10)
+        with MetallStore.open(path) as store:
+            np.testing.assert_array_equal(store["arr"], np.arange(10))
+
+    def test_create_twice_rejected(self, tmp_path):
+        path = tmp_path / "ds"
+        MetallStore.create(path).close()
+        with pytest.raises(StoreError):
+            MetallStore.create(path)
+
+    def test_create_on_nonempty_dir_rejected(self, tmp_path):
+        path = tmp_path / "ds"
+        path.mkdir()
+        (path / "junk.txt").write_text("not a store")
+        with pytest.raises(StoreError):
+            MetallStore.create(path)
+
+    def test_create_on_file_rejected(self, tmp_path):
+        f = tmp_path / "plainfile"
+        f.write_text("x")
+        with pytest.raises(StoreError):
+            MetallStore.create(f)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            MetallStore.open(tmp_path / "nope")
+
+    def test_exists(self, tmp_path):
+        path = tmp_path / "ds"
+        assert not MetallStore.exists(path)
+        MetallStore.create(path).close()
+        assert MetallStore.exists(path)
+
+    def test_remove(self, tmp_path):
+        path = tmp_path / "ds"
+        MetallStore.create(path).close()
+        MetallStore.remove(path)
+        assert not MetallStore.exists(path)
+
+    def test_remove_missing_is_noop(self, tmp_path):
+        MetallStore.remove(tmp_path / "nothing")
+
+    def test_closed_store_rejects_access(self, tmp_path):
+        store = MetallStore.create(tmp_path / "ds")
+        store["x"] = np.ones(3)
+        store.close()
+        with pytest.raises(StoreError):
+            store["x"]
+
+    def test_double_close_is_noop(self, tmp_path):
+        store = MetallStore.create(tmp_path / "ds")
+        store.close()
+        store.close()
+
+
+class TestObjects:
+    def test_ndarray_mmap_on_open(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["big"] = np.arange(100, dtype=np.float32)
+        with MetallStore.open(path) as store:
+            arr = store["big"]
+            assert isinstance(arr, np.memmap)
+
+    def test_dict_of_arrays(self, tmp_path):
+        path = tmp_path / "ds"
+        graph = {"ids": np.arange(6).reshape(2, 3), "dists": np.ones((2, 3))}
+        with MetallStore.create(path) as store:
+            store["graph"] = graph
+        with MetallStore.open(path) as store:
+            out = store["graph"]
+            np.testing.assert_array_equal(out["ids"], graph["ids"])
+            np.testing.assert_array_equal(out["dists"], graph["dists"])
+
+    def test_pickle_fallback(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["meta"] = {"k": 10, "metric": "cosine"}
+        with MetallStore.open(path) as store:
+            assert store["meta"] == {"k": 10, "metric": "cosine"}
+
+    def test_missing_object(self, tmp_path):
+        with MetallStore.create(tmp_path / "ds") as store:
+            with pytest.raises(StoreError):
+                store["ghost"]
+
+    def test_contains_and_keys(self, tmp_path):
+        with MetallStore.create(tmp_path / "ds") as store:
+            store["a"] = np.ones(2)
+            store["b"] = {"x": 1}
+            assert "a" in store and "b" in store and "c" not in store
+            assert store.keys() == ["a", "b"]
+            assert len(store) == 2
+            assert list(iter(store)) == ["a", "b"]
+
+    def test_delete_object(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["a"] = np.ones(2)
+            store.snapshot()
+            del store["a"]
+            assert "a" not in store
+        with MetallStore.open(path) as store:
+            assert "a" not in store
+
+    def test_update_object_across_sessions(self, tmp_path):
+        # The paper's rapid-graph-update future-work scenario: reopen,
+        # mutate, persist again.
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["v"] = np.zeros(4)
+        with MetallStore.open(path) as store:
+            arr = np.asarray(store["v"]).copy()
+            arr += 1
+            store["v"] = arr
+        with MetallStore.open(path) as store:
+            np.testing.assert_array_equal(np.asarray(store["v"]), np.ones(4))
+
+    def test_invalid_names(self, tmp_path):
+        with MetallStore.create(tmp_path / "ds") as store:
+            for bad in ("", "a/b", ".hidden", "a\\b"):
+                with pytest.raises(StoreError):
+                    store[bad] = np.ones(1)
+
+
+class TestReadOnly:
+    def test_read_only_rejects_writes(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["x"] = np.ones(2)
+        ro = MetallStore.open_read_only(path)
+        with pytest.raises(StoreError):
+            ro["y"] = np.ones(2)
+        with pytest.raises(StoreError):
+            del ro["x"]
+        np.testing.assert_array_equal(ro["x"], np.ones(2))
+        ro.close()
+
+    def test_read_only_close_does_not_snapshot(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["x"] = np.ones(2)
+        ro = MetallStore.open_read_only(path)
+        ro.close()  # must not raise
+
+    def test_writable_flag(self, tmp_path):
+        path = tmp_path / "ds"
+        st = MetallStore.create(path)
+        assert st.writable
+        st.close()
+        assert not MetallStore.open_read_only(path).writable
+
+
+class TestDurability:
+    def test_snapshot_midway(self, tmp_path):
+        path = tmp_path / "ds"
+        store = MetallStore.create(path)
+        store["x"] = np.arange(3)
+        store.snapshot()
+        # A second handle opened before close sees the snapshot.
+        other = MetallStore.open_read_only(path)
+        np.testing.assert_array_equal(other["x"], np.arange(3))
+        other.close()
+        store.close()
+
+    def test_unsnapshotted_objects_not_visible(self, tmp_path):
+        path = tmp_path / "ds"
+        store = MetallStore.create(path)
+        store["x"] = np.arange(3)
+        other = MetallStore.open_read_only(path)
+        assert "x" not in other
+        other.close()
+        store.close()
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            assert store.path == path

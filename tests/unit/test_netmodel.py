@@ -1,0 +1,95 @@
+"""Network/compute cost model and the BSP ledger."""
+
+import pytest
+
+from repro.runtime.netmodel import CostLedger, NetworkModel
+
+
+class TestNetworkModel:
+    def test_offnode_costs_more(self):
+        net = NetworkModel()
+        assert net.message_cost(1000, offnode=True) > net.message_cost(1000, offnode=False)
+        assert net.flush_cost(True) > net.flush_cost(False)
+
+    def test_message_cost_linear_in_bytes(self):
+        net = NetworkModel()
+        assert net.message_cost(2000, True) == pytest.approx(2 * net.message_cost(1000, True))
+
+    def test_distance_cost_scales_with_dim(self):
+        net = NetworkModel()
+        assert net.distance_cost(net.reference_dim) == pytest.approx(net.compute_per_distance)
+        assert net.distance_cost(2 * net.reference_dim) == pytest.approx(
+            2 * net.compute_per_distance)
+
+    def test_distance_cost_min_dim(self):
+        net = NetworkModel()
+        assert net.distance_cost(0) > 0
+
+
+class TestCostLedger:
+    def test_barrier_takes_max(self):
+        led = CostLedger(world_size=4)
+        led.charge(0, 1.0)
+        led.charge(1, 3.0)
+        net = NetworkModel(barrier_alpha=0.0)
+        step = led.barrier(net)
+        assert step == pytest.approx(3.0)
+        assert led.elapsed == pytest.approx(3.0)
+        assert led.clocks == [0.0] * 4
+
+    def test_barrier_adds_latency_depth(self):
+        led = CostLedger(world_size=8)
+        net = NetworkModel(barrier_alpha=1e-6)
+        step = led.barrier(net)
+        # log2(7) ceil = 3 levels.
+        assert step == pytest.approx(3e-6)
+
+    def test_elapsed_accumulates(self):
+        led = CostLedger(world_size=2)
+        net = NetworkModel(barrier_alpha=0.0)
+        led.charge(0, 1.0)
+        led.barrier(net)
+        led.charge(1, 2.0)
+        led.barrier(net)
+        assert led.elapsed == pytest.approx(3.0)
+        assert led.barriers == 2
+
+    def test_phase_accounting(self):
+        led = CostLedger(world_size=2)
+        net = NetworkModel(barrier_alpha=0.0)
+        led.charge(0, 1.0)
+        led.barrier(net, phase="init")
+        led.charge(0, 2.0)
+        led.barrier(net, phase="init")
+        led.charge(1, 5.0)
+        led.barrier(net, phase="check")
+        assert led.phase_elapsed["init"] == pytest.approx(3.0)
+        assert led.phase_elapsed["check"] == pytest.approx(5.0)
+
+    def test_imbalance(self):
+        led = CostLedger(world_size=2)
+        led.charge(0, 3.0)
+        led.charge(1, 1.0)
+        assert led.imbalance() == pytest.approx(1.5)
+
+    def test_imbalance_idle_is_one(self):
+        assert CostLedger(world_size=3).imbalance() == 1.0
+
+    def test_reset(self):
+        led = CostLedger(world_size=2)
+        led.charge(0, 1.0)
+        led.barrier(NetworkModel())
+        led.reset()
+        assert led.elapsed == 0.0 and led.barriers == 0
+        assert led.clocks == [0.0, 0.0]
+
+    def test_load_imbalance_slows_superstep(self):
+        # The mechanism behind Figure 3's scaling roll-off: the same total
+        # work spread unevenly takes longer than spread evenly.
+        net = NetworkModel(barrier_alpha=0.0)
+        even = CostLedger(world_size=4)
+        for r in range(4):
+            even.charge(r, 1.0)
+        uneven = CostLedger(world_size=4)
+        uneven.charge(0, 4.0)
+        assert uneven.barrier(net) > even.barrier(net)

@@ -1,0 +1,152 @@
+"""Shared-memory NN-Descent (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.config import NNDescentConfig
+from repro.core.nndescent import NNDescent, _union_with_sample, build_knn_graph
+from repro.errors import ConfigError
+from repro.eval.recall import graph_recall
+from repro.utils.rng import derive_rng
+
+
+class TestBuild:
+    def test_high_recall_on_clustered_data(self, small_dense):
+        res = build_knn_graph(small_dense, k=8, seed=0)
+        truth = brute_force_knn_graph(small_dense, k=8)
+        assert graph_recall(res.graph, truth) > 0.95
+
+    def test_graph_valid(self, small_dense):
+        res = build_knn_graph(small_dense, k=6, seed=1)
+        res.graph.validate()
+
+    def test_converges(self, small_dense):
+        res = build_knn_graph(small_dense, k=6, seed=2)
+        assert res.converged
+        assert res.iterations <= 30
+
+    def test_update_counts_decrease(self, small_dense):
+        res = build_knn_graph(small_dense, k=6, seed=3)
+        # Updates should broadly shrink as the graph converges.
+        assert res.update_counts[-1] < res.update_counts[0]
+
+    def test_subquadratic_scaling(self):
+        # Section 3.1: empirical cost ~O(n^1.14) vs brute force O(n^2).
+        # At laptop scale the constant factors hide the asymptotics for a
+        # single size, so check the *growth rate*: doubling n must grow
+        # the eval count far slower than the 4x of brute force.
+        from repro.datasets.synthetic import gaussian_mixture
+        evals = {}
+        for n in (250, 500):
+            data = gaussian_mixture(n, 8, n_clusters=8, seed=4)
+            evals[n] = build_knn_graph(data, k=6, seed=4).distance_evals
+        growth = evals[500] / evals[250]
+        assert growth < 3.0  # brute force would be ~4.0
+
+    def test_planted_structure_recovered(self, planted):
+        # k must exceed the group size: NN-Descent propagates through
+        # neighbor-of-neighbor candidates, and with k == group-1 the
+        # planted islands have no slack to bridge through.
+        data, groups = planted
+        res = build_knn_graph(data, k=6, seed=5)
+        # Each point's 3 true NNs are its group mates.
+        hits = 0
+        total = 0
+        for v in range(len(data)):
+            ids, _ = res.graph.neighbors(v)
+            mates = set(np.flatnonzero(groups == groups[v])) - {v}
+            hits += len(mates & set(ids.tolist()))
+            total += len(mates)
+        assert hits / total > 0.95
+
+    def test_cosine_metric(self, small_dense):
+        res = build_knn_graph(small_dense, k=6, metric="cosine", seed=6)
+        truth = brute_force_knn_graph(small_dense, k=6, metric="cosine")
+        assert graph_recall(res.graph, truth) > 0.9
+
+    def test_jaccard_sparse(self, sparse_sets):
+        res = build_knn_graph(sparse_sets, k=5, metric="jaccard", seed=7)
+        truth = brute_force_knn_graph(sparse_sets, k=5, metric="jaccard")
+        assert graph_recall(res.graph, truth) > 0.8
+
+    def test_seed_reproducibility(self, tiny_dense):
+        a = build_knn_graph(tiny_dense, k=5, seed=11)
+        b = build_knn_graph(tiny_dense, k=5, seed=11)
+        np.testing.assert_array_equal(a.graph.ids, b.graph.ids)
+
+    def test_different_seeds_differ(self, tiny_dense):
+        a = build_knn_graph(tiny_dense, k=5, seed=1)
+        b = build_knn_graph(tiny_dense, k=5, seed=2)
+        assert not np.array_equal(a.graph.ids, b.graph.ids)
+
+    def test_max_iters_respected(self, small_dense):
+        cfg = NNDescentConfig(k=6, max_iters=1, delta=0.0, seed=0)
+        res = NNDescent(small_dense, cfg).build()
+        assert res.iterations == 1
+        assert not res.converged
+
+    def test_delta_zero_runs_to_max_iters(self, tiny_dense):
+        cfg = NNDescentConfig(k=4, delta=0.0, max_iters=3, seed=0)
+        res = NNDescent(tiny_dense, cfg).build()
+        assert res.iterations == 3
+
+    def test_high_delta_stops_early(self, small_dense):
+        cfg = NNDescentConfig(k=6, delta=10.0, seed=0)
+        res = NNDescent(small_dense, cfg).build()
+        assert res.iterations == 1 and res.converged
+
+    def test_k_too_large_rejected(self, tiny_dense):
+        with pytest.raises(ConfigError):
+            build_knn_graph(tiny_dense, k=len(tiny_dense))
+
+    def test_rho_controls_sample(self, small_dense):
+        low = NNDescent(small_dense, NNDescentConfig(k=8, rho=0.3, seed=0)).build()
+        high = NNDescent(small_dense, NNDescentConfig(k=8, rho=1.0, seed=0)).build()
+        # Higher rho does more work per iteration.
+        assert high.distance_evals / high.iterations > low.distance_evals / low.iterations
+
+
+class TestRPTreeInit:
+    def test_rptree_init_works(self, small_dense):
+        cfg = NNDescentConfig(k=6, seed=0)
+        res = NNDescent(small_dense, cfg, init_method="rptree").build()
+        truth = brute_force_knn_graph(small_dense, k=6)
+        assert graph_recall(res.graph, truth) > 0.95
+
+    def test_rptree_init_converges_in_fewer_or_equal_iters(self, small_dense):
+        cfg = NNDescentConfig(k=6, seed=0)
+        rand = NNDescent(small_dense, cfg, init_method="random").build()
+        rp = NNDescent(small_dense, cfg, init_method="rptree").build()
+        assert rp.iterations <= rand.iterations + 1
+
+    def test_rptree_rejected_for_sparse(self, sparse_sets):
+        cfg = NNDescentConfig(k=4, metric="jaccard", seed=0)
+        with pytest.raises(ConfigError):
+            NNDescent(sparse_sets, cfg, init_method="rptree")
+
+    def test_unknown_init_rejected(self, small_dense):
+        with pytest.raises(ConfigError):
+            NNDescent(small_dense, NNDescentConfig(k=4), init_method="magic")
+
+
+class TestUnionWithSample:
+    def test_preserves_base(self):
+        rng = derive_rng(0)
+        out = _union_with_sample([1, 2], [3, 4, 5], 10, rng)
+        assert out[:2] == [1, 2]
+        assert set(out) == {1, 2, 3, 4, 5}
+
+    def test_no_duplicates(self):
+        rng = derive_rng(0)
+        out = _union_with_sample([1, 2], [2, 2, 3], 10, rng)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_samples_at_most_n(self):
+        rng = derive_rng(0)
+        out = _union_with_sample([], list(range(100)), 5, rng)
+        assert len(out) == 5
+
+    def test_empty_inputs(self):
+        rng = derive_rng(0)
+        assert _union_with_sample([], [], 5, rng) == []

@@ -1,0 +1,105 @@
+"""Section 4.5 graph optimizations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.core.graph import KNNGraph
+from repro.core.optimization import (
+    merge_reverse_edges,
+    optimize_graph,
+    prune_neighborhoods,
+)
+from repro.errors import ConfigError
+
+
+def asym_graph():
+    """0 -> 1, 1 -> 2, 2 -> 0 (a directed triangle, nothing mutual)."""
+    ids = np.array([[1], [2], [0]])
+    dists = np.array([[0.1], [0.2], [0.3]])
+    return KNNGraph(ids, dists)
+
+
+class TestMergeReverse:
+    def test_adds_reverse_direction(self):
+        merged = merge_reverse_edges(asym_graph())
+        # Vertex 1 now sees 0 (reverse of 0->1) and 2 (forward).
+        assert {u for u, _ in merged[1]} == {0, 2}
+
+    def test_symmetric_result(self):
+        merged = merge_reverse_edges(asym_graph())
+        edges = {(v, u) for v in range(3) for u, _ in merged[v]}
+        for v, u in edges:
+            assert (u, v) in edges
+
+    def test_duplicates_removed(self):
+        # Mutual edge 0 <-> 1 must appear once per side.
+        ids = np.array([[1], [0]])
+        dists = np.array([[0.5], [0.5]])
+        merged = merge_reverse_edges(KNNGraph(ids, dists))
+        assert len(merged[0]) == 1 and len(merged[1]) == 1
+
+    def test_sorted_by_distance(self):
+        g = brute_force_knn_graph(
+            np.random.default_rng(0).random((40, 4)).astype(np.float32), k=5)
+        merged = merge_reverse_edges(g)
+        for lst in merged:
+            d = [x for _, x in lst]
+            assert d == sorted(d)
+
+    def test_keeps_smaller_distance_on_conflict(self):
+        # Same pair with two distances (defensive path): smaller wins.
+        ids = np.array([[1], [0]])
+        dists = np.array([[0.5], [0.4]])
+        merged = merge_reverse_edges(KNNGraph(ids, dists))
+        assert merged[0][0][1] == 0.4
+        assert merged[1][0][1] == 0.4
+
+
+class TestPrune:
+    def test_caps_degree(self):
+        lists = [[(i, float(i)) for i in range(10)]]
+        out = prune_neighborhoods(lists, 4)
+        assert len(out[0]) == 4
+
+    def test_keeps_closest(self):
+        lists = [[(1, 0.1), (2, 0.2), (3, 0.3)]]
+        out = prune_neighborhoods(lists, 2)
+        assert [u for u, _ in out[0]] == [1, 2]
+
+    def test_bad_max_degree(self):
+        with pytest.raises(ConfigError):
+            prune_neighborhoods([[]], 0)
+
+
+class TestOptimizeGraph:
+    def test_degree_bounded_by_k_times_m(self, small_dense):
+        g = brute_force_knn_graph(small_dense, k=6)
+        adj = optimize_graph(g, pruning_factor=1.5)
+        assert adj.degrees().max() <= int(np.ceil(6 * 1.5))
+
+    def test_m_one_caps_at_k(self, small_dense):
+        g = brute_force_knn_graph(small_dense, k=6)
+        adj = optimize_graph(g, pruning_factor=1.0)
+        assert adj.degrees().max() <= 6
+
+    def test_bad_m_rejected(self, small_dense):
+        g = brute_force_knn_graph(small_dense, k=4)
+        with pytest.raises(ConfigError):
+            optimize_graph(g, pruning_factor=0.5)
+
+    def test_valid_output(self, small_dense):
+        g = brute_force_knn_graph(small_dense, k=6)
+        optimize_graph(g).validate()
+
+    def test_improves_connectivity(self):
+        # The stated purpose: a reverse-merged graph is more densely
+        # connected than the raw directed k-NNG.
+        adj_raw = asym_graph().to_adjacency()
+        adj_opt = optimize_graph(asym_graph(), pruning_factor=2.0)
+        assert adj_opt.n_edges > adj_raw.n_edges
+
+    def test_original_edges_retained_when_m_large(self, tiny_dense):
+        g = brute_force_knn_graph(tiny_dense, k=4)
+        adj = optimize_graph(g, pruning_factor=10.0)
+        assert g.edge_set() <= adj.edge_set()

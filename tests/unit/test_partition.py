@@ -1,0 +1,119 @@
+"""Hash/block partitioners — Section 4's vertex distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.runtime.partition import (
+    BlockPartitioner,
+    HashPartitioner,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_vectorized_matches_scalar(self):
+        ids = np.arange(200, dtype=np.int64)
+        vec = splitmix64_array(ids)
+        for i in range(200):
+            assert int(vec[i]) == splitmix64(i)
+
+    def test_avalanche(self):
+        # Nearby inputs should differ in many bits.
+        x = splitmix64(1) ^ splitmix64(2)
+        assert bin(x).count("1") > 16
+
+
+class TestHashPartitioner:
+    def test_owner_in_range(self):
+        p = HashPartitioner(1000, 7)
+        owners = p.owner_array(np.arange(1000))
+        assert owners.min() >= 0 and owners.max() < 7
+
+    def test_owner_array_matches_scalar(self):
+        p = HashPartitioner(300, 5)
+        vec = p.owner_array(np.arange(300))
+        for v in range(300):
+            assert p.owner(v) == vec[v]
+
+    def test_local_ids_partition_everything(self):
+        p = HashPartitioner(500, 6)
+        union = np.concatenate([p.local_ids(r) for r in range(6)])
+        assert sorted(union.tolist()) == list(range(500))
+
+    def test_local_ids_disjoint(self):
+        p = HashPartitioner(200, 4)
+        seen = set()
+        for r in range(4):
+            ids = set(p.local_ids(r).tolist())
+            assert not (seen & ids)
+            seen |= ids
+
+    def test_balance(self):
+        # Hash partitioning keeps the imbalance small (the reason the
+        # paper uses it).
+        p = HashPartitioner(10_000, 16)
+        assert p.max_imbalance() < 1.15
+
+    def test_local_index_map_roundtrip(self):
+        p = HashPartitioner(100, 3)
+        for r in range(3):
+            idx = p.local_index_map(r)
+            ids = p.local_ids(r)
+            for i, g in enumerate(ids):
+                assert idx[int(g)] == i
+
+    def test_out_of_range_vertex(self):
+        p = HashPartitioner(10, 2)
+        with pytest.raises(PartitionError):
+            p.owner(10)
+        with pytest.raises(PartitionError):
+            p.owner_array(np.array([11]))
+
+    def test_out_of_range_rank(self):
+        p = HashPartitioner(10, 2)
+        with pytest.raises(PartitionError):
+            p.local_ids(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0, 2)
+        with pytest.raises(PartitionError):
+            HashPartitioner(10, 0)
+
+    def test_single_rank(self):
+        p = HashPartitioner(20, 1)
+        assert len(p.local_ids(0)) == 20
+
+
+class TestBlockPartitioner:
+    def test_contiguous_blocks(self):
+        p = BlockPartitioner(10, 3)
+        assert p.owner(0) == 0
+        assert p.owner(3) == 0
+        assert p.owner(4) == 1
+        assert p.owner(9) == 2
+
+    def test_owner_array_matches_scalar(self):
+        p = BlockPartitioner(97, 5)
+        vec = p.owner_array(np.arange(97))
+        for v in range(97):
+            assert p.owner(v) == vec[v]
+
+    def test_covers_all(self):
+        p = BlockPartitioner(101, 7)
+        union = np.concatenate([p.local_ids(r) for r in range(7)])
+        assert sorted(union.tolist()) == list(range(101))
+
+    def test_last_rank_gets_remainder(self):
+        p = BlockPartitioner(10, 4)  # block=3: 3,3,3,1
+        assert p.counts() == [3, 3, 3, 1]
+
+    def test_out_of_range(self):
+        p = BlockPartitioner(10, 2)
+        with pytest.raises(PartitionError):
+            p.owner(-1)

@@ -1,0 +1,74 @@
+"""ASCII plot rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.plots import ascii_plot, scaling_plot, tradeoff_plot
+from repro.eval.qps import TradeoffPoint
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"a": ([1, 2, 3], [1, 4, 9])}, title="squares")
+        assert "squares" in out
+        assert "legend: o=a" in out
+        assert out.count("o") >= 3
+
+    def test_two_series_glyphs(self):
+        out = ascii_plot({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        assert "o=a" in out and "x=b" in out
+
+    def test_log_axes(self):
+        out = ascii_plot({"s": ([1, 10, 100], [1, 10, 100])},
+                         log_x=True, log_y=True)
+        assert "[log x]" in out and "[log y]" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            ascii_plot({"s": ([0, 1], [1, 2])}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot({})
+        with pytest.raises(ReproError):
+            ascii_plot({"s": ([], [])})
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            ascii_plot({"s": ([1, 2], [1])})
+
+    def test_too_small_grid(self):
+        with pytest.raises(ReproError):
+            ascii_plot({"s": ([1], [1])}, width=5, height=2)
+
+    def test_constant_series_ok(self):
+        out = ascii_plot({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "o" in out
+
+    def test_axis_extremes_labelled(self):
+        out = ascii_plot({"s": ([2, 8], [1, 3])}, x_label="nodes")
+        assert "nodes: 2 .. 8" in out
+        assert "top=3" in out
+
+
+class TestFigureHelpers:
+    def test_tradeoff_plot(self):
+        pts = {
+            "dnnd": [TradeoffPoint("dnnd", 0.1, 0.9, 100, 50),
+                     TradeoffPoint("dnnd", 0.2, 0.99, 60, 150)],
+            "hnsw": [TradeoffPoint("hnsw", 20, 0.95, 80, 90)],
+        }
+        out = tradeoff_plot(pts, title="fig2")
+        assert "fig2" in out and "recall@k" in out
+        assert "o=dnnd" in out and "x=hnsw" in out
+
+    def test_scaling_plot(self):
+        out = scaling_plot({"DNND k10": {4: 6.96, 8: 3.87, 16: 1.84}},
+                           title="fig3")
+        assert "fig3" in out
+        assert "[log x]" in out and "[log y]" in out
+
+    def test_empty_series_skipped(self):
+        pts = {"empty": [], "real": [TradeoffPoint("r", 0, 0.5, 10, 5)]}
+        out = tradeoff_plot(pts)
+        assert "o=real" in out and "empty" not in out

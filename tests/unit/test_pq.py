@@ -1,0 +1,143 @@
+"""Product-quantization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.baselines.pq import PQIndex, kmeans
+from repro.errors import ConfigError, SearchError
+from repro.eval.recall import recall_at_k
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def pq_data():
+    from repro.datasets.synthetic import gaussian_mixture
+    return gaussian_mixture(400, 16, n_clusters=8, cluster_std=0.3, seed=51)
+
+
+@pytest.fixture(scope="module")
+def index(pq_data):
+    return PQIndex(pq_data, m=4, n_centroids=32, seed=0)
+
+
+class TestKMeans:
+    def test_shapes(self):
+        rng = derive_rng(0)
+        X = rng.normal(size=(100, 4))
+        cb = kmeans(X, 8, rng)
+        assert cb.shape == (8, 4)
+
+    def test_k_capped_at_n(self):
+        rng = derive_rng(1)
+        X = rng.normal(size=(5, 3))
+        assert kmeans(X, 20, rng).shape == (5, 3)
+
+    def test_recovers_separated_clusters(self):
+        rng = derive_rng(2)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 5.0]])
+        X = np.concatenate([c + rng.normal(0, 0.1, size=(50, 2))
+                            for c in centers])
+        cb = kmeans(X, 3, rng)
+        # Every true center has a centroid within 1 unit.
+        for c in centers:
+            assert np.linalg.norm(cb - c, axis=1).min() < 1.0
+
+    def test_identical_points(self):
+        rng = derive_rng(3)
+        X = np.ones((30, 2))
+        cb = kmeans(X, 4, rng)
+        assert np.allclose(cb, 1.0)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            kmeans(np.ones((5, 2)), 0, derive_rng(0))
+
+
+class TestConstruction:
+    def test_codes_shape_and_dtype(self, index, pq_data):
+        assert index.codes.shape == (len(pq_data), 4)
+        assert index.codes.dtype == np.uint8
+
+    def test_compression_ratio(self, index, pq_data):
+        # 16 dims x 4B -> 4 code bytes = 16x.
+        assert index.compression_ratio() == 16.0
+        assert index.code_bytes == 4
+
+    def test_dim_not_divisible_rejected(self, pq_data):
+        with pytest.raises(ConfigError):
+            PQIndex(pq_data, m=5)
+
+    def test_metric_guard(self, pq_data):
+        with pytest.raises(ConfigError):
+            PQIndex(pq_data, m=4, metric="cosine")
+
+    def test_centroid_bounds(self, pq_data):
+        with pytest.raises(ConfigError):
+            PQIndex(pq_data, m=4, n_centroids=300)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            PQIndex(np.empty((0, 8)), m=2)
+
+
+class TestQueries:
+    def test_self_query_with_rerank(self, index, pq_data):
+        res = index.query(pq_data[7], k=3, rerank=30)
+        assert res.ids[0] == 7
+        assert res.dists[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rerank_recall(self, index, pq_data):
+        gt, _ = brute_force_neighbors(pq_data, pq_data[:40], k=5)
+        ids, _, _ = index.query_batch(pq_data[:40], k=5, rerank=60)
+        assert recall_at_k(ids, gt) > 0.8
+
+    def test_more_rerank_more_recall(self, index, pq_data):
+        gt, _ = brute_force_neighbors(pq_data, pq_data[:30], k=5)
+        def recall(r):
+            ids, _, _ = index.query_batch(pq_data[:30], k=5, rerank=r)
+            return recall_at_k(ids, gt)
+        assert recall(100) >= recall(10) - 0.02
+
+    def test_pure_adc_mode(self, index, pq_data):
+        res = index.query(pq_data[3], k=5, rerank=0)
+        assert len(res.ids) == 5
+        # Quantized distances are approximations, not exact.
+        assert res.n_distance_evals < len(pq_data)
+
+    def test_work_accounting_scales_with_rerank(self, index, pq_data):
+        lo = index.query(pq_data[0], k=5, rerank=10)
+        hi = index.query(pq_data[0], k=5, rerank=200)
+        assert hi.n_distance_evals > lo.n_distance_evals
+
+    def test_cheaper_than_bruteforce(self, index, pq_data):
+        res = index.query(pq_data[0], k=5, rerank=40)
+        assert res.n_distance_evals < len(pq_data)
+
+    def test_sorted_distinct(self, index, pq_data):
+        res = index.query(pq_data[11], k=8, rerank=50)
+        assert (np.diff(res.dists) >= 0).all()
+        assert len(set(res.ids.tolist())) == len(res.ids)
+
+    def test_euclidean_reporting(self, pq_data):
+        idx = PQIndex(pq_data, m=4, n_centroids=16, metric="euclidean", seed=0)
+        res = idx.query(pq_data[0], k=2, rerank=20)
+        assert res.dists[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self, index, pq_data):
+        with pytest.raises(SearchError):
+            index.query(np.zeros(3), k=2)
+        with pytest.raises(SearchError):
+            index.query(pq_data[0], k=0)
+        with pytest.raises(SearchError):
+            index.query(pq_data[0], k=2, rerank=-1)
+
+    def test_batch_shapes(self, index, pq_data):
+        ids, dists, stats = index.query_batch(pq_data[:6], k=4)
+        assert ids.shape == (6, 4)
+        assert stats["n_queries"] == 6
+
+    def test_deterministic(self, pq_data):
+        a = PQIndex(pq_data, m=4, n_centroids=16, seed=5)
+        b = PQIndex(pq_data, m=4, n_centroids=16, seed=5)
+        np.testing.assert_array_equal(a.codes, b.codes)

@@ -1,0 +1,80 @@
+"""Approximate radius (range) queries on the k-NN graph."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import brute_force_knn_graph
+from repro.core.optimization import optimize_graph
+from repro.core.search import KNNGraphSearcher
+from repro.distances.dense import sqeuclidean
+from repro.errors import SearchError
+
+
+@pytest.fixture(scope="module")
+def searcher():
+    from repro.datasets.synthetic import gaussian_mixture
+    data = gaussian_mixture(300, 10, n_clusters=5, cluster_std=0.45, seed=71)
+    adj = optimize_graph(brute_force_knn_graph(data, k=10), 1.5)
+    assert adj.connected_fraction() == 1.0
+    return data, KNNGraphSearcher(adj, data, seed=0)
+
+
+def true_hits(data, q, radius):
+    d = ((data.astype(np.float64) - q) ** 2).sum(axis=1)
+    return set(np.flatnonzero(d <= radius).tolist())
+
+
+class TestRadiusQuery:
+    def test_all_hits_within_radius(self, searcher):
+        data, s = searcher
+        q = data[5]
+        res = s.query_radius(q, radius=0.5, epsilon=0.3)
+        for vid, d in zip(res.ids, res.dists):
+            assert d <= 0.5
+            assert d == pytest.approx(sqeuclidean(q, data[int(vid)]), rel=1e-6)
+
+    def test_high_recall_of_true_range(self, searcher):
+        data, s = searcher
+        q = data[17]
+        want = true_hits(data, q, 0.8)
+        res = s.query_radius(q, radius=0.8, epsilon=0.3, l=20)
+        got = set(res.ids.tolist())
+        assert len(got & want) / len(want) > 0.9
+
+    def test_sorted_and_distinct(self, searcher):
+        data, s = searcher
+        res = s.query_radius(data[0], radius=1.0, epsilon=0.2)
+        assert (np.diff(res.dists) >= 0).all()
+        assert len(set(res.ids.tolist())) == len(res.ids)
+
+    def test_zero_radius_self_only(self, searcher):
+        data, s = searcher
+        res = s.query_radius(data[3], radius=0.0, epsilon=0.2, l=30)
+        # Only exact duplicates qualify; point 3 itself should be found
+        # whenever the traversal reaches it.
+        assert set(res.ids.tolist()) <= true_hits(data, data[3], 0.0)
+
+    def test_bigger_radius_more_hits(self, searcher):
+        data, s = searcher
+        small = s.query_radius(data[8], radius=0.3, epsilon=0.3, l=20)
+        big = s.query_radius(data[8], radius=1.2, epsilon=0.3, l=20)
+        assert len(big.ids) >= len(small.ids)
+
+    def test_max_results_caps(self, searcher):
+        data, s = searcher
+        res = s.query_radius(data[0], radius=100.0, epsilon=0.1,
+                             max_results=7)
+        assert len(res.ids) <= 7
+
+    def test_validation(self, searcher):
+        data, s = searcher
+        with pytest.raises(SearchError):
+            s.query_radius(data[0], radius=-1.0)
+        with pytest.raises(SearchError):
+            s.query_radius(data[0], radius=1.0, max_results=0)
+
+    def test_work_bounded(self, searcher):
+        data, s = searcher
+        res = s.query_radius(data[2], radius=0.4, epsilon=0.2)
+        assert res.n_distance_evals <= len(data)
+        assert res.n_visited <= len(data)

@@ -1,0 +1,96 @@
+"""Random-projection trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.rptree import RPTree, RPTreeForest, make_rp_forest
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(200, 8)).astype(np.float32)
+
+
+class TestRPTree:
+    def test_leaves_partition_dataset(self, data):
+        tree = RPTree(data, leaf_size=16, rng=derive_rng(1))
+        members = np.concatenate(list(tree.leaves()))
+        assert sorted(members.tolist()) == list(range(200))
+
+    def test_leaf_size_respected(self, data):
+        tree = RPTree(data, leaf_size=16, rng=derive_rng(1))
+        for leaf in tree.leaves():
+            assert len(leaf) <= 16
+
+    def test_leaf_for_routes_to_existing_leaf(self, data):
+        tree = RPTree(data, leaf_size=16, rng=derive_rng(2))
+        leaf = tree.leaf_for(data[17])
+        all_leaves = [frozenset(l.tolist()) for l in tree.leaves()]
+        assert frozenset(leaf.tolist()) in all_leaves
+
+    def test_duplicate_points_handled(self):
+        dup = np.ones((50, 4), dtype=np.float32)
+        tree = RPTree(dup, leaf_size=8, rng=derive_rng(3))
+        members = np.concatenate(list(tree.leaves()))
+        assert sorted(members.tolist()) == list(range(50))
+
+    def test_small_dataset_single_leaf(self):
+        small = np.random.default_rng(1).normal(size=(5, 3))
+        tree = RPTree(small, leaf_size=8, rng=derive_rng(4))
+        leaves = list(tree.leaves())
+        assert len(leaves) == 1
+
+    def test_bad_leaf_size(self, data):
+        with pytest.raises(ConfigError):
+            RPTree(data, leaf_size=1, rng=derive_rng(5))
+
+    def test_depth_positive_for_split_tree(self, data):
+        tree = RPTree(data, leaf_size=16, rng=derive_rng(6))
+        assert tree.depth() >= 1
+
+    def test_deterministic_given_rng(self, data):
+        t1 = RPTree(data, leaf_size=16, rng=derive_rng(7))
+        t2 = RPTree(data, leaf_size=16, rng=derive_rng(7))
+        l1 = [l.tolist() for l in t1.leaves()]
+        l2 = [l.tolist() for l in t2.leaves()]
+        assert l1 == l2
+
+
+class TestForest:
+    def test_make_forest(self, data):
+        forest = make_rp_forest(data, n_trees=3, leaf_size=20, seed=0)
+        assert len(forest) == 3
+
+    def test_candidates_union(self, data):
+        forest = make_rp_forest(data, n_trees=3, leaf_size=20, seed=0)
+        cand = forest.candidates_for(data[0])
+        assert len(np.unique(cand)) == len(cand)
+        # The query's own leaf should contain nearby points; at minimum
+        # candidates exist.
+        assert len(cand) >= 1
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ConfigError):
+            RPTreeForest([])
+
+    def test_bad_n_trees(self, data):
+        with pytest.raises(ConfigError):
+            make_rp_forest(data, n_trees=0)
+
+    def test_leaf_locality(self, data):
+        # Points in the same leaf should on average be closer than random
+        # pairs — the property that makes rp-init useful.
+        forest = make_rp_forest(data, n_trees=1, leaf_size=20, seed=1)
+        rng = np.random.default_rng(0)
+        leaf_d, rand_d = [], []
+        for leaf in forest.leaves():
+            if len(leaf) < 2:
+                continue
+            a, b = leaf[0], leaf[1]
+            leaf_d.append(np.linalg.norm(data[a] - data[b]))
+            i, j = rng.integers(0, len(data), 2)
+            rand_d.append(np.linalg.norm(data[i] - data[j]))
+        assert np.mean(leaf_d) < np.mean(rand_d)

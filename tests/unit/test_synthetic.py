@@ -1,0 +1,135 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.errors import DatasetError
+
+
+class TestGaussianMixture:
+    def test_shape_and_dtype(self):
+        data = synthetic.gaussian_mixture(100, 16, seed=0)
+        assert data.shape == (100, 16)
+        assert data.dtype == np.float32
+
+    def test_uint8_dtype(self):
+        data = synthetic.gaussian_mixture(100, 8, dtype=np.uint8, seed=0)
+        assert data.dtype == np.uint8
+        assert data.min() >= 0
+
+    def test_deterministic(self):
+        a = synthetic.gaussian_mixture(50, 4, seed=1)
+        b = synthetic.gaussian_mixture(50, 4, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = synthetic.gaussian_mixture(50, 4, seed=1)
+        b = synthetic.gaussian_mixture(50, 4, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_clustered_structure(self):
+        # Tighter clusters -> smaller mean NN distance.
+        tight = synthetic.gaussian_mixture(200, 8, cluster_std=0.02, seed=0)
+        loose = synthetic.gaussian_mixture(200, 8, cluster_std=0.50, seed=0)
+        from repro.baselines.bruteforce import brute_force_neighbors
+        _, d_tight = brute_force_neighbors(tight, tight, k=1, exclude_self=True)
+        _, d_loose = brute_force_neighbors(loose, loose, k=1, exclude_self=True)
+        assert d_tight.mean() < d_loose.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            synthetic.gaussian_mixture(0, 4)
+        with pytest.raises(DatasetError):
+            synthetic.gaussian_mixture(10, 0)
+        with pytest.raises(DatasetError):
+            synthetic.gaussian_mixture(10, 4, n_clusters=0)
+
+
+class TestUniform:
+    def test_range(self):
+        data = synthetic.uniform_hypercube(100, 6, seed=0)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            synthetic.uniform_hypercube(0, 3)
+
+
+class TestPlantedNeighbors:
+    def test_groups_are_near_duplicates(self):
+        data, groups = synthetic.planted_neighbors(40, 6, group=4, seed=0)
+        for g in np.unique(groups):
+            members = data[groups == g]
+            spread = np.linalg.norm(members - members.mean(0), axis=1).max()
+            assert spread < 0.01
+
+    def test_group_ids_shape(self):
+        data, groups = synthetic.planted_neighbors(43, 5, group=4, seed=0)
+        assert len(groups) == 43 and len(data) == 43
+
+    def test_bad_group(self):
+        with pytest.raises(DatasetError):
+            synthetic.planted_neighbors(10, 3, group=1)
+
+
+class TestPowerLawSets:
+    def test_basic(self):
+        ds = synthetic.power_law_sets(80, universe=300, mean_size=10, seed=0)
+        assert len(ds) == 80
+        for i in range(80):
+            rec = ds[i]
+            assert rec.size >= 1
+            assert (rec >= 0).all() and (rec < 300).all()
+
+    def test_records_sorted_unique(self):
+        ds = synthetic.power_law_sets(40, universe=200, seed=1)
+        for i in range(40):
+            rec = ds[i]
+            assert (np.diff(rec) > 0).all() or rec.size <= 1
+
+    def test_popularity_skew(self):
+        # Power-law item weights: low item ids appear much more often.
+        ds = synthetic.power_law_sets(300, universe=1000, mean_size=20, seed=2)
+        counts = np.zeros(1000)
+        for i in range(300):
+            counts[ds[i]] += 1
+        assert counts[:100].sum() > counts[500:600].sum()
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            synthetic.power_law_sets(0)
+        with pytest.raises(DatasetError):
+            synthetic.power_law_sets(10, universe=2)
+
+
+class TestSplits:
+    def test_train_query_split_dense(self):
+        data = synthetic.uniform_hypercube(50, 4, seed=0)
+        train, queries = synthetic.train_query_split(data, 10, seed=0)
+        assert len(train) == 40 and len(queries) == 10
+
+    def test_split_disjoint_and_complete(self):
+        data = np.arange(20, dtype=np.float32).reshape(-1, 1)
+        train, queries = synthetic.train_query_split(data, 5, seed=1)
+        merged = sorted(np.concatenate([train, queries]).ravel().tolist())
+        assert merged == list(range(20))
+
+    def test_split_list_input(self):
+        records = [np.array([i]) for i in range(10)]
+        train, queries = synthetic.train_query_split(records, 3, seed=0)
+        assert len(train) == 7 and len(queries) == 3
+
+    def test_invalid_n_queries(self):
+        data = synthetic.uniform_hypercube(10, 2, seed=0)
+        with pytest.raises(DatasetError):
+            synthetic.train_query_split(data, 0)
+        with pytest.raises(DatasetError):
+            synthetic.train_query_split(data, 10)
+
+    def test_add_query_noise(self):
+        data = synthetic.uniform_hypercube(20, 4, seed=0)
+        noisy = synthetic.add_query_noise(data, scale=0.01, seed=0)
+        assert noisy.shape == data.shape
+        assert not np.array_equal(noisy, data)
+        assert np.abs(noisy.astype(np.float64) - data).mean() < 0.05

@@ -1,0 +1,72 @@
+"""Runtime tracing (Section 7 profiling support)."""
+
+import pytest
+
+from repro import DNND, ClusterConfig, DNNDConfig, NNDescentConfig
+from repro.runtime.tracing import attach_tracer
+
+
+@pytest.fixture(scope="module")
+def traced_run(small_dense):
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=6, seed=51), batch_size=1 << 11)
+    dnnd = DNND(small_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    tracer = attach_tracer(dnnd.world)
+    result = dnnd.build()
+    return tracer, result, dnnd
+
+
+class TestTracer:
+    def test_one_record_per_barrier(self, traced_run):
+        tracer, _, dnnd = traced_run
+        assert tracer.total_supersteps() == dnnd.cluster.ledger.barriers
+
+    def test_durations_sum_to_elapsed(self, traced_run):
+        tracer, result, _ = traced_run
+        total = sum(r.duration for r in tracer.records)
+        assert total == pytest.approx(result.sim_seconds, rel=1e-9)
+
+    def test_phases_labelled(self, traced_run):
+        tracer, _, _ = traced_run
+        phases = {r.phase for r in tracer.records}
+        assert {"init", "reverse", "neighbor_check"} <= phases
+
+    def test_phase_durations_match_ledger(self, traced_run):
+        tracer, result, _ = traced_run
+        for phase, secs in tracer.phase_durations().items():
+            assert secs == pytest.approx(result.phase_seconds[phase], rel=1e-9)
+
+    def test_message_timeline_totals(self, traced_run):
+        tracer, result, _ = traced_run
+        timeline = tracer.message_timeline("type1")
+        assert sum(timeline) == result.message_stats.get("type1").count
+
+    def test_imbalance_recorded(self, traced_run):
+        tracer, _, _ = traced_run
+        assert tracer.peak_imbalance() >= 1.0
+
+    def test_busiest_supersteps_sorted(self, traced_run):
+        tracer, _, _ = traced_run
+        busiest = tracer.busiest_supersteps(3)
+        durations = [r.duration for r in busiest]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_report_renders(self, traced_run):
+        tracer, _, _ = traced_run
+        text = tracer.report()
+        assert "phase breakdown" in text
+        assert "busiest supersteps" in text
+        assert "neighbor_check" in text
+
+    def test_barrier_semantics_preserved(self, small_dense):
+        """A traced build produces the same graph as an untraced one."""
+        import numpy as np
+
+        def build(trace):
+            cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=52))
+            dnnd = DNND(small_dense, cfg,
+                        cluster=ClusterConfig(nodes=2, procs_per_node=1))
+            if trace:
+                attach_tracer(dnnd.world)
+            return dnnd.build().graph
+
+        np.testing.assert_array_equal(build(True).ids, build(False).ids)

@@ -1,0 +1,41 @@
+"""Unit tests for the Section 2 size-accounting helpers."""
+
+import numpy as np
+
+from repro.types import (
+    DIST_BYTES,
+    ID_BYTES,
+    dataset_bytes,
+    feature_bytes,
+    graph_bytes,
+)
+
+
+def test_id_bytes_match_paper_uint32():
+    assert ID_BYTES == 4
+    assert DIST_BYTES == 4
+
+
+def test_feature_bytes_float32():
+    # Section 2: dim x E, E = 4 for float32.
+    assert feature_bytes(96, np.float32) == 384
+
+
+def test_feature_bytes_uint8():
+    # BigANN uses uint8 vectors (Section 5.3): E = 1.
+    assert feature_bytes(128, np.uint8) == 128
+
+
+def test_dataset_bytes_deep1b():
+    # DEEP 1B: 1e9 x 96 x 4 bytes = 384 GB.
+    assert dataset_bytes(10**9, 96, np.float32) == 384 * 10**9
+
+
+def test_graph_bytes():
+    # k x N x T with T = 4 (uint32 ids).
+    assert graph_bytes(10**9, 10) == 40 * 10**9
+
+
+def test_feature_bytes_accepts_dtype_objects_and_strings():
+    assert feature_bytes(10, "float64") == 80
+    assert feature_bytes(10, np.dtype(np.int16)) == 20

@@ -1,0 +1,94 @@
+"""Sampling primitives (Algorithm 1's ``Sample``)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng
+from repro.utils.sampling import (
+    reservoir_sample,
+    sample_items,
+    sample_without_replacement,
+)
+
+
+@pytest.fixture()
+def rng():
+    return derive_rng(0, 1)
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self, rng):
+        out = sample_without_replacement(rng, 100, 30)
+        assert len(np.unique(out)) == 30
+
+    def test_range(self, rng):
+        out = sample_without_replacement(rng, 50, 20)
+        assert out.min() >= 0 and out.max() < 50
+
+    def test_caps_at_population(self, rng):
+        out = sample_without_replacement(rng, 5, 50)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_zero_requests(self, rng):
+        assert sample_without_replacement(rng, 10, 0).size == 0
+
+    def test_empty_population(self, rng):
+        assert sample_without_replacement(rng, 0, 5).size == 0
+
+    def test_negative_population(self, rng):
+        assert sample_without_replacement(rng, -3, 5).size == 0
+
+    def test_sparse_path(self, rng):
+        # n * 4 < population exercises the rejection branch.
+        out = sample_without_replacement(rng, 10_000, 5)
+        assert len(np.unique(out)) == 5
+
+    def test_dense_path(self, rng):
+        out = sample_without_replacement(rng, 10, 9)
+        assert len(np.unique(out)) == 9
+
+    def test_roughly_uniform(self):
+        # Each element of a population of 10 should appear ~30% of the
+        # time when sampling 3; loose tolerance avoids flakiness.
+        counts = np.zeros(10)
+        for trial in range(400):
+            rng = derive_rng(trial, 0)
+            for i in sample_without_replacement(rng, 10, 3):
+                counts[i] += 1
+        freq = counts / 400
+        assert freq.min() > 0.15 and freq.max() < 0.45
+
+
+class TestSampleItems:
+    def test_returns_subset(self, rng):
+        items = ["a", "b", "c", "d", "e"]
+        out = sample_items(rng, items, 3)
+        assert len(out) == 3
+        assert set(out) <= set(items)
+
+    def test_all_when_n_exceeds(self, rng):
+        items = [1, 2, 3]
+        assert sorted(sample_items(rng, items, 10)) == items
+
+
+class TestReservoirSample:
+    def test_size(self, rng):
+        out = reservoir_sample(rng, range(100), 10)
+        assert len(out) == 10
+
+    def test_short_stream_returns_all(self, rng):
+        assert sorted(reservoir_sample(rng, range(4), 10)) == [0, 1, 2, 3]
+
+    def test_elements_from_stream(self, rng):
+        out = reservoir_sample(rng, range(1000), 5)
+        assert all(0 <= x < 1000 for x in out)
+
+    def test_uniformity(self):
+        counts = np.zeros(20)
+        for trial in range(600):
+            rng = derive_rng(trial, 1)
+            for x in reservoir_sample(rng, range(20), 5):
+                counts[x] += 1
+        freq = counts / 600
+        # Expected 0.25 each.
+        assert freq.min() > 0.12 and freq.max() < 0.40

@@ -1,0 +1,87 @@
+"""Timer / Stopwatch / duration formatting."""
+
+import time
+
+from repro.utils.timing import Stopwatch, Timer, format_duration
+
+
+class TestFormatDuration:
+    def test_hours(self):
+        assert format_duration(6.96 * 3600) == "6.96 h"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1.5 min"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50 s"
+
+    def test_millis(self):
+        assert format_duration(0.045) == "45 ms"
+
+    def test_boundaries(self):
+        assert format_duration(3600).endswith("h")
+        assert format_duration(60).endswith("min")
+        assert format_duration(1).endswith("s")
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t.measure("a"):
+            pass
+        with t.measure("a"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.total("a") >= 0
+
+    def test_unknown_name_is_zero(self):
+        assert Timer().total("missing") == 0.0
+
+    def test_measures_elapsed(self):
+        t = Timer()
+        with t.measure("sleep"):
+            time.sleep(0.01)
+        assert t.total("sleep") >= 0.009
+
+    def test_exception_still_recorded(self):
+        t = Timer()
+        try:
+            with t.measure("x"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert t.counts["x"] == 1
+
+    def test_report_contains_names(self):
+        t = Timer()
+        with t.measure("phase_one"):
+            pass
+        assert "phase_one" in t.report()
+
+
+class TestStopwatch:
+    def test_autostart(self):
+        sw = Stopwatch()
+        time.sleep(0.005)
+        assert sw.elapsed > 0
+
+    def test_stop_freezes(self):
+        sw = Stopwatch()
+        total = sw.stop()
+        time.sleep(0.005)
+        assert sw.elapsed == total
+
+    def test_restart_accumulates(self):
+        sw = Stopwatch(autostart=False)
+        assert sw.elapsed == 0.0
+        sw.start()
+        time.sleep(0.003)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.003)
+        assert sw.stop() > first
+
+    def test_double_start_is_noop(self):
+        sw = Stopwatch()
+        sw.start()  # already running
+        assert sw.elapsed >= 0
