@@ -7,7 +7,6 @@ pressure (no batching): this ablation sweeps the batch size and reports
 barrier counts, flush counts, and simulated time.
 """
 
-import pytest
 
 from _common import report, scaled
 from repro import DNND, ClusterConfig, DNNDConfig, NNDescentConfig

@@ -6,7 +6,6 @@ package; this ablation quantifies each one's marginal contribution to
 the Figure 4 totals, holding everything else fixed.
 """
 
-import pytest
 
 from _common import report, run_dnnd, scaled
 from repro import CommOptConfig

@@ -9,14 +9,12 @@ work in bursts.  In the cost model the latency effect dominates, which
 is exactly why YGM buffers at all.
 """
 
-import pytest
 
 from _common import report, scaled
 from repro import ClusterConfig, DNNDConfig, NNDescentConfig
 from repro.core.dnnd import DNND
 from repro.datasets.ann_benchmarks import load_dataset
 from repro.eval.tables import ascii_table
-from repro.runtime.ygm import YGMWorld
 
 BUFFER_BYTES = [1 << 10, 1 << 14, 1 << 18, 1 << 22]
 

@@ -5,7 +5,6 @@ at query time: recall@10 and per-query work on the raw k-NNG vs the
 optimized graph at m in {1.0, 1.5, 2.0} (paper default 1.5).
 """
 
-import pytest
 
 from _common import report, run_dnnd, scaled
 from repro.core.optimization import optimize_graph

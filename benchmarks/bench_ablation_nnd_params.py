@@ -10,7 +10,6 @@ cost trade-off each controls:
   less work per round but need more rounds.
 """
 
-import pytest
 
 from _common import report, scaled
 from repro.baselines.bruteforce import brute_force_knn_graph

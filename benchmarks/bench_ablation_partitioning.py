@@ -20,7 +20,6 @@ difference is purely where the traffic flows.
 """
 
 import numpy as np
-import pytest
 
 from _common import report, scaled
 from repro import (

@@ -8,7 +8,6 @@ per-query message count/volume and recall as epsilon grows, and the
 effect of cluster size on off-node traffic.
 """
 
-import pytest
 
 from _common import report, scaled
 from repro import ClusterConfig, brute_force_knn_graph

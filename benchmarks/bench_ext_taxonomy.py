@@ -14,7 +14,6 @@ dimensionality that defeats space partitioning is exactly why the
 paper builds a graph method.
 """
 
-import pytest
 
 from _common import report, scaled
 from repro.datasets.ann_benchmarks import load_dataset

@@ -10,7 +10,6 @@ the cross-algorithm comparisons use the platform-independent
 mean-distance-evaluations-per-query; both are reported.
 """
 
-import numpy as np
 import pytest
 
 from _common import report, run_dnnd, scaled

@@ -10,7 +10,6 @@ stand-in, applying the paper's selection rule against the DNND k10
 graph.  The printed table is this reproduction's Table 2.
 """
 
-import pytest
 
 from _common import report, run_dnnd, scaled
 from repro.baselines.hnsw import HNSW, HNSWConfig

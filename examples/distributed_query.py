@@ -11,7 +11,6 @@ ranks — only ids and distances travel, never feature vectors.
 Run:  python examples/distributed_query.py
 """
 
-import numpy as np
 
 from repro import ClusterConfig, brute_force_neighbors, recall_at_k
 from repro.baselines.bruteforce import brute_force_knn_graph

@@ -38,9 +38,11 @@ from .config import (
 from .errors import (
     ConfigError,
     DatasetError,
+    FaultToleranceError,
     GraphError,
     MetricError,
     PartitionError,
+    RankFailureError,
     ReproError,
     RuntimeStateError,
     SearchError,
@@ -67,6 +69,9 @@ from .baselines import HNSW, HNSWConfig, brute_force_knn_graph, brute_force_neig
 from .distances import CountingMetric, get_metric, list_metrics, register_metric
 from .runtime import (
     BlockPartitioner,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
     HashPartitioner,
     MessageStats,
     MetallStore,
@@ -95,6 +100,8 @@ __all__ = [
     "GraphError",
     "SearchError",
     "DatasetError",
+    "FaultToleranceError",
+    "RankFailureError",
     # core
     "DNND",
     "DNNDResult",
@@ -129,6 +136,9 @@ __all__ = [
     "NetworkModel",
     "HashPartitioner",
     "BlockPartitioner",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
     # datasets / eval
     "load_dataset",
     "make_benchmark_dataset",

@@ -24,7 +24,7 @@ comparable with every other searcher in the benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -42,6 +42,7 @@ from .errors import ReproError
 from .eval.experiments import EXPERIMENTS
 from .eval.parallel_query import ParallelQueryEngine
 from .eval.tables import ascii_table
+from .runtime.faults import FaultPlan
 from .runtime.metall import MetallStore
 from .utils.timing import format_duration
 
@@ -74,6 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint store path (enables crash recovery)")
     p.add_argument("--checkpoint-every", type=int, default=0,
                    help="iterations between checkpoints (0 = off)")
+    p.add_argument("--fault-drop-rate", type=float, default=0.0,
+                   help="inject: fraction of remote messages dropped")
+    p.add_argument("--fault-dup-rate", type=float, default=0.0,
+                   help="inject: fraction of remote messages duplicated")
+    p.add_argument("--fault-reorder-rate", type=float, default=0.0,
+                   help="inject: fraction of flushes delivered out of order")
+    p.add_argument("--fault-delay-rate", type=float, default=0.0,
+                   help="inject: fraction of remote messages delayed")
+    p.add_argument("--fault-stall-rate", type=float, default=0.0,
+                   help="inject: fraction of flushes hit by a rank stall")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the deterministic fault plan")
+    p.add_argument("--fault-crash", action="append", default=[],
+                   metavar="RANK:ITERATION",
+                   help="crash RANK at ITERATION (repeatable); requires "
+                        "--checkpoint for recovery")
+    p.add_argument("--reliable", action="store_true",
+                   help="ack/retransmit delivery (tolerates drop/dup faults)")
+    p.add_argument("--max-retries", type=int, default=32,
+                   help="retransmit budget per message in --reliable mode")
     p.set_defaults(func=cmd_construct)
 
     p = sub.add_parser("resume",
@@ -115,6 +136,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
+    crashes = []
+    for spec in args.fault_crash:
+        try:
+            rank_s, iter_s = spec.split(":", 1)
+            crashes.append((int(iter_s), int(rank_s)))
+        except ValueError:
+            raise ReproError(
+                f"--fault-crash wants RANK:ITERATION, got {spec!r}") from None
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop_rate=args.fault_drop_rate,
+        dup_rate=args.fault_dup_rate,
+        reorder_rate=args.fault_reorder_rate,
+        delay_rate=args.fault_delay_rate,
+        stall_rate=args.fault_stall_rate,
+        crashes=tuple(crashes),
+    )
+    return None if plan.is_null else plan
+
+
 def cmd_construct(args: argparse.Namespace) -> int:
     data, spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
     comm = (CommOptConfig.unoptimized() if args.unoptimized_comm
@@ -125,8 +167,11 @@ def cmd_construct(args: argparse.Namespace) -> int:
         comm_opts=comm,
         batch_size=args.batch_size,
     )
+    fault_plan = _fault_plan_from_args(args)
     dnnd = DNND(data, cfg, cluster=ClusterConfig(
-        nodes=args.nodes, procs_per_node=args.procs_per_node))
+        nodes=args.nodes, procs_per_node=args.procs_per_node),
+        fault_plan=fault_plan, reliable=args.reliable,
+        max_retries=args.max_retries)
     result = dnnd.build(store_path=args.store,
                         checkpoint_path=args.checkpoint,
                         checkpoint_every=args.checkpoint_every)
@@ -135,6 +180,9 @@ def cmd_construct(args: argparse.Namespace) -> int:
     print(f"simulated time: {format_duration(result.sim_seconds)} "
           f"on {result.world_size} ranks")
     print(result.message_stats.format_table("messages"))
+    if result.fault_stats.any_faults() or result.recoveries:
+        print(result.fault_stats.format_line())
+        print(f"crash recoveries: {result.recoveries}")
     print(f"store written to {args.store}")
     return 0
 

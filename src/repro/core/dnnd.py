@@ -31,8 +31,9 @@ import numpy as np
 
 from ..config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
 from ..distances.counting import CountingMetric
-from ..errors import ConfigError, RuntimeStateError, StoreError
-from ..runtime.instrumentation import MessageStats
+from ..errors import ConfigError, RankFailureError, RuntimeStateError, StoreError
+from ..runtime.faults import FaultPlan, make_injector
+from ..runtime.instrumentation import FaultStats, MessageStats
 from ..runtime.metall import MetallStore
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
@@ -78,6 +79,9 @@ class DNNDResult:
     adjacency: Optional[AdjacencyGraph] = None
     optimize_sim_seconds: float = 0.0
     per_iteration_messages: List[Dict[str, tuple]] = field(default_factory=list)
+    fault_stats: FaultStats = field(default_factory=FaultStats)
+    recoveries: int = 0
+    """Checkpoint-recovery cycles the build survived (rank crashes)."""
     dnnd: Optional["DNND"] = field(default=None, repr=False, compare=False)
     """Set by :meth:`DNND.resume` so callers can keep driving the
     instance (e.g. run ``optimize()``) after a resumed build."""
@@ -107,6 +111,10 @@ class DNNDResult:
             lines.append(
                 f"optimized graph: {self.adjacency.n_edges:,} edges, "
                 f"max degree {int(self.adjacency.degrees().max())}")
+        if self.fault_stats.total_events():
+            lines.append(self.fault_stats.format_line())
+        if self.recoveries:
+            lines.append(f"checkpoint recoveries: {self.recoveries}")
         lines.append(self.message_stats.format_table("message totals"))
         return "\n".join(lines)
 
@@ -128,13 +136,25 @@ class DNND:
         YGM internal per-destination buffer size in messages.
     partitioner:
         Override the vertex partitioner (default: hash, as in the paper).
+    fault_plan:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; a non-null
+        plan attaches a fault injector to the simulated network.
+    reliable:
+        Run YGM in reliable delivery mode (acks + retransmits + dedup)
+        so injected drop/duplicate/delay/reorder faults cannot corrupt
+        the build; see :class:`~repro.runtime.ygm.YGMWorld`.
+    max_retries:
+        Retransmit budget per message in reliable mode.
     """
 
     def __init__(self, data, config: DNNDConfig | None = None,
                  cluster: ClusterConfig | None = None,
                  net: NetworkModel | None = None,
                  flush_threshold: int = 1024,
-                 partitioner: Optional[Partitioner] = None) -> None:
+                 partitioner: Optional[Partitioner] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 reliable: bool = False,
+                 max_retries: int = 32) -> None:
         self.data = data
         self.config = config or DNNDConfig()
         self.cluster_config = cluster or ClusterConfig()
@@ -143,9 +163,14 @@ class DNND:
             raise ConfigError(
                 f"k={self.config.k} must be smaller than dataset size {self.n}"
             )
-        self.cluster = SimCluster(self.cluster_config, net)
+        self.fault_plan = fault_plan
+        self._injector = make_injector(fault_plan, self.cluster_config.world_size)
+        self.cluster = SimCluster(self.cluster_config, net,
+                                  injector=self._injector)
         self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
-                              seed=self.config.nnd.seed)
+                              seed=self.config.nnd.seed,
+                              reliable=reliable, max_retries=max_retries)
+        self._recoveries = 0
         register_dnnd_handlers(self.world)
         self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
         self._sparse = getattr(CountingMetric(self.config.nnd.metric), "sparse_input")
@@ -201,7 +226,8 @@ class DNND:
     # -- build ------------------------------------------------------------------
 
     def build(self, store_path=None, checkpoint_path=None,
-              checkpoint_every: int = 0) -> DNNDResult:
+              checkpoint_every: int = 0,
+              recover_on_crash: bool = True) -> DNNDResult:
         """Construct the k-NNG; optionally persist graph + dataset.
 
         Parameters
@@ -217,6 +243,13 @@ class DNND:
             per-iteration randomness is keyed, not streamed) — the
             natural extension of Section 4.6's persistence to the
             hours-long billion-scale construction itself.
+        recover_on_crash:
+            When the fault injector crashes a rank mid-build, restore
+            from the latest checkpoint (or restart initialization if
+            none was written yet) and replay — keyed randomness makes
+            the recovered build identical to a fault-free one.  Set to
+            False to let :class:`~repro.errors.RankFailureError`
+            propagate instead.
         """
         if self._built:
             raise RuntimeStateError("build() already ran on this DNND instance")
@@ -227,14 +260,17 @@ class DNND:
         return self._run_iterations(
             start_iteration=0, update_counts=[], per_iter_msgs=[],
             store_path=store_path, checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every)
+            checkpoint_every=checkpoint_every,
+            recover_on_crash=recover_on_crash)
 
     @classmethod
     def resume(cls, data, checkpoint_path,
                cluster: ClusterConfig | None = None,
                net: NetworkModel | None = None,
                store_path=None,
-               checkpoint_every: int = 0) -> DNNDResult:
+               checkpoint_every: int = 0,
+               fault_plan: Optional[FaultPlan] = None,
+               reliable: bool = False) -> DNNDResult:
         """Continue an interrupted build from a checkpoint store.
 
         ``data`` must be the same dataset the original build ran on
@@ -262,7 +298,8 @@ class DNND:
             pruning_factor=meta["pruning_factor"],
             shuffle_reverse_destinations=meta["shuffle_reverse_destinations"],
         )
-        dnnd = cls(data, config, cluster=cluster, net=net)
+        dnnd = cls(data, config, cluster=cluster, net=net,
+                   fault_plan=fault_plan, reliable=reliable)
         dnnd._built = True
         dnnd._restore_heaps(heap_ids, heap_dists, heap_flags)
         result = dnnd._run_iterations(
@@ -279,15 +316,32 @@ class DNND:
     def _run_iterations(self, start_iteration: int, update_counts: List[int],
                         per_iter_msgs: List[Dict[str, tuple]],
                         store_path, checkpoint_path,
-                        checkpoint_every: int) -> DNNDResult:
+                        checkpoint_every: int,
+                        recover_on_crash: bool = True) -> DNNDResult:
         cfg = self.config.nnd
         threshold = cfg.delta * cfg.k * self.n
         converged = False
         iterations = start_iteration
-        for it in range(start_iteration, cfg.max_iters):
+        n_pre = len(update_counts)  # history carried in from a resume
+        it = start_iteration
+        while it < cfg.max_iters:
             iterations = it + 1
+            if self._injector is not None:
+                self._injector.advance_iteration(it)
             before = {t: (s.count, s.bytes) for t, s in self.cluster.stats.by_type.items()}
-            c = self._iteration(it)
+            try:
+                c = self._iteration(it)
+            except RankFailureError:
+                if not recover_on_crash:
+                    raise
+                # The barrier failed under us: roll back to the latest
+                # checkpoint (message/time costs stay on the ledger —
+                # the work wasted by the crash was genuinely spent) and
+                # replay.  Keyed per-iteration randomness guarantees the
+                # replay reconstructs the fault-free trajectory.
+                it = self._recover(checkpoint_path, update_counts)
+                del per_iter_msgs[max(0, len(update_counts) - n_pre):]
+                continue
             update_counts.append(c)
             after = self.cluster.stats.snapshot()
             per_iter_msgs.append({
@@ -300,6 +354,7 @@ class DNND:
             if c < threshold:
                 converged = True
                 break
+            it += 1
         graph = self._gather_graph()
         result = DNNDResult(
             graph=graph,
@@ -313,11 +368,39 @@ class DNND:
             distance_evals=sum(s.metric.count for s in self._shards()),
             world_size=self.cluster.world_size,
             per_iteration_messages=per_iter_msgs,
+            fault_stats=self.world.fault_stats,
+            recoveries=self._recoveries,
         )
         if store_path is not None:
             self._persist(store_path, result)
         self._last_result = result
         return result
+
+    def _recover(self, checkpoint_path, update_counts: List[int]) -> int:
+        """Crash recovery: discard in-flight traffic, repair the crashed
+        ranks (the replacement-node model), and restore algorithm state
+        from the latest checkpoint — or rerun initialization when the
+        crash predates the first checkpoint.  Returns the iteration to
+        replay from; ``update_counts`` is rewritten in place to the
+        restored history."""
+        self._recoveries += 1
+        self.world.reset_in_flight()
+        if self._injector is not None:
+            self._injector.repair_all()
+        if checkpoint_path is not None and MetallStore.exists(checkpoint_path):
+            with MetallStore.open_read_only(checkpoint_path) as store:
+                meta = store["ckpt_meta"]
+                ids = np.asarray(store["ckpt_ids"])
+                dists = np.asarray(store["ckpt_dists"])
+                flags = np.asarray(store["ckpt_flags"])
+            self._restore_heaps(ids, dists, flags)
+            update_counts[:] = list(meta["update_counts"])
+            return int(meta["iteration"])
+        # No checkpoint yet: rebuild shards and replay initialization.
+        self._distribute()
+        self._init_phase()
+        update_counts[:] = []
+        return 0
 
     def _init_phase(self) -> None:
         """Algorithm 1 lines 2-5 via the Section 4.1 async pattern."""
@@ -458,7 +541,9 @@ class DNND:
                 rows.append((int(shard.global_ids[li]), row_ids, row_dists))
             contributions.append(rows)
         per_rank_bytes = max(1, (self.n // self.cluster.world_size) * k * (ID_BYTES + 4))
-        gathered = self.cluster.gather(contributions, root=0, item_bytes=per_rank_bytes)
+        # gather follows MPI root semantics: only result[root] holds data.
+        gathered = self.cluster.gather(contributions, root=0,
+                                       item_bytes=per_rank_bytes)[0]
         for rows in gathered:
             for gid, row_ids, row_dists in rows:
                 ids[gid] = row_ids

@@ -19,7 +19,7 @@ It pairs naturally with the Metall store: open, mutate, snapshot — see
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
 
 from ..baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors
 from ..core.graph import KNNGraph

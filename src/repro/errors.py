@@ -49,3 +49,26 @@ class SearchError(ReproError):
 class DatasetError(ReproError):
     """A dataset generator or loader received invalid parameters or a
     malformed file."""
+
+
+class FaultToleranceError(ReproError):
+    """Fault-tolerant delivery could not mask an injected fault: the
+    retry budget for a message was exhausted, or a rank failed with no
+    recovery path configured.  Carries enough structure for callers to
+    report *what* gave up rather than silently corrupting the build."""
+
+    def __init__(self, message: str, *, src: int | None = None,
+                 dest: int | None = None, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dest = dest
+        self.attempts = attempts
+
+
+class RankFailureError(FaultToleranceError):
+    """One or more simulated ranks crashed; raised by the barrier that
+    detects the failure (the driver may recover from a checkpoint)."""
+
+    def __init__(self, ranks) -> None:
+        self.ranks = tuple(sorted(int(r) for r in ranks))
+        super().__init__(f"rank(s) {list(self.ranks)} crashed; barrier failed")

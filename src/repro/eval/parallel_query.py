@@ -15,7 +15,7 @@ workload shape used for Figure 2's throughput axis.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

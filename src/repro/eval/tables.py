@@ -6,7 +6,7 @@ and figures report; these helpers keep that output consistent.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],

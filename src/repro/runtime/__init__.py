@@ -18,10 +18,14 @@ the semantics and — crucially for Figure 4 — measure every message:
 - :mod:`.partition` — hash partitioning of vertices over ranks
   (Section 4: "based on the hash values of the vertex IDs"),
 - :mod:`.metall` — a Metall-style persistent object store,
-- :mod:`.instrumentation` — message statistics by type and phase.
+- :mod:`.instrumentation` — message statistics by type and phase,
+- :mod:`.faults` — deterministic fault injection (message loss /
+  duplication / reordering / delay, stragglers, rank crashes) that the
+  reliable-delivery mode and checkpoint recovery are tested against.
 """
 
-from .instrumentation import MessageStats, TypeStats
+from .faults import FaultInjector, FaultPlan, make_injector
+from .instrumentation import FaultStats, MessageStats, TypeStats
 from .netmodel import NetworkModel, CostLedger
 from .partition import HashPartitioner, BlockPartitioner, Partitioner
 from .simmpi import SimCluster
@@ -31,6 +35,10 @@ from .containers import DistributedBag, DistributedCounter, DistributedMap
 from .tracing import RuntimeTracer, attach_tracer
 
 __all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "make_injector",
     "MessageStats",
     "TypeStats",
     "NetworkModel",

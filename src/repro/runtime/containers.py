@@ -20,7 +20,7 @@ All mutation is fire-and-forget; reads require a preceding
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..errors import RuntimeStateError
 from .partition import splitmix64
@@ -47,7 +47,21 @@ def _h_counter_add(ctx: RankContext, cid: str, key: Any, amount: int) -> None:
 
 
 def _h_map_insert(ctx: RankContext, cid: str, key: Any, value: Any) -> None:
-    _container_state(ctx, cid, "map")[key] = value
+    # Same-destination inserts from different source ranks arrive in
+    # flush order, not send order.  Every RPC carries a global send
+    # sequence (stamped at async_call time); applying same-key writes in
+    # sequence order makes "last writer" mean the last *sender*, stable
+    # under flush order, retransmission, and injected reordering.
+    state = _container_state(ctx, cid, "map")
+    seqs = _container_state(ctx, f"{cid}#seq", "map")
+    seq = ctx.world.current_message_seq
+    if seq is None:
+        state[key] = value
+        return
+    prev = seqs.get(key)
+    if prev is None or seq >= prev:
+        state[key] = value
+        seqs[key] = seq
 
 
 def _h_map_visit(ctx: RankContext, cid: str, key: Any, visitor: str,
@@ -163,12 +177,12 @@ class DistributedCounter(_ContainerBase):
 class DistributedMap(_ContainerBase):
     """Owner-partitioned key-value map with remote visitation.
 
-    Ordering guarantee (same as real YGM): writes from a single source
-    rank apply in program order; writes from *different* ranks to the
-    same key apply in delivery order, which is deterministic in the
-    simulation but not the program order — use
-    :class:`DistributedCounter` or a commutative visitor when
-    concurrent updates must merge.
+    Ordering guarantee (stronger than real YGM): every insert carries
+    the world's global send sequence, and the owner applies same-key
+    writes in *send* order — last writer wins regardless of which source
+    rank's buffer happened to flush first.  ``async_visit`` callbacks
+    still run in delivery order; use :class:`DistributedCounter` or a
+    commutative visitor when concurrent updates must merge.
     """
 
     def __init__(self, world: YGMWorld, name: str = "map") -> None:

@@ -17,6 +17,7 @@ paper's wording).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Tuple
 
@@ -44,6 +45,48 @@ class TypeStats:
             self.offnode_count + other.offnode_count,
             self.offnode_bytes + other.offnode_bytes,
         )
+
+
+@dataclass
+class FaultStats:
+    """Counters for injected faults and the recovery work they caused.
+
+    The injector (:mod:`.faults`) increments the fault side; the
+    reliable-delivery layer in :class:`~repro.runtime.ygm.YGMWorld`
+    increments the recovery side.  One shared instance per run, so an
+    ablation can report "N drops cost M retransmits" from one object.
+    """
+
+    dropped: int = 0
+    duplicated: int = 0
+    reordered_flushes: int = 0
+    delayed: int = 0
+    stalls: int = 0
+    crashes: int = 0
+    crash_dropped: int = 0
+    recoveries: int = 0
+    retransmits: int = 0
+    acks_sent: int = 0
+    duplicates_suppressed: int = 0
+    retry_budget_exhausted: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def total_events(self) -> int:
+        return sum(self.snapshot().values())
+
+    def any_faults(self) -> bool:
+        """True if the injector perturbed anything (recovery counters
+        excluded: retransmits without faults would be a bug)."""
+        return bool(self.dropped or self.duplicated or self.reordered_flushes
+                    or self.delayed or self.stalls or self.crashes)
+
+    def format_line(self) -> str:
+        active = {k: v for k, v in self.snapshot().items() if v}
+        if not active:
+            return "faults: none"
+        return "faults: " + ", ".join(f"{k}={v:,}" for k, v in sorted(active.items()))
 
 
 @dataclass

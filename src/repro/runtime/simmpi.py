@@ -20,6 +20,7 @@ from typing import Any, Callable, Deque, List, Sequence, Tuple
 
 from ..config import ClusterConfig
 from ..errors import RuntimeStateError
+from .faults import FaultInjector
 from .instrumentation import MessageStats
 from .netmodel import CostLedger, NetworkModel
 
@@ -33,14 +34,20 @@ class SimCluster:
         Node/process shape (``nodes`` x ``procs_per_node``).
     net:
         Cost-model constants; defaults to Omni-Path-class numbers.
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; when set,
+        remote deliveries consult it for drop/duplicate/delay decisions
+        and traffic touching a crashed rank is discarded.
     """
 
-    def __init__(self, config: ClusterConfig, net: NetworkModel | None = None) -> None:
+    def __init__(self, config: ClusterConfig, net: NetworkModel | None = None,
+                 injector: FaultInjector | None = None) -> None:
         self.config = config
         self.net = net or NetworkModel()
         self.world_size = config.world_size
         self.ledger = CostLedger(world_size=self.world_size)
         self.stats = MessageStats()
+        self.injector = injector
         self._mailboxes: List[Deque[Tuple[int, Any]]] = [deque() for _ in range(self.world_size)]
         self._alive = True
 
@@ -63,12 +70,52 @@ class SimCluster:
 
     # -- point-to-point transport ---------------------------------------------
 
-    def deliver(self, src: int, dest: int, item: Any) -> None:
-        """Enqueue ``item`` into ``dest``'s mailbox (already-flushed data)."""
+    def deliver(self, src: int, dest: int, item: Any,
+                fault_exempt: bool = False) -> None:
+        """Enqueue ``item`` into ``dest``'s mailbox (already-flushed data).
+
+        With a fault injector attached, remote (``src != dest``)
+        deliveries may be dropped, duplicated, or delayed, and any
+        traffic from or to a crashed rank is discarded — exactly what a
+        dead MPI process does to its peers.  ``fault_exempt`` bypasses
+        the injector (used when releasing already-injected delayed
+        copies, which must not be re-perturbed).
+        """
         self._check_alive()
         if not 0 <= dest < self.world_size:
             raise RuntimeStateError(f"destination rank {dest} out of range")
+        inj = self.injector
+        if inj is not None and not fault_exempt:
+            if inj.is_crashed(src) or inj.is_crashed(dest):
+                inj.stats.crash_dropped += 1
+                return
+            if src != dest:
+                for delay in inj.on_deliver(src, dest):
+                    if delay == 0:
+                        self._mailboxes[dest].append((src, item))
+                    else:
+                        inj.hold(delay, src, dest, item)
+                return
         self._mailboxes[dest].append((src, item))
+
+    def release_due_faults(self) -> int:
+        """Advance the injector's delay clock one tick and deliver any
+        now-due delayed messages; returns how many were released."""
+        inj = self.injector
+        if inj is None:
+            return 0
+        due = inj.tick()
+        for src, dest, item in due:
+            if inj.is_crashed(src) or inj.is_crashed(dest):
+                inj.stats.crash_dropped += 1
+                continue
+            self._mailboxes[dest].append((src, item))
+        return len(due)
+
+    def clear_mailboxes(self) -> None:
+        """Discard all undelivered traffic (crash-recovery reset)."""
+        for mb in self._mailboxes:
+            mb.clear()
 
     def mailbox_empty(self, rank: int) -> bool:
         return not self._mailboxes[rank]
@@ -119,12 +166,21 @@ class SimCluster:
         return self.allreduce(list(contributions))[0]
 
     def gather(self, contributions: Sequence[Any], root: int = 0,
-               item_bytes: int = 8) -> List[Any] | None:
-        """Root receives the list of contributions; other ranks get None."""
+               item_bytes: int = 8) -> List[List[Any] | None]:
+        """Root receives the list of contributions; other ranks get None.
+
+        Like every collective here, the return value is *per-rank*:
+        ``result[root]`` is the contribution list, every other slot is
+        ``None`` — so rank code cannot accidentally read data that only
+        the root owns (MPI_Gather's actual contract).
+        """
         self._check_alive()
+        if not 0 <= root < self.world_size:
+            raise RuntimeStateError(f"root rank {root} out of range")
         self._require_full(contributions)
         self._charge_collective(item_bytes)
-        return list(contributions)
+        gathered = list(contributions)
+        return [gathered if r == root else None for r in range(self.world_size)]
 
     def allgather(self, contributions: Sequence[Any], item_bytes: int = 8) -> List[List[Any]]:
         self._check_alive()

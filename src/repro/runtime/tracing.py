@@ -37,6 +37,9 @@ class BarrierRecord:
     imbalance: float
     messages_delta: Dict[str, int] = field(default_factory=dict)
     bytes_delta: Dict[str, int] = field(default_factory=dict)
+    fault_delta: Dict[str, int] = field(default_factory=dict)
+    """Fault/recovery events (drops, retransmits, dedups, ...) that
+    occurred in this superstep window — empty in fault-free runs."""
 
 
 class RuntimeTracer:
@@ -50,6 +53,7 @@ class RuntimeTracer:
         self.records: List[BarrierRecord] = []
         self._last_counts: Dict[str, int] = {}
         self._last_bytes: Dict[str, int] = {}
+        self._last_faults: Dict[str, int] = {}
 
     # -- capture -----------------------------------------------------------
 
@@ -57,6 +61,7 @@ class RuntimeTracer:
         stats = self.world.cluster.stats
         counts = {t: s.count for t, s in stats.by_type.items()}
         nbytes = {t: s.bytes for t, s in stats.by_type.items()}
+        faults = self.world.fault_stats.snapshot()
         record = BarrierRecord(
             index=len(self.records),
             phase=phase,
@@ -70,9 +75,14 @@ class RuntimeTracer:
                 t: nbytes[t] - self._last_bytes.get(t, 0) for t in nbytes
                 if nbytes[t] != self._last_bytes.get(t, 0)
             },
+            fault_delta={
+                k: v - self._last_faults.get(k, 0) for k, v in faults.items()
+                if v != self._last_faults.get(k, 0)
+            },
         )
         self._last_counts = counts
         self._last_bytes = nbytes
+        self._last_faults = faults
         self.records.append(record)
 
     # -- queries ------------------------------------------------------------
@@ -92,6 +102,18 @@ class RuntimeTracer:
     def message_timeline(self, msg_type: str) -> List[int]:
         """Messages of ``msg_type`` sent in each superstep window."""
         return [r.messages_delta.get(msg_type, 0) for r in self.records]
+
+    def fault_timeline(self, event: str) -> List[int]:
+        """Fault/recovery events of one kind (e.g. ``"retransmits"``)
+        per superstep window."""
+        return [r.fault_delta.get(event, 0) for r in self.records]
+
+    def total_fault_events(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            for k, v in r.fault_delta.items():
+                out[k] = out.get(k, 0) + v
+        return out
 
     def busiest_supersteps(self, top: int = 5) -> List[BarrierRecord]:
         return sorted(self.records, key=lambda r: -r.duration)[:top]
@@ -118,6 +140,11 @@ class RuntimeTracer:
         out.append(ascii_table(
             ["step", "phase", "duration", "imbalance", "messages"],
             rows, title="busiest supersteps"))
+        faults = self.total_fault_events()
+        if faults:
+            rows = [[event, count] for event, count in sorted(faults.items())]
+            out.append(ascii_table(["event", "count"], rows,
+                                   title="fault / recovery events"))
         return "\n\n".join(out)
 
 

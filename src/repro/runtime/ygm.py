@@ -25,6 +25,36 @@ messages per destination and ships a buffer when it exceeds a threshold.
 Handlers receive a :class:`RankContext` giving them their rank id, a
 rank-local state namespace, a per-rank RNG, and the ability to send
 further async calls and charge modeled compute time.
+
+**Reliable delivery mode.**  With a fault injector attached to the
+cluster (:mod:`.faults`) the network may drop, duplicate, delay, or
+reorder traffic.  ``reliable=True`` turns on a TCP-style recovery layer
+so handler effects stay *effectively-once*:
+
+- every remote message carries a per-``(src, dest)`` sequence number,
+- receivers acknowledge sequence numbers positively; acks are batched
+  per peer and piggybacked at the end of each delivery round,
+- unacknowledged messages are retransmitted after a timeout (measured
+  in barrier delivery rounds) with exponential backoff and a bounded
+  retry budget — exhausting the budget raises
+  :class:`~repro.errors.FaultToleranceError` rather than silently
+  corrupting the build,
+- receivers remember delivered sequence numbers and suppress duplicate
+  handler invocations (retransmits and injected duplicates alike).
+
+Every message additionally carries a *global send sequence* number (one
+counter per world, stamped at ``async_call`` time, exposed to handlers
+as ``world.current_message_seq``), which lets order-sensitive consumers
+such as :class:`~repro.runtime.containers.DistributedMap` apply
+same-key writes in send order even when flush order or injected
+reordering scrambles delivery order.
+
+All fault-recovery work is accounted: retransmits and acks appear in
+:class:`MessageStats` (message types ``"retransmit"`` / ``"ack"``) and
+in the shared :class:`~repro.runtime.instrumentation.FaultStats`, so
+ablations can report the overhead of reliability.  When no injector is
+attached and ``reliable=False`` (the default), none of this machinery
+runs and message accounting is byte-for-byte what it always was.
 """
 
 from __future__ import annotations
@@ -33,12 +63,25 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import RuntimeStateError
+from ..errors import FaultToleranceError, RankFailureError, RuntimeStateError
 from ..utils.rng import derive_rng
-from .instrumentation import MessageStats
+from .instrumentation import FaultStats, MessageStats
 from .simmpi import SimCluster
 
 Handler = Callable[..., None]
+
+# Mailbox payload tags.  SimCluster is payload-agnostic; these are the
+# YGM layer's wire formats.
+_CALL = "call"        # ("call", send_seq, handler, args)
+_REL = "rel"          # ("rel", rel_seq, send_seq, handler, args)
+_ACK = "ack"          # ("ack", (rel_seq, ...))
+
+# Modeled size of one acked sequence number on the wire.
+_ACK_SEQ_BYTES = 4
+
+# Retransmit backoff is capped so a stuck message spins the barrier loop
+# a bounded number of rounds per retry instead of 2**attempts.
+_MAX_BACKOFF_TICKS = 32
 
 
 class RankContext:
@@ -100,22 +143,38 @@ class YGMWorld:
         buffer exceeds a certain threshold").
     seed:
         Root seed for per-rank RNGs.
+    reliable:
+        Turn on acked, deduplicated, retransmitting delivery (see the
+        module docstring).  Without a fault injector this only adds ack
+        traffic; with one it masks drop/duplicate/delay/reorder faults.
+    retry_timeout:
+        Delivery rounds an unacked message waits before its first
+        retransmit; doubles per attempt (``retry_backoff``) up to a cap.
+    max_retries:
+        Retransmit budget per message; exceeding it raises
+        :class:`~repro.errors.FaultToleranceError`.
     """
 
     def __init__(self, cluster: SimCluster, flush_threshold: int = 1024,
                  flush_threshold_bytes: int = 1 << 20,
-                 seed: int = 0) -> None:
+                 seed: int = 0, reliable: bool = False,
+                 retry_timeout: int = 4, retry_backoff: float = 2.0,
+                 max_retries: int = 32) -> None:
         if flush_threshold < 1:
             raise RuntimeStateError("flush_threshold must be >= 1")
         if flush_threshold_bytes < 1:
             raise RuntimeStateError("flush_threshold_bytes must be >= 1")
+        if retry_timeout < 1:
+            raise RuntimeStateError("retry_timeout must be >= 1")
+        if max_retries < 1:
+            raise RuntimeStateError("max_retries must be >= 1")
         self.cluster = cluster
         self.world_size = cluster.world_size
         self.flush_threshold = int(flush_threshold)
         self.flush_threshold_bytes = int(flush_threshold_bytes)
         self._handlers: Dict[str, Handler] = {}
-        # _buffers[src][dest] -> list of (handler_name, args)
-        self._buffers: List[List[List[Tuple[str, tuple]]]] = [
+        # _buffers[src][dest] -> list of (handler_name, args, send_seq, nbytes)
+        self._buffers: List[List[List[Tuple[str, tuple, int, int]]]] = [
             [[] for _ in range(self.world_size)] for _ in range(self.world_size)
         ]
         self._buffer_bytes: List[List[int]] = [
@@ -130,6 +189,43 @@ class YGMWorld:
         self._in_barrier = False
         self._phase = "default"
         self.phase_stats: Dict[str, MessageStats] = {}
+        # Global send sequence: stamped on every async_call, exposed to
+        # the running handler as current_message_seq.
+        self._send_seq = 0
+        self.current_message_seq: int | None = None
+        # Reliable-delivery state (allocated lazily; None when off).
+        self.reliable = bool(reliable)
+        self.retry_timeout = int(retry_timeout)
+        self.retry_backoff = float(retry_backoff)
+        self.max_retries = int(max_retries)
+        self._tick = 0
+        injector = getattr(cluster, "injector", None)
+        self.fault_stats: FaultStats = (
+            injector.stats if injector is not None else FaultStats())
+        if self.reliable:
+            # _rel_next[src][dest] -> next per-pair sequence number.
+            self._rel_next = [[0] * self.world_size
+                              for _ in range(self.world_size)]
+            # _rel_unacked[src][dest] -> {rel_seq: [handler, args, send_seq,
+            #                                       nbytes, attempts, sent_tick]}
+            self._rel_unacked: List[List[Dict[int, list]]] = [
+                [dict() for _ in range(self.world_size)]
+                for _ in range(self.world_size)
+            ]
+            # _rel_seen[dest][src] -> delivered rel_seqs (receiver dedup).
+            self._rel_seen: List[List[set]] = [
+                [set() for _ in range(self.world_size)]
+                for _ in range(self.world_size)
+            ]
+            # _ack_pending[receiver][sender] -> rel_seqs to ack this round.
+            self._ack_pending: List[List[List[int]]] = [
+                [[] for _ in range(self.world_size)]
+                for _ in range(self.world_size)
+            ]
+
+    @property
+    def injector(self):
+        return getattr(self.cluster, "injector", None)
 
     # -- handler registry -----------------------------------------------------
 
@@ -167,13 +263,15 @@ class YGMWorld:
         if not 0 <= dest < self.world_size:
             raise RuntimeStateError(f"destination rank {dest} out of range")
         self.async_count_since_barrier += 1
+        seq = self._send_seq
+        self._send_seq += 1
         if src != dest:
             offnode = self.cluster.is_offnode(src, dest)
             self.cluster.stats.record(msg_type, nbytes, offnode)
             self.phase_stats.setdefault(self._phase, MessageStats()).record(
                 msg_type, nbytes, offnode
             )
-            self._buffers[src][dest].append((handler, args))
+            self._buffers[src][dest].append((handler, args, seq, nbytes))
             self._buffer_bytes[src][dest] += nbytes
             # Real YGM caps its buffers by *bytes* (a feature-vector
             # message fills a buffer far faster than a Type 3 reply);
@@ -184,7 +282,7 @@ class YGMWorld:
         else:
             # Local async call: no wire traffic, but still deferred
             # delivery (YGM runs even self-messages from the queue).
-            self.cluster.deliver(src, dest, (handler, args))
+            self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
 
     def _flush(self, src: int, dest: int) -> None:
         buf = self._buffers[src][dest]
@@ -197,8 +295,24 @@ class YGMWorld:
             src, net.flush_cost(offnode) + net.message_cost(nbytes, offnode)
         )
         self.flush_count += 1
-        for item in buf:
-            self.cluster.deliver(src, dest, item)
+        inj = self.injector
+        if inj is not None:
+            stall = inj.maybe_stall()
+            if stall:
+                self.cluster.ledger.charge(src, stall)
+            order = inj.maybe_reorder(len(buf))
+            if order is not None:
+                buf = [buf[int(i)] for i in order]
+        for handler, args, seq, msg_nbytes in buf:
+            if self.reliable:
+                rel_seq = self._rel_next[src][dest]
+                self._rel_next[src][dest] = rel_seq + 1
+                self._rel_unacked[src][dest][rel_seq] = [
+                    handler, args, seq, msg_nbytes, 0, self._tick]
+                self.cluster.deliver(src, dest,
+                                     (_REL, rel_seq, seq, handler, args))
+            else:
+                self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
         self._buffers[src][dest] = []
         self._buffer_bytes[src][dest] = 0
 
@@ -221,27 +335,133 @@ class YGMWorld:
                 item = self.cluster.drain_one(rank)
                 if item is None:
                     break
-                _src, (handler, args) = item
-                self._handlers[handler](self.ranks[rank], *args)
+                src, payload = item
+                tag = payload[0]
+                if tag == _CALL:
+                    _tag, seq, handler, args = payload
+                elif tag == _REL:
+                    _tag, rel_seq, seq, handler, args = payload
+                    # Positive ack regardless of dedup outcome: the
+                    # sender needs to stop retransmitting either way.
+                    self._ack_pending[rank][src].append(rel_seq)
+                    seen = self._rel_seen[rank][src]
+                    if rel_seq in seen:
+                        self.fault_stats.duplicates_suppressed += 1
+                        continue
+                    seen.add(rel_seq)
+                else:  # _ACK
+                    unacked = self._rel_unacked[rank][src]
+                    for rel_seq in payload[1]:
+                        unacked.pop(rel_seq, None)
+                    continue
+                self.current_message_seq = seq
+                try:
+                    self._handlers[handler](self.ranks[rank], *args)
+                finally:
+                    self.current_message_seq = None
                 self.handler_invocations += 1
                 ran += 1
+        if self.reliable:
+            self._flush_acks()
         return ran
+
+    def _flush_acks(self) -> None:
+        """Ship this round's accumulated acks, one batched control
+        message per (receiver, sender) pair — the piggyback model: acks
+        ride the next flush rather than each costing a latency."""
+        net = self.cluster.net
+        for receiver in range(self.world_size):
+            row = self._ack_pending[receiver]
+            for sender in range(self.world_size):
+                seqs = row[sender]
+                if not seqs:
+                    continue
+                row[sender] = []
+                offnode = self.cluster.is_offnode(receiver, sender)
+                nbytes = _ACK_SEQ_BYTES * len(seqs)
+                self.cluster.stats.record("ack", nbytes, offnode)
+                self.cluster.ledger.charge(
+                    receiver, net.message_cost(nbytes, offnode))
+                self.fault_stats.acks_sent += 1
+                self.cluster.deliver(receiver, sender, (_ACK, tuple(seqs)))
+
+    def _reliable_tick(self) -> None:
+        """Retransmit unacked messages whose backoff window expired."""
+        for src in range(self.world_size):
+            for dest in range(self.world_size):
+                unacked = self._rel_unacked[src][dest]
+                if not unacked:
+                    continue
+                offnode = self.cluster.is_offnode(src, dest)
+                for rel_seq, entry in list(unacked.items()):
+                    handler, args, seq, nbytes, attempts, sent_tick = entry
+                    window = min(
+                        self.retry_timeout * (self.retry_backoff ** attempts),
+                        _MAX_BACKOFF_TICKS)
+                    if self._tick - sent_tick < window:
+                        continue
+                    if attempts >= self.max_retries:
+                        self.fault_stats.retry_budget_exhausted += 1
+                        raise FaultToleranceError(
+                            f"message {handler!r} {src}->{dest} unacked after "
+                            f"{attempts} retransmits; network unrecoverable",
+                            src=src, dest=dest, attempts=attempts)
+                    entry[4] = attempts + 1
+                    entry[5] = self._tick
+                    self.fault_stats.retransmits += 1
+                    self.cluster.stats.record("retransmit", nbytes, offnode)
+                    self.cluster.ledger.charge(
+                        src, self.cluster.net.message_cost(nbytes, offnode))
+                    self.cluster.deliver(src, dest,
+                                         (_REL, rel_seq, seq, handler, args))
+
+    def _reliable_pending(self) -> bool:
+        return self.reliable and any(
+            self._rel_unacked[s][d]
+            for s in range(self.world_size)
+            for d in range(self.world_size)
+        )
+
+    def _check_crashed(self) -> None:
+        inj = self.injector
+        if inj is not None and inj.crashed:
+            raise RankFailureError(inj.crashed)
 
     def barrier(self, phase: str | None = None) -> float:
         """Flush everything and run handlers until global quiescence, then
         synchronize simulated clocks.  Returns superstep duration in
-        simulated seconds."""
+        simulated seconds.
+
+        Raises :class:`~repro.errors.RankFailureError` when a fault
+        injector has crashed a rank (a real MPI barrier over a dead rank
+        aborts the communicator), and
+        :class:`~repro.errors.FaultToleranceError` when reliable mode
+        exhausts a message's retry budget.
+        """
         if self._in_barrier:
             raise RuntimeStateError("nested barrier (handler called barrier)")
         self._in_barrier = True
+        inj = self.injector
         try:
             while True:
+                self._check_crashed()
                 self.flush_all()
-                if self._process_round() == 0 and self.cluster.all_quiescent():
-                    # A handler may have refilled buffers; loop until both
-                    # buffers and mailboxes are empty.
-                    if not self._has_buffered():
+                ran = self._process_round()
+                if ran == 0 and self.cluster.all_quiescent():
+                    # A handler may have refilled buffers, a delayed
+                    # message may still be parked in the injector, and
+                    # reliable mode may be awaiting acks; quiesce only
+                    # when every source of future work is empty.
+                    if (not self._has_buffered()
+                            and not self._reliable_pending()
+                            and (inj is None or inj.pending_delayed() == 0)):
                         break
+                # Advance simulated delivery time: release due delayed
+                # messages and retransmit overdue unacked ones.
+                self._tick += 1
+                self.cluster.release_due_faults()
+                if self.reliable:
+                    self._reliable_tick()
             self.async_count_since_barrier = 0
             return self.cluster.ledger.barrier(self.cluster.net, phase or self._phase)
         finally:
@@ -253,6 +473,25 @@ class YGMWorld:
             for s in range(self.world_size)
             for d in range(self.world_size)
         )
+
+    def reset_in_flight(self) -> None:
+        """Discard every in-flight message and all reliable-delivery
+        bookkeeping (crash recovery: the driver restores rank state from
+        a checkpoint, so traffic from the failed epoch must not leak
+        into the replay)."""
+        for s in range(self.world_size):
+            for d in range(self.world_size):
+                self._buffers[s][d] = []
+                self._buffer_bytes[s][d] = 0
+        self.cluster.clear_mailboxes()
+        self.async_count_since_barrier = 0
+        if self.reliable:
+            for s in range(self.world_size):
+                for d in range(self.world_size):
+                    self._rel_next[s][d] = 0
+                    self._rel_unacked[s][d].clear()
+                    self._rel_seen[s][d].clear()
+                    self._ack_pending[s][d].clear()
 
     # -- SPMD driver helpers ------------------------------------------------------
 

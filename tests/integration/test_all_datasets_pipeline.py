@@ -4,7 +4,6 @@ Build (DNND) -> optimize -> (dense only) search, at tiny sizes: every
 dataset's dtype/metric/raggedness must flow through the whole stack.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,6 +1,5 @@
 """CLI checkpoint / resume workflow."""
 
-import pytest
 
 from repro.cli import main
 from repro.runtime.metall import MetallStore

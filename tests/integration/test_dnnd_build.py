@@ -6,7 +6,6 @@ import pytest
 from repro import (
     DNND,
     ClusterConfig,
-    CommOptConfig,
     DNNDConfig,
     NNDescentConfig,
     brute_force_knn_graph,

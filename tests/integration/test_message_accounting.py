@@ -6,7 +6,6 @@ tests derive per-message sizes from the instrumented totals and check
 them against the formulas.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

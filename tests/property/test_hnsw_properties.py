@@ -1,7 +1,6 @@
 """HNSW structural invariants over random datasets."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.distances import dense
 from repro.distances.registry import (
     Metric,
     get_metric,

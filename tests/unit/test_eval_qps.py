@@ -1,6 +1,5 @@
 """QPS / trade-off sweep harness (Figure 2 machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.bruteforce import brute_force_knn_graph, brute_force_neighbors

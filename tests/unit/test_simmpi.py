@@ -73,7 +73,16 @@ class TestCollectives:
 
     def test_gather(self, cluster):
         out = cluster.gather(["a", "b", "c", "d"], root=0)
-        assert out == ["a", "b", "c", "d"]
+        assert out == [["a", "b", "c", "d"], None, None, None]
+
+    def test_gather_nonzero_root(self, cluster):
+        out = cluster.gather(["a", "b", "c", "d"], root=2)
+        assert out[2] == ["a", "b", "c", "d"]
+        assert [out[r] for r in (0, 1, 3)] == [None, None, None]
+
+    def test_gather_bad_root(self, cluster):
+        with pytest.raises(RuntimeStateError):
+            cluster.gather(["a", "b", "c", "d"], root=4)
 
     def test_allgather(self, cluster):
         out = cluster.allgather([10, 20, 30, 40])

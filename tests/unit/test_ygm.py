@@ -4,7 +4,6 @@ import pytest
 
 from repro.config import ClusterConfig
 from repro.errors import RuntimeStateError
-from repro.runtime.netmodel import NetworkModel
 from repro.runtime.simmpi import SimCluster
 from repro.runtime.ygm import YGMWorld
 
