@@ -1,0 +1,88 @@
+"""``python -m repro.analysis`` — the distributed-correctness linter CLI.
+
+Usage::
+
+    python -m repro.analysis                 # lint [tool.repro.analysis] paths
+    python -m repro.analysis src tests       # lint explicit paths
+    python -m repro.analysis --format json   # machine-readable findings
+    python -m repro.analysis --select REP101,REP201
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no findings survive suppression, 1 otherwise
+(2 on usage errors, argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .config import AnalysisConfig, load_config
+from .engine import run_analysis
+from .registry import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="distributed-correctness linter (determinism + RPC "
+                    "contract rules) for the DNND reproduction",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "[tool.repro.analysis] paths in pyproject.toml)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--sim-paths", default=None,
+                        help="comma-separated path fragments treated as "
+                             "simulation code for REP102 (default from "
+                             "pyproject)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            fn = RULES[rule_id]
+            print(f"{rule_id}  [{fn.severity}]  {fn.summary}")
+        return 0
+    config = load_config(Path.cwd())
+    if args.sim_paths is not None:
+        config = AnalysisConfig(
+            paths=config.paths, exclude=config.exclude,
+            sim_paths=tuple(s.strip() for s in args.sim_paths.split(",")
+                            if s.strip()),
+            select=config.select, root=config.root)
+    select = tuple(s.strip().upper() for s in args.select.split(",")
+                   if s.strip())
+    unknown = [s for s in select if s not in RULES]
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    paths = args.paths or list(config.paths)
+    findings = run_analysis(paths, config, select=select)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        if findings:
+            print(f"{len(findings)} finding(s): {errors} error(s), "
+                  f"{warnings} warning(s)")
+        else:
+            print(f"clean: no findings in {', '.join(paths)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,256 @@
+"""Linter engine: file collection, project building, rule dispatch.
+
+Two passes:
+
+1. Parse every file (syntax errors become ``REP000`` findings) and build
+   the :class:`~repro.analysis.registry.ProjectContext`: handler and
+   visitor registrations, function signatures, and literal-named
+   ``async_call`` / ``async_visit`` sites across the whole file set.
+2. Run every registered rule over the project and filter out findings
+   suppressed by a same-line ``# repro: ignore[RULE,...]`` comment
+   (bare ``# repro: ignore`` suppresses every rule on that line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import symtable
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .config import AnalysisConfig, matches_exclude
+from .findings import ERROR, Finding
+from .registry import (
+    RULES,
+    CallSite,
+    FunctionInfo,
+    HandlerInfo,
+    ProjectContext,
+    SourceModule,
+    arity_of,
+    call_method_name,
+    free_variables,
+)
+
+# Rule modules self-register on import.
+from . import determinism as _determinism  # noqa: F401
+from . import rpc as _rpc  # noqa: F401
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+
+#: Positional slots where the handler-name string may sit in an
+#: ``async_call``: index 1 for ``ctx.async_call(dest, "h", ...)``,
+#: index 2 for ``world.async_call(src, dest, "h", ...)``.
+_HANDLER_NAME_SLOTS = (1, 2)
+#: ``async_visit(src_rank, key, "visitor", *args)`` — the visitor name
+#: is always the third positional argument (the key may be a string).
+_VISITOR_NAME_SLOT = 2
+
+
+def collect_files(paths: Sequence[str],
+                  config: AnalysisConfig) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list.
+
+    Exclude patterns apply to files discovered by walking directories;
+    a file named explicitly on the command line is always linted.
+    """
+    out: List[Path] = []
+    seen: set = set()
+    for raw in paths:
+        p = Path(raw)
+        candidates: Iterable[Path]
+        explicit = not p.is_dir()
+        candidates = [p] if explicit else sorted(p.rglob("*.py"))
+        for f in candidates:
+            posix = f.as_posix()
+            if posix in seen or (not explicit
+                                 and matches_exclude(posix, config)):
+                continue
+            seen.add(posix)
+            out.append(f)
+    return out
+
+
+def parse_modules(files: Sequence[Path]) -> Tuple[List[SourceModule], List[Finding]]:
+    modules: List[SourceModule] = []
+    findings: List[Finding] = []
+    for f in files:
+        try:
+            source = f.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding(path=str(f), line=1, col=1, rule="REP000",
+                                    severity=ERROR,
+                                    message=f"cannot read file: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(f))
+        except SyntaxError as exc:
+            findings.append(Finding(path=str(f), line=exc.lineno or 1,
+                                    col=(exc.offset or 1), rule="REP000",
+                                    severity=ERROR,
+                                    message=f"syntax error: {exc.msg}"))
+            continue
+        try:
+            table = symtable.symtable(source, str(f), "exec")
+        except (SyntaxError, ValueError):  # pragma: no cover - parse passed
+            table = None
+        modules.append(SourceModule(path=str(f), source=source, tree=tree,
+                                    table=table))
+    return modules, findings
+
+
+def _function_info(module: SourceModule, node: ast.AST,
+                   name: str) -> Optional[FunctionInfo]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        required, maximum = arity_of(node.args)
+        return FunctionInfo(
+            name=node.name, path=module.path, line=node.lineno,
+            min_args=required, max_args=maximum,
+            free_vars=free_variables(module, node.name, node.lineno))
+    if isinstance(node, ast.Lambda):
+        required, maximum = arity_of(node.args)
+        return FunctionInfo(
+            name=name, path=module.path, line=node.lineno,
+            min_args=required, max_args=maximum,
+            free_vars=free_variables(module, "lambda", node.lineno),
+            is_lambda=True)
+    return None
+
+
+def _collect_registrations(module: SourceModule,
+                           project: ProjectContext) -> None:
+    # All function definitions, keyed by simple name (cross-file handler
+    # references are resolved by name; multiple defs keep every candidate
+    # so arity checks do not false-positive on name reuse).
+    defs: Dict[str, List[ast.AST]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, node, node.name)
+            if info is not None:
+                project.functions.setdefault(node.name, []).append(info)
+            defs.setdefault(node.name, []).append(node)
+
+    def bind(registry: Dict[str, List[HandlerInfo]], name: str,
+             value: ast.expr, call: ast.Call) -> None:
+        info = HandlerInfo(name=name, path=module.path, line=call.lineno)
+        if isinstance(value, ast.Lambda):
+            info.func = _function_info(module, value, name)
+            info.line = value.lineno
+        elif isinstance(value, ast.Name):
+            info.func_name = value.id
+            local = [
+                _function_info(module, d, value.id)
+                for d in defs.get(value.id, [])
+            ]
+            locals_found = [i for i in local if i is not None]
+            if len(locals_found) == 1:
+                info.func = locals_found[0]
+                info.line = locals_found[0].line
+        elif isinstance(value, ast.Attribute):
+            info.func_name = value.attr
+        registry.setdefault(name, []).append(info)
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        method = call_method_name(node)
+        if method == "register_handler" and len(node.args) >= 2:
+            target = node.args[0]
+            if isinstance(target, ast.Constant) and isinstance(target.value, str):
+                bind(project.handlers, target.value, node.args[1], node)
+        elif method == "register_handlers":
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    bind(project.handlers, kw.arg, kw.value, node)
+        elif method == "register_visitor" and len(node.args) >= 2:
+            target = node.args[0]
+            if isinstance(target, ast.Constant) and isinstance(target.value, str):
+                bind(project.visitors, target.value, node.args[1], node)
+
+
+def _collect_call_sites(module: SourceModule,
+                        project: ProjectContext) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        method = call_method_name(node)
+        if method == "async_call":
+            for slot in _HANDLER_NAME_SLOTS:
+                if slot >= len(node.args):
+                    break
+                arg = node.args[slot]
+                if isinstance(arg, ast.Starred):
+                    break  # positions beyond a *args expansion are unknown
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    payload = node.args[slot + 1:]
+                    starred = any(isinstance(a, ast.Starred) for a in payload)
+                    project.call_sites.append(CallSite(
+                        kind="handler", name=arg.value,
+                        payload_args=None if starred else len(payload),
+                        module=module, node=node,
+                        arg_nodes=tuple(payload)))
+                    break
+        elif method == "async_visit":
+            if _VISITOR_NAME_SLOT >= len(node.args):
+                continue
+            arg = node.args[_VISITOR_NAME_SLOT]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                payload = node.args[_VISITOR_NAME_SLOT + 1:]
+                starred = any(isinstance(a, ast.Starred) for a in payload)
+                project.call_sites.append(CallSite(
+                    kind="visitor", name=arg.value,
+                    payload_args=None if starred else len(payload),
+                    module=module, node=node,
+                    arg_nodes=tuple(payload)))
+
+
+def build_project(modules: List[SourceModule]) -> ProjectContext:
+    project = ProjectContext(modules=modules)
+    for module in modules:
+        _collect_registrations(module, project)
+    for module in modules:
+        _collect_call_sites(module, project)
+    # Late-bind cross-module handler functions (registered by bare name
+    # whose def lives in another analyzed file).
+    for registry in (project.handlers, project.visitors):
+        for infos in registry.values():
+            for info in infos:
+                if info.func is None and info.func_name is not None:
+                    candidates = project.functions.get(info.func_name, [])
+                    if len(candidates) == 1:
+                        info.func = candidates[0]
+    return project
+
+
+def _suppressed(finding: Finding, modules: Dict[str, SourceModule]) -> bool:
+    module = modules.get(finding.path)
+    if module is None or not 1 <= finding.line <= len(module.lines):
+        return False
+    match = _SUPPRESS_RE.search(module.lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True  # bare "# repro: ignore" silences the whole line
+    wanted = {r.strip().upper() for r in rules.split(",") if r.strip()}
+    return finding.rule.upper() in wanted
+
+
+def run_analysis(paths: Sequence[str], config: Optional[AnalysisConfig] = None,
+                 select: Sequence[str] = ()) -> List[Finding]:
+    """Lint ``paths`` and return sorted, suppression-filtered findings."""
+    config = config or AnalysisConfig()
+    files = collect_files(paths, config)
+    modules, findings = parse_modules(files)
+    project = build_project(modules)
+    chosen = tuple(select) or config.select
+    for rule_id in sorted(RULES):
+        if chosen and rule_id not in chosen:
+            continue
+        findings.extend(RULES[rule_id](project, config))
+    by_path = {m.path: m for m in modules}
+    findings = [f for f in findings if not _suppressed(f, by_path)]
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

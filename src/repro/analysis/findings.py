@@ -1,0 +1,47 @@
+"""Finding records emitted by the distributed-correctness linter.
+
+A finding is machine-readable (rule id, path, line, column, severity,
+message) so CI and editors can consume ``--format json`` output; the
+text format is the usual ``path:line:col: RULE [severity] message``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+#: Severity levels.  Both fail the lint run (the repo must be clean);
+#: the distinction tells a reader whether the rule is exact (``error``)
+#: or a heuristic worth a look (``warning``).
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

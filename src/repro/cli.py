@@ -95,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ack/retransmit delivery (tolerates drop/dup faults)")
     p.add_argument("--max-retries", type=int, default=32,
                    help="retransmit budget per message in --reliable mode")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the runtime ownership sanitizer "
+                        "(repro.analysis): cross-rank state access raises")
     p.set_defaults(func=cmd_construct)
 
     p = sub.add_parser("resume",
@@ -171,7 +174,8 @@ def cmd_construct(args: argparse.Namespace) -> int:
     dnnd = DNND(data, cfg, cluster=ClusterConfig(
         nodes=args.nodes, procs_per_node=args.procs_per_node),
         fault_plan=fault_plan, reliable=args.reliable,
-        max_retries=args.max_retries)
+        max_retries=args.max_retries,
+        sanitize=True if args.sanitize else None)
     result = dnnd.build(store_path=args.store,
                         checkpoint_path=args.checkpoint,
                         checkpoint_every=args.checkpoint_every)

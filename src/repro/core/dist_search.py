@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,7 +52,7 @@ from .search import SearchResult, _result_push, _worst
 class _QueryState:
     """Coordinator-side state of one in-flight query."""
 
-    query: object
+    query: Any
     l: int
     epsilon: float
     frontier: List[Tuple[float, int]] = field(default_factory=list)
@@ -80,7 +80,8 @@ class DistributedKNNGraphSearcher:
                  net: NetworkModel | None = None,
                  partitioner: Optional[Partitioner] = None,
                  coordinator: int = 0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 sanitize: bool | None = None) -> None:
         from ..distances.counting import CountingMetric
 
         if adjacency.n != len(data):
@@ -89,7 +90,7 @@ class DistributedKNNGraphSearcher:
             )
         self.cluster_config = cluster or ClusterConfig(nodes=2, procs_per_node=2)
         self.cluster = SimCluster(self.cluster_config, net)
-        self.world = YGMWorld(self.cluster, seed=seed)
+        self.world = YGMWorld(self.cluster, seed=seed, sanitize=sanitize)
         self.partitioner = partitioner or HashPartitioner(
             adjacency.n, self.cluster_config.world_size)
         if not 0 <= coordinator < self.cluster_config.world_size:

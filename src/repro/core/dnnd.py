@@ -24,11 +24,13 @@ time from the cost model (Figure 3).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..analysis.sanitizer import tag_heap
 from ..config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
 from ..distances.counting import CountingMetric
 from ..errors import ConfigError, RankFailureError, RuntimeStateError, StoreError
@@ -46,6 +48,10 @@ from .dnnd_phases import LocalShard, register_dnnd_handlers, shard_of, T1
 from .graph import EMPTY, AdjacencyGraph, KNNGraph
 from .heap import NeighborHeap
 from .nndescent import _union_with_sample
+
+#: Shared no-op context for driver sections when the sanitizer is off —
+#: module-level so the hot loops allocate nothing per vertex.
+_NULL_SCOPE = contextlib.nullcontext()
 
 
 @dataclass
@@ -145,6 +151,11 @@ class DNND:
         the build; see :class:`~repro.runtime.ygm.YGMWorld`.
     max_retries:
         Retransmit budget per message in reliable mode.
+    sanitize:
+        Run under the runtime ownership sanitizer
+        (:mod:`repro.analysis.sanitizer`): rank-owned heaps and state
+        are tagged and cross-rank access from handler/SPMD context
+        raises.  ``None`` (default) defers to ``REPRO_SANITIZE``.
     """
 
     def __init__(self, data, config: DNNDConfig | None = None,
@@ -154,7 +165,8 @@ class DNND:
                  partitioner: Optional[Partitioner] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  reliable: bool = False,
-                 max_retries: int = 32) -> None:
+                 max_retries: int = 32,
+                 sanitize: bool | None = None) -> None:
         self.data = data
         self.config = config or DNNDConfig()
         self.cluster_config = cluster or ClusterConfig()
@@ -169,7 +181,8 @@ class DNND:
                                   injector=self._injector)
         self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
                               seed=self.config.nnd.seed,
-                              reliable=reliable, max_retries=max_retries)
+                              reliable=reliable, max_retries=max_retries,
+                              sanitize=sanitize)
         self._recoveries = 0
         register_dnnd_handlers(self.world)
         self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
@@ -183,6 +196,7 @@ class DNND:
         """Scatter feature rows to owner ranks (not timed: the paper
         excludes data loading from construction time)."""
         cfg = self.config
+        san = self.world.sanitizer
         for ctx in self.world.ranks:
             gids = self.partitioner.local_ids(ctx.rank)
             if self._sparse:
@@ -191,7 +205,7 @@ class DNND:
             else:
                 feats = np.ascontiguousarray(np.asarray(self.data)[gids])
                 dense_bytes = int(feats.shape[1] * feats.dtype.itemsize) if feats.size else 0
-            ctx.state["shard"] = LocalShard(
+            shard = LocalShard(
                 rank=ctx.rank,
                 partitioner=self.partitioner,
                 global_ids=gids,
@@ -203,9 +217,19 @@ class DNND:
                 sparse=self._sparse,
                 feature_nbytes_dense=dense_bytes,
             )
+            if san is not None:
+                for heap in shard.heaps:
+                    tag_heap(heap, san, ctx.rank)
+            ctx.state["shard"] = shard
 
     def _shards(self) -> List[LocalShard]:
         return [shard_of(ctx) for ctx in self.world.ranks]
+
+    def _rank_scope(self, ctx: RankContext):
+        """Sanitizer scope marking driver code as executing *as*
+        ``ctx.rank`` (a no-op singleton when the sanitizer is off)."""
+        san = self.world.sanitizer
+        return _NULL_SCOPE if san is None else san.rank_scope(ctx.rank)
 
     def _maybe_batch_barrier(self) -> None:
         """Section 4.4: barrier every ``batch_size`` global requests."""
@@ -407,18 +431,19 @@ class DNND:
         self.world.set_phase("init")
         cfg = self.config.nnd
         for ctx, li in self._interleaved_vertices():
-            shard = shard_of(ctx)
-            v = int(shard.global_ids[li])
-            rng = derive_rng(cfg.seed, 2, v)
-            cand = sample_without_replacement(rng, self.n, min(self.n - 1, cfg.k + 2))
-            cand = cand[cand != v][:cfg.k]
-            for u in cand:
-                u = int(u)
-                ctx.async_call(
-                    shard.owner(u), "init_req", v, u, shard.feature(v),
-                    nbytes=2 * ID_BYTES + shard.feature_nbytes(v),
-                    msg_type="init_req",
-                )
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                v = int(shard.global_ids[li])
+                rng = derive_rng(cfg.seed, 2, v)
+                cand = sample_without_replacement(rng, self.n, min(self.n - 1, cfg.k + 2))
+                cand = cand[cand != v][:cfg.k]
+                for u in cand:
+                    u = int(u)
+                    ctx.async_call(
+                        shard.owner(u), "init_req", v, u, shard.feature(v),
+                        nbytes=2 * ID_BYTES + shard.feature_nbytes(v),
+                        msg_type="init_req",
+                    )
             self._maybe_batch_barrier()
         self.world.barrier()
 
@@ -435,43 +460,45 @@ class DNND:
         # nodes" observation, strengthened to exact reproducibility.
         self.world.set_phase("sample")
         for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            shard.reset_iteration_scratch()
-            for li in range(shard.n_local):
-                v = int(shard.global_ids[li])
-                rng = derive_rng(cfg.seed, 3, iteration, v)
-                heap = shard.heaps[li]
-                shard.old_lists[li] = sorted(heap.old_ids())
-                fresh = sorted(heap.new_ids())
-                if len(fresh) > sample_n:
-                    pick = sample_without_replacement(rng, len(fresh), sample_n)
-                    sampled = [fresh[int(i)] for i in pick]
-                else:
-                    sampled = fresh
-                for u in sampled:
-                    heap.mark_old(u)
-                shard.new_lists[li] = sampled
-                ctx.charge_update(len(sampled) + len(shard.old_lists[li]))
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                shard.reset_iteration_scratch()
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    rng = derive_rng(cfg.seed, 3, iteration, v)
+                    heap = shard.heaps[li]
+                    shard.old_lists[li] = sorted(heap.old_ids())
+                    fresh = sorted(heap.new_ids())
+                    if len(fresh) > sample_n:
+                        pick = sample_without_replacement(rng, len(fresh), sample_n)
+                        sampled = [fresh[int(i)] for i in pick]
+                    else:
+                        sampled = fresh
+                    for u in sampled:
+                        heap.mark_old(u)
+                    shard.new_lists[li] = sampled
+                    ctx.charge_update(len(sampled) + len(shard.old_lists[li]))
 
         # ---- reversed-matrix exchange (Section 4.2) --------------------------
         self.world.set_phase("reverse")
         for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            outgoing = []
-            for li in range(shard.n_local):
-                v = int(shard.global_ids[li])
-                for u in shard.new_lists[li]:
-                    outgoing.append(("rev_new", int(u), v))
-                for u in shard.old_lists[li]:
-                    outgoing.append(("rev_old", int(u), v))
-            if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
-                rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
-                order = rng.permutation(len(outgoing))
-                outgoing = [outgoing[int(i)] for i in order]
-            for handler, u, v in outgoing:
-                ctx.async_call(shard.owner(u), handler, u, v,
-                               nbytes=2 * ID_BYTES, msg_type="reverse")
-                self._maybe_batch_barrier()
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                outgoing = []
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    for u in shard.new_lists[li]:
+                        outgoing.append(("rev_new", int(u), v))
+                    for u in shard.old_lists[li]:
+                        outgoing.append(("rev_old", int(u), v))
+                if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
+                    rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
+                    order = rng.permutation(len(outgoing))
+                    outgoing = [outgoing[int(i)] for i in order]
+                for handler, u, v in outgoing:
+                    ctx.async_call(shard.owner(u), handler, u, v,
+                                   nbytes=2 * ID_BYTES, msg_type="reverse")
+                    self._maybe_batch_barrier()
         self.world.barrier()
 
         # ---- union with sampled reversed lists (lines 14-16) -----------------
@@ -480,29 +507,31 @@ class DNND:
         # sample so shape-invariance holds here too.
         self.world.set_phase("union")
         for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            for li in range(shard.n_local):
-                v = int(shard.global_ids[li])
-                rng = derive_rng(cfg.seed, 5, iteration, v)
-                shard.new_lists[li] = _union_with_sample(
-                    shard.new_lists[li], sorted(shard.rev_new[li]), sample_n, rng)
-                shard.old_lists[li] = _union_with_sample(
-                    shard.old_lists[li], sorted(shard.rev_old[li]), sample_n, rng)
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    rng = derive_rng(cfg.seed, 5, iteration, v)
+                    shard.new_lists[li] = _union_with_sample(
+                        shard.new_lists[li], sorted(shard.rev_new[li]), sample_n, rng)
+                    shard.old_lists[li] = _union_with_sample(
+                        shard.old_lists[li], sorted(shard.rev_old[li]), sample_n, rng)
 
         # ---- neighbor checks (Section 4.3) ----------------------------------
         self.world.set_phase("neighbor_check")
         one_sided = self.config.comm_opts.one_sided
         for ctx, li in self._interleaved_vertices():
-            shard = shard_of(ctx)
-            new_c = shard.new_lists[li]
-            old_c = shard.old_lists[li]
-            for i, u1 in enumerate(new_c):
-                for u2 in new_c[i + 1:]:
-                    if u1 != u2:
-                        self._emit_check(ctx, shard, u1, u2, one_sided)
-                for u2 in old_c:
-                    if u1 != u2:
-                        self._emit_check(ctx, shard, u1, u2, one_sided)
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                new_c = shard.new_lists[li]
+                old_c = shard.old_lists[li]
+                for i, u1 in enumerate(new_c):
+                    for u2 in new_c[i + 1:]:
+                        if u1 != u2:
+                            self._emit_check(ctx, shard, u1, u2, one_sided)
+                    for u2 in old_c:
+                        if u1 != u2:
+                            self._emit_check(ctx, shard, u1, u2, one_sided)
             self._maybe_batch_barrier()
         self.world.barrier()
 
@@ -568,26 +597,28 @@ class DNND:
         # Stage 1: seed local merge maps with forward edges, ship reversed
         # edges to their owners.
         for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            shard.merged = [dict() for _ in range(shard.n_local)]
-            for li in range(shard.n_local):
-                for u, d, _flag in shard.heaps[li].entries():
-                    bucket = shard.merged[li]
-                    prev = bucket.get(u)
-                    if prev is None or d < prev:
-                        bucket[u] = d
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                shard.merged = [dict() for _ in range(shard.n_local)]
+                for li in range(shard.n_local):
+                    for u, d, _flag in shard.heaps[li].entries():
+                        bucket = shard.merged[li]
+                        prev = bucket.get(u)
+                        if prev is None or d < prev:
+                            bucket[u] = d
         for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            for li in range(shard.n_local):
-                v = int(shard.global_ids[li])
-                for u, d, _flag in shard.heaps[li].entries():
-                    ctx.async_call(shard.owner(u), "opt_rev_edge", int(u), v, float(d),
-                                   nbytes=2 * ID_BYTES + 4, msg_type="opt_rev")
-                    self._maybe_batch_barrier()
+            with self._rank_scope(ctx):
+                shard = shard_of(ctx)
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    for u, d, _flag in list(shard.heaps[li].entries()):
+                        ctx.async_call(shard.owner(u), "opt_rev_edge", int(u), v, float(d),
+                                       nbytes=2 * ID_BYTES + 4, msg_type="opt_rev")
+                        self._maybe_batch_barrier()
         self.world.barrier()
         # Stage 2: local prune to ceil(k * m) and gather.
         max_degree = int(np.ceil(self.config.k * m))
-        neighbor_lists: List[List] = [None] * self.n
+        neighbor_lists: List[Optional[List]] = [None] * self.n
         for ctx in self.world.ranks:
             shard = shard_of(ctx)
             for li in range(shard.n_local):

@@ -40,7 +40,7 @@ byte size), so Figure 4's bytes axis is modeled, not pickled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -81,7 +81,7 @@ class LocalShard:
     partitioner: Partitioner
     global_ids: np.ndarray
     local_index: Dict[int, int]
-    features: object
+    features: Any  # dense (n_local, dim) array or list of sparse records
     heaps: List[NeighborHeap]
     metric: CountingMetric
     config: DNNDConfig

@@ -14,11 +14,14 @@ asynchronous messages in arbitrary order).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import GraphError
+
+if TYPE_CHECKING:  # import only for annotations: heap has no runtime
+    from ..analysis.sanitizer import Sanitizer  # dependency on analysis
 
 #: Placeholder id for an empty slot.
 EMPTY = -1
@@ -39,7 +42,8 @@ class NeighborHeap:
     worst; otherwise replace the worst and return 1.
     """
 
-    __slots__ = ("k", "ids", "dists", "flags", "_members")
+    __slots__ = ("k", "ids", "dists", "flags", "_members",
+                 "_san", "_san_owner", "_san_iters")
 
     def __init__(self, k: int) -> None:
         if k < 1:
@@ -49,6 +53,12 @@ class NeighborHeap:
         self.dists = np.full(self.k, np.inf, dtype=np.float64)
         self.flags = np.zeros(self.k, dtype=bool)
         self._members: set[int] = set()
+        # Ownership sanitizer metadata; set via repro.analysis.sanitizer
+        # .tag_heap when REPRO_SANITIZE is on, otherwise permanently None
+        # (so guards cost one attribute test).
+        self._san: Optional["Sanitizer"] = None
+        self._san_owner = 0
+        self._san_iters = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -71,9 +81,22 @@ class NeighborHeap:
 
     def entries(self) -> Iterator[Tuple[int, float, bool]]:
         """Yield ``(id, dist, flag)`` for occupied slots, heap order."""
+        if self._san is not None:
+            return self._sanitized_entries()
+        return self._entries()
+
+    def _entries(self) -> Iterator[Tuple[int, float, bool]]:
         for i in range(self.k):
             if self.ids[i] != EMPTY:
                 yield int(self.ids[i]), float(self.dists[i]), bool(self.flags[i])
+
+    def _sanitized_entries(self) -> Iterator[Tuple[int, float, bool]]:
+        self._san.check_access(self._san_owner, "neighbor heap (iterate)")
+        self._san_iters += 1
+        try:
+            yield from self._entries()
+        finally:
+            self._san_iters -= 1
 
     def new_ids(self) -> List[int]:
         """Ids currently flagged *new* (Algorithm 1 line 9 source)."""
@@ -90,6 +113,9 @@ class NeighborHeap:
     def checked_push(self, vid: int, dist: float, flag: bool = True) -> int:
         """Algorithm 1 ``Update``: insert if new and closer than the
         worst; returns 1 if the heap changed, else 0."""
+        if self._san is not None:
+            self._san.check_access(self._san_owner, "neighbor heap (push)")
+            self._san.check_iteration(self._san_iters, "neighbor heap")
         vid = int(vid)
         if vid in self._members:
             return 0
@@ -109,6 +135,9 @@ class NeighborHeap:
 
     def mark_old(self, vid: int) -> None:
         """Clear the *new* flag of ``vid`` (Algorithm 1 line 10)."""
+        if self._san is not None:
+            self._san.check_access(self._san_owner, "neighbor heap (mark_old)")
+            self._san.check_iteration(self._san_iters, "neighbor heap")
         idx = np.flatnonzero(self.ids == int(vid))
         if idx.size:
             self.flags[idx[0]] = False

@@ -51,6 +51,37 @@ class DatasetError(ReproError):
     malformed file."""
 
 
+class SanitizerError(ReproError):
+    """Base class for runtime-sanitizer detections (``REPRO_SANITIZE=1``):
+    each subclass is one class of distributed-correctness bug caught at
+    the moment it happens instead of as a corrupted build later."""
+
+
+class OwnershipViolationError(SanitizerError):
+    """Rank-owned state (a shard, a neighbor heap, a container slot) was
+    read or written from a handler executing at a *different* rank.  On
+    a real cluster that memory simply does not exist at the accessing
+    process; the sanctioned channel is an ``async_call`` delivered at
+    the owner."""
+
+    def __init__(self, message: str, *, owner: int | None = None,
+                 accessor: int | None = None) -> None:
+        super().__init__(message)
+        self.owner = owner
+        self.accessor = accessor
+
+
+class HandlerReentrancyError(SanitizerError):
+    """A registered handler was invoked while another handler was still
+    running (a direct synchronous call instead of an ``async_call``) —
+    YGM handlers are atomic units of delivery and must not nest."""
+
+
+class MutationDuringIterationError(SanitizerError):
+    """A neighbor heap was mutated while one of its iterators was live;
+    the iteration's remaining output is undefined."""
+
+
 class FaultToleranceError(ReproError):
     """Fault-tolerant delivery could not mask an injected fault: the
     retry budget for a message was exhausted, or a rank failed with no

@@ -63,6 +63,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.sanitizer import OwnedState, Sanitizer, sanitizer_requested
 from ..errors import FaultToleranceError, RankFailureError, RuntimeStateError
 from ..utils.rng import derive_rng
 from .instrumentation import FaultStats, MessageStats
@@ -101,7 +102,12 @@ class RankContext:
     def __init__(self, world: "YGMWorld", rank: int, seed: int) -> None:
         self.world = world
         self.rank = int(rank)
-        self.state: Dict[str, Any] = {}
+        # Sanitizing worlds tag the namespace with its owner so handler
+        # code reaching into another rank's state raises; otherwise a
+        # plain dict keeps the hot path untouched.
+        self.state: Dict[str, Any] = (
+            OwnedState(world.sanitizer, rank) if world.sanitizer is not None
+            else {})
         self.rng: np.random.Generator = derive_rng(seed, rank)
 
     @property
@@ -159,7 +165,8 @@ class YGMWorld:
                  flush_threshold_bytes: int = 1 << 20,
                  seed: int = 0, reliable: bool = False,
                  retry_timeout: int = 4, retry_backoff: float = 2.0,
-                 max_retries: int = 32) -> None:
+                 max_retries: int = 32,
+                 sanitize: bool | None = None) -> None:
         if flush_threshold < 1:
             raise RuntimeStateError("flush_threshold must be >= 1")
         if flush_threshold_bytes < 1:
@@ -168,6 +175,11 @@ class YGMWorld:
             raise RuntimeStateError("retry_timeout must be >= 1")
         if max_retries < 1:
             raise RuntimeStateError("max_retries must be >= 1")
+        # Ownership sanitizer (repro.analysis): None when off, so every
+        # runtime guard is a single attribute test.
+        if sanitize is None:
+            sanitize = sanitizer_requested()
+        self.sanitizer: Sanitizer | None = Sanitizer() if sanitize else None
         self.cluster = cluster
         self.world_size = cluster.world_size
         self.flush_threshold = int(flush_threshold)
@@ -234,6 +246,10 @@ class YGMWorld:
         argument passed to ``fn`` is the destination :class:`RankContext`."""
         if name in self._handlers:
             raise RuntimeStateError(f"handler {name!r} already registered")
+        if self.sanitizer is not None:
+            # Wrapping at registration keeps the delivery loop identical
+            # whether or not the sanitizer is on.
+            fn = self.sanitizer.wrap_handler(name, fn)
         self._handlers[name] = fn
 
     def register_handlers(self, **handlers: Handler) -> None:
@@ -497,9 +513,16 @@ class YGMWorld:
 
     def run_on_all(self, fn: Callable[[RankContext], None]) -> None:
         """Run ``fn`` once per rank (the SPMD program section between
-        barriers)."""
-        for ctx in self.ranks:
-            fn(ctx)
+        barriers).  Under the sanitizer each invocation executes *as*
+        its rank, so touching another rank's state raises."""
+        san = self.sanitizer
+        if san is None:
+            for ctx in self.ranks:
+                fn(ctx)
+        else:
+            for ctx in self.ranks:
+                with san.rank_scope(ctx.rank):
+                    fn(ctx)
 
     def allreduce_sum(self, value_fn: Callable[[RankContext], float]) -> float:
         """Sum-allreduce of a per-rank value (used for the Algorithm 1

@@ -1,0 +1,12 @@
+"""Fixture: unseeded global-state RNG calls (REP101 must fire 4x)."""
+import random
+
+import numpy as np
+
+
+def pick(items):
+    random.shuffle(items)            # global random-module state
+    noise = np.random.rand(3)        # legacy numpy global state
+    rng = np.random.default_rng()    # OS entropy: no seed
+    coin = random.Random()           # OS entropy: no seed
+    return items, noise, rng, coin

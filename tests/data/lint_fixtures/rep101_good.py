@@ -1,0 +1,11 @@
+"""Fixture: keyed-stream RNG discipline (clean for REP101)."""
+import random
+
+import numpy as np
+
+
+def pick(items, seed, vertex):
+    rng = np.random.default_rng((seed, vertex))
+    order = rng.permutation(len(items))
+    coin = random.Random(seed)
+    return [items[int(i)] for i in order], coin.random()

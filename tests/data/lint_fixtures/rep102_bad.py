@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads in simulation code (REP102 must fire 3x
+when this path is configured as a sim path)."""
+import time
+from datetime import datetime
+
+
+def stamp_events(events):
+    events.append(time.time())
+    events.append(time.perf_counter())
+    events.append(datetime.now())
+    return events

@@ -1,0 +1,7 @@
+"""Fixture: simulated time comes from the cost ledger (clean for
+REP102 even when configured as a sim path)."""
+
+
+def stamp_events(events, ledger):
+    events.append(ledger.elapsed)
+    return events

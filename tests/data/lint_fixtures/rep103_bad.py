@@ -1,0 +1,13 @@
+"""Fixture: set iteration in message-emitting code (REP103 must fire 2x)."""
+
+
+def broadcast(ctx, members):
+    targets = set(members)
+    for t in targets:
+        ctx.async_call(t, "touch", t)
+
+
+def broadcast_comprehension(ctx, members: set):
+    payloads = [m * 2 for m in members]
+    for p in payloads:
+        ctx.async_call(0, "touch", p)

@@ -1,0 +1,7 @@
+"""Fixture: sets are sorted before emitting (clean for REP103)."""
+
+
+def broadcast(ctx, members):
+    targets = set(members)
+    for t in sorted(targets):
+        ctx.async_call(t, "touch", t)

@@ -1,0 +1,6 @@
+"""Fixture: ordering keyed on id() addresses (REP104 must fire 2x)."""
+
+
+def order_nodes(nodes):
+    nodes.sort(key=id)
+    return sorted(nodes, key=lambda n: (id(n), 0))

@@ -1,0 +1,6 @@
+"""Fixture: ordering keyed on stable fields (clean for REP104)."""
+
+
+def order_nodes(nodes):
+    nodes.sort(key=lambda n: n.vertex_id)
+    return sorted(nodes, key=lambda n: (n.dist, n.vertex_id))

@@ -1,0 +1,13 @@
+"""Fixture: async_call naming an unregistered handler (REP201 1x)."""
+
+
+def setup(world):
+    world.register_handler("pong", _h_pong)
+
+
+def _h_pong(ctx, token):
+    ctx.state["token"] = token
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "ping", 1)  # only "pong" is registered

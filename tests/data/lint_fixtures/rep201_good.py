@@ -1,0 +1,13 @@
+"""Fixture: every named handler resolves (clean for REP201)."""
+
+
+def setup(world):
+    world.register_handler("pong", _h_pong)
+
+
+def _h_pong(ctx, token):
+    ctx.state["token"] = token
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "pong", 1)

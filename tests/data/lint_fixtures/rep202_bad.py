@@ -1,0 +1,13 @@
+"""Fixture: call-site payload does not fit the handler (REP202 1x)."""
+
+
+def setup(world):
+    world.register_handler("update", _h_update)
+
+
+def _h_update(ctx, key, value):
+    ctx.state[key] = value
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "update", 1)  # handler wants (key, value)

@@ -1,0 +1,13 @@
+"""Fixture: payload matches the handler signature (clean for REP202)."""
+
+
+def setup(world):
+    world.register_handler("update", _h_update)
+
+
+def _h_update(ctx, key, value):
+    ctx.state[key] = value
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "update", 1, 2)

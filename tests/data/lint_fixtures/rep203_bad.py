@@ -1,0 +1,14 @@
+"""Fixture: handler capturing rank-local closure state (REP203 1x)."""
+
+
+def setup(world):
+    counts = {}
+
+    def _h_count(ctx, key):
+        counts[key] = counts.get(key, 0) + 1
+
+    world.register_handler("count", _h_count)
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "count", 7)

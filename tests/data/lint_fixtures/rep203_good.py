@@ -1,0 +1,14 @@
+"""Fixture: handler state lives in ctx.state (clean for REP203)."""
+
+
+def _h_count(ctx, key):
+    counts = ctx.state.setdefault("counts", {})
+    counts[key] = counts.get(key, 0) + 1
+
+
+def setup(world):
+    world.register_handler("count", _h_count)
+
+
+def send(ctx, dest):
+    ctx.async_call(dest, "count", 7)

@@ -1,0 +1,6 @@
+"""Fixture: stats read with messages still in flight (REP204 1x)."""
+
+
+def measure(world, ctx, dest):
+    ctx.async_call(dest, "touch", 1)
+    return world.stats()  # no barrier since the emit

@@ -1,0 +1,7 @@
+"""Fixture: barrier before the stats read (clean for REP204)."""
+
+
+def measure(world, ctx, dest):
+    ctx.async_call(dest, "touch", 1)
+    world.barrier()
+    return world.stats()

@@ -1,0 +1,6 @@
+"""Fixture: unserializable RPC payload (REP205 must fire 2x)."""
+
+
+def send(ctx, dest, items):
+    ctx.async_call(dest, "apply", lambda x: x + 1)
+    ctx.async_call(dest, "apply", (i * 2 for i in items))

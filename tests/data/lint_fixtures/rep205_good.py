@@ -1,0 +1,5 @@
+"""Fixture: plain-data RPC payload (clean for REP205)."""
+
+
+def send(ctx, dest, items):
+    ctx.async_call(dest, "apply", [i * 2 for i in items])

@@ -1,0 +1,16 @@
+"""Fixture: bad code silenced line-by-line; must lint clean."""
+import random
+
+
+def pick(items):
+    random.shuffle(items)  # repro: ignore[REP101]
+    return items
+
+
+def order(nodes):
+    return sorted(nodes, key=id)  # repro: ignore
+
+
+def broadcast(ctx, members):
+    for t in set(members):  # repro: ignore[REP103,REP104]
+        ctx.async_call(t, "touch", t)  # repro: ignore[REP201]

@@ -1,0 +1,107 @@
+"""Engine, suppression, CLI exit codes, and the repo-wide self-lint."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, RULES, load_config, run_analysis
+from repro.analysis.__main__ import main as analysis_main
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = REPO / "tests" / "data" / "lint_fixtures"
+CONFIG = AnalysisConfig(exclude=(), sim_paths=("lint_fixtures",))
+
+
+# -- self-lint: the acceptance gate ------------------------------------------
+
+def test_src_lints_clean():
+    """`python -m repro.analysis src` exits 0 — every rule passes on the
+    repo's own source (the CI `analysis` job runs exactly this)."""
+    findings = run_analysis([str(REPO / "src")], load_config(REPO))
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_fixtures_do_not_lint_clean():
+    """The bad fixtures must make the linter exit non-zero."""
+    findings = run_analysis([str(FIXTURES)], CONFIG)
+    assert findings, "bad fixtures produced no findings"
+
+
+# -- suppression -------------------------------------------------------------
+
+def test_suppressed_file_is_clean():
+    assert run_analysis([str(FIXTURES / "suppressed.py")], CONFIG) == []
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    """ignore[REP104] does not silence a REP101 on the same line."""
+    f = tmp_path / "mod.py"
+    f.write_text("import random\n\n\n"
+                 "def f(xs):\n"
+                 "    random.shuffle(xs)  # repro: ignore[REP104]\n")
+    findings = run_analysis([str(f)], CONFIG, select=("REP101",))
+    assert [x.rule for x in findings] == ["REP101"]
+
+
+# -- syntax errors ------------------------------------------------------------
+
+def test_syntax_error_becomes_rep000(tmp_path):
+    f = tmp_path / "broken.py"
+    f.write_text("def f(:\n")
+    findings = run_analysis([str(f)], CONFIG)
+    assert [x.rule for x in findings] == ["REP000"]
+    assert findings[0].severity == "error"
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_exit_codes_and_json(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert analysis_main(["src"]) == 0
+    capsys.readouterr()
+    # Directories honour the configured excludes (the fixture tree is
+    # excluded repo-wide), but a file named explicitly is always linted.
+    assert analysis_main([str(FIXTURES)]) == 0
+    capsys.readouterr()
+    rc = analysis_main([str(FIXTURES / "rep101_bad.py"), "--format", "json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and {"path", "line", "col", "rule", "severity",
+                        "message"} <= set(payload[0])
+    assert analysis_main(["--select", "REP999", "src"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert analysis_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_cli_as_module():
+    """The documented invocation: python -m repro.analysis src."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+# -- config -------------------------------------------------------------------
+
+def test_load_config_reads_pyproject():
+    config = load_config(REPO)
+    assert config.root == REPO
+    assert "src" in config.paths
+    assert any("lint_fixtures" in pat for pat in config.exclude)
+    assert any("repro/runtime" in p for p in config.sim_paths)
+
+
+def test_exclude_patterns_respected(tmp_path):
+    (tmp_path / "skipme").mkdir()
+    (tmp_path / "skipme" / "bad.py").write_text(
+        "import random\nrandom.random()\n")
+    config = AnalysisConfig(exclude=("*/skipme/*",))
+    assert run_analysis([str(tmp_path)], config) == []

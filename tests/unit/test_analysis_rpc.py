@@ -1,0 +1,104 @@
+"""RPC contract rules (REP2xx) against the fixtures and the real repo
+registration idioms."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+FIXTURES = Path(__file__).resolve().parents[1] / "data" / "lint_fixtures"
+CONFIG = AnalysisConfig(exclude=(), sim_paths=("lint_fixtures",))
+
+CASES = [
+    ("REP201", 1),
+    ("REP202", 1),
+    ("REP203", 1),
+    ("REP204", 1),
+    ("REP205", 2),
+]
+
+
+def _lint(path: Path, rule: str):
+    return run_analysis([str(path)], CONFIG, select=(rule,))
+
+
+@pytest.mark.parametrize("rule,expected", CASES)
+def test_bad_fixture_fires(rule, expected):
+    findings = _lint(FIXTURES / f"{rule.lower()}_bad.py", rule)
+    assert len(findings) == expected
+    assert all(f.rule == rule for f in findings)
+
+
+@pytest.mark.parametrize("rule,_expected", CASES)
+def test_good_fixture_silent(rule, _expected):
+    assert _lint(FIXTURES / f"{rule.lower()}_good.py", rule) == []
+
+
+def test_rep204_is_a_warning_not_an_error():
+    findings = _lint(FIXTURES / "rep204_bad.py", "REP204")
+    assert findings and all(f.severity == "warning" for f in findings)
+
+
+def test_rep202_reports_supplied_vs_accepted():
+    (finding,) = _lint(FIXTURES / "rep202_bad.py", "REP202")
+    assert "2 positional argument(s)" in finding.message
+    assert "_h_update(3)" in finding.message
+
+
+def test_registrations_resolve_across_files(tmp_path):
+    """A handler registered in one module, defined in another, called
+    from a third: the project-wide index connects all three."""
+    (tmp_path / "impl.py").write_text(
+        "def _h_store(ctx, key, value):\n"
+        "    ctx.state[key] = value\n")
+    (tmp_path / "wiring.py").write_text(
+        "from impl import _h_store\n\n"
+        "def setup(world):\n"
+        "    world.register_handlers(store=_h_store)\n")
+    (tmp_path / "driver.py").write_text(
+        "def send(ctx):\n"
+        "    ctx.async_call(0, 'store', 'a', 1)\n"       # fits: clean
+        "    ctx.async_call(0, 'store', 'a')\n")         # REP202
+    findings = run_analysis([str(tmp_path)], CONFIG,
+                            select=("REP201", "REP202"))
+    assert [f.rule for f in findings] == ["REP202"]
+    assert findings[0].line == 3
+
+
+def test_visitor_implicit_arity(tmp_path):
+    """Visitors receive (ctx, state, key) before the payload."""
+    (tmp_path / "mod.py").write_text(
+        "def _v_bump(ctx, state, key, amount):\n"
+        "    state[key] = state.get(key, 0) + amount\n\n"
+        "def setup(dmap):\n"
+        "    dmap.register_visitor('bump', _v_bump)\n\n"
+        "def drive(dmap):\n"
+        "    dmap.async_visit(0, 'k', 'bump', 5)\n"       # fits: clean
+        "    dmap.async_visit(0, 'k', 'bump', 5, 6)\n")   # REP202
+    findings = run_analysis([str(tmp_path)], CONFIG,
+                            select=("REP201", "REP202"))
+    assert [f.rule for f in findings] == ["REP202"]
+    assert "visitor 'bump'" in findings[0].message
+
+
+def test_starred_payload_not_flagged(tmp_path):
+    """*args at the call site makes the payload count unknowable."""
+    (tmp_path / "mod.py").write_text(
+        "def _h_any(ctx, a, b):\n"
+        "    pass\n\n"
+        "def setup(world):\n"
+        "    world.register_handler('any', _h_any)\n\n"
+        "def drive(ctx, args):\n"
+        "    ctx.async_call(0, 'any', *args)\n")
+    findings = run_analysis([str(tmp_path)], CONFIG, select=("REP202",))
+    assert findings == []
+
+
+def test_dynamic_handler_name_not_flagged(tmp_path):
+    """A variable handler name cannot be resolved statically — no REP201."""
+    (tmp_path / "mod.py").write_text(
+        "def drive(ctx, handler):\n"
+        "    ctx.async_call(0, handler, 1, 2)\n")
+    findings = run_analysis([str(tmp_path)], CONFIG, select=("REP201",))
+    assert findings == []

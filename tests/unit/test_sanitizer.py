@@ -1,0 +1,175 @@
+"""Runtime ownership sanitizer: detection, gating, zero overhead."""
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    OwnedState,
+    Sanitizer,
+    sanitizer_requested,
+    tag_heap,
+)
+from repro.config import ClusterConfig
+from repro.core.heap import NeighborHeap
+from repro.errors import (
+    HandlerReentrancyError,
+    MutationDuringIterationError,
+    OwnershipViolationError,
+)
+from repro.runtime.simmpi import SimCluster
+from repro.runtime.ygm import YGMWorld
+
+
+def _world(sanitize):
+    return YGMWorld(SimCluster(ClusterConfig(nodes=2, procs_per_node=2)),
+                    sanitize=sanitize)
+
+
+# -- env gating ----------------------------------------------------------------
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("YES", True), (" on ", True),
+    ("0", False), ("", False), ("off", False), ("no", False),
+])
+def test_sanitizer_requested(value, expected):
+    assert sanitizer_requested({"REPRO_SANITIZE": value}) is expected
+
+
+def test_sanitizer_requested_unset():
+    assert sanitizer_requested({}) is False
+
+
+def test_world_env_gating(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert _world(None).sanitizer is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert _world(None).sanitizer is None
+    # Explicit argument beats the environment.
+    assert _world(False).sanitizer is None
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert _world(True).sanitizer is not None
+
+
+# -- zero overhead when off ---------------------------------------------------
+
+def test_off_means_plain_everything():
+    world = _world(False)
+    assert world.sanitizer is None
+    assert type(world.ranks[0].state) is dict
+    fn = lambda ctx: None  # noqa: E731
+    world.register_handler("noop", fn)
+    assert world._handlers["noop"] is fn  # not wrapped
+    heap = NeighborHeap(4)
+    assert heap._san is None
+
+
+# -- ownership ----------------------------------------------------------------
+
+def test_owned_state_cross_rank_access_raises():
+    world = _world(True)
+    san = world.sanitizer
+    world.ranks[1].state["x"] = 1  # driver context: allowed
+    with san.rank_scope(0):
+        world.ranks[0].state["y"] = 2  # own state: allowed
+        with pytest.raises(OwnershipViolationError) as exc:
+            world.ranks[1].state["x"]
+        with pytest.raises(OwnershipViolationError):
+            world.ranks[1].state.get("x")
+        with pytest.raises(OwnershipViolationError):
+            world.ranks[1].state.setdefault("z", 0)
+        with pytest.raises(OwnershipViolationError):
+            world.ranks[1].state.pop("x")
+    assert exc.value.owner == 1 and exc.value.accessor == 0
+    assert san.violations >= 1
+    assert world.ranks[1].state["x"] == 1  # back in driver context
+
+
+def test_handler_injected_cross_rank_mutation_raises():
+    """A handler that reaches into another rank's state must be caught —
+    the bug class the sanitizer exists for."""
+    world = _world(True)
+
+    def evil(ctx, victim):
+        ctx.world.ranks[victim].state["stolen"] = True
+
+    def good(ctx, value):
+        ctx.state["kept"] = value
+
+    world.register_handlers(evil=evil, good=good)
+    world.async_call(0, 1, "good", 7)
+    world.barrier()
+    assert world.ranks[1].state["kept"] == 7
+
+    world.async_call(0, 1, "evil", 3)  # delivered at rank 1, touches rank 3
+    with pytest.raises(OwnershipViolationError):
+        world.barrier()
+
+
+def test_heap_ownership_and_iteration():
+    san = Sanitizer()
+    heap = NeighborHeap(4)
+    tag_heap(heap, san, owner=2)
+    heap.checked_push(1, 0.5)  # driver context: allowed
+    with san.rank_scope(2):
+        heap.checked_push(2, 0.4)  # owner: allowed
+    with san.rank_scope(0):
+        with pytest.raises(OwnershipViolationError):
+            heap.checked_push(3, 0.3)
+        with pytest.raises(OwnershipViolationError):
+            heap.mark_old(1)
+        with pytest.raises(OwnershipViolationError):
+            list(heap.entries())
+    # Mutation while an entries() iterator is live.
+    it = heap.entries()
+    next(it)
+    with pytest.raises(MutationDuringIterationError):
+        heap.checked_push(9, 0.1)
+    it.close()
+    assert heap.checked_push(9, 0.1) == 1  # iterator closed: allowed
+
+
+def test_untagged_heap_unaffected():
+    heap = NeighborHeap(4)
+    heap.checked_push(1, 0.5)
+    for _ in heap.entries():
+        heap.checked_push(2, 0.4)  # no sanitizer: silently permitted
+
+
+# -- re-entrancy --------------------------------------------------------------
+
+def test_handler_reentrancy_detected():
+    world = _world(True)
+    handlers = {}
+
+    def outer(ctx, x):
+        handlers["inner"](ctx, x)  # direct call instead of async_call
+
+    def inner(ctx, x):
+        ctx.state["x"] = x
+
+    world.register_handlers(outer=outer, inner=inner)
+    handlers["inner"] = world._handlers["inner"]
+    world.async_call(0, 1, "outer", 5)
+    with pytest.raises(HandlerReentrancyError):
+        world.barrier()
+    assert world.sanitizer.reentrancy_detected == 1
+    # The failed delivery must not leave the sanitizer wedged.
+    assert world.sanitizer.handler_depth == 0
+    assert world.sanitizer.active_rank is None
+
+
+def test_rank_scope_nesting_restores():
+    san = Sanitizer()
+    with san.rank_scope(0):
+        with san.rank_scope(1):
+            assert san.active_rank == 1
+        assert san.active_rank == 0
+    assert san.active_rank is None
+
+
+def test_owned_state_is_still_a_dict():
+    """Code paths that type-check or iterate state keep working."""
+    state = OwnedState(Sanitizer(), owner=0)
+    state["a"] = 1
+    assert isinstance(state, dict)
+    assert list(state) == ["a"]
+    assert len(state) == 1
