@@ -164,6 +164,14 @@ def _collect_registrations(module: SourceModule,
             for kw in node.keywords:
                 if kw.arg is not None:
                     bind(project.handlers, kw.arg, kw.value, node)
+        elif method == "register_batch_handler" and len(node.args) >= 2:
+            target = node.args[0]
+            if isinstance(target, ast.Constant) and isinstance(target.value, str):
+                bind(project.batch_handlers, target.value, node.args[1], node)
+        elif method == "register_batch_handlers":
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    bind(project.batch_handlers, kw.arg, kw.value, node)
         elif method == "register_visitor" and len(node.args) >= 2:
             target = node.args[0]
             if isinstance(target, ast.Constant) and isinstance(target.value, str):
@@ -214,7 +222,8 @@ def build_project(modules: List[SourceModule]) -> ProjectContext:
         _collect_call_sites(module, project)
     # Late-bind cross-module handler functions (registered by bare name
     # whose def lives in another analyzed file).
-    for registry in (project.handlers, project.visitors):
+    for registry in (project.handlers, project.visitors,
+                     project.batch_handlers):
         for infos in registry.values():
             for info in infos:
                 if info.func is None and info.func_name is not None:

@@ -22,8 +22,10 @@ from .findings import Finding
 
 #: Methods whose call counts as "emitting a message" for the rules that
 #: scope themselves to message-emitting code (REP103, REP204).
+#: ``emit_run`` is the batch execution engine's bulk emitter — it sends
+#: a whole run of messages in one call and must count like async_call.
 EMIT_METHODS = frozenset({"async_call", "async_visit", "async_insert",
-                          "async_add"})
+                          "async_add", "emit_run"})
 
 
 @dataclass
@@ -61,7 +63,8 @@ class FunctionInfo:
 
 @dataclass
 class HandlerInfo:
-    """One ``register_handler(s)`` / ``register_visitor`` binding."""
+    """One ``register_handler(s)`` / ``register_visitor`` /
+    ``register_batch_handler(s)`` binding."""
 
     name: str
     path: str
@@ -89,6 +92,13 @@ class ProjectContext:
     modules: List[SourceModule]
     handlers: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
     visitors: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
+    #: Batch variants registered via ``register_batch_handler(s)``.
+    #: Kept separate from ``handlers`` on purpose: a batch handler's
+    #: signature is ``(ctx, args_list)`` regardless of the scalar
+    #: payload shape, so folding them into ``handlers`` would make
+    #: REP202's arity check false-positive at every call site that has
+    #: a batch variant.  REP203's purity check covers both registries.
+    batch_handlers: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
     functions: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
     call_sites: List[CallSite] = field(default_factory=list)
 

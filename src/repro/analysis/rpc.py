@@ -15,7 +15,9 @@ REP201  unknown-handler          every literal ``async_call(...,
 REP202  handler-arity            the payload argument count at the call
                                  site must fit the handler's signature
                                  (handlers receive ``(ctx, *payload)``,
-                                 visitors ``(ctx, state, key, *args)``).
+                                 visitors ``(ctx, state, key, *args)``;
+                                 batch variants always receive exactly
+                                 ``(ctx, args_list)``).
 REP203  handler-closure-capture  a handler registered from inside a
                                  function closes over rank-local
                                  mutable state — handler behaviour must
@@ -122,13 +124,34 @@ def check_handler_arity(project: ProjectContext,
             f"{supplied} positional argument(s) "
             f"({implicit} implicit + {site.payload_args} payload), but its "
             f"registered implementation accepts {shapes}")
+    # Batch variants have a fixed delivery contract: the runtime always
+    # invokes them as ``fn(ctx, args_list)`` regardless of the scalar
+    # payload shape, so their signature must admit exactly 2 positionals.
+    for name, infos in project.batch_handlers.items():
+        for info in infos:
+            candidates = _candidate_functions(info, project)
+            if not candidates:
+                continue
+            if any(fn.min_args <= 2 <= fn.max_args for fn in candidates):
+                continue
+            yield Finding(
+                path=info.path, line=info.line, col=1, rule="REP202",
+                severity=ERROR,
+                message=(
+                    f"batch handler {name!r} is delivered exactly 2 "
+                    "positional arguments (ctx, args_list), but its "
+                    "registered implementation does not accept that shape"))
 
 
 @rule("REP203", ERROR, "handler closes over rank-local mutable state")
 def check_closure_capture(project: ProjectContext,
                           config: AnalysisConfig) -> Iterator[Finding]:
+    # Batch variants are held to the same purity contract as scalar
+    # handlers: a batch handler must be a function of (ctx, args_list)
+    # + owner-rank state only, or the batched and scalar paths diverge.
     seen: set = set()
-    for registry in (project.handlers, project.visitors):
+    for registry in (project.handlers, project.visitors,
+                     project.batch_handlers):
         for name, infos in registry.items():
             for info in infos:
                 fn = info.func

@@ -82,9 +82,17 @@ class CommOptConfig:
     """4.3.3 — attach u1's worst-neighbor distance to Type 2+ and suppress
     the Type 3 reply when the computed distance cannot improve u1."""
 
+    check_dedup: bool = True
+    """4.3.2 applied to *compute*: remember which ``(u1, u2)`` pairs were
+    already checked at this rank during the current iteration and skip
+    repeats — the same pair is commonly proposed by many center vertices
+    in one iteration.  Independent of ``one_sided`` (it also dedups the
+    unoptimized pattern's feature shipments)."""
+
     @classmethod
     def unoptimized(cls) -> "CommOptConfig":
-        return cls(one_sided=False, redundancy_check=False, distance_pruning=False)
+        return cls(one_sided=False, redundancy_check=False,
+                   distance_pruning=False, check_dedup=False)
 
     @classmethod
     def optimized(cls) -> "CommOptConfig":
@@ -123,6 +131,12 @@ class DNNDConfig:
     shuffle_reverse_destinations: bool = True
     """Section 4.2 — shuffle destination order when shipping the reversed
     old/new matrices to avoid synchronized bursts at one rank."""
+
+    batch_exec: bool = True
+    """Vectorized batch execution engine: coalesced message delivery,
+    rowwise distance kernels, and bulk heap updates in the hot path.
+    Produces bit-identical results to the scalar path (``False``), which
+    is kept as the regression oracle."""
 
     def __post_init__(self) -> None:
         _require(self.batch_size >= 0, "batch_size must be >= 0")

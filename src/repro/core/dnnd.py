@@ -44,7 +44,8 @@ from ..runtime.ygm import RankContext, YGMWorld
 from ..types import ID_BYTES
 from ..utils.rng import derive_rng
 from ..utils.sampling import sample_without_replacement
-from .dnnd_phases import LocalShard, register_dnnd_handlers, shard_of, T1
+from .dnnd_phases import (LocalShard, register_dnnd_batch_handlers,
+                          register_dnnd_handlers, shard_of, T1)
 from .graph import EMPTY, AdjacencyGraph, KNNGraph
 from .heap import NeighborHeap
 from .nndescent import _union_with_sample
@@ -185,6 +186,8 @@ class DNND:
                               sanitize=sanitize)
         self._recoveries = 0
         register_dnnd_handlers(self.world)
+        if self.config.batch_exec:
+            register_dnnd_batch_handlers(self.world)
         self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
         self._sparse = getattr(CountingMetric(self.config.nnd.metric), "sparse_input")
         self._built = False
@@ -197,6 +200,12 @@ class DNND:
         excludes data loading from construction time)."""
         cfg = self.config
         san = self.world.sanitizer
+        # One shared read-only owner table: owner_of[gid] == owner(gid),
+        # used by the batch handlers instead of per-message hash calls.
+        # Kept as a plain list: per-message indexing of a Python list is
+        # several times cheaper than a numpy scalar index + int().
+        owner_table = self.partitioner.owner_array(
+            np.arange(self.n, dtype=np.int64)).tolist()
         for ctx in self.world.ranks:
             gids = self.partitioner.local_ids(ctx.rank)
             if self._sparse:
@@ -216,6 +225,7 @@ class DNND:
                 config=cfg,
                 sparse=self._sparse,
                 feature_nbytes_dense=dense_bytes,
+                owner_of=owner_table,
             )
             if san is not None:
                 for heap in shard.heaps:
@@ -236,6 +246,28 @@ class DNND:
         bs = self.config.batch_size
         if bs and self.world.async_count_since_barrier >= bs:
             self.world.barrier()
+
+    def _emit_chunked(self, ctx: RankContext, triples: list,
+                      nbytes: int, msg_type: str) -> None:
+        """Emit ``(dest, handler, args)`` triples as blocks sized to hit
+        the Section 4.4 barrier at exactly the same message index as a
+        per-message loop with a per-message :meth:`_maybe_batch_barrier`
+        would (the scalar path in phases whose handlers emit nothing —
+        the async count between barriers then only grows by driver
+        emissions, one per message, so the barrier fires precisely when
+        the count reaches ``batch_size``)."""
+        bs = self.config.batch_size
+        i = 0
+        n = len(triples)
+        while i < n:
+            if bs:
+                room = max(1, bs - self.world.async_count_since_barrier)
+                chunk = triples[i:i + room]
+            else:
+                chunk = triples[i:] if i else triples
+            self.world.emit_run(ctx.rank, chunk, nbytes, msg_type)
+            i += len(chunk)
+            self._maybe_batch_barrier()
 
     def _interleaved_vertices(self):
         """Yield ``(ctx, local_index)`` round-robin across ranks, modeling
@@ -321,6 +353,7 @@ class DNND:
             batch_size=meta["batch_size"],
             pruning_factor=meta["pruning_factor"],
             shuffle_reverse_destinations=meta["shuffle_reverse_destinations"],
+            batch_exec=meta.get("batch_exec", True),
         )
         dnnd = cls(data, config, cluster=cluster, net=net,
                    fault_plan=fault_plan, reliable=reliable)
@@ -430,6 +463,7 @@ class DNND:
         """Algorithm 1 lines 2-5 via the Section 4.1 async pattern."""
         self.world.set_phase("init")
         cfg = self.config.nnd
+        use_batch = self.config.batch_exec
         for ctx, li in self._interleaved_vertices():
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
@@ -437,13 +471,23 @@ class DNND:
                 rng = derive_rng(cfg.seed, 2, v)
                 cand = sample_without_replacement(rng, self.n, min(self.n - 1, cfg.k + 2))
                 cand = cand[cand != v][:cfg.k]
-                for u in cand:
-                    u = int(u)
-                    ctx.async_call(
-                        shard.owner(u), "init_req", v, u, shard.feature(v),
-                        nbytes=2 * ID_BYTES + shard.feature_nbytes(v),
-                        msg_type="init_req",
-                    )
+                if use_batch:
+                    owner = shard.owner_of
+                    f = shard.features[li]
+                    nb = 2 * ID_BYTES + shard.feature_nbytes(v)
+                    self.world.emit_run(
+                        ctx.rank,
+                        [(owner[u], "init_req", (v, u, f))
+                         for u in cand.tolist()],
+                        nb, "init_req")
+                else:
+                    for u in cand:
+                        u = int(u)
+                        ctx.async_call(
+                            shard.owner(u), "init_req", v, u, shard.feature(v),
+                            nbytes=2 * ID_BYTES + shard.feature_nbytes(v),
+                            msg_type="init_req",
+                        )
             self._maybe_batch_barrier()
         self.world.barrier()
 
@@ -465,17 +509,19 @@ class DNND:
                 shard.reset_iteration_scratch()
                 for li in range(shard.n_local):
                     v = int(shard.global_ids[li])
-                    rng = derive_rng(cfg.seed, 3, iteration, v)
                     heap = shard.heaps[li]
                     shard.old_lists[li] = sorted(heap.old_ids())
                     fresh = sorted(heap.new_ids())
                     if len(fresh) > sample_n:
+                        # Derived lazily: the stream is only consumed on
+                        # this branch, so skipping creation otherwise is
+                        # stream-exact (SeedSequence mixing is ~10us).
+                        rng = derive_rng(cfg.seed, 3, iteration, v)
                         pick = sample_without_replacement(rng, len(fresh), sample_n)
                         sampled = [fresh[int(i)] for i in pick]
                     else:
                         sampled = fresh
-                    for u in sampled:
-                        heap.mark_old(u)
+                    heap.mark_old_many(sampled)
                     shard.new_lists[li] = sampled
                     ctx.charge_update(len(sampled) + len(shard.old_lists[li]))
 
@@ -484,21 +530,37 @@ class DNND:
         for ctx in self.world.ranks:
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
+                use_batch = self.config.batch_exec
+                owner = shard.owner_of
                 outgoing = []
+                append = outgoing.append
+                # Built directly in emission form per path; the shuffle
+                # permutes list positions, so it commutes with the
+                # elementwise formatting and both paths emit the same
+                # message sequence.
                 for li in range(shard.n_local):
                     v = int(shard.global_ids[li])
-                    for u in shard.new_lists[li]:
-                        outgoing.append(("rev_new", int(u), v))
-                    for u in shard.old_lists[li]:
-                        outgoing.append(("rev_old", int(u), v))
+                    if use_batch:
+                        for u in shard.new_lists[li]:
+                            append((owner[u], "rev_new", (u, v)))
+                        for u in shard.old_lists[li]:
+                            append((owner[u], "rev_old", (u, v)))
+                    else:
+                        for u in shard.new_lists[li]:
+                            append(("rev_new", int(u), v))
+                        for u in shard.old_lists[li]:
+                            append(("rev_old", int(u), v))
                 if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
                     rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
                     order = rng.permutation(len(outgoing))
                     outgoing = [outgoing[int(i)] for i in order]
-                for handler, u, v in outgoing:
-                    ctx.async_call(shard.owner(u), handler, u, v,
-                                   nbytes=2 * ID_BYTES, msg_type="reverse")
-                    self._maybe_batch_barrier()
+                if use_batch:
+                    self._emit_chunked(ctx, outgoing, 2 * ID_BYTES, "reverse")
+                else:
+                    for handler, u, v in outgoing:
+                        ctx.async_call(shard.owner(u), handler, u, v,
+                                       nbytes=2 * ID_BYTES, msg_type="reverse")
+                        self._maybe_batch_barrier()
         self.world.barrier()
 
         # ---- union with sampled reversed lists (lines 14-16) -----------------
@@ -511,27 +573,55 @@ class DNND:
                 shard = shard_of(ctx)
                 for li in range(shard.n_local):
                     v = int(shard.global_ids[li])
-                    rng = derive_rng(cfg.seed, 5, iteration, v)
+                    rn = sorted(shard.rev_new[li])
+                    ro = sorted(shard.rev_old[li])
+                    # Lazy derivation, as in the sample phase: creation
+                    # does not consume the stream, and draws (when any)
+                    # happen in the same order as with eager creation,
+                    # so this is stream-exact.
+                    rng = (derive_rng(cfg.seed, 5, iteration, v)
+                           if len(rn) > sample_n or len(ro) > sample_n
+                           else None)
                     shard.new_lists[li] = _union_with_sample(
-                        shard.new_lists[li], sorted(shard.rev_new[li]), sample_n, rng)
+                        shard.new_lists[li], rn, sample_n, rng)
                     shard.old_lists[li] = _union_with_sample(
-                        shard.old_lists[li], sorted(shard.rev_old[li]), sample_n, rng)
+                        shard.old_lists[li], ro, sample_n, rng)
 
         # ---- neighbor checks (Section 4.3) ----------------------------------
         self.world.set_phase("neighbor_check")
         one_sided = self.config.comm_opts.one_sided
+        use_batch = self.config.batch_exec
+        handler = "check_opt" if one_sided else "check_unopt"
         for ctx, li in self._interleaved_vertices():
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
                 new_c = shard.new_lists[li]
                 old_c = shard.old_lists[li]
-                for i, u1 in enumerate(new_c):
-                    for u2 in new_c[i + 1:]:
-                        if u1 != u2:
-                            self._emit_check(ctx, shard, u1, u2, one_sided)
-                    for u2 in old_c:
-                        if u1 != u2:
-                            self._emit_check(ctx, shard, u1, u2, one_sided)
+                if use_batch:
+                    owner = shard.owner_of
+                    triples = []
+                    append = triples.append
+                    for i, u1 in enumerate(new_c):
+                        o1 = owner[u1]
+                        for u2 in new_c[i + 1:]:
+                            if u1 != u2:
+                                append((o1, handler, (u1, u2)))
+                                if not one_sided:
+                                    append((owner[u2], handler, (u2, u1)))
+                        for u2 in old_c:
+                            if u1 != u2:
+                                append((o1, handler, (u1, u2)))
+                                if not one_sided:
+                                    append((owner[u2], handler, (u2, u1)))
+                    self.world.emit_run(ctx.rank, triples, 2 * ID_BYTES, T1)
+                else:
+                    for i, u1 in enumerate(new_c):
+                        for u2 in new_c[i + 1:]:
+                            if u1 != u2:
+                                self._emit_check(ctx, shard, u1, u2, one_sided)
+                        for u2 in old_c:
+                            if u1 != u2:
+                                self._emit_check(ctx, shard, u1, u2, one_sided)
             self._maybe_batch_barrier()
         self.world.barrier()
 
@@ -609,12 +699,25 @@ class DNND:
         for ctx in self.world.ranks:
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
-                for li in range(shard.n_local):
-                    v = int(shard.global_ids[li])
-                    for u, d, _flag in list(shard.heaps[li].entries()):
-                        ctx.async_call(shard.owner(u), "opt_rev_edge", int(u), v, float(d),
-                                       nbytes=2 * ID_BYTES + 4, msg_type="opt_rev")
-                        self._maybe_batch_barrier()
+                if self.config.batch_exec:
+                    owner = shard.owner_of
+                    triples = []
+                    for li in range(shard.n_local):
+                        v = int(shard.global_ids[li])
+                        for u, d, _flag in list(shard.heaps[li].entries()):
+                            triples.append((owner[u], "opt_rev_edge",
+                                            (int(u), v, float(d))))
+                    self._emit_chunked(ctx, triples, 2 * ID_BYTES + 4,
+                                       "opt_rev")
+                else:
+                    for li in range(shard.n_local):
+                        v = int(shard.global_ids[li])
+                        for u, d, _flag in list(shard.heaps[li].entries()):
+                            ctx.async_call(shard.owner(u), "opt_rev_edge",
+                                           int(u), v, float(d),
+                                           nbytes=2 * ID_BYTES + 4,
+                                           msg_type="opt_rev")
+                            self._maybe_batch_barrier()
         self.world.barrier()
         # Stage 2: local prune to ceil(k * m) and gather.
         max_degree = int(np.ceil(self.config.k * m))
@@ -668,10 +771,12 @@ class DNND:
                 "one_sided": cfg.comm_opts.one_sided,
                 "redundancy_check": cfg.comm_opts.redundancy_check,
                 "distance_pruning": cfg.comm_opts.distance_pruning,
+                "check_dedup": cfg.comm_opts.check_dedup,
             },
             "batch_size": cfg.batch_size,
             "pruning_factor": cfg.pruning_factor,
             "shuffle_reverse_destinations": cfg.shuffle_reverse_destinations,
+            "batch_exec": cfg.batch_exec,
         }
         if MetallStore.exists(checkpoint_path):
             store = MetallStore.open(checkpoint_path)

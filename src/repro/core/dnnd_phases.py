@@ -95,6 +95,14 @@ class LocalShard:
     rev_old: List[List[int]] = field(default_factory=list)
     update_count: int = 0
 
+    # Pairs already neighbor-checked at this rank this iteration
+    # (``comm_opts.check_dedup``, Section 4.3.2 applied to compute).
+    check_seen: set = field(default_factory=set)
+
+    # Precomputed owner lookup: ``owner_of[gid]`` == partitioner.owner(gid)
+    # (a plain list of ints, set by :meth:`DNND._distribute`; None before).
+    owner_of: Any = None
+
     # Optimization-phase scratch: per local vertex {neighbor: dist}.
     merged: List[Dict[int, float]] = field(default_factory=list)
 
@@ -134,6 +142,7 @@ class LocalShard:
         self.rev_new = [[] for _ in range(self.n_local)]
         self.rev_old = [[] for _ in range(self.n_local)]
         self.update_count = 0
+        self.check_seen.clear()
 
 
 def shard_of(ctx: RankContext) -> LocalShard:
@@ -188,6 +197,14 @@ def h_check_request_unopt(ctx: RankContext, target_gid: int, other_gid: int) -> 
     """Runs at owner(target): Type 1 received; ship target's feature
     (Type 2) to the other endpoint."""
     shard = shard_of(ctx)
+    if shard.config.comm_opts.check_dedup:
+        pair = (int(target_gid), int(other_gid))
+        if pair in shard.check_seen:
+            # This exact exchange already happened this iteration (many
+            # center vertices propose the same pair); repeating it
+            # cannot change any heap.
+            return
+        shard.check_seen.add(pair)
     ctx.async_call(
         shard.owner(other_gid), "feature_unopt",
         other_gid, target_gid, shard.feature(target_gid),
@@ -214,6 +231,14 @@ def h_check_request_opt(ctx: RankContext, u1_gid: int, u2_gid: int) -> None:
     """Runs at owner(u1): Type 1 received (one-sided, Section 4.3.1)."""
     shard = shard_of(ctx)
     opts = shard.config.comm_opts
+    if opts.check_dedup:
+        pair = (int(u1_gid), int(u2_gid))
+        if pair in shard.check_seen:
+            # Already checked this iteration: a repeated checked_push of
+            # the same (id, distance) is always rejected, so skipping
+            # the whole exchange is output-invariant.
+            return
+        shard.check_seen.add(pair)
     heap1 = shard.heap(u1_gid)
     if opts.redundancy_check and int(u2_gid) in heap1:
         # Section 4.3.2: the pair is already adjacent; the whole
@@ -280,6 +305,321 @@ def h_opt_reverse_edge(ctx: RankContext, u_gid: int, v_gid: int, d: float) -> No
     ctx.charge_update()
 
 
+# ---------------------------------------------------------------------------
+# Batch handler variants (vectorized batch execution engine)
+#
+# Each ``h_*_batch`` receives the argument tuples of a contiguous run of
+# same-named messages and must be bit-identical to running the scalar
+# handler once per tuple, in order.  The recipes:
+#
+# - distances are precomputed with the metric's *rowwise* kernel, whose
+#   per-row results are bit-identical to the scalar metric (see
+#   ``distances/dense.py``); side effects (skips, counters, ledger
+#   charges, heap pushes, emissions) then replay in a sequential
+#   per-message loop, so charges interleave with mid-block flush charges
+#   exactly as in the scalar path,
+# - handlers whose only charge is the constant per-update cost may group
+#   heap pushes by target vertex (pushes to different heaps commute and
+#   don't charge) and batch the clock adds with ``charge_repeated``,
+# - emissions go through ``block_emitter`` in original message order.
+# ---------------------------------------------------------------------------
+
+
+def _paired_features(shard: LocalShard, own_gids, other_feats):
+    """(A, B) inputs for the rowwise kernel: this rank's rows for
+    ``own_gids`` paired with the shipped ``other_feats``.  Dense shards
+    stack into 2-D arrays (vectorized kernel); sparse shards pass lists
+    (exact scalar fallback inside ``rowwise_dists``)."""
+    if shard.sparse:
+        feats = shard.features
+        li = shard.local_index
+        return [feats[li[int(g)]] for g in own_gids], list(other_feats)
+    rows = [shard.local_index[int(g)] for g in own_gids]
+    return shard.features[rows], np.stack(list(other_feats))
+
+
+def h_init_request_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of ``init_req`` at owner(u): one rowwise kernel call, then
+    per-message charge + reply emission."""
+    shard = shard_of(ctx)
+    A, B = _paired_features(shard, [a[1] for a in args_list],
+                            [a[2] for a in args_list])
+    # Every message computes its distance, so use the counted kernel.
+    # Argument order matches the scalar handler: theta(v_feature, u_row).
+    dists = shard.metric.rowwise(B, A)
+    world = ctx.world
+    ledger = world.cluster.ledger
+    clocks = ledger.clocks
+    net = world.cluster.net
+    rank = ctx.rank
+    owner = shard.owner_of
+    send, close = world.block_emitter(rank, "init_resp")
+    nb = 2 * ID_BYTES + DIST_BYTES
+    dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
+    for (v_gid, u_gid, v_feature), d in zip(args_list, dists.tolist()):
+        clocks[rank] += (dense_cost if dense_cost is not None
+                         else net.distance_cost(_dim_of(v_feature)))
+        send(owner[v_gid], "init_resp", (v_gid, u_gid, d), nb)
+    close()
+
+
+def h_init_response_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of ``init_resp`` at owner(v): bulk heap updates grouped by
+    v (cross-heap pushes commute; within-heap order preserved)."""
+    shard = shard_of(ctx)
+    groups: Dict[int, list] = {}
+    for v_gid, u_gid, d in args_list:
+        g = groups.get(int(v_gid))
+        if g is None:
+            g = groups[int(v_gid)] = [[], []]
+        g[0].append(int(u_gid))
+        g[1].append(float(d))
+    heaps = shard.heaps
+    li = shard.local_index
+    for v, (ids, dists) in groups.items():
+        heaps[li[v]].checked_push_batch(ids, dists, True)
+    world = ctx.world
+    world.cluster.ledger.charge_repeated(
+        ctx.rank, world.cluster.net.compute_per_update, len(args_list))
+
+
+def h_reverse_new_batch(ctx: RankContext, args_list: list) -> None:
+    shard = shard_of(ctx)
+    rev = shard.rev_new
+    li = shard.local_index
+    for u_gid, v_gid in args_list:
+        rev[li[u_gid]].append(v_gid)
+
+
+def h_reverse_old_batch(ctx: RankContext, args_list: list) -> None:
+    shard = shard_of(ctx)
+    rev = shard.rev_old
+    li = shard.local_index
+    for u_gid, v_gid in args_list:
+        rev[li[u_gid]].append(v_gid)
+
+
+def h_check_request_unopt_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of Type 1 (unoptimized) at owner(target): dedup + feature
+    shipment through one emitter."""
+    shard = shard_of(ctx)
+    dedup = shard.config.comm_opts.check_dedup
+    seen = shard.check_seen
+    owner = shard.owner_of
+    li = shard.local_index
+    feats = shard.features
+    sparse = shard.sparse
+    fnb = shard.feature_nbytes_dense
+    # Decide-then-emit, as in the optimized variant: the scalar handler
+    # charges nothing itself, so deferring the send sequence is exact.
+    out: list = []
+    nbs: list = [] if sparse else None  # type: ignore[assignment]
+    for target_gid, other_gid in args_list:
+        target = int(target_gid)
+        other = int(other_gid)
+        if dedup:
+            pair = (target, other)
+            if pair in seen:
+                continue
+            seen.add(pair)
+        f = feats[li[target]]
+        out.append((owner[other], "feature_unopt", (other_gid, target_gid, f)))
+        if sparse:
+            nbs.append(2 * ID_BYTES + int(f.nbytes))
+    if sparse:
+        send, close = ctx.world.block_emitter(ctx.rank, T2)
+        for (dest, h, margs), nb in zip(out, nbs):
+            send(dest, h, margs, nb)
+        close()
+    else:
+        ctx.world.emit_run(ctx.rank, out, 2 * ID_BYTES + fnb, T2)
+
+
+def h_feature_unopt_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of Type 2 (unoptimized) at owner(recv): one kernel call,
+    then the scalar handler's charge/push/charge sequence per message."""
+    shard = shard_of(ctx)
+    A, B = _paired_features(shard, [a[0] for a in args_list],
+                            [a[2] for a in args_list])
+    dists = shard.metric.rowwise(A, B)  # every message computes -> counted
+    world = ctx.world
+    ledger = world.cluster.ledger
+    clocks = ledger.clocks
+    net = world.cluster.net
+    rank = ctx.rank
+    cu = net.compute_per_update
+    heaps = shard.heaps
+    li = shard.local_index
+    dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
+    updates = 0
+    # Charges must interleave per message (distance cost, then update
+    # cost) to reproduce the scalar clock bit-for-bit.  This handler
+    # emits nothing, so no flush charge can land mid-loop and the clock
+    # can be accumulated in a local and written back once.
+    t = clocks[rank]
+    for (recv_gid, sender_gid, feature), d in zip(args_list, dists.tolist()):
+        t += (dense_cost if dense_cost is not None
+              else net.distance_cost(_dim_of(feature)))
+        updates += heaps[li[int(recv_gid)]].checked_push(
+            int(sender_gid), d, True)
+        t += cu
+    clocks[rank] = t
+    shard.update_count += updates
+
+
+def h_check_request_opt_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of Type 1 (optimized) at owner(u1): dedup + redundancy
+    check + Type 2+/2 emission through one emitter."""
+    shard = shard_of(ctx)
+    opts = shard.config.comm_opts
+    dedup = opts.check_dedup
+    redundancy = opts.redundancy_check
+    pruning = opts.distance_pruning
+    seen = shard.check_seen
+    owner = shard.owner_of
+    li = shard.local_index
+    feats = shard.features
+    heaps = shard.heaps
+    sparse = shard.sparse
+    fnb = shard.feature_nbytes_dense
+    extra = DIST_BYTES if pruning else 0
+    msg_type = T2P if pruning else T2
+    # Two passes: decide, then emit.  The scalar handler performs no
+    # ledger charges itself (the only clock activity while it runs is
+    # the flush cost of its own emissions), and emissions cannot change
+    # local heaps or the dedup set, so deferring the identical send
+    # sequence past the decision loop leaves every flush charge at the
+    # same position on the clock.
+    out: list = []
+    emit = out.append
+    nbs: list = [] if sparse else None  # type: ignore[assignment]
+    # No handler in this batch mutates local heaps (emission only
+    # enqueues), so u1's members/bound/feature/nbytes are constant for
+    # the whole batch and can be looked up once per distinct u1.
+    cache: Dict[int, tuple] = {}
+    for u1, u2 in args_list:
+        if dedup:
+            pair = (u1, u2)
+            if pair in seen:
+                continue
+            seen.add(pair)
+        ent = cache.get(u1)
+        if ent is None:
+            row = li[u1]
+            heap1 = heaps[row]
+            f = feats[row]
+            ent = cache[u1] = (
+                heap1._members,
+                float(heap1.dists[0]) if pruning else np.inf,
+                f,
+                2 * ID_BYTES + (int(f.nbytes) if sparse else fnb) + extra,
+            )
+        members, bound, f, nb = ent
+        if redundancy and u2 in members:
+            continue
+        emit((owner[u2], "feature_opt", (u2, u1, f, bound)))
+        if sparse:
+            nbs.append(nb)
+    if sparse:
+        send, close = ctx.world.block_emitter(ctx.rank, msg_type)
+        for (dest, h, margs), nb in zip(out, nbs):
+            send(dest, h, margs, nb)
+        close()
+    else:
+        ctx.world.emit_run(ctx.rank, out, 2 * ID_BYTES + fnb + extra,
+                           msg_type)
+
+
+def h_feature_opt_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of Type 2+/2 at owner(u2): kernel precompute for all pairs
+    (uncounted — a redundancy-skipped pair must not count or charge),
+    then the scalar handler's effect sequence per message."""
+    shard = shard_of(ctx)
+    opts = shard.config.comm_opts
+    redundancy = opts.redundancy_check
+    pruning = opts.distance_pruning
+    A, B = _paired_features(shard, [a[0] for a in args_list],
+                            [a[2] for a in args_list])
+    metric = shard.metric
+    dists = metric.rowwise_raw(A, B)
+    world = ctx.world
+    ledger = world.cluster.ledger
+    clocks = ledger.clocks
+    net = world.cluster.net
+    rank = ctx.rank
+    cu = net.compute_per_update
+    owner = shard.owner_of
+    li = shard.local_index
+    heaps = shard.heaps
+    dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
+    nb3 = 2 * ID_BYTES + DIST_BYTES
+    send, close = world.block_emitter(rank, T3)
+    updates = 0
+    evals = 0
+    hcache: Dict[int, Any] = {}
+    # Clock kept in a local between sends: a send may trigger a flush,
+    # whose charge must land at its exact position in the addition
+    # sequence — so the local is written back before every send and
+    # reloaded after.  Skipped/pruned messages touch no shared state.
+    t = clocks[rank]
+    for (u2, u1, feature, bound), d in zip(args_list, dists.tolist()):
+        heap2 = hcache.get(u2)
+        if heap2 is None:
+            heap2 = hcache[u2] = heaps[li[u2]]
+        if redundancy and u1 in heap2._members:
+            continue
+        evals += 1  # only evaluated pairs count, as in scalar
+        t += (dense_cost if dense_cost is not None
+              else net.distance_cost(_dim_of(feature)))
+        updates += heap2.checked_push(u1, d, True)
+        t += cu
+        if pruning and d >= bound:
+            continue
+        clocks[rank] = t
+        send(owner[u1], "distance_reply", (u1, u2, d), nb3)
+        t = clocks[rank]
+    clocks[rank] = t
+    close()
+    metric.count += evals
+    shard.update_count += updates
+
+
+def h_distance_reply_batch(ctx: RankContext, args_list: list) -> None:
+    """Batch of Type 3 at owner(u1): bulk heap updates grouped by u1."""
+    shard = shard_of(ctx)
+    groups: Dict[int, list] = {}
+    for u1_gid, u2_gid, d in args_list:
+        g = groups.get(int(u1_gid))
+        if g is None:
+            g = groups[int(u1_gid)] = [[], []]
+        g[0].append(int(u2_gid))
+        g[1].append(float(d))
+    heaps = shard.heaps
+    li = shard.local_index
+    updates = 0
+    for u1, (ids, dists) in groups.items():
+        updates += heaps[li[u1]].checked_push_batch(ids, dists, True)
+    shard.update_count += updates
+    world = ctx.world
+    world.cluster.ledger.charge_repeated(
+        ctx.rank, world.cluster.net.compute_per_update, len(args_list))
+
+
+def h_opt_reverse_edge_batch(ctx: RankContext, args_list: list) -> None:
+    shard = shard_of(ctx)
+    merged = shard.merged
+    li = shard.local_index
+    for u_gid, v_gid, d in args_list:
+        bucket = merged[li[int(u_gid)]]
+        v = int(v_gid)
+        prev = bucket.get(v)
+        if prev is None or d < prev:
+            bucket[v] = float(d)
+    world = ctx.world
+    world.cluster.ledger.charge_repeated(
+        ctx.rank, world.cluster.net.compute_per_update, len(args_list))
+
+
 def register_dnnd_handlers(world: YGMWorld) -> None:
     """Register every DNND handler on a world (idempotent per world)."""
     world.register_handlers(
@@ -293,6 +633,23 @@ def register_dnnd_handlers(world: YGMWorld) -> None:
         feature_opt=h_feature_opt,
         distance_reply=h_distance_reply,
         opt_rev_edge=h_opt_reverse_edge,
+    )
+
+
+def register_dnnd_batch_handlers(world: YGMWorld) -> None:
+    """Register the batch variants (requires ``register_dnnd_handlers``
+    first; only called when ``config.batch_exec`` is on)."""
+    world.register_batch_handlers(
+        init_req=h_init_request_batch,
+        init_resp=h_init_response_batch,
+        rev_new=h_reverse_new_batch,
+        rev_old=h_reverse_old_batch,
+        check_unopt=h_check_request_unopt_batch,
+        feature_unopt=h_feature_unopt_batch,
+        check_opt=h_check_request_opt_batch,
+        feature_opt=h_feature_opt_batch,
+        distance_reply=h_distance_reply_batch,
+        opt_rev_edge=h_opt_reverse_edge_batch,
     )
 
 

@@ -101,12 +101,12 @@ class NeighborHeap:
     def new_ids(self) -> List[int]:
         """Ids currently flagged *new* (Algorithm 1 line 9 source)."""
         mask = (self.ids != EMPTY) & self.flags
-        return [int(i) for i in self.ids[mask]]
+        return self.ids[mask].tolist()
 
     def old_ids(self) -> List[int]:
         """Ids currently flagged *old* (Algorithm 1 line 8)."""
         mask = (self.ids != EMPTY) & ~self.flags
-        return [int(i) for i in self.ids[mask]]
+        return self.ids[mask].tolist()
 
     # -- mutation -----------------------------------------------------------
 
@@ -133,6 +133,50 @@ class NeighborHeap:
         self._siftdown(0)
         return 1
 
+    def checked_push_batch(self, ids, dists, flag: bool = True) -> int:
+        """Apply a batch of candidates *in array order*; returns the
+        number of entries that changed the heap.
+
+        Semantically identical to calling :meth:`checked_push` per
+        element — the batch execution engine relies on this for
+        bit-identity with the scalar path.  One vectorized threshold
+        pass drops candidates that cannot be accepted: the root distance
+        is non-increasing while pushing, so any ``d >= worst`` *at batch
+        start* would also be rejected at its original position (and a
+        rejected push has no side effects).  Membership must stay a
+        sequential check: an id evicted mid-batch may legitimately be
+        re-pushed later in the same batch.
+        """
+        if self._san is not None:
+            self._san.check_access(self._san_owner, "neighbor heap (push batch)")
+            self._san.check_iteration(self._san_iters, "neighbor heap")
+        dists = np.asarray(dists, dtype=np.float64)
+        worst0 = self.dists[0]
+        if np.isfinite(worst0):  # full heap: prefilter is exact
+            keep = dists < worst0
+            if not keep.all():
+                ids = np.asarray(ids, dtype=np.int64)[keep]
+                dists = dists[keep]
+        updates = 0
+        members = self._members
+        slot_ids, slot_dists, slot_flags = self.ids, self.dists, self.flags
+        for vid, d in zip(np.asarray(ids, dtype=np.int64).tolist(),
+                          dists.tolist()):
+            if vid in members:
+                continue
+            if d >= slot_dists[0]:
+                continue
+            evicted = int(slot_ids[0])
+            if evicted != EMPTY:
+                members.discard(evicted)
+            members.add(vid)
+            slot_ids[0] = vid
+            slot_dists[0] = d
+            slot_flags[0] = flag
+            self._siftdown(0)
+            updates += 1
+        return updates
+
     def mark_old(self, vid: int) -> None:
         """Clear the *new* flag of ``vid`` (Algorithm 1 line 10)."""
         if self._san is not None:
@@ -141,6 +185,22 @@ class NeighborHeap:
         idx = np.flatnonzero(self.ids == int(vid))
         if idx.size:
             self.flags[idx[0]] = False
+
+    def mark_old_many(self, vids) -> None:
+        """Clear the *new* flag of every id in ``vids`` — equivalent to
+        :meth:`mark_old` per element (heap ids are unique, and clearing
+        flags is order-free)."""
+        if not vids:
+            return
+        if self._san is not None:
+            self._san.check_access(self._san_owner, "neighbor heap (mark_old)")
+            self._san.check_iteration(self._san_iters, "neighbor heap")
+        vidset = set(vids)
+        ids = self.ids.tolist()
+        flags = self.flags
+        for i in range(self.k):
+            if ids[i] in vidset:
+                flags[i] = False
 
     def _siftdown(self, i: int) -> None:
         """Restore the max-heap property from slot ``i`` downwards."""

@@ -58,11 +58,17 @@ class KNNGraphSearcher:
         Optional RP-tree forest: when given, search entry points come
         from the query's leaf instead of uniform random sampling
         (PyNNDescent's start-point refinement, Section 6).
+    batch_exec:
+        Evaluate each expanded vertex's unvisited neighbors with one
+        rowwise kernel call instead of per-neighbor scalar calls.
+        Bit-identical to the scalar path (the kernel is row-exact and
+        the accept/push decisions replay sequentially); automatically
+        falls back for sparse metrics or non-array datasets.
     """
 
     def __init__(self, graph, data, metric: str = "sqeuclidean",
                  entry_forest: Optional[RPTreeForest] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, batch_exec: bool = True) -> None:
         if isinstance(graph, KNNGraph):
             graph = graph.to_adjacency()
         if not isinstance(graph, AdjacencyGraph):
@@ -78,6 +84,11 @@ class KNNGraphSearcher:
         self.metric = CountingMetric(metric)
         self.entry_forest = entry_forest
         self._rng = derive_rng(seed, 0x5EA6C4)
+        self.batch_exec = bool(batch_exec)
+        self._use_batch = (self.batch_exec
+                           and not self.metric.sparse_input
+                           and isinstance(data, np.ndarray)
+                           and data.ndim == 2)
 
     def clone(self, seed: int) -> "KNNGraphSearcher":
         """A new searcher sharing this one's graph/data/metric but with
@@ -86,7 +97,8 @@ class KNNGraphSearcher:
         Generator is not safe to share across threads."""
         return KNNGraphSearcher(self.graph, self.data,
                                 metric=self.metric.inner,
-                                entry_forest=self.entry_forest, seed=seed)
+                                entry_forest=self.entry_forest, seed=seed,
+                                batch_exec=self.batch_exec)
 
     # -- single query ----------------------------------------------------------
 
@@ -135,6 +147,7 @@ class KNNGraphSearcher:
 
         bound = distance_scale * _worst(result, l_eff)
 
+        use_batch = self._use_batch
         while frontier:
             d_p, p = heapq.heappop(frontier)
             # Termination B: the closest frontier point is already beyond
@@ -142,6 +155,19 @@ class KNNGraphSearcher:
             if d_p > bound:
                 break
             nbr_ids, _ = self.graph.neighbors(p)
+            if use_batch:
+                # The scalar loop evaluates EVERY unvisited neighbor
+                # (the bound only gates pushes), so collecting them
+                # first and computing one rowwise kernel call is exact;
+                # accept decisions then replay in neighbor order.
+                todo, dists_w = self._expand_batch(q_arr, visited, nbr_ids)
+                evals += len(todo)
+                for w, d in zip(todo, dists_w):
+                    if d < bound:
+                        heapq.heappush(frontier, (d, w))
+                        if _result_push(result, l_eff, d, w):
+                            bound = distance_scale * _worst(result, l_eff)
+                continue
             for w in nbr_ids:
                 w = int(w)
                 if visited[w]:
@@ -194,9 +220,20 @@ class KNNGraphSearcher:
             if d <= radius:
                 hits.append((float(d), vid))
         # Phase 2: flood the region within the (relaxed) radius.
+        use_batch = self._use_batch
+        q_arr = np.asarray(q) if use_batch else None
         while frontier and len(hits) < max_results:
             d_p, p = heapq.heappop(frontier)
             nbr_ids, _ = self.graph.neighbors(p)
+            if use_batch:
+                todo, dists_w = self._expand_batch(q_arr, visited, nbr_ids)
+                evals += len(todo)
+                for w, d in zip(todo, dists_w):
+                    if d <= bound:
+                        heapq.heappush(frontier, (d, w))
+                    if d <= radius:
+                        hits.append((d, w))
+                continue
             for w in nbr_ids:
                 w = int(w)
                 if visited[w]:
@@ -243,6 +280,26 @@ class KNNGraphSearcher:
         return ids, dists, stats
 
     # -- internals ----------------------------------------------------------
+
+    def _expand_batch(self, q_arr: np.ndarray, visited: np.ndarray,
+                      nbr_ids) -> Tuple[List[int], List[float]]:
+        """Mark and evaluate the unvisited members of ``nbr_ids``.
+
+        Returns ``(todo, dists)`` in neighbor order.  The rowwise kernel
+        is bitwise row-exact against the scalar metric, so callers can
+        replay their per-neighbor decisions on the precomputed values.
+        """
+        todo: List[int] = []
+        for w in nbr_ids:
+            w = int(w)
+            if not visited[w]:
+                visited[w] = True
+                todo.append(w)
+        if not todo:
+            return todo, []
+        rows = self.data[todo]
+        qm = np.broadcast_to(q_arr, rows.shape)
+        return todo, self.metric.rowwise(qm, rows).tolist()
 
     def _entry_points(self, q, l: int) -> Sequence[int]:
         if self.entry_forest is not None and not self.metric.sparse_input:

@@ -53,6 +53,19 @@ class CountingMetric:
         self.count += int(out.shape[0] * out.shape[1])
         return out
 
+    def rowwise(self, A, B) -> np.ndarray:
+        """Paired-rows distances (exact, see :meth:`Metric.rowwise_dists`),
+        counted as one evaluation per row."""
+        out = self._metric.rowwise_dists(A, B)
+        self.count += int(out.shape[0])
+        return out
+
+    def rowwise_raw(self, A, B) -> np.ndarray:
+        """Paired-rows distances with NO counting — for speculative batch
+        evaluation where the caller charges only the rows it actually
+        consumes (keeping ``count`` equal to the scalar execution path)."""
+        return self._metric.rowwise_dists(A, B)
+
     def reset(self) -> int:
         """Reset the counter, returning the value it had."""
         prev = self.count

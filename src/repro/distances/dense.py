@@ -195,6 +195,93 @@ def correlation_one_to_many(q: np.ndarray, X: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Rowwise kernels: theta(A[i], B[i]) for paired rows, bit-identical to the
+# scalar forms
+# ---------------------------------------------------------------------------
+#
+# The batch execution engine (PR 3) replaces per-message scalar metric
+# calls with one vectorized evaluation per delivery batch, but the
+# batched build must stay *bit-identical* to the scalar build.  The
+# einsum / Gram-trick forms above do not qualify: their reduction order
+# differs from ``np.dot`` by a few ULPs.  Row-at-a-time ``matmul``
+# (``(1, d) @ (d, 1)``) goes through the same dot-product reduction as
+# the scalar ``np.dot`` and is observed bitwise-equal across dtypes and
+# dimensions (covered by tests/unit/test_distances_dense.py).  Sum- and
+# max-reductions along axis 1 are likewise bitwise-equal to their 1-D
+# forms.  Metrics whose scalar form masks elements before reducing
+# (canberra) or reduces twice (braycurtis, correlation) change summation
+# grouping under compaction and get no rowwise form — callers fall back
+# to the scalar loop.
+#
+# Either argument may be a single vector; it is broadcast against the
+# other argument's rows, matching ``theta(q, X[i])`` one-vs-many use.
+
+
+def _rows64(a, b):
+    """Promote to float64 and broadcast a 1-D side to the other's rows."""
+    A = np.asarray(a, dtype=np.float64)
+    B = np.asarray(b, dtype=np.float64)
+    if A.ndim == 1:
+        A = np.broadcast_to(A, B.shape)
+    elif B.ndim == 1:
+        B = np.broadcast_to(B, A.shape)
+    return A, B
+
+
+def _rowwise_dot(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``dot(A[i], B[i])`` with np.dot's exact reduction order."""
+    return np.matmul(A[:, None, :], B[:, :, None]).reshape(A.shape[0])
+
+
+def sqeuclidean_rowwise(a, b) -> np.ndarray:
+    A, B = _rows64(a, b)
+    d = A - B
+    return _rowwise_dot(d, d)
+
+
+def euclidean_rowwise(a, b) -> np.ndarray:
+    return np.sqrt(sqeuclidean_rowwise(a, b))
+
+
+def manhattan_rowwise(a, b) -> np.ndarray:
+    A, B = _rows64(a, b)
+    return np.abs(A - B).sum(axis=1)
+
+
+def chebyshev_rowwise(a, b) -> np.ndarray:
+    A, B = _rows64(a, b)
+    return np.abs(A - B).max(axis=1)
+
+
+def cosine_rowwise(a, b) -> np.ndarray:
+    A, B = _rows64(a, b)
+    na = np.sqrt(_rowwise_dot(A, A))
+    nb = np.sqrt(_rowwise_dot(B, B))
+    ab = _rowwise_dot(A, B)
+    zero = (na == 0.0) | (nb == 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = ab / (na * nb)
+    out = np.maximum(0.0, 1.0 - sim)
+    out[zero] = 1.0
+    return out
+
+
+def inner_product_rowwise(a, b) -> np.ndarray:
+    A, B = _rows64(a, b)
+    return 1.0 - _rowwise_dot(A, B)
+
+
+def hamming_rowwise(a, b) -> np.ndarray:
+    A = np.asarray(a)
+    B = np.asarray(b)
+    if A.ndim == 1:
+        A = np.broadcast_to(A, B.shape)
+    elif B.ndim == 1:
+        B = np.broadcast_to(B, A.shape)
+    return np.count_nonzero(A != B, axis=1) / float(A.shape[1])
+
+
+# ---------------------------------------------------------------------------
 # Pairwise blocks: rows of A vs rows of B (for brute force / ground truth)
 # ---------------------------------------------------------------------------
 

@@ -32,6 +32,13 @@ class Metric:
         Vectorized ``theta(q, X) -> (n,)`` or ``None`` if unavailable.
     pairwise:
         Vectorized block form ``theta(A, B) -> (n, m)`` or ``None``.
+    rowwise:
+        Paired-rows form ``theta(A[i], B[i]) -> (n,)`` that is
+        *bit-identical* to calling ``scalar`` per row (either side may
+        be a single broadcast vector), or ``None``.  This is the only
+        batched form the construction hot path may use: the batch
+        execution engine relies on it to keep batched builds equal to
+        scalar builds down to the last float bit.
     sparse_input:
         True for set-valued metrics (Jaccard family).
     """
@@ -40,10 +47,25 @@ class Metric:
     scalar: Callable[[np.ndarray, np.ndarray], float]
     one_to_many: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
     pairwise: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
+    rowwise: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
     sparse_input: bool = False
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> float:
         return self.scalar(a, b)
+
+    def rowwise_dists(self, A, B) -> np.ndarray:
+        """Paired-rows distances, exact: uses ``rowwise`` when present,
+        otherwise a scalar loop (bit-identical by construction)."""
+        if self.rowwise is not None and not self.sparse_input:
+            return self.rowwise(A, B)
+        scalar = self.scalar
+        a_single = getattr(A, "ndim", 2) == 1
+        b_single = getattr(B, "ndim", 2) == 1
+        if a_single:
+            return np.array([scalar(A, b) for b in B], dtype=np.float64)
+        if b_single:
+            return np.array([scalar(a, B) for a in A], dtype=np.float64)
+        return np.array([scalar(a, b) for a, b in zip(A, B)], dtype=np.float64)
 
     def distances_to(self, q: np.ndarray, X) -> np.ndarray:
         """One-to-many distances, vectorized when possible."""
@@ -106,20 +128,26 @@ def list_metrics() -> List[str]:
 # ---------------------------------------------------------------------------
 
 register_metric(Metric(
-    "euclidean", dense.euclidean, dense.euclidean_one_to_many, dense.euclidean_pairwise))
+    "euclidean", dense.euclidean, dense.euclidean_one_to_many,
+    dense.euclidean_pairwise, dense.euclidean_rowwise))
 register_metric(Metric(
-    "sqeuclidean", dense.sqeuclidean, dense.sqeuclidean_one_to_many, dense.sqeuclidean_pairwise))
+    "sqeuclidean", dense.sqeuclidean, dense.sqeuclidean_one_to_many,
+    dense.sqeuclidean_pairwise, dense.sqeuclidean_rowwise))
 register_metric(Metric(
-    "cosine", dense.cosine, dense.cosine_one_to_many, dense.cosine_pairwise))
+    "cosine", dense.cosine, dense.cosine_one_to_many, dense.cosine_pairwise,
+    dense.cosine_rowwise))
 register_metric(Metric(
     "inner_product", dense.inner_product, dense.inner_product_one_to_many,
-    dense.inner_product_pairwise))
+    dense.inner_product_pairwise, dense.inner_product_rowwise))
 register_metric(Metric(
-    "manhattan", dense.manhattan, dense.manhattan_one_to_many, dense.manhattan_pairwise))
+    "manhattan", dense.manhattan, dense.manhattan_one_to_many,
+    dense.manhattan_pairwise, dense.manhattan_rowwise))
 register_metric(Metric(
-    "chebyshev", dense.chebyshev, dense.chebyshev_one_to_many, dense.chebyshev_pairwise))
+    "chebyshev", dense.chebyshev, dense.chebyshev_one_to_many,
+    dense.chebyshev_pairwise, dense.chebyshev_rowwise))
 register_metric(Metric(
-    "hamming", dense.hamming, dense.hamming_one_to_many, dense.hamming_pairwise))
+    "hamming", dense.hamming, dense.hamming_one_to_many,
+    dense.hamming_pairwise, dense.hamming_rowwise))
 register_metric(Metric("canberra", dense.canberra, dense.canberra_one_to_many))
 register_metric(Metric("braycurtis", dense.braycurtis, dense.braycurtis_one_to_many))
 register_metric(Metric(

@@ -38,6 +38,16 @@ class TypeStats:
             self.offnode_count += 1
             self.offnode_bytes += int(nbytes)
 
+    def record_many(self, count: int, nbytes: int,
+                    offnode_count: int, offnode_bytes: int) -> None:
+        """Aggregated form of :meth:`record` — integer counters are
+        order-free, so batched emission can record one sum per block and
+        stay identical to per-message recording."""
+        self.count += int(count)
+        self.bytes += int(nbytes)
+        self.offnode_count += int(offnode_count)
+        self.offnode_bytes += int(offnode_bytes)
+
     def merged(self, other: "TypeStats") -> "TypeStats":
         return TypeStats(
             self.count + other.count,
@@ -100,6 +110,15 @@ class MessageStats:
         if stats is None:
             stats = self.by_type[msg_type] = TypeStats()
         stats.record(nbytes, offnode)
+
+    def record_many(self, msg_type: str, count: int, nbytes: int,
+                    offnode_count: int, offnode_bytes: int) -> None:
+        """Record an aggregated block of same-type messages (see
+        :meth:`TypeStats.record_many`)."""
+        stats = self.by_type.get(msg_type)
+        if stats is None:
+            stats = self.by_type[msg_type] = TypeStats()
+        stats.record_many(count, nbytes, offnode_count, offnode_bytes)
 
     # -- aggregate views ----------------------------------------------------
 

@@ -76,6 +76,7 @@ Handler = Callable[..., None]
 _CALL = "call"        # ("call", send_seq, handler, args)
 _REL = "rel"          # ("rel", rel_seq, send_seq, handler, args)
 _ACK = "ack"          # ("ack", (rel_seq, ...))
+_BATCH = "bflush"     # ("bflush", [(handler, args, send_seq, nbytes), ...])
 
 # Modeled size of one acked sequence number on the wire.
 _ACK_SEQ_BYTES = 4
@@ -119,6 +120,11 @@ class RankContext:
         """Fire-and-forget RPC to ``dest`` (may be this rank)."""
         self.world.async_call(self.rank, dest, handler, *args,
                               nbytes=nbytes, msg_type=msg_type)
+
+    def async_call_block(self, msgs, msg_type: str = "other") -> None:
+        """Emit a prepared block of RPCs — see
+        :meth:`YGMWorld.async_call_block`."""
+        self.world.async_call_block(self.rank, msgs, msg_type=msg_type)
 
     def charge_compute(self, seconds: float) -> None:
         """Charge modeled compute time to this rank's clock."""
@@ -185,6 +191,16 @@ class YGMWorld:
         self.flush_threshold = int(flush_threshold)
         self.flush_threshold_bytes = int(flush_threshold_bytes)
         self._handlers: Dict[str, Handler] = {}
+        # Batch variants: name -> fn(ctx, args_list).  The delivery loop
+        # coalesces contiguous same-handler runs into one invocation when
+        # a batch variant exists; absent variants change nothing.
+        self._batch_handlers: Dict[str, Handler] = {}
+        # is_offnode is pure topology; precompute it so the per-message
+        # hot path does two list indexings instead of a method call.
+        self._offnode: List[List[bool]] = [
+            [cluster.is_offnode(s, d) for d in range(self.world_size)]
+            for s in range(self.world_size)
+        ]
         # _buffers[src][dest] -> list of (handler_name, args, send_seq, nbytes)
         self._buffers: List[List[List[Tuple[str, tuple, int, int]]]] = [
             [[] for _ in range(self.world_size)] for _ in range(self.world_size)
@@ -256,6 +272,28 @@ class YGMWorld:
         for name, fn in handlers.items():
             self.register_handler(name, fn)
 
+    def register_batch_handler(self, name: str, fn: Handler) -> None:
+        """Register a batch variant for an already-registered handler.
+
+        ``fn(ctx, args_list)`` receives the destination context and the
+        list of argument tuples of a contiguous run of ``name`` messages,
+        and must be *semantically identical* to invoking the scalar
+        handler once per tuple, in order (the batch execution engine's
+        bit-identity contract).
+        """
+        if name not in self._handlers:
+            raise RuntimeStateError(
+                f"batch handler {name!r} has no scalar registration")
+        if name in self._batch_handlers:
+            raise RuntimeStateError(f"batch handler {name!r} already registered")
+        if self.sanitizer is not None:
+            fn = self.sanitizer.wrap_handler(name, fn)
+        self._batch_handlers[name] = fn
+
+    def register_batch_handlers(self, **handlers: Handler) -> None:
+        for name, fn in handlers.items():
+            self.register_batch_handler(name, fn)
+
     # -- phases (stats scoping) -------------------------------------------------
 
     def set_phase(self, phase: str) -> None:
@@ -282,7 +320,7 @@ class YGMWorld:
         seq = self._send_seq
         self._send_seq += 1
         if src != dest:
-            offnode = self.cluster.is_offnode(src, dest)
+            offnode = self._offnode[src][dest]
             self.cluster.stats.record(msg_type, nbytes, offnode)
             self.phase_stats.setdefault(self._phase, MessageStats()).record(
                 msg_type, nbytes, offnode
@@ -300,11 +338,156 @@ class YGMWorld:
             # delivery (YGM runs even self-messages from the queue).
             self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
 
+    def block_emitter(self, src: int, msg_type: str = "other"):
+        """Low-overhead emitter for a block of same-type RPCs from ``src``.
+
+        Returns ``(send, close)``.  ``send(dest, handler, args, nbytes)``
+        is semantically one :meth:`async_call`; ``close()`` must be
+        called after the last send.  Exactness contract with the scalar
+        path:
+
+        - every message gets the same global send-sequence stamp it
+          would have gotten from :meth:`async_call` (a local counter,
+          written back at close — nothing reads ``_send_seq`` mid-block
+          because handlers only run inside :meth:`barrier`),
+        - buffer appends and flush triggers happen per message, in
+          message order, so mid-block flush charges land on the ledger
+          at exactly the same points as in a scalar emission loop,
+        - message statistics are integer counters, hence order-free;
+          they are aggregated locally and recorded once at close via
+          :meth:`MessageStats.record_many`.
+
+        Only one emitter may be active at a time (flushes triggered by
+        ``send`` enqueue to mailboxes without running handlers, so there
+        is no reentrancy).  A validation error raised by ``send`` aborts
+        the block with stats unrecorded — acceptable, since it signals a
+        programming error that aborts the run.
+        """
+        world = self
+        handlers = self._handlers
+        buffers_src = self._buffers[src]
+        buffer_bytes_src = self._buffer_bytes[src]
+        offrow = self._offnode[src]
+        deliver = self.cluster.deliver
+        ft = self.flush_threshold
+        ftb = self.flush_threshold_bytes
+        ws = self.world_size
+        start_seq = self._send_seq
+        next_seq = start_seq
+        on_c = on_b = off_c = off_b = 0
+        checked_handler = None
+
+        def send(dest: int, handler: str, args: tuple, nbytes: int) -> None:
+            nonlocal next_seq, on_c, on_b, off_c, off_b, checked_handler
+            if handler is not checked_handler:
+                if handler not in handlers:
+                    raise RuntimeStateError(f"unknown handler {handler!r}")
+                checked_handler = handler
+            if not 0 <= dest < ws:
+                raise RuntimeStateError(f"destination rank {dest} out of range")
+            seq = next_seq
+            next_seq = seq + 1
+            if src != dest:
+                if offrow[dest]:
+                    off_c += 1
+                    off_b += nbytes
+                else:
+                    on_c += 1
+                    on_b += nbytes
+                buf = buffers_src[dest]
+                buf.append((handler, args, seq, nbytes))
+                nb = buffer_bytes_src[dest] + nbytes
+                buffer_bytes_src[dest] = nb
+                if len(buf) >= ft or nb >= ftb:
+                    world._flush(src, dest)
+            else:
+                deliver(src, dest, (_CALL, seq, handler, args))
+
+        def close() -> None:
+            world._send_seq = next_seq
+            world.async_count_since_barrier += next_seq - start_seq
+            total_c = on_c + off_c
+            if total_c:
+                total_b = on_b + off_b
+                world.cluster.stats.record_many(
+                    msg_type, total_c, total_b, off_c, off_b)
+                world.phase_stats.setdefault(
+                    world._phase, MessageStats()).record_many(
+                        msg_type, total_c, total_b, off_c, off_b)
+
+        return send, close
+
+    def async_call_block(self, src: int, msgs,
+                         msg_type: str = "other") -> None:
+        """Emit a prepared block of RPCs from ``src`` — semantically a
+        loop of :meth:`async_call` over ``(dest, handler, args, nbytes)``
+        tuples, with per-message overhead amortized."""
+        send, close = self.block_emitter(src, msg_type)
+        for dest, handler, args, nbytes in msgs:
+            send(dest, handler, args, nbytes)
+        close()
+
+    def emit_run(self, src: int, triples, nbytes: int,
+                 msg_type: str = "other") -> None:
+        """Emit a uniform-``nbytes`` run of RPCs from ``src`` —
+        semantically a loop of :meth:`async_call` over
+        ``(dest, handler, args)`` triples.
+
+        Driver-internal fast path: unlike :meth:`block_emitter` it skips
+        per-message handler/destination validation (the caller computes
+        destinations from the owner table and handler names are
+        literals), and exploits the constant message size to total the
+        statistics with one multiply.  Ordering guarantees are identical
+        to the emitter: sequence stamps, buffer appends, and
+        threshold-triggered flushes happen per message, in order.
+        """
+        buffers_src = self._buffers[src]
+        buffer_bytes_src = self._buffer_bytes[src]
+        offrow = self._offnode[src]
+        if self.injector is None:
+            # Injector-free local delivery is a plain mailbox append
+            # (deliver()'s alive/range checks cannot fire: no crashes
+            # without an injector, destinations come from owner tables).
+            local_deliver = self.cluster._mailboxes[src].append
+        else:
+            deliver = self.cluster.deliver
+            local_deliver = (lambda item:
+                             deliver(src, src, item[1]))
+        flush = self._flush
+        ft = self.flush_threshold
+        ftb = self.flush_threshold_bytes
+        start_seq = seq = self._send_seq
+        on_c = off_c = 0
+        for dest, handler, args in triples:
+            if src != dest:
+                if offrow[dest]:
+                    off_c += 1
+                else:
+                    on_c += 1
+                buf = buffers_src[dest]
+                buf.append((handler, args, seq, nbytes))
+                nb = buffer_bytes_src[dest] + nbytes
+                buffer_bytes_src[dest] = nb
+                if len(buf) >= ft or nb >= ftb:
+                    flush(src, dest)
+            else:
+                local_deliver((src, (_CALL, seq, handler, args)))
+            seq += 1
+        self._send_seq = seq
+        self.async_count_since_barrier += seq - start_seq
+        total_c = on_c + off_c
+        if total_c:
+            self.cluster.stats.record_many(
+                msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
+            self.phase_stats.setdefault(
+                self._phase, MessageStats()).record_many(
+                    msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
+
     def _flush(self, src: int, dest: int) -> None:
         buf = self._buffers[src][dest]
         if not buf:
             return
-        offnode = self.cluster.is_offnode(src, dest)
+        offnode = self._offnode[src][dest]
         nbytes = self._buffer_bytes[src][dest]
         net = self.cluster.net
         self.cluster.ledger.charge(
@@ -312,6 +495,18 @@ class YGMWorld:
         )
         self.flush_count += 1
         inj = self.injector
+        if self._batch_handlers and inj is None and not self.reliable:
+            # Envelope delivery: hand the whole buffer over as ONE
+            # mailbox item.  Without an injector, per-message delivery
+            # is a plain append per entry, so an envelope preserving
+            # entry order is byte-identical in every observable —
+            # flushed buffers never interleave with other deliveries.
+            # Faulty or reliable runs keep the per-message wire format
+            # (drop/duplicate/delay decisions are per message).
+            self.cluster.deliver(src, dest, (_BATCH, buf))
+            self._buffers[src][dest] = []
+            self._buffer_bytes[src][dest] = 0
+            return
         if inj is not None:
             stall = inj.maybe_stall()
             if stall:
@@ -341,18 +536,74 @@ class YGMWorld:
 
     def _process_round(self) -> int:
         """Deliver every currently-queued message once, in deterministic
-        rank order; returns how many handlers ran."""
+        rank order; returns how many messages were applied.
+
+        When a handler has a registered batch variant, contiguous runs
+        of that handler within a rank's snapshot are drained first and
+        applied as ONE batch invocation.  This is exact because draining
+        a message has no handler-visible effect: reliable-delivery
+        bookkeeping (acks, dedup) still happens per message before the
+        message joins its run, ``_ACK`` control traffic is bookkeeping
+        only (it neither runs a handler nor breaks a run), and the batch
+        handler itself is contractually equivalent to the scalar handler
+        applied per message in order.  ``current_message_seq`` is None
+        during a batch invocation — no batch variants are registered for
+        order-sensitive consumers that read it.
+        """
         ran = 0
+        batch_handlers = self._batch_handlers
+        handlers = self._handlers
         for rank in range(self.world_size):
+            ctx = self.ranks[rank]
             # Snapshot the queue length so messages enqueued by handlers
             # in this round are processed in a later round (fair order).
             pending = len(self.cluster._mailboxes[rank])
+            run_handler: str | None = None
+            run_args: list = []
             for _ in range(pending):
                 item = self.cluster.drain_one(rank)
                 if item is None:
                     break
                 src, payload = item
                 tag = payload[0]
+                if tag == _BATCH:
+                    # A flushed buffer delivered whole: same entries, in
+                    # the same order, as per-message delivery would give.
+                    buf = payload[1]
+                    # Fast path: an envelope whose entries all carry one
+                    # batchable handler joins the current run with a
+                    # C-level extend.  Run granularity is immaterial:
+                    # rowwise kernels are bitwise row-independent, and
+                    # every other effect is applied per message in order.
+                    hset = {m[0] for m in buf}
+                    if len(hset) == 1:
+                        h = buf[0][0]
+                        if h in batch_handlers:
+                            if run_handler is not None and run_handler != h:
+                                ran += self._run_batch(ctx, run_handler, run_args)
+                                run_args = []
+                            run_handler = h
+                            run_args.extend([m[1] for m in buf])
+                            continue
+                    for handler, args, seq, _nb in buf:
+                        if handler in batch_handlers:
+                            if run_handler is not None and run_handler != handler:
+                                ran += self._run_batch(ctx, run_handler, run_args)
+                                run_args = []
+                            run_handler = handler
+                            run_args.append(args)
+                            continue
+                        if run_handler is not None:
+                            ran += self._run_batch(ctx, run_handler, run_args)
+                            run_handler, run_args = None, []
+                        self.current_message_seq = seq
+                        try:
+                            handlers[handler](ctx, *args)
+                        finally:
+                            self.current_message_seq = None
+                        self.handler_invocations += 1
+                        ran += 1
+                    continue
                 if tag == _CALL:
                     _tag, seq, handler, args = payload
                 elif tag == _REL:
@@ -370,16 +621,36 @@ class YGMWorld:
                     for rel_seq in payload[1]:
                         unacked.pop(rel_seq, None)
                     continue
+                if handler in batch_handlers:
+                    if run_handler is not None and run_handler != handler:
+                        ran += self._run_batch(ctx, run_handler, run_args)
+                        run_args = []
+                    run_handler = handler
+                    run_args.append(args)
+                    continue
+                if run_handler is not None:
+                    ran += self._run_batch(ctx, run_handler, run_args)
+                    run_handler, run_args = None, []
                 self.current_message_seq = seq
                 try:
-                    self._handlers[handler](self.ranks[rank], *args)
+                    handlers[handler](ctx, *args)
                 finally:
                     self.current_message_seq = None
                 self.handler_invocations += 1
                 ran += 1
+            if run_handler is not None:
+                ran += self._run_batch(ctx, run_handler, run_args)
         if self.reliable:
             self._flush_acks()
         return ran
+
+    def _run_batch(self, ctx: RankContext, handler: str,
+                   args_list: list) -> int:
+        """Apply a coalesced run of ``handler`` messages at ``ctx``."""
+        self._batch_handlers[handler](ctx, args_list)
+        n = len(args_list)
+        self.handler_invocations += n
+        return n
 
     def _flush_acks(self) -> None:
         """Ship this round's accumulated acks, one batched control
