@@ -11,6 +11,14 @@ Run directly::
 
     python benchmarks/bench_wallclock.py            # full run
     python benchmarks/bench_wallclock.py --quick    # CI smoke (small size)
+    python benchmarks/bench_wallclock.py --backend parallel --workers 4
+
+Besides the scalar-vs-batched comparison (always run under the sim
+backend, whose bit-identity contract it asserts), the bench times the
+batched engine under each requested ``--backend`` and records recall
+against brute force, so the JSON captures the execution-backend
+trade-off: sim is deterministic and cost-modeled, parallel must be at
+least as fast with recall@k within +-0.01.
 
 Writes ``BENCH_wallclock.json`` at the repository root.  Timing is
 best-of-N (``--repeats``, default 3): the minimum over repeats is the
@@ -34,6 +42,9 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 from repro import DNND, ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
+from repro.baselines.bruteforce import brute_force_neighbors
+from repro.core.graph import KNNGraph
+from repro.eval.recall import graph_recall
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
 OUT_PATH = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
@@ -46,25 +57,31 @@ K = 10
 SEED = 0
 
 
-def _build(data: np.ndarray, batch_exec: bool):
+def _build(data: np.ndarray, batch_exec: bool, backend: str = "sim",
+           workers: int = 0):
     cfg = DNNDConfig(
         nnd=NNDescentConfig(k=K, metric="sqeuclidean", seed=SEED),
         comm_opts=CommOptConfig.optimized(),
         batch_size=1 << 13,
         batch_exec=batch_exec,
+        backend=backend,
+        workers=workers,
     )
     dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=4, procs_per_node=2))
-    result = dnnd.build()
-    return result
+    try:
+        return dnnd.build()
+    finally:
+        dnnd.close()
 
 
-def _time_build(data: np.ndarray, batch_exec: bool, repeats: int):
+def _time_build(data: np.ndarray, batch_exec: bool, repeats: int,
+                backend: str = "sim", workers: int = 0):
     """(best wall seconds, last BuildResult)."""
     best = float("inf")
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        result = _build(data, batch_exec)
+        result = _build(data, batch_exec, backend, workers)
         best = min(best, time.perf_counter() - t0)
     return best, result
 
@@ -95,21 +112,64 @@ def run(sizes, repeats: int):
     return rows
 
 
+def run_backends(sizes, repeats: int, backends, workers: int):
+    """Time the batched engine per execution backend; recall vs brute
+    force goes in the record because the parallel backend's contract is
+    statistical (recall@k within +-0.01 of sim), not bit-identity."""
+    rows = []
+    for n, dim in sizes:
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((n, dim))
+        ids, dists = brute_force_neighbors(data, data, K, exclude_self=True)
+        truth = KNNGraph(ids, dists)
+        per_backend = {}
+        for backend in backends:
+            w = workers if backend == "parallel" else 0
+            secs, result = _time_build(data, True, repeats, backend, w)
+            per_backend[backend] = {
+                "seconds": round(secs, 4),
+                "recall": round(graph_recall(result.graph, truth), 4),
+            }
+            print(f"n={n:5d} d={dim:3d}  backend={backend:8s} "
+                  f"workers={w:2d}  {secs:7.2f}s  "
+                  f"recall@{K} {per_backend[backend]['recall']:.4f}")
+        row = {"n": n, "dim": dim, "k": K, "workers": workers,
+               "backends": per_backend}
+        if "sim" in per_backend and "parallel" in per_backend:
+            row["parallel_speedup"] = round(
+                per_backend["sim"]["seconds"]
+                / per_backend["parallel"]["seconds"], 3)
+            row["recall_delta"] = round(
+                per_backend["parallel"]["recall"]
+                - per_backend["sim"]["recall"], 4)
+        rows.append(row)
+    return rows
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="small instance only (CI perf smoke)")
     ap.add_argument("--repeats", type=int, default=3,
                     help="timing repeats; best-of-N is reported")
+    ap.add_argument("--backend", action="append", choices=["sim", "parallel"],
+                    help="execution backend(s) for the backend-comparison "
+                         "section; repeatable (default: both)")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="worker count for the parallel backend")
     args = ap.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    backends = args.backend or ["sim", "parallel"]
     rows = run(sizes, max(1, args.repeats))
+    backend_rows = run_backends(sizes, max(1, args.repeats), backends,
+                                args.workers)
     payload = {
         "benchmark": "wallclock scalar-vs-batched execution engine",
         "repeats": max(1, args.repeats),
         "quick": bool(args.quick),
         "results": rows,
+        "backend_results": backend_rows,
     }
     with open(OUT_PATH, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -120,6 +180,18 @@ def main(argv=None) -> int:
     if slow:
         print(f"FAIL: batched engine slower than scalar at {slow}")
         return 1
+    if not args.quick and len(backend_rows) > 1:
+        # The backend contract is asserted only at the largest instance:
+        # small ones are dominated by fixed costs, not the message path.
+        last = backend_rows[-1]
+        if last.get("parallel_speedup", 1.0) < 1.0:
+            print(f"FAIL: parallel backend slower than sim at "
+                  f"n={last['n']}, d={last['dim']}")
+            return 1
+        if abs(last.get("recall_delta", 0.0)) > 0.01:
+            print(f"FAIL: parallel recall deviates from sim by "
+                  f"{last['recall_delta']}")
+            return 1
     return 0
 
 

@@ -7,10 +7,16 @@ simulated 8-node cluster, and prints:
 
 - per-message-type traffic statistics (the Figure 4 measurement),
 - the modeled construction time and its per-phase breakdown,
-- graph quality vs brute force.
+- graph quality vs brute force,
+- host wall-clock of the sim vs the shared-memory parallel execution
+  backend for the same seed.
 
 Run:  python examples/distributed_build.py
+      python examples/distributed_build.py --backend parallel --workers 4
 """
+
+import argparse
+import time
 
 from repro import (
     DNND,
@@ -51,7 +57,37 @@ def build(data, comm_opts, label):
     return result
 
 
+def timed_build(data, backend, workers, truth):
+    """Host wall-clock of one batched build under an execution backend."""
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=10, metric="sqeuclidean", seed=7),
+        comm_opts=CommOptConfig.optimized(),
+        batch_size=1 << 13,
+        backend=backend,
+        workers=workers,
+    )
+    dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=8, procs_per_node=2))
+    t0 = time.perf_counter()
+    try:
+        result = dnnd.build()
+    finally:
+        dnnd.close()
+    wall = time.perf_counter() - t0
+    w = f" workers={workers}" if backend == "parallel" else ""
+    print(f"  {backend:<8s}{w:<11s} {wall:6.2f}s wall   "
+          f"recall {graph_recall(result.graph, truth):.4f}")
+    return wall
+
+
 def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", choices=["sim", "parallel", "both"],
+                    default="both",
+                    help="execution backend(s) for the wall-clock section")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="worker count for the parallel backend")
+    args = ap.parse_args()
+
     data = gaussian_mixture(1200, 32, n_clusters=16, cluster_std=0.2, seed=7)
     print(f"dataset: {data.shape[0]} points x {data.shape[1]} dims, "
           f"simulated cluster: 8 nodes x 2 ranks")
@@ -71,6 +107,16 @@ def main() -> None:
     print("\n--- quality (identical algorithm, different wire protocol) ---")
     print(f"unoptimized recall: {graph_recall(unopt.graph, truth):.4f}")
     print(f"optimized recall:   {graph_recall(opt.graph, truth):.4f}")
+
+    print("\n--- execution backends (same seed, host wall-clock) ---")
+    walls = {}
+    if args.backend in ("sim", "both"):
+        walls["sim"] = timed_build(data, "sim", 0, truth)
+    if args.backend in ("parallel", "both"):
+        walls["parallel"] = timed_build(data, "parallel", args.workers, truth)
+    if len(walls) == 2:
+        print(f"  parallel speedup over sim: "
+              f"{walls['sim'] / walls['parallel']:.2f}x")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ unsanitized one, including message stats and simulated time).
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, Optional
 
@@ -56,21 +57,49 @@ def sanitizer_requested(env: Optional[Dict[str, str]] = None) -> bool:
 class Sanitizer:
     """Per-world dynamic checker.  One instance is attached to a
     :class:`~repro.runtime.ygm.YGMWorld` when sanitizing; ``None``
-    otherwise, so every guard is a single attribute test when off."""
+    otherwise, so every guard is a single attribute test when off.
 
-    __slots__ = ("active_rank", "handler_depth", "current_handler",
-                 "violations", "reentrancy_detected")
+    Execution-context state (``active_rank`` / ``handler_depth`` /
+    ``current_handler``) is thread-local: under the parallel executor
+    each worker thread is delivering at one rank, and the context it
+    checks against must be *that* thread's, not whichever rank another
+    worker happens to be running.  The violation counters stay shared
+    (they only matter when an error is already being raised)."""
+
+    __slots__ = ("_tls", "violations", "reentrancy_detected")
 
     def __init__(self) -> None:
-        #: Rank the current code is executing *as*: set during handler
-        #: delivery and inside :meth:`rank_scope` sections; ``None`` in
-        #: plain driver context (where access is unrestricted).
-        self.active_rank: Optional[int] = None
-        self.handler_depth = 0
-        self.current_handler: Optional[str] = None
+        self._tls = threading.local()
         #: Counters for introspection/tests.
         self.violations = 0
         self.reentrancy_detected = 0
+
+    #: Rank the current code is executing *as*: set during handler
+    #: delivery and inside :meth:`rank_scope` sections; ``None`` in
+    #: plain driver context (where access is unrestricted).
+    @property
+    def active_rank(self) -> Optional[int]:
+        return getattr(self._tls, "active_rank", None)
+
+    @active_rank.setter
+    def active_rank(self, value: Optional[int]) -> None:
+        self._tls.active_rank = value
+
+    @property
+    def handler_depth(self) -> int:
+        return getattr(self._tls, "handler_depth", 0)
+
+    @handler_depth.setter
+    def handler_depth(self, value: int) -> None:
+        self._tls.handler_depth = value
+
+    @property
+    def current_handler(self) -> Optional[str]:
+        return getattr(self._tls, "current_handler", None)
+
+    @current_handler.setter
+    def current_handler(self, value: Optional[str]) -> None:
+        self._tls.current_handler = value
 
     # -- access checks -------------------------------------------------------
 

@@ -95,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ack/retransmit delivery (tolerates drop/dup faults)")
     p.add_argument("--max-retries", type=int, default=32,
                    help="retransmit budget per message in --reliable mode")
+    p.add_argument("--backend", choices=("sim", "parallel"), default=None,
+                   help="execution backend: deterministic cost-modeled "
+                        "simulation (sim, default) or shared-memory "
+                        "parallel executor (no cost ledger / faults); "
+                        "default honours REPRO_BACKEND")
+    p.add_argument("--workers", type=int, default=0,
+                   help="thread count for --backend parallel "
+                        "(0 = auto: REPRO_WORKERS or the core count)")
     p.add_argument("--sanitize", action="store_true",
                    help="run under the runtime ownership sanitizer "
                         "(repro.analysis): cross-rank state access raises")
@@ -112,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs-per-node", type=int, default=2)
     p.add_argument("--store", default=None,
                    help="persist the finished graph here")
+    p.add_argument("--backend", choices=("sim", "parallel"), default=None,
+                   help="execution backend for the resumed build")
+    p.add_argument("--workers", type=int, default=0,
+                   help="thread count for --backend parallel (0 = auto)")
     p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("optimize", help="Section 4.5 optimizations (executable 2)")
@@ -169,6 +181,8 @@ def cmd_construct(args: argparse.Namespace) -> int:
                             metric=spec.metric, seed=args.seed),
         comm_opts=comm,
         batch_size=args.batch_size,
+        backend=args.backend,
+        workers=args.workers,
     )
     fault_plan = _fault_plan_from_args(args)
     dnnd = DNND(data, cfg, cluster=ClusterConfig(
@@ -197,7 +211,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
         data, args.checkpoint,
         cluster=ClusterConfig(nodes=args.nodes,
                               procs_per_node=args.procs_per_node),
-        store_path=args.store)
+        store_path=args.store,
+        backend=args.backend, workers=args.workers)
     print(f"resumed build finished: {result.iterations} total iterations, "
           f"converged={result.converged}")
     if args.store:

@@ -138,9 +138,25 @@ class DNNDConfig:
     Produces bit-identical results to the scalar path (``False``), which
     is kept as the regression oracle."""
 
+    backend: str | None = None
+    """Execution backend: ``"sim"`` (deterministic inline simulation
+    with the cost model — the default) or ``"parallel"`` (shared-memory
+    executor running rank sections concurrently; no cost ledger / fault
+    injection).  ``None`` defers to the ``REPRO_BACKEND`` environment
+    variable, falling back to ``"sim"``."""
+
+    workers: int = 0
+    """Thread count for the parallel backend; ``0`` means auto
+    (``REPRO_WORKERS`` if set, else the machine's core count), always
+    capped at the cluster's world size.  Ignored by the sim backend."""
+
     def __post_init__(self) -> None:
         _require(self.batch_size >= 0, "batch_size must be >= 0")
         _require(self.pruning_factor >= 1.0, "pruning_factor (m) must be >= 1.0")
+        _require(self.backend in (None, "sim", "parallel"),
+                 f"backend must be None, 'sim', or 'parallel', "
+                 f"got {self.backend!r}")
+        _require(self.workers >= 0, "workers must be >= 0 (0 = auto)")
 
     @property
     def k(self) -> int:

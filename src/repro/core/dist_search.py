@@ -35,15 +35,16 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..config import ClusterConfig
-from ..errors import SearchError
+from ..errors import ConfigError, SearchError
 from ..runtime.instrumentation import MessageStats
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
-from ..runtime.simmpi import SimCluster
+from ..runtime.transports import LocalTransport, SimCluster
 from ..runtime.ygm import RankContext, YGMWorld
 from ..types import DIST_BYTES, ID_BYTES
 from ..utils.rng import derive_rng
 from ..utils.sampling import sample_without_replacement
+from .executor import SimExecutor, make_executor, resolve_backend
 from .graph import AdjacencyGraph
 from .search import SearchResult, _result_push, _worst
 
@@ -81,7 +82,9 @@ class DistributedKNNGraphSearcher:
                  partitioner: Optional[Partitioner] = None,
                  coordinator: int = 0,
                  seed: int = 0,
-                 sanitize: bool | None = None) -> None:
+                 sanitize: bool | None = None,
+                 backend: str | None = None,
+                 workers: int = 0) -> None:
         from ..distances.counting import CountingMetric
 
         if adjacency.n != len(data):
@@ -89,8 +92,26 @@ class DistributedKNNGraphSearcher:
                 f"graph has {adjacency.n} vertices, dataset has {len(data)}"
             )
         self.cluster_config = cluster or ClusterConfig(nodes=2, procs_per_node=2)
-        self.cluster = SimCluster(self.cluster_config, net)
-        self.world = YGMWorld(self.cluster, seed=seed, sanitize=sanitize)
+        backend_name = resolve_backend(backend)
+        if backend_name == "parallel" and net is not None:
+            if backend == "parallel":
+                raise ConfigError(
+                    "network cost model (net=...) requires the "
+                    "deterministic sim backend; the parallel executor "
+                    "has no cost ledger. Use backend='sim'.")
+            # Parallel came from the REPRO_BACKEND environment default:
+            # run on sim rather than silently dropping the cost model.
+            backend_name = "sim"
+        self.backend = backend_name
+        if backend_name == "parallel":
+            self.executor = make_executor(
+                backend_name, workers, self.cluster_config.world_size)
+            self.cluster = LocalTransport(self.cluster_config)
+        else:
+            self.executor = SimExecutor()
+            self.cluster = SimCluster(self.cluster_config, net)
+        self.world = YGMWorld(self.cluster, seed=seed, sanitize=sanitize,
+                              executor=self.executor)
         self.partitioner = partitioner or HashPartitioner(
             adjacency.n, self.cluster_config.world_size)
         if not 0 <= coordinator < self.cluster_config.world_size:
@@ -184,6 +205,11 @@ class DistributedKNNGraphSearcher:
             "n_queries": nq,
             "mean_distance_evals": total_evals / max(1, nq),
         }
+
+    def close(self) -> None:
+        """Release the executor's scheduling resources (a no-op for the
+        sim backend; joins the parallel backend's thread pool)."""
+        self.executor.shutdown()
 
     @property
     def message_stats(self) -> MessageStats:

@@ -39,8 +39,9 @@ from ..runtime.instrumentation import FaultStats, MessageStats
 from ..runtime.metall import MetallStore
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
-from ..runtime.simmpi import SimCluster
+from ..runtime.transports import LocalTransport, SimCluster
 from ..runtime.ygm import RankContext, YGMWorld
+from .executor import SimExecutor, make_executor, resolve_backend
 from ..types import ID_BYTES
 from ..utils.rng import derive_rng
 from ..utils.sampling import sample_without_replacement
@@ -157,6 +158,17 @@ class DNND:
         (:mod:`repro.analysis.sanitizer`): rank-owned heaps and state
         are tagged and cross-rank access from handler/SPMD context
         raises.  ``None`` (default) defers to ``REPRO_SANITIZE``.
+
+    The execution backend comes from ``config.backend`` (``"sim"`` |
+    ``"parallel"`` | ``None`` = defer to ``REPRO_BACKEND``, default
+    sim).  The sim backend is the deterministic cost-modeled
+    simulation; the parallel backend runs rank sections concurrently on
+    a shared-memory thread pool (``config.workers``).  Fault injection,
+    reliable delivery, and the network cost model are sim-only:
+    requesting them with an *explicit* ``backend="parallel"`` raises
+    :class:`~repro.errors.ConfigError`, while a blanket
+    ``REPRO_BACKEND=parallel`` environment default downgrades such runs
+    to sim (so fault-tolerance suites still test what they claim to).
     """
 
     def __init__(self, data, config: DNNDConfig | None = None,
@@ -176,14 +188,38 @@ class DNND:
             raise ConfigError(
                 f"k={self.config.k} must be smaller than dataset size {self.n}"
             )
+        backend = resolve_backend(self.config.backend)
+        sim_only = [name for name, wanted in (
+            ("fault_plan", fault_plan is not None),
+            ("reliable delivery", reliable),
+            ("network cost model (net=...)", net is not None),
+        ) if wanted]
+        if backend == "parallel" and sim_only:
+            if self.config.backend == "parallel":
+                raise ConfigError(
+                    f"{', '.join(sim_only)} require(s) the deterministic "
+                    "sim backend; the parallel executor has no cost "
+                    "ledger or fault clock. Use backend='sim'.")
+            # Parallel came from the REPRO_BACKEND environment default:
+            # run on sim rather than silently dropping the requested
+            # sim-only feature.
+            backend = "sim"
+        self.backend = backend
+        self._parallel = backend == "parallel"
         self.fault_plan = fault_plan
         self._injector = make_injector(fault_plan, self.cluster_config.world_size)
-        self.cluster = SimCluster(self.cluster_config, net,
-                                  injector=self._injector)
+        if self._parallel:
+            self.executor = make_executor(
+                backend, self.config.workers, self.cluster_config.world_size)
+            self.cluster = LocalTransport(self.cluster_config)
+        else:
+            self.executor = SimExecutor()
+            self.cluster = SimCluster(self.cluster_config, net,
+                                      injector=self._injector)
         self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
                               seed=self.config.nnd.seed,
                               reliable=reliable, max_retries=max_retries,
-                              sanitize=sanitize)
+                              sanitize=sanitize, executor=self.executor)
         self._recoveries = 0
         register_dnnd_handlers(self.world)
         if self.config.batch_exec:
@@ -241,8 +277,21 @@ class DNND:
         san = self.world.sanitizer
         return _NULL_SCOPE if san is None else san.rank_scope(ctx.rank)
 
+    def close(self) -> None:
+        """Release the executor's scheduling resources (a no-op for the
+        sim backend; joins the parallel backend's thread pool).  Safe to
+        call more than once; also triggered by garbage collection."""
+        self.executor.shutdown()
+
     def _maybe_batch_barrier(self) -> None:
-        """Section 4.4: barrier every ``batch_size`` global requests."""
+        """Section 4.4: barrier every ``batch_size`` global requests.
+
+        No-op under the parallel backend: application-level batch
+        barriers exist to bound the *simulated* buffer memory between
+        supersteps, and mid-phase barriers cannot be driven from inside
+        concurrently-running rank sections."""
+        if self._parallel:
+            return
         bs = self.config.batch_size
         if bs and self.world.async_count_since_barrier >= bs:
             self.world.barrier()
@@ -256,6 +305,11 @@ class DNND:
         the async count between barriers then only grows by driver
         emissions, one per message, so the barrier fires precisely when
         the count reaches ``batch_size``)."""
+        if self._parallel:
+            # No mid-phase barriers under the parallel backend: ship the
+            # whole run in one coalesced emission.
+            self.world.emit_run(ctx.rank, triples, nbytes, msg_type)
+            return
         bs = self.config.batch_size
         i = 0
         n = len(triples)
@@ -326,13 +380,18 @@ class DNND:
                store_path=None,
                checkpoint_every: int = 0,
                fault_plan: Optional[FaultPlan] = None,
-               reliable: bool = False) -> DNNDResult:
+               reliable: bool = False,
+               backend: str | None = None,
+               workers: int = 0) -> DNNDResult:
         """Continue an interrupted build from a checkpoint store.
 
         ``data`` must be the same dataset the original build ran on
         (the checkpoint records its fingerprint and refuses otherwise).
         The cluster shape may differ — hash partitioning reassigns
-        vertices deterministically.
+        vertices deterministically.  The execution backend is likewise
+        free: checkpoints record algorithm state, not the execution
+        choice, so a build checkpointed under sim may resume under
+        ``backend="parallel"`` and vice versa.
         """
         with MetallStore.open_read_only(checkpoint_path) as store:
             meta = store["ckpt_meta"]
@@ -354,6 +413,8 @@ class DNND:
             pruning_factor=meta["pruning_factor"],
             shuffle_reverse_destinations=meta["shuffle_reverse_destinations"],
             batch_exec=meta.get("batch_exec", True),
+            backend=backend,
+            workers=workers,
         )
         dnnd = cls(data, config, cluster=cluster, net=net,
                    fault_plan=fault_plan, reliable=reliable)
@@ -464,6 +525,50 @@ class DNND:
         self.world.set_phase("init")
         cfg = self.config.nnd
         use_batch = self.config.batch_exec
+        if self._parallel:
+            # Parallel backend: each rank emits all of its vertices'
+            # init requests in one section (candidates are keyed by
+            # vertex id, so rank-major order changes nothing), then the
+            # barrier drains rank mailboxes concurrently.
+            n = self.n
+            k = cfg.k
+            seed = cfg.seed
+
+            def section(ctx: RankContext) -> None:
+                shard = shard_of(ctx)
+                owner = shard.owner_of
+                triples = []
+                append = triples.append
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    rng = derive_rng(seed, 2, v)
+                    cand = sample_without_replacement(rng, n, min(n - 1, k + 2))
+                    cand = cand[cand != v][:k]
+                    if use_batch:
+                        f = shard.features[li]
+                        for u in cand.tolist():
+                            append((owner[u], "init_req", (v, u, f)))
+                    else:
+                        nb = 2 * ID_BYTES + shard.feature_nbytes(v)
+                        for u in cand:
+                            u = int(u)
+                            ctx.async_call(
+                                shard.owner(u), "init_req", v, u,
+                                shard.feature(v), nbytes=nb,
+                                msg_type="init_req")
+                if triples:
+                    # Dense features share one row size; sparse rows
+                    # differ but the stats stay per-message exact only
+                    # for dense data — use the first row's size as the
+                    # uniform estimate (stats are diagnostics here; the
+                    # ledger is off under this backend).
+                    nb = 2 * ID_BYTES + shard.feature_nbytes(
+                        int(shard.global_ids[0]))
+                    self.world.emit_run(ctx.rank, triples, nb, "init_req")
+
+            self.world.run_on_all(section)
+            self.world.barrier()
+            return
         for ctx, li in self._interleaved_vertices():
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
@@ -503,64 +608,70 @@ class DNND:
         # "same quality graphs regardless of the number of compute
         # nodes" observation, strengthened to exact reproducibility.
         self.world.set_phase("sample")
-        for ctx in self.world.ranks:
-            with self._rank_scope(ctx):
-                shard = shard_of(ctx)
-                shard.reset_iteration_scratch()
-                for li in range(shard.n_local):
-                    v = int(shard.global_ids[li])
-                    heap = shard.heaps[li]
-                    shard.old_lists[li] = sorted(heap.old_ids())
-                    fresh = sorted(heap.new_ids())
-                    if len(fresh) > sample_n:
-                        # Derived lazily: the stream is only consumed on
-                        # this branch, so skipping creation otherwise is
-                        # stream-exact (SeedSequence mixing is ~10us).
-                        rng = derive_rng(cfg.seed, 3, iteration, v)
-                        pick = sample_without_replacement(rng, len(fresh), sample_n)
-                        sampled = [fresh[int(i)] for i in pick]
-                    else:
-                        sampled = fresh
-                    heap.mark_old_many(sampled)
-                    shard.new_lists[li] = sampled
+        charge = self.cluster.ledger.enabled
+
+        def sample_section(ctx: RankContext) -> None:
+            shard = shard_of(ctx)
+            shard.reset_iteration_scratch()
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                heap = shard.heaps[li]
+                shard.old_lists[li] = sorted(heap.old_ids())
+                fresh = sorted(heap.new_ids())
+                if len(fresh) > sample_n:
+                    # Derived lazily: the stream is only consumed on
+                    # this branch, so skipping creation otherwise is
+                    # stream-exact (SeedSequence mixing is ~10us).
+                    rng = derive_rng(cfg.seed, 3, iteration, v)
+                    pick = sample_without_replacement(rng, len(fresh), sample_n)
+                    sampled = [fresh[int(i)] for i in pick]
+                else:
+                    sampled = fresh
+                heap.mark_old_many(sampled)
+                shard.new_lists[li] = sampled
+                if charge:
                     ctx.charge_update(len(sampled) + len(shard.old_lists[li]))
+
+        self.world.run_on_all(sample_section)
 
         # ---- reversed-matrix exchange (Section 4.2) --------------------------
         self.world.set_phase("reverse")
-        for ctx in self.world.ranks:
-            with self._rank_scope(ctx):
-                shard = shard_of(ctx)
-                use_batch = self.config.batch_exec
-                owner = shard.owner_of
-                outgoing = []
-                append = outgoing.append
-                # Built directly in emission form per path; the shuffle
-                # permutes list positions, so it commutes with the
-                # elementwise formatting and both paths emit the same
-                # message sequence.
-                for li in range(shard.n_local):
-                    v = int(shard.global_ids[li])
-                    if use_batch:
-                        for u in shard.new_lists[li]:
-                            append((owner[u], "rev_new", (u, v)))
-                        for u in shard.old_lists[li]:
-                            append((owner[u], "rev_old", (u, v)))
-                    else:
-                        for u in shard.new_lists[li]:
-                            append(("rev_new", int(u), v))
-                        for u in shard.old_lists[li]:
-                            append(("rev_old", int(u), v))
-                if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
-                    rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
-                    order = rng.permutation(len(outgoing))
-                    outgoing = [outgoing[int(i)] for i in order]
+
+        def reverse_section(ctx: RankContext) -> None:
+            shard = shard_of(ctx)
+            use_batch = self.config.batch_exec
+            owner = shard.owner_of
+            outgoing = []
+            append = outgoing.append
+            # Built directly in emission form per path; the shuffle
+            # permutes list positions, so it commutes with the
+            # elementwise formatting and both paths emit the same
+            # message sequence.
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
                 if use_batch:
-                    self._emit_chunked(ctx, outgoing, 2 * ID_BYTES, "reverse")
+                    for u in shard.new_lists[li]:
+                        append((owner[u], "rev_new", (u, v)))
+                    for u in shard.old_lists[li]:
+                        append((owner[u], "rev_old", (u, v)))
                 else:
-                    for handler, u, v in outgoing:
-                        ctx.async_call(shard.owner(u), handler, u, v,
-                                       nbytes=2 * ID_BYTES, msg_type="reverse")
-                        self._maybe_batch_barrier()
+                    for u in shard.new_lists[li]:
+                        append(("rev_new", int(u), v))
+                    for u in shard.old_lists[li]:
+                        append(("rev_old", int(u), v))
+            if self.config.shuffle_reverse_destinations and len(outgoing) > 1:
+                rng = derive_rng(cfg.seed, 4, iteration, ctx.rank)
+                order = rng.permutation(len(outgoing))
+                outgoing = [outgoing[int(i)] for i in order]
+            if use_batch:
+                self._emit_chunked(ctx, outgoing, 2 * ID_BYTES, "reverse")
+            else:
+                for handler, u, v in outgoing:
+                    ctx.async_call(shard.owner(u), handler, u, v,
+                                   nbytes=2 * ID_BYTES, msg_type="reverse")
+                    self._maybe_batch_barrier()
+
+        self.world.run_on_all(reverse_section)
         self.world.barrier()
 
         # ---- union with sampled reversed lists (lines 14-16) -----------------
@@ -568,30 +679,90 @@ class DNND:
         # cluster shape; sorting canonicalizes them before the keyed
         # sample so shape-invariance holds here too.
         self.world.set_phase("union")
-        for ctx in self.world.ranks:
-            with self._rank_scope(ctx):
-                shard = shard_of(ctx)
-                for li in range(shard.n_local):
-                    v = int(shard.global_ids[li])
-                    rn = sorted(shard.rev_new[li])
-                    ro = sorted(shard.rev_old[li])
-                    # Lazy derivation, as in the sample phase: creation
-                    # does not consume the stream, and draws (when any)
-                    # happen in the same order as with eager creation,
-                    # so this is stream-exact.
-                    rng = (derive_rng(cfg.seed, 5, iteration, v)
-                           if len(rn) > sample_n or len(ro) > sample_n
-                           else None)
-                    shard.new_lists[li] = _union_with_sample(
-                        shard.new_lists[li], rn, sample_n, rng)
-                    shard.old_lists[li] = _union_with_sample(
-                        shard.old_lists[li], ro, sample_n, rng)
+
+        def union_section(ctx: RankContext) -> None:
+            shard = shard_of(ctx)
+            for li in range(shard.n_local):
+                v = int(shard.global_ids[li])
+                rn = sorted(shard.rev_new[li])
+                ro = sorted(shard.rev_old[li])
+                # Lazy derivation, as in the sample phase: creation
+                # does not consume the stream, and draws (when any)
+                # happen in the same order as with eager creation,
+                # so this is stream-exact.
+                rng = (derive_rng(cfg.seed, 5, iteration, v)
+                       if len(rn) > sample_n or len(ro) > sample_n
+                       else None)
+                shard.new_lists[li] = _union_with_sample(
+                    shard.new_lists[li], rn, sample_n, rng)
+                shard.old_lists[li] = _union_with_sample(
+                    shard.old_lists[li], ro, sample_n, rng)
+
+        self.world.run_on_all(union_section)
 
         # ---- neighbor checks (Section 4.3) ----------------------------------
         self.world.set_phase("neighbor_check")
         one_sided = self.config.comm_opts.one_sided
         use_batch = self.config.batch_exec
         handler = "check_opt" if one_sided else "check_unopt"
+        if self._parallel:
+            # Phase 1: every rank builds its full Type 1 emission list
+            # (pair generation reads only iteration-start new/old lists,
+            # so it can run without interleaving).  Phase 2: emit in
+            # global chunks of ~batch_size with a barrier between chunks
+            # — the Section 4.4 application-level batching.  The
+            # interleave matters for *communication volume*, not just
+            # memory: the redundancy check and the distance-pruning
+            # bound read heap state at delivery time, so a chunk's
+            # Type 3 feedback tightens the bounds seen by the next
+            # chunk.  Emitting a whole iteration up front triples the
+            # Type 3 traffic (measured at n=2000: 176k vs 48k replies).
+            ws = self.world.world_size
+            rank_triples: list = [None] * ws
+
+            def check_build_section(ctx: RankContext) -> None:
+                shard = shard_of(ctx)
+                owner = shard.owner_of
+                triples = []
+                append = triples.append
+                for li in range(shard.n_local):
+                    new_c = shard.new_lists[li]
+                    old_c = shard.old_lists[li]
+                    for i, u1 in enumerate(new_c):
+                        o1 = owner[u1]
+                        for u2 in new_c[i + 1:]:
+                            if u1 != u2:
+                                append((o1, handler, (u1, u2)))
+                                if not one_sided:
+                                    append((owner[u2], handler, (u2, u1)))
+                        for u2 in old_c:
+                            if u1 != u2:
+                                append((o1, handler, (u1, u2)))
+                                if not one_sided:
+                                    append((owner[u2], handler, (u2, u1)))
+                rank_triples[ctx.rank] = triples
+
+            self.world.run_on_all(check_build_section)
+            longest = max(len(t) for t in rank_triples)
+            chunk = (max(1, self.config.batch_size // ws)
+                     if self.config.batch_size else longest)
+            start = 0
+            while start < longest:
+                stop = start + chunk
+
+                def check_emit_section(ctx: RankContext,
+                                       start: int = start,
+                                       stop: int = stop) -> None:
+                    part = rank_triples[ctx.rank][start:stop]
+                    if part:
+                        self.world.emit_run(ctx.rank, part, 2 * ID_BYTES, T1)
+
+                self.world.run_on_all(check_emit_section)
+                self.world.barrier()
+                start = stop
+            return int(self.cluster.allreduce_sum(
+                [shard_of(ctx).update_count for ctx in self.world.ranks]
+            ))
         for ctx, li in self._interleaved_vertices():
             with self._rank_scope(ctx):
                 shard = shard_of(ctx)
@@ -686,38 +857,40 @@ class DNND:
         self.world.set_phase("optimize")
         # Stage 1: seed local merge maps with forward edges, ship reversed
         # edges to their owners.
-        for ctx in self.world.ranks:
-            with self._rank_scope(ctx):
-                shard = shard_of(ctx)
-                shard.merged = [dict() for _ in range(shard.n_local)]
+        def seed_section(ctx: RankContext) -> None:
+            shard = shard_of(ctx)
+            shard.merged = [dict() for _ in range(shard.n_local)]
+            for li in range(shard.n_local):
+                for u, d, _flag in shard.heaps[li].entries():
+                    bucket = shard.merged[li]
+                    prev = bucket.get(u)
+                    if prev is None or d < prev:
+                        bucket[u] = d
+
+        def reversed_edges_section(ctx: RankContext) -> None:
+            shard = shard_of(ctx)
+            if self.config.batch_exec:
+                owner = shard.owner_of
+                triples = []
                 for li in range(shard.n_local):
-                    for u, d, _flag in shard.heaps[li].entries():
-                        bucket = shard.merged[li]
-                        prev = bucket.get(u)
-                        if prev is None or d < prev:
-                            bucket[u] = d
-        for ctx in self.world.ranks:
-            with self._rank_scope(ctx):
-                shard = shard_of(ctx)
-                if self.config.batch_exec:
-                    owner = shard.owner_of
-                    triples = []
-                    for li in range(shard.n_local):
-                        v = int(shard.global_ids[li])
-                        for u, d, _flag in list(shard.heaps[li].entries()):
-                            triples.append((owner[u], "opt_rev_edge",
-                                            (int(u), v, float(d))))
-                    self._emit_chunked(ctx, triples, 2 * ID_BYTES + 4,
-                                       "opt_rev")
-                else:
-                    for li in range(shard.n_local):
-                        v = int(shard.global_ids[li])
-                        for u, d, _flag in list(shard.heaps[li].entries()):
-                            ctx.async_call(shard.owner(u), "opt_rev_edge",
-                                           int(u), v, float(d),
-                                           nbytes=2 * ID_BYTES + 4,
-                                           msg_type="opt_rev")
-                            self._maybe_batch_barrier()
+                    v = int(shard.global_ids[li])
+                    for u, d, _flag in list(shard.heaps[li].entries()):
+                        triples.append((owner[u], "opt_rev_edge",
+                                        (int(u), v, float(d))))
+                self._emit_chunked(ctx, triples, 2 * ID_BYTES + 4,
+                                   "opt_rev")
+            else:
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    for u, d, _flag in list(shard.heaps[li].entries()):
+                        ctx.async_call(shard.owner(u), "opt_rev_edge",
+                                       int(u), v, float(d),
+                                       nbytes=2 * ID_BYTES + 4,
+                                       msg_type="opt_rev")
+                        self._maybe_batch_barrier()
+
+        self.world.run_on_all(seed_section)
+        self.world.run_on_all(reversed_edges_section)
         self.world.barrier()
         # Stage 2: local prune to ceil(k * m) and gather.
         max_degree = int(np.ceil(self.config.k * m))

@@ -349,12 +349,19 @@ def h_init_request_batch(ctx: RankContext, args_list: list) -> None:
     dists = shard.metric.rowwise(B, A)
     world = ctx.world
     ledger = world.cluster.ledger
-    clocks = ledger.clocks
-    net = world.cluster.net
     rank = ctx.rank
     owner = shard.owner_of
     send, close = world.block_emitter(rank, "init_resp")
     nb = 2 * ID_BYTES + DIST_BYTES
+    if not ledger.enabled:
+        # NullLedger (parallel backend): skip the per-message clock
+        # arithmetic — replies alone remain.
+        for (v_gid, u_gid, _vf), d in zip(args_list, dists.tolist()):
+            send(owner[v_gid], "init_resp", (v_gid, u_gid, d), nb)
+        close()
+        return
+    clocks = ledger.clocks
+    net = world.cluster.net
     dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
     for (v_gid, u_gid, v_feature), d in zip(args_list, dists.tolist()):
         clocks[rank] += (dense_cost if dense_cost is not None
@@ -444,12 +451,20 @@ def h_feature_unopt_batch(ctx: RankContext, args_list: list) -> None:
     dists = shard.metric.rowwise(A, B)  # every message computes -> counted
     world = ctx.world
     ledger = world.cluster.ledger
+    heaps = shard.heaps
+    li = shard.local_index
+    if not ledger.enabled:
+        # NullLedger (parallel backend): pushes only, no clock math.
+        updates = 0
+        for (recv_gid, sender_gid, _f), d in zip(args_list, dists.tolist()):
+            updates += heaps[li[int(recv_gid)]].checked_push(
+                int(sender_gid), d, True)
+        shard.update_count += updates
+        return
     clocks = ledger.clocks
     net = world.cluster.net
     rank = ctx.rank
     cu = net.compute_per_update
-    heaps = shard.heaps
-    li = shard.local_index
     dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
     updates = 0
     # Charges must interleave per message (distance cost, then update
@@ -544,18 +559,37 @@ def h_feature_opt_batch(ctx: RankContext, args_list: list) -> None:
     dists = metric.rowwise_raw(A, B)
     world = ctx.world
     ledger = world.cluster.ledger
-    clocks = ledger.clocks
-    net = world.cluster.net
     rank = ctx.rank
-    cu = net.compute_per_update
     owner = shard.owner_of
     li = shard.local_index
     heaps = shard.heaps
-    dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
     nb3 = 2 * ID_BYTES + DIST_BYTES
     send, close = world.block_emitter(rank, T3)
     updates = 0
     evals = 0
+    if not ledger.enabled:
+        # NullLedger (parallel backend): same skip/push/reply sequence,
+        # no clock bookkeeping.
+        cache: Dict[int, Any] = {}
+        for (u2, u1, _f, bound), d in zip(args_list, dists.tolist()):
+            heap2 = cache.get(u2)
+            if heap2 is None:
+                heap2 = cache[u2] = heaps[li[u2]]
+            if redundancy and u1 in heap2._members:
+                continue
+            evals += 1
+            updates += heap2.checked_push(u1, d, True)
+            if pruning and d >= bound:
+                continue
+            send(owner[u1], "distance_reply", (u1, u2, d), nb3)
+        close()
+        metric.count += evals
+        shard.update_count += updates
+        return
+    clocks = ledger.clocks
+    net = world.cluster.net
+    cu = net.compute_per_update
+    dense_cost = None if shard.sparse else net.distance_cost(int(A.shape[1]))
     hcache: Dict[int, Any] = {}
     # Clock kept in a local between sends: a send may trigger a flush,
     # whose charge must land at its exact position in the addition

@@ -9,10 +9,13 @@ The paper runs DNND on an MPI cluster through two LLNL libraries:
 This subpackage provides drop-in *simulated* equivalents that preserve
 the semantics and — crucially for Figure 4 — measure every message:
 
-- :mod:`.simmpi` — a deterministic single-process cluster with per-rank
-  mailboxes and the collectives DNND needs,
+- :mod:`.transports` — the Transport seam: per-rank mailboxes and the
+  collectives DNND needs, as the deterministic simulated cluster
+  (``transports/sim.py``, still importable from :mod:`.simmpi`) or the
+  thread-safe shared-memory backend (``transports/local.py``),
 - :mod:`.ygm` — the YGM-style async RPC layer with per-destination
   buffering, flush thresholds, barrier, and per-type instrumentation,
+  talking only to the Transport protocol,
 - :mod:`.netmodel` — an alpha-beta network + compute cost model giving
   each phase a simulated duration (Figure 3's y-axis),
 - :mod:`.partition` — hash partitioning of vertices over ranks
@@ -26,9 +29,9 @@ the semantics and — crucially for Figure 4 — measure every message:
 
 from .faults import FaultInjector, FaultPlan, make_injector
 from .instrumentation import FaultStats, MessageStats, TypeStats
-from .netmodel import NetworkModel, CostLedger
+from .netmodel import NetworkModel, CostLedger, NullLedger
 from .partition import HashPartitioner, BlockPartitioner, Partitioner
-from .simmpi import SimCluster
+from .transports import LocalTransport, SimCluster, Transport
 from .ygm import YGMWorld, RankContext
 from .metall import MetallStore
 from .containers import DistributedBag, DistributedCounter, DistributedMap
@@ -43,10 +46,13 @@ __all__ = [
     "TypeStats",
     "NetworkModel",
     "CostLedger",
+    "NullLedger",
     "HashPartitioner",
     "BlockPartitioner",
     "Partitioner",
+    "Transport",
     "SimCluster",
+    "LocalTransport",
     "YGMWorld",
     "RankContext",
     "MetallStore",

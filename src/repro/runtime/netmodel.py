@@ -103,6 +103,10 @@ class CostLedger:
     barriers: int = 0
     phase_elapsed: Dict[str, float] = field(default_factory=dict)
 
+    #: Whether charges actually accumulate — hot paths branch on this to
+    #: skip cost arithmetic entirely (see :class:`NullLedger`).
+    enabled = True
+
     def __post_init__(self) -> None:
         if not self.clocks:
             self.clocks = [0.0] * self.world_size
@@ -152,3 +156,30 @@ class CostLedger:
         self.phase_elapsed.clear()
         for r in range(self.world_size):
             self.clocks[r] = 0.0
+
+
+@dataclass
+class NullLedger(CostLedger):
+    """A ledger that accepts charges and discards them.
+
+    The cost model is a *simulation* feature: it exists to predict
+    Figure 3's scaling shape from deterministic replay, which is
+    meaningless under the wall-clock-parallel backend (and its per-rank
+    clocks would be write-contended there anyway).  The parallel
+    transport carries a ``NullLedger`` so driver code can keep calling
+    ``ledger.barrier()`` / ``ctx.charge_*`` unconditionally; hot paths
+    that *compute* cost values before charging should branch on
+    ``ledger.enabled`` and skip the arithmetic.
+    """
+
+    enabled = False
+
+    def charge(self, rank: int, seconds: float) -> None:
+        pass
+
+    def charge_repeated(self, rank: int, seconds: float, count: int) -> None:
+        pass
+
+    def barrier(self, model: NetworkModel, phase: str | None = None) -> float:
+        self.barriers += 1
+        return 0.0

@@ -1,230 +1,16 @@
-"""A deterministic, single-process simulated MPI cluster.
+"""Backwards-compatible home of :class:`SimCluster`.
 
-This is the substitution for the paper's MPI (MVAPICH2) layer: per-rank
-FIFO mailboxes for point-to-point traffic and driver-level collectives
-(allreduce / gather / bcast / alltoallv) with modeled costs.  The
-higher-level YGM layer (:mod:`.ygm`) builds its buffered asynchronous
-RPC on these mailboxes, exactly as the real YGM builds on MPI.
-
-Because the simulation is cooperative and single-threaded, collectives
-take *per-rank contribution lists* and return per-rank results — the
-driver (which plays the role of the SPMD program counter) passes in what
-each rank would have contributed.  This keeps rank code honest: a rank
-can only use its own slot of the result.
+The simulated MPI cluster moved behind the Transport seam in
+:mod:`repro.runtime.transports` (``transports/sim.py``); this module
+remains so existing imports — ``from repro.runtime.simmpi import
+SimCluster`` — keep working unchanged.  New code should import from
+:mod:`repro.runtime.transports` (or :mod:`repro.runtime`), which also
+exposes the :class:`~repro.runtime.transports.base.Transport` protocol
+and the shared-memory :class:`~repro.runtime.transports.local.LocalTransport`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Callable, Deque, List, Sequence, Tuple
+from .transports.sim import SimCluster
 
-from ..config import ClusterConfig
-from ..errors import RuntimeStateError
-from .faults import FaultInjector
-from .instrumentation import MessageStats
-from .netmodel import CostLedger, NetworkModel
-
-
-class SimCluster:
-    """World state shared by all simulated ranks.
-
-    Parameters
-    ----------
-    config:
-        Node/process shape (``nodes`` x ``procs_per_node``).
-    net:
-        Cost-model constants; defaults to Omni-Path-class numbers.
-    injector:
-        Optional :class:`~repro.runtime.faults.FaultInjector`; when set,
-        remote deliveries consult it for drop/duplicate/delay decisions
-        and traffic touching a crashed rank is discarded.
-    """
-
-    def __init__(self, config: ClusterConfig, net: NetworkModel | None = None,
-                 injector: FaultInjector | None = None) -> None:
-        self.config = config
-        self.net = net or NetworkModel()
-        self.world_size = config.world_size
-        self.ledger = CostLedger(world_size=self.world_size)
-        self.stats = MessageStats()
-        self.injector = injector
-        self._mailboxes: List[Deque[Tuple[int, Any]]] = [deque() for _ in range(self.world_size)]
-        self._alive = True
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def shutdown(self) -> None:
-        self._alive = False
-
-    def _check_alive(self) -> None:
-        if not self._alive:
-            raise RuntimeStateError("cluster has been shut down")
-
-    # -- topology ------------------------------------------------------------
-
-    def node_of(self, rank: int) -> int:
-        return self.config.node_of(rank)
-
-    def is_offnode(self, src: int, dest: int) -> bool:
-        return self.node_of(src) != self.node_of(dest)
-
-    # -- point-to-point transport ---------------------------------------------
-
-    def deliver(self, src: int, dest: int, item: Any,
-                fault_exempt: bool = False) -> None:
-        """Enqueue ``item`` into ``dest``'s mailbox (already-flushed data).
-
-        With a fault injector attached, remote (``src != dest``)
-        deliveries may be dropped, duplicated, or delayed, and any
-        traffic from or to a crashed rank is discarded — exactly what a
-        dead MPI process does to its peers.  ``fault_exempt`` bypasses
-        the injector (used when releasing already-injected delayed
-        copies, which must not be re-perturbed).
-        """
-        self._check_alive()
-        if not 0 <= dest < self.world_size:
-            raise RuntimeStateError(f"destination rank {dest} out of range")
-        inj = self.injector
-        if inj is not None and not fault_exempt:
-            if inj.is_crashed(src) or inj.is_crashed(dest):
-                inj.stats.crash_dropped += 1
-                return
-            if src != dest:
-                for delay in inj.on_deliver(src, dest):
-                    if delay == 0:
-                        self._mailboxes[dest].append((src, item))
-                    else:
-                        inj.hold(delay, src, dest, item)
-                return
-        self._mailboxes[dest].append((src, item))
-
-    def release_due_faults(self) -> int:
-        """Advance the injector's delay clock one tick and deliver any
-        now-due delayed messages; returns how many were released."""
-        inj = self.injector
-        if inj is None:
-            return 0
-        due = inj.tick()
-        for src, dest, item in due:
-            if inj.is_crashed(src) or inj.is_crashed(dest):
-                inj.stats.crash_dropped += 1
-                continue
-            self._mailboxes[dest].append((src, item))
-        return len(due)
-
-    def clear_mailboxes(self) -> None:
-        """Discard all undelivered traffic (crash-recovery reset)."""
-        for mb in self._mailboxes:
-            mb.clear()
-
-    def mailbox_empty(self, rank: int) -> bool:
-        return not self._mailboxes[rank]
-
-    def all_quiescent(self) -> bool:
-        return all(not mb for mb in self._mailboxes)
-
-    def drain_one(self, rank: int) -> Tuple[int, Any] | None:
-        """Pop the oldest pending item for ``rank`` or None."""
-        mb = self._mailboxes[rank]
-        return mb.popleft() if mb else None
-
-    def pending_total(self) -> int:
-        return sum(len(mb) for mb in self._mailboxes)
-
-    # -- collectives -----------------------------------------------------------
-    # Each charges a log2(P)-depth tree of alpha+beta*size to every rank,
-    # matching the usual MPI collective cost models.
-
-    def _charge_collective(self, item_bytes: int) -> None:
-        depth = max(1, (self.world_size - 1).bit_length())
-        cost = depth * (self.net.alpha + self.net.beta * item_bytes)
-        for r in range(self.world_size):
-            self.ledger.charge(r, cost)
-
-    def allreduce(
-        self, contributions: Sequence[Any], op: Callable[[Any, Any], Any] | None = None,
-        item_bytes: int = 8,
-    ) -> List[Any]:
-        """Reduce per-rank contributions with ``op`` (default sum); every
-        rank receives the result."""
-        self._check_alive()
-        self._require_full(contributions)
-        if op is None:
-            total: Any = 0
-            for c in contributions:
-                total = total + c
-        else:
-            it = iter(contributions)
-            total = next(it)
-            for c in it:
-                total = op(total, c)
-        self._charge_collective(item_bytes)
-        return [total] * self.world_size
-
-    def allreduce_sum(self, contributions: Sequence[float]) -> float:
-        """Convenience: scalar sum-allreduce, returns the single value."""
-        return self.allreduce(list(contributions))[0]
-
-    def gather(self, contributions: Sequence[Any], root: int = 0,
-               item_bytes: int = 8) -> List[List[Any] | None]:
-        """Root receives the list of contributions; other ranks get None.
-
-        Like every collective here, the return value is *per-rank*:
-        ``result[root]`` is the contribution list, every other slot is
-        ``None`` — so rank code cannot accidentally read data that only
-        the root owns (MPI_Gather's actual contract).
-        """
-        self._check_alive()
-        if not 0 <= root < self.world_size:
-            raise RuntimeStateError(f"root rank {root} out of range")
-        self._require_full(contributions)
-        self._charge_collective(item_bytes)
-        gathered = list(contributions)
-        return [gathered if r == root else None for r in range(self.world_size)]
-
-    def allgather(self, contributions: Sequence[Any], item_bytes: int = 8) -> List[List[Any]]:
-        self._check_alive()
-        self._require_full(contributions)
-        self._charge_collective(item_bytes * self.world_size)
-        gathered = list(contributions)
-        return [list(gathered) for _ in range(self.world_size)]
-
-    def bcast(self, value: Any, root: int = 0, item_bytes: int = 8) -> List[Any]:
-        self._check_alive()
-        if not 0 <= root < self.world_size:
-            raise RuntimeStateError(f"root rank {root} out of range")
-        self._charge_collective(item_bytes)
-        return [value] * self.world_size
-
-    def alltoallv(self, send_lists: Sequence[Sequence[Any]],
-                  item_bytes: int = 8) -> List[List[Any]]:
-        """``send_lists[src][dest]`` -> per-dest receive lists.
-
-        Used by bulk redistribution steps (e.g. gathering a distributed
-        graph); charges bandwidth for every off-diagonal transfer.
-        """
-        self._check_alive()
-        self._require_full(send_lists)
-        recv: List[List[Any]] = [[] for _ in range(self.world_size)]
-        for src in range(self.world_size):
-            row = send_lists[src]
-            if len(row) != self.world_size:
-                raise RuntimeStateError(
-                    f"alltoallv: rank {src} provided {len(row)} destination lists, "
-                    f"expected {self.world_size}"
-                )
-            for dest in range(self.world_size):
-                payload = row[dest]
-                recv[dest].extend(payload)
-                if src != dest and payload:
-                    nbytes = item_bytes * len(payload)
-                    cost = self.net.message_cost(nbytes, self.is_offnode(src, dest))
-                    self.ledger.charge(src, cost + self.net.flush_cost(self.is_offnode(src, dest)))
-        return recv
-
-    def _require_full(self, contributions: Sequence[Any]) -> None:
-        if len(contributions) != self.world_size:
-            raise RuntimeStateError(
-                f"collective needs one contribution per rank "
-                f"({self.world_size}), got {len(contributions)}"
-            )
+__all__ = ["SimCluster"]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from .simmpi import SimCluster
+from .transports.base import Transport
 from .ygm import YGMWorld
 
 
@@ -155,7 +155,7 @@ def attach_tracer(world: YGMWorld) -> RuntimeTracer:
     """
     tracer = RuntimeTracer(world)
     original_barrier = world.barrier
-    cluster: SimCluster = world.cluster
+    cluster: Transport = world.cluster
 
     def traced_barrier(phase: str | None = None) -> float:
         effective_phase = phase or world._phase

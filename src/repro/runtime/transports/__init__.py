@@ -1,0 +1,18 @@
+"""Transport backends for the YGM comm layer.
+
+The :class:`~repro.runtime.transports.base.Transport` protocol is the
+seam between the comm layer (buffering, coalescing, reliability, stats —
+:mod:`repro.runtime.ygm`) and the machinery that moves payloads between
+ranks:
+
+- :mod:`.sim` — :class:`SimCluster`, the deterministic cost-modeled
+  fault-injectable simulation (default backend),
+- :mod:`.local` — :class:`LocalTransport`, thread-safe shared-memory
+  mailboxes for the parallel executor.
+"""
+
+from .base import Transport
+from .local import LocalTransport
+from .sim import SimCluster
+
+__all__ = ["Transport", "LocalTransport", "SimCluster"]

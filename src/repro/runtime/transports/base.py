@@ -1,0 +1,225 @@
+"""The Transport protocol — the seam under the YGM comm layer.
+
+A transport owns the *mechanics* of moving already-formatted payloads
+between ranks: per-rank FIFO mailboxes for point-to-point traffic and
+driver-level collectives over per-rank contribution lists.  Everything
+above the seam — buffering, batch coalescing, reliable seq/ack delivery,
+message statistics — lives in :class:`~repro.runtime.ygm.YGMWorld` and
+talks only to this interface.
+
+Two transports implement it:
+
+- :class:`~repro.runtime.transports.sim.SimCluster` — the deterministic,
+  cost-modeled, fault-injectable simulation (the default; bit-identical
+  to the pre-seam runtime),
+- :class:`~repro.runtime.transports.local.LocalTransport` — a
+  shared-memory backend whose mailboxes are safe for concurrent
+  producers (rank sections running on the parallel executor), with no
+  cost model and no fault injection.
+
+Collectives are implemented here once; cost accounting is injected
+through the ``_charge_collective`` / ``_charge_transfer`` hooks so the
+simulated transport charges its alpha-beta model while the local
+transport charges nothing.  Because the simulation is cooperative,
+collectives take *per-rank contribution lists* and return per-rank
+results — the driver (which plays the role of the SPMD program counter)
+passes in what each rank would have contributed.  This keeps rank code
+honest: a rank can only use its own slot of the result.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Sequence, Tuple
+
+from ...config import ClusterConfig
+from ...errors import RuntimeStateError
+from ..instrumentation import MessageStats
+from ..netmodel import CostLedger, NetworkModel
+
+
+class Transport:
+    """Base point-to-point + collectives substrate.
+
+    Subclasses provide delivery semantics (:meth:`deliver`) and the cost
+    hooks; the deque mailboxes, drain interface, and collective logic
+    are shared.  Every subclass exposes the same attributes the comm
+    layer relies on: ``config``, ``world_size``, ``net``, ``ledger``,
+    ``stats`` (the sink the YGM layer records into), and ``injector``
+    (``None`` unless the transport supports fault injection).
+    """
+
+    def __init__(self, config: ClusterConfig, net: NetworkModel | None,
+                 ledger: CostLedger) -> None:
+        self.config = config
+        self.net = net or NetworkModel()
+        self.world_size = config.world_size
+        self.ledger = ledger
+        self.stats = MessageStats()
+        self.injector = None
+        self._mailboxes: List[Deque[Tuple[int, Any]]] = [
+            deque() for _ in range(self.world_size)]
+        self._alive = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self._alive = False
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise RuntimeStateError("cluster has been shut down")
+
+    # -- topology ------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        return self.config.node_of(rank)
+
+    def is_offnode(self, src: int, dest: int) -> bool:
+        return self.node_of(src) != self.node_of(dest)
+
+    # -- point-to-point transport ---------------------------------------------
+
+    def deliver(self, src: int, dest: int, item: Any,
+                fault_exempt: bool = False) -> None:
+        """Enqueue ``item`` into ``dest``'s mailbox (already-flushed
+        data).  Subclasses may perturb remote deliveries (fault
+        injection); the base form is an exact FIFO append."""
+        self._check_alive()
+        if not 0 <= dest < self.world_size:
+            raise RuntimeStateError(f"destination rank {dest} out of range")
+        self._mailboxes[dest].append((src, item))
+
+    def self_append(self, rank: int) -> Callable[[Tuple[int, Any]], None]:
+        """Bound append onto ``rank``'s own mailbox — the comm layer's
+        fast path for local (``src == dest``) deliveries emitted from
+        rank context, where none of :meth:`deliver`'s checks can fire.
+        The returned callable takes the full ``(src, payload)`` entry."""
+        return self._mailboxes[rank].append
+
+    def release_due_faults(self) -> int:
+        """Advance injected-delay clocks one tick; returns how many
+        held messages were released (0 on transports without faults)."""
+        return 0
+
+    def clear_mailboxes(self) -> None:
+        """Discard all undelivered traffic (crash-recovery reset)."""
+        for mb in self._mailboxes:
+            mb.clear()
+
+    def mailbox_len(self, rank: int) -> int:
+        return len(self._mailboxes[rank])
+
+    def mailbox_empty(self, rank: int) -> bool:
+        return not self._mailboxes[rank]
+
+    def all_quiescent(self) -> bool:
+        return all(not mb for mb in self._mailboxes)
+
+    def drain_one(self, rank: int) -> Tuple[int, Any] | None:
+        """Pop the oldest pending item for ``rank`` or None."""
+        mb = self._mailboxes[rank]
+        return mb.popleft() if mb else None
+
+    def pending_total(self) -> int:
+        return sum(len(mb) for mb in self._mailboxes)
+
+    # -- cost hooks ------------------------------------------------------------
+
+    def _charge_collective(self, item_bytes: int) -> None:
+        """Charge every rank for one collective of ``item_bytes`` per
+        rank (no-op unless the transport models costs)."""
+
+    def _charge_transfer(self, src: int, dest: int, nbytes: int) -> None:
+        """Charge ``src`` for one bulk point-to-point transfer inside a
+        collective (no-op unless the transport models costs)."""
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(
+        self, contributions: Sequence[Any],
+        op: Callable[[Any, Any], Any] | None = None,
+        item_bytes: int = 8,
+    ) -> List[Any]:
+        """Reduce per-rank contributions with ``op`` (default sum); every
+        rank receives the result."""
+        self._check_alive()
+        self._require_full(contributions)
+        if op is None:
+            total: Any = 0
+            for c in contributions:
+                total = total + c
+        else:
+            it = iter(contributions)
+            total = next(it)
+            for c in it:
+                total = op(total, c)
+        self._charge_collective(item_bytes)
+        return [total] * self.world_size
+
+    def allreduce_sum(self, contributions: Sequence[float]) -> float:
+        """Convenience: scalar sum-allreduce, returns the single value."""
+        return self.allreduce(list(contributions))[0]
+
+    def gather(self, contributions: Sequence[Any], root: int = 0,
+               item_bytes: int = 8) -> List[List[Any] | None]:
+        """Root receives the list of contributions; other ranks get None.
+
+        Like every collective here, the return value is *per-rank*:
+        ``result[root]`` is the contribution list, every other slot is
+        ``None`` — so rank code cannot accidentally read data that only
+        the root owns (MPI_Gather's actual contract).
+        """
+        self._check_alive()
+        if not 0 <= root < self.world_size:
+            raise RuntimeStateError(f"root rank {root} out of range")
+        self._require_full(contributions)
+        self._charge_collective(item_bytes)
+        gathered = list(contributions)
+        return [gathered if r == root else None for r in range(self.world_size)]
+
+    def allgather(self, contributions: Sequence[Any],
+                  item_bytes: int = 8) -> List[List[Any]]:
+        self._check_alive()
+        self._require_full(contributions)
+        self._charge_collective(item_bytes * self.world_size)
+        gathered = list(contributions)
+        return [list(gathered) for _ in range(self.world_size)]
+
+    def bcast(self, value: Any, root: int = 0, item_bytes: int = 8) -> List[Any]:
+        self._check_alive()
+        if not 0 <= root < self.world_size:
+            raise RuntimeStateError(f"root rank {root} out of range")
+        self._charge_collective(item_bytes)
+        return [value] * self.world_size
+
+    def alltoallv(self, send_lists: Sequence[Sequence[Any]],
+                  item_bytes: int = 8) -> List[List[Any]]:
+        """``send_lists[src][dest]`` -> per-dest receive lists.
+
+        Used by bulk redistribution steps (e.g. gathering a distributed
+        graph); charges bandwidth for every off-diagonal transfer.
+        """
+        self._check_alive()
+        self._require_full(send_lists)
+        recv: List[List[Any]] = [[] for _ in range(self.world_size)]
+        for src in range(self.world_size):
+            row = send_lists[src]
+            if len(row) != self.world_size:
+                raise RuntimeStateError(
+                    f"alltoallv: rank {src} provided {len(row)} destination lists, "
+                    f"expected {self.world_size}"
+                )
+            for dest in range(self.world_size):
+                payload = row[dest]
+                recv[dest].extend(payload)
+                if src != dest and payload:
+                    self._charge_transfer(src, dest, item_bytes * len(payload))
+        return recv
+
+    def _require_full(self, contributions: Sequence[Any]) -> None:
+        if len(contributions) != self.world_size:
+            raise RuntimeStateError(
+                f"collective needs one contribution per rank "
+                f"({self.world_size}), got {len(contributions)}"
+            )

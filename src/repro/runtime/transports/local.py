@@ -1,0 +1,65 @@
+"""Shared-memory transport for the ``parallel`` execution backend.
+
+Where :class:`~repro.runtime.transports.sim.SimCluster` simulates an MPI
+network — deterministic delivery, alpha-beta cost charging, optional
+fault injection — :class:`LocalTransport` is the real thing scaled down
+to one process: rank sections run concurrently on an executor's thread
+pool and hand work to each other exclusively through these mailboxes.
+
+Concurrency contract (the PR-2 ownership rules, now load-bearing):
+
+- each mailbox is a :class:`collections.deque`; ``append`` and
+  ``popleft`` are atomic in CPython, so the multiple-producer /
+  single-consumer pattern used by the comm layer (any rank's thread may
+  *deliver to* a mailbox; only the owning rank's thread *drains* it)
+  needs no further locking,
+- all other per-rank state (send buffers, RNGs, shards, heaps) is
+  owned by exactly one rank and only ever touched from that rank's
+  section — the mailboxes are the *only* cross-rank channel,
+- collectives and ``clear_mailboxes`` are driver-only operations,
+  called between phases when no rank section is running.
+
+Sim-only features are structurally absent rather than silently ignored:
+the constructor refuses a fault injector, and the ledger is a
+:class:`~repro.runtime.netmodel.NullLedger` (no cost model — the
+backend's figure of merit is the host wall clock, not simulated
+seconds).  Requesting those features on the parallel backend raises
+:class:`~repro.errors.ConfigError` at :class:`~repro.core.dnnd.DNND`
+construction.
+"""
+
+from __future__ import annotations
+
+from ...config import ClusterConfig
+from ...errors import ConfigError
+from ..netmodel import NetworkModel, NullLedger
+from .base import Transport
+
+
+class LocalTransport(Transport):
+    """Thread-safe mailboxes for concurrently executing rank sections.
+
+    Parameters
+    ----------
+    config:
+        Node/process shape.  Topology still matters for *accounting*
+        (off-node message statistics keep their meaning), just not for
+        delivery cost.
+    net:
+        Accepted for interface compatibility with :class:`SimCluster`
+        construction sites but must be ``None``: the cost model is
+        sim-only.  A default :class:`NetworkModel` instance is still
+        attached so code that reads constants (e.g. scalar handlers
+        calling ``ctx.charge_distance``) keeps working against the
+        discarding ledger.
+    """
+
+    def __init__(self, config: ClusterConfig,
+                 net: NetworkModel | None = None) -> None:
+        if net is not None:
+            raise ConfigError(
+                "the cost model is sim-only: NetworkModel constants have "
+                "no meaning on the parallel backend (use backend='sim' "
+                "for cost-modeled runs)")
+        super().__init__(config, None,
+                         NullLedger(world_size=config.world_size))

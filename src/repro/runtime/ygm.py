@@ -59,15 +59,21 @@ runs and message accounting is byte-for-byte what it always was.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ..analysis.sanitizer import OwnedState, Sanitizer, sanitizer_requested
-from ..errors import FaultToleranceError, RankFailureError, RuntimeStateError
+from ..errors import (
+    ConfigError,
+    FaultToleranceError,
+    RankFailureError,
+    RuntimeStateError,
+)
 from ..utils.rng import derive_rng
 from .instrumentation import FaultStats, MessageStats
-from .simmpi import SimCluster
+from .transports.base import Transport
 
 Handler = Callable[..., None]
 
@@ -77,6 +83,11 @@ _CALL = "call"        # ("call", send_seq, handler, args)
 _REL = "rel"          # ("rel", rel_seq, send_seq, handler, args)
 _ACK = "ack"          # ("ack", (rel_seq, ...))
 _BATCH = "bflush"     # ("bflush", [(handler, args, send_seq, nbytes), ...])
+# Parallel-executor wire formats: flushes ship one handler-homogeneous
+# envelope per batch handler (bare args lists — no per-message tuples)
+# plus at most one scalar envelope preserving send order and stamps.
+_HBATCH = "hflush"    # ("hflush", handler, [args, ...])
+_SBATCH = "sflush"    # ("sflush", [(handler, args, send_seq), ...])
 
 # Modeled size of one acked sequence number on the wire.
 _ACK_SEQ_BYTES = 4
@@ -165,14 +176,24 @@ class YGMWorld:
     max_retries:
         Retransmit budget per message; exceeding it raises
         :class:`~repro.errors.FaultToleranceError`.
+    executor:
+        Scheduling policy for per-rank sections (duck-typed — see
+        :mod:`repro.core.executor`).  ``None`` or a non-parallel
+        executor keeps the historical inline deterministic behaviour
+        byte-for-byte.  A parallel executor switches the comm layer to
+        per-rank send-sequence counters and statistics sinks (merged at
+        each barrier) and drains rank mailboxes concurrently; reliable
+        delivery and fault injection are sim-only and raise
+        :class:`~repro.errors.ConfigError` when combined with it.
     """
 
-    def __init__(self, cluster: SimCluster, flush_threshold: int = 1024,
+    def __init__(self, cluster: Transport, flush_threshold: int = 1024,
                  flush_threshold_bytes: int = 1 << 20,
                  seed: int = 0, reliable: bool = False,
                  retry_timeout: int = 4, retry_backoff: float = 2.0,
                  max_retries: int = 32,
-                 sanitize: bool | None = None) -> None:
+                 sanitize: bool | None = None,
+                 executor: Any | None = None) -> None:
         if flush_threshold < 1:
             raise RuntimeStateError("flush_threshold must be >= 1")
         if flush_threshold_bytes < 1:
@@ -220,7 +241,59 @@ class YGMWorld:
         # Global send sequence: stamped on every async_call, exposed to
         # the running handler as current_message_seq.
         self._send_seq = 0
-        self.current_message_seq: int | None = None
+        self._cms: int | None = None
+        # Executor seam.  Non-parallel executors (or None) leave every
+        # code path below byte-identical to the historical inline loop.
+        self._executor = executor
+        self._parallel = bool(executor is not None
+                              and getattr(executor, "parallel", False))
+        self._tls = threading.local()
+        if self._parallel:
+            if reliable:
+                raise ConfigError(
+                    "reliable delivery is sim-only: the parallel executor "
+                    "has no delivery-round clock to drive the ack/"
+                    "retransmit layer (use backend='sim')")
+            if getattr(cluster, "injector", None) is not None:
+                raise ConfigError(
+                    "fault injection is sim-only: the parallel executor "
+                    "cannot honour deterministic drop/delay schedules "
+                    "(use backend='sim')")
+            ws = cluster.world_size
+            # Per-rank send sequences: rank r stamps cnt * ws + r, so
+            # stamps stay globally unique without a shared counter.
+            self._rank_send_seq = [0] * ws
+            # Per-rank sinks for the shared counters/stats, merged into
+            # the aggregate objects at each barrier (driver-side, no
+            # handlers in flight -> race-free aggregation).
+            self._rank_async = [0] * ws
+            self._rank_flush = [0] * ws
+            self._rank_handled = [0] * ws
+            self._rank_stats = [MessageStats() for _ in range(ws)]
+            self._rank_phase_stats: List[Dict[str, MessageStats]] = [
+                {} for _ in range(ws)]
+            # Parallel send buffers are keyed by handler instead of the
+            # sim layer's flat per-pair list: batch-handler messages
+            # append bare ``args`` to ``_pbuf[src][dest][handler]`` (no
+            # per-message tuple allocation; the flush ships each list as
+            # one handler-homogeneous envelope the drain can adopt
+            # without scanning), scalar messages keep their sequence
+            # stamps in ``_pbuf_scalar``.  ``_pbuf_count`` holds the
+            # total queued messages per pair for the flush threshold.
+            self._pbuf: List[List[Dict[str, list]]] = [
+                [{} for _ in range(ws)] for _ in range(ws)]
+            self._pbuf_scalar: List[List[list]] = [
+                [[] for _ in range(ws)] for _ in range(ws)]
+            self._pbuf_count: List[List[int]] = [
+                [0] * ws for _ in range(ws)]
+            # Batch-handler args accumulated during the collect phase of
+            # a barrier round (handler name -> list of args tuples),
+            # executed once per handler in the execute phase.  Persisting
+            # them across collect passes is what recovers sim-grade
+            # coalescing: one kernel call per handler per round instead
+            # of one per momentarily-empty mailbox.
+            self._rank_groups: List[Dict[str, list]] = [
+                {} for _ in range(ws)]
         # Reliable-delivery state (allocated lazily; None when off).
         self.reliable = bool(reliable)
         self.retry_timeout = int(retry_timeout)
@@ -254,6 +327,23 @@ class YGMWorld:
     @property
     def injector(self):
         return getattr(self.cluster, "injector", None)
+
+    @property
+    def current_message_seq(self) -> int | None:
+        """Global send-sequence of the message currently being delivered
+        (``None`` outside scalar handler delivery).  Thread-local under
+        the parallel executor so concurrently-draining ranks never
+        observe each other's stamps."""
+        if self._parallel:
+            return getattr(self._tls, "cms", None)
+        return self._cms
+
+    @current_message_seq.setter
+    def current_message_seq(self, value: int | None) -> None:
+        if self._parallel:
+            self._tls.cms = value
+        else:
+            self._cms = value
 
     # -- handler registry -----------------------------------------------------
 
@@ -316,6 +406,10 @@ class YGMWorld:
             raise RuntimeStateError(f"unknown handler {handler!r}")
         if not 0 <= dest < self.world_size:
             raise RuntimeStateError(f"destination rank {dest} out of range")
+        if self._parallel:
+            self._async_call_parallel(src, dest, handler, args, nbytes,
+                                      msg_type)
+            return
         self.async_count_since_barrier += 1
         seq = self._send_seq
         self._send_seq += 1
@@ -336,6 +430,41 @@ class YGMWorld:
         else:
             # Local async call: no wire traffic, but still deferred
             # delivery (YGM runs even self-messages from the queue).
+            self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
+
+    def _async_call_parallel(self, src: int, dest: int, handler: str,
+                             args: tuple, nbytes: int,
+                             msg_type: str) -> None:
+        """Parallel-executor variant of :meth:`async_call`: touches only
+        rank ``src``'s send-side state (sequence counter, buffers, stats
+        sink), so concurrent sections never contend."""
+        self._rank_async[src] += 1
+        # Wire tuples under the parallel executor carry the *per-rank*
+        # counter; delivery globalizes it to ``cnt * world_size + src``
+        # (the sender rank travels with the envelope), saving a multiply
+        # per message on the send side.
+        seq = self._rank_send_seq[src]
+        self._rank_send_seq[src] = seq + 1
+        if src != dest:
+            offnode = self._offnode[src][dest]
+            self._rank_stats[src].record(msg_type, nbytes, offnode)
+            self._rank_phase_stats[src].setdefault(
+                self._phase, MessageStats()).record(msg_type, nbytes, offnode)
+            if handler in self._batch_handlers:
+                pb = self._pbuf[src][dest]
+                lst = pb.get(handler)
+                if lst is None:
+                    lst = pb[handler] = []
+                lst.append(args)
+            else:
+                self._pbuf_scalar[src][dest].append((handler, args, seq))
+            cnt = self._pbuf_count[src][dest] + 1
+            self._pbuf_count[src][dest] = cnt
+            nb = self._buffer_bytes[src][dest] + nbytes
+            self._buffer_bytes[src][dest] = nb
+            if cnt >= self.flush_threshold or nb >= self.flush_threshold_bytes:
+                self._flush_parallel(src, dest)
+        else:
             self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
 
     def block_emitter(self, src: int, msg_type: str = "other"):
@@ -363,6 +492,8 @@ class YGMWorld:
         the block with stats unrecorded — acceptable, since it signals a
         programming error that aborts the run.
         """
+        if self._parallel:
+            return self._block_emitter_parallel(src, msg_type)
         world = self
         handlers = self._handlers
         buffers_src = self._buffers[src]
@@ -417,6 +548,82 @@ class YGMWorld:
 
         return send, close
 
+    def _block_emitter_parallel(self, src: int, msg_type: str):
+        """Parallel-executor variant of :meth:`block_emitter`: identical
+        contract, but sequence stamps come from rank ``src``'s counter
+        (``cnt * world_size + src``) and statistics land in its per-rank
+        sink.  Rank-confined throughout, so blocks may run concurrently
+        on different ranks."""
+        world = self
+        handlers = self._handlers
+        batch_handlers = self._batch_handlers
+        pbuf_src = self._pbuf[src]
+        scalar_src = self._pbuf_scalar[src]
+        counts_src = self._pbuf_count[src]
+        buffer_bytes_src = self._buffer_bytes[src]
+        offrow = self._offnode[src]
+        deliver = self.cluster.deliver
+        ft = self.flush_threshold
+        ftb = self.flush_threshold_bytes
+        ws = self.world_size
+        start_cnt = self._rank_send_seq[src]
+        next_cnt = start_cnt
+        on_c = on_b = off_c = off_b = 0
+        checked_handler = None
+        checked_is_batch = False
+
+        def send(dest: int, handler: str, args: tuple, nbytes: int) -> None:
+            nonlocal next_cnt, on_c, on_b, off_c, off_b, \
+                checked_handler, checked_is_batch
+            if handler is not checked_handler:
+                if handler not in handlers:
+                    raise RuntimeStateError(f"unknown handler {handler!r}")
+                checked_handler = handler
+                checked_is_batch = handler in batch_handlers
+            if not 0 <= dest < ws:
+                raise RuntimeStateError(f"destination rank {dest} out of range")
+            # Per-rank counter on the wire; delivery globalizes (see
+            # _async_call_parallel).
+            seq = next_cnt
+            next_cnt += 1
+            if src != dest:
+                if offrow[dest]:
+                    off_c += 1
+                    off_b += nbytes
+                else:
+                    on_c += 1
+                    on_b += nbytes
+                if checked_is_batch:
+                    pb = pbuf_src[dest]
+                    lst = pb.get(handler)
+                    if lst is None:
+                        lst = pb[handler] = []
+                    lst.append(args)
+                else:
+                    scalar_src[dest].append((handler, args, seq))
+                cnt = counts_src[dest] + 1
+                counts_src[dest] = cnt
+                nb = buffer_bytes_src[dest] + nbytes
+                buffer_bytes_src[dest] = nb
+                if cnt >= ft or nb >= ftb:
+                    world._flush_parallel(src, dest)
+            else:
+                deliver(src, dest, (_CALL, seq, handler, args))
+
+        def close() -> None:
+            world._rank_send_seq[src] = next_cnt
+            world._rank_async[src] += next_cnt - start_cnt
+            total_c = on_c + off_c
+            if total_c:
+                total_b = on_b + off_b
+                world._rank_stats[src].record_many(
+                    msg_type, total_c, total_b, off_c, off_b)
+                world._rank_phase_stats[src].setdefault(
+                    world._phase, MessageStats()).record_many(
+                        msg_type, total_c, total_b, off_c, off_b)
+
+        return send, close
+
     def async_call_block(self, src: int, msgs,
                          msg_type: str = "other") -> None:
         """Emit a prepared block of RPCs from ``src`` — semantically a
@@ -441,6 +648,9 @@ class YGMWorld:
         to the emitter: sequence stamps, buffer appends, and
         threshold-triggered flushes happen per message, in order.
         """
+        if self._parallel:
+            self._emit_run_parallel(src, triples, nbytes, msg_type)
+            return
         buffers_src = self._buffers[src]
         buffer_bytes_src = self._buffer_bytes[src]
         offrow = self._offnode[src]
@@ -448,7 +658,7 @@ class YGMWorld:
             # Injector-free local delivery is a plain mailbox append
             # (deliver()'s alive/range checks cannot fire: no crashes
             # without an injector, destinations come from owner tables).
-            local_deliver = self.cluster._mailboxes[src].append
+            local_deliver = self.cluster.self_append(src)
         else:
             deliver = self.cluster.deliver
             local_deliver = (lambda item:
@@ -483,16 +693,105 @@ class YGMWorld:
                 self._phase, MessageStats()).record_many(
                     msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
 
+    def _emit_run_parallel(self, src: int, triples, nbytes: int,
+                           msg_type: str) -> None:
+        """Parallel-executor variant of :meth:`emit_run` (per-rank
+        sequence stamps and stats sink; rank-confined, so runs may be
+        emitted concurrently from different ranks)."""
+        pbuf_src = self._pbuf[src]
+        scalar_src = self._pbuf_scalar[src]
+        counts_src = self._pbuf_count[src]
+        buffer_bytes_src = self._buffer_bytes[src]
+        offrow = self._offnode[src]
+        # No injector under the parallel executor (rejected at
+        # construction), so local delivery is a plain mailbox append.
+        local_deliver = self.cluster.self_append(src)
+        flush = self._flush_parallel
+        ft = self.flush_threshold
+        ftb = self.flush_threshold_bytes
+        batch_handlers = self._batch_handlers
+        start_cnt = cnt = self._rank_send_seq[src]
+        on_c = off_c = 0
+        last_h = None
+        is_batch = False
+        # Per-rank counters on the wire; delivery globalizes (see
+        # _async_call_parallel).  Runs are near-uniform in handler, so
+        # the batch/scalar classification is cached across messages.
+        for dest, handler, args in triples:
+            if handler is not last_h:
+                last_h = handler
+                is_batch = handler in batch_handlers
+            seq = cnt
+            cnt += 1
+            if src != dest:
+                if offrow[dest]:
+                    off_c += 1
+                else:
+                    on_c += 1
+                if is_batch:
+                    pb = pbuf_src[dest]
+                    lst = pb.get(handler)
+                    if lst is None:
+                        lst = pb[handler] = []
+                    lst.append(args)
+                else:
+                    scalar_src[dest].append((handler, args, seq))
+                c = counts_src[dest] + 1
+                counts_src[dest] = c
+                nb = buffer_bytes_src[dest] + nbytes
+                buffer_bytes_src[dest] = nb
+                if c >= ft or nb >= ftb:
+                    flush(src, dest)
+            else:
+                local_deliver((src, (_CALL, seq, handler, args)))
+        self._rank_send_seq[src] = cnt
+        self._rank_async[src] += cnt - start_cnt
+        total_c = on_c + off_c
+        if total_c:
+            self._rank_stats[src].record_many(
+                msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
+            self._rank_phase_stats[src].setdefault(
+                self._phase, MessageStats()).record_many(
+                    msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
+
+    def _flush_parallel(self, src: int, dest: int) -> None:
+        """Flush the parallel executor's handler-keyed buffers for one
+        ``(src, dest)`` pair: one handler-homogeneous envelope per batch
+        handler (the drain adopts the args list wholesale) plus at most
+        one scalar envelope preserving send order and stamps.  The cost
+        ledger is sim-only, so no charge here; rank-confined, so drain
+        tasks flush their own buffers mid-round."""
+        pb = self._pbuf[src][dest]
+        sc = self._pbuf_scalar[src][dest]
+        if not pb and not sc:
+            return
+        self._rank_flush[src] += 1
+        deliver = self.cluster.deliver
+        if pb:
+            for h, lst in pb.items():
+                deliver(src, dest, (_HBATCH, h, lst))
+            pb.clear()
+        if sc:
+            deliver(src, dest, (_SBATCH, sc))
+            self._pbuf_scalar[src][dest] = []
+        self._pbuf_count[src][dest] = 0
+        self._buffer_bytes[src][dest] = 0
+
     def _flush(self, src: int, dest: int) -> None:
+        if self._parallel:
+            self._flush_parallel(src, dest)
+            return
         buf = self._buffers[src][dest]
         if not buf:
             return
         offnode = self._offnode[src][dest]
         nbytes = self._buffer_bytes[src][dest]
-        net = self.cluster.net
-        self.cluster.ledger.charge(
-            src, net.flush_cost(offnode) + net.message_cost(nbytes, offnode)
-        )
+        ledger = self.cluster.ledger
+        if ledger.enabled:
+            net = self.cluster.net
+            ledger.charge(
+                src, net.flush_cost(offnode) + net.message_cost(nbytes, offnode)
+            )
         self.flush_count += 1
         inj = self.injector
         if self._batch_handlers and inj is None and not self.reliable:
@@ -557,7 +856,7 @@ class YGMWorld:
             ctx = self.ranks[rank]
             # Snapshot the queue length so messages enqueued by handlers
             # in this round are processed in a later round (fair order).
-            pending = len(self.cluster._mailboxes[rank])
+            pending = self.cluster.mailbox_len(rank)
             run_handler: str | None = None
             run_args: list = []
             for _ in range(pending):
@@ -725,6 +1024,8 @@ class YGMWorld:
         :class:`~repro.errors.FaultToleranceError` when reliable mode
         exhausts a message's retry budget.
         """
+        if self._parallel:
+            return self._barrier_parallel(phase)
         if self._in_barrier:
             raise RuntimeStateError("nested barrier (handler called barrier)")
         self._in_barrier = True
@@ -754,7 +1055,197 @@ class YGMWorld:
         finally:
             self._in_barrier = False
 
+    def _barrier_parallel(self, phase: str | None) -> float:
+        """Barrier under the parallel executor: one leading driver-side
+        ``flush_all`` (for messages the *driver thread* emitted — no
+        handlers are in flight, so send-side state is safe to touch),
+        then repeated concurrent drain rounds until global quiescence.
+        Each per-rank drain task loops until its own mailbox is empty
+        and flushes its own send buffers (rank-confined state, so
+        in-task flushing is race-free), which lets handler chains make
+        many hops per dispatch round.  Per-rank stats sinks are merged
+        *before* the ledger barrier returns, so a tracer reading
+        aggregates at the barrier never races a worker."""
+        if self._in_barrier:
+            raise RuntimeStateError("nested barrier (handler called barrier)")
+        self._in_barrier = True
+        try:
+            executor = self._executor
+            collect = self._drain_rank
+            execute = self._execute_groups_rank
+            ws = self.world_size
+            self.flush_all()
+            while True:
+                executor.map_ranks(collect, ws)
+                ran = executor.map_ranks(execute, ws)
+                # All tasks have joined, so every in-flight message is
+                # sitting in a mailbox, a send buffer, or a group.
+                # ran == 0 means every group was empty when the execute
+                # pass looked (the collect pass found nothing to batch),
+                # so empty mailboxes + empty buffers IS quiescence.
+                if (ran == 0 and self.cluster.all_quiescent()
+                        and not self._has_buffered()):
+                    break
+            self._merge_rank_sinks()
+            self.async_count_since_barrier = 0
+            return self.cluster.ledger.barrier(
+                self.cluster.net, phase or self._phase)
+        finally:
+            self._in_barrier = False
+
+    def _drain_rank(self, rank: int) -> int:
+        """Collect rank ``rank``'s queued messages until its mailbox is
+        empty and its send buffers are flushed — the parallel executor's
+        per-rank delivery section, run concurrently across ranks inside
+        :meth:`_barrier_parallel`.
+
+        A lean :meth:`_process_round` body: only ``_CALL`` / ``_BATCH``
+        wire tags can occur (reliable delivery and fault injection are
+        sim-only and rejected at construction), and every counter goes
+        to a per-rank sink merged at the barrier.  Everything touched —
+        this rank's mailbox, shard, send-side buffers, and group
+        accumulator — is owned by ``rank``, so the task may flush its
+        own buffers mid-drain; messages appended to *other* ranks'
+        mailboxes are picked up by those ranks' tasks (same round if
+        still running, else the next round).
+
+        Coalescing differs from the sim round on purpose: envelopes from
+        different peers arrive arbitrarily interleaved here (there is no
+        deterministic round schedule), so adjacent-run coalescing would
+        fragment the vectorized batch handlers into many small kernel
+        calls.  Instead this *collect* phase only accumulates
+        batch-handler messages into the rank's persistent groups
+        (handler -> args list); :meth:`_execute_groups_rank` then runs
+        each handler once over everything the whole round delivered —
+        the comm layer guarantees no cross-sender delivery order, so
+        the regrouping is within contract.  Scalar handlers still run
+        in place, in arrival order."""
+        ctx = self.ranks[rank]
+        batch_handlers = self._batch_handlers
+        handlers = self._handlers
+        cluster = self.cluster
+        tls = self._tls
+        counts = self._pbuf_count[rank]
+        flush = self._flush_parallel
+        ws = self.world_size
+        invoked = 0
+        moved = 0
+        groups = self._rank_groups[rank]
+        pending = cluster.mailbox_len(rank)
+        while True:
+            if pending == 0:
+                # Push out this rank's buffered sends, then re-check —
+                # scalar handlers (and concurrent peers) may have
+                # appended in the meantime.
+                for dest in range(ws):
+                    if counts[dest]:
+                        flush(rank, dest)
+                pending = cluster.mailbox_len(rank)
+                if pending == 0:
+                    break
+                continue
+            pending -= 1
+            item = cluster.drain_one(rank)
+            if item is None:
+                pending = 0
+                continue
+            moved += 1
+            _src, payload = item
+            tag = payload[0]
+            if tag == _HBATCH:
+                # Handler-homogeneous envelope: adopt the args list
+                # wholesale (first arrival) or extend — no entry scan.
+                h = payload[1]
+                lst = payload[2]
+                g = groups.get(h)
+                if g is None:
+                    groups[h] = lst
+                else:
+                    g.extend(lst)
+                continue
+            if tag == _SBATCH:
+                for handler, args, seq in payload[1]:
+                    if handler in batch_handlers:
+                        g = groups.get(handler)
+                        if g is None:
+                            g = groups[handler] = []
+                        g.append(args)
+                        continue
+                    # Globalize the sender's per-rank counter so
+                    # current_message_seq totally orders scalar
+                    # deliveries across senders.
+                    tls.cms = seq * ws + _src
+                    try:
+                        handlers[handler](ctx, *args)
+                    finally:
+                        tls.cms = None
+                    invoked += 1
+                continue
+            _tag, seq, handler, args = payload
+            if handler in batch_handlers:
+                g = groups.get(handler)
+                if g is None:
+                    g = groups[handler] = []
+                g.append(args)
+                continue
+            tls.cms = seq * ws + _src
+            try:
+                handlers[handler](ctx, *args)
+            finally:
+                tls.cms = None
+            invoked += 1
+        self._rank_handled[rank] += invoked
+        return moved
+
+    def _execute_groups_rank(self, rank: int) -> int:
+        """Execute phase of a parallel barrier round: run each batch
+        handler once over everything :meth:`_drain_rank` accumulated for
+        ``rank`` this round.  Handlers may emit (send buffers) or
+        self-deliver (mailbox); the barrier loop's next collect pass
+        picks both up.  Rank-confined like the collect phase."""
+        groups = self._rank_groups[rank]
+        if not groups:
+            return 0
+        self._rank_groups[rank] = {}
+        ctx = self.ranks[rank]
+        batch_handlers = self._batch_handlers
+        invoked = 0
+        for h, args_list in groups.items():
+            batch_handlers[h](ctx, args_list)
+            invoked += len(args_list)
+        self._rank_handled[rank] += invoked
+        return invoked
+
+    def _merge_rank_sinks(self) -> None:
+        """Fold per-rank counters and statistics sinks into the shared
+        aggregates.  Driver-only, called at the barrier with no sections
+        in flight — this is what makes per-rank stat aggregation
+        race-free under the parallel executor."""
+        stats = self.cluster.stats
+        for rank in range(self.world_size):
+            sink = self._rank_stats[rank]
+            if sink.by_type:
+                for t, s in sink.by_type.items():
+                    stats.record_many(t, s.count, s.bytes,
+                                      s.offnode_count, s.offnode_bytes)
+                sink.by_type.clear()
+            phase_sink = self._rank_phase_stats[rank]
+            if phase_sink:
+                for ph, ms in phase_sink.items():
+                    agg = self.phase_stats.setdefault(ph, MessageStats())
+                    for t, s in ms.by_type.items():
+                        agg.record_many(t, s.count, s.bytes,
+                                        s.offnode_count, s.offnode_bytes)
+                phase_sink.clear()
+            self.flush_count += self._rank_flush[rank]
+            self._rank_flush[rank] = 0
+            self.handler_invocations += self._rank_handled[rank]
+            self._rank_handled[rank] = 0
+            self._rank_async[rank] = 0
+
     def _has_buffered(self) -> bool:
+        if self._parallel:
+            return any(c for row in self._pbuf_count for c in row)
         return any(
             self._buffers[s][d]
             for s in range(self.world_size)
@@ -772,6 +1263,18 @@ class YGMWorld:
                 self._buffer_bytes[s][d] = 0
         self.cluster.clear_mailboxes()
         self.async_count_since_barrier = 0
+        if self._parallel:
+            for r in range(self.world_size):
+                self._rank_async[r] = 0
+                self._rank_flush[r] = 0
+                self._rank_handled[r] = 0
+                self._rank_stats[r].reset()
+                self._rank_phase_stats[r].clear()
+                for d in range(self.world_size):
+                    self._pbuf[r][d].clear()
+                    self._pbuf_scalar[r][d] = []
+                    self._pbuf_count[r][d] = 0
+                self._rank_groups[r].clear()
         if self.reliable:
             for s in range(self.world_size):
                 for d in range(self.world_size):
@@ -786,6 +1289,12 @@ class YGMWorld:
         """Run ``fn`` once per rank (the SPMD program section between
         barriers).  Under the sanitizer each invocation executes *as*
         its rank, so touching another rank's state raises."""
+        if self._parallel:
+            # Rank sections run concurrently; the executor joins every
+            # future before returning (exceptions propagate) and applies
+            # the sanitizer's rank scope per worker thread.
+            self._executor.run_ranks(fn, self.ranks, self.sanitizer)
+            return
         san = self.sanitizer
         if san is None:
             for ctx in self.ranks:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,29 @@ from repro.datasets.synthetic import (
     power_law_sets,
     uniform_hypercube,
 )
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def pytest_configure(config):
+    """Refuse to run against stale bytecode.
+
+    When a module is moved or deleted (e.g. the runtime/ ->
+    runtime/transports/ split), its orphaned ``.pyc`` keeps the old
+    import path importable and the suite silently tests dead code.
+    Fail fast with the exact files to remove.
+    """
+    stale = []
+    for pyc in _SRC.rglob("__pycache__/*.pyc"):
+        source = pyc.parent.parent / (pyc.name.split(".")[0] + ".py")
+        if not source.exists():
+            stale.append(pyc)
+    if stale:
+        listing = "\n  ".join(str(p) for p in stale)
+        raise pytest.UsageError(
+            "stale bytecode shadows deleted/moved modules — remove it "
+            "(e.g. find src -name __pycache__ -exec rm -rf {} +):\n  "
+            + listing)
 
 
 @pytest.fixture(scope="session")

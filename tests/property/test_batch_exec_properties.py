@@ -23,7 +23,8 @@ def _run(batch_exec, nodes=2, ppn=2, opts=None, plan=None, reliable=False):
     data = rng.standard_normal((N, DIM))
     cfg = DNNDConfig(nnd=NNDescentConfig(k=K, seed=3),
                      comm_opts=opts or CommOptConfig.optimized(),
-                     batch_size=1 << 10, batch_exec=batch_exec)
+                     batch_size=1 << 10, batch_exec=batch_exec,
+                     backend="sim")
     kwargs = {}
     if plan is not None:
         kwargs = {"fault_plan": plan, "reliable": reliable}

@@ -84,7 +84,10 @@ def test_cosine_bounded(ab):
 @settings(max_examples=80, deadline=None)
 def test_cosine_scale_invariant(ab):
     a, b = ab
-    if np.linalg.norm(a) == 0 or np.linalg.norm(b) == 0:
+    # Norms below ~1e-154 square into subnormals, where the cosine's
+    # dot/norm accumulation has no relative precision left and scale
+    # invariance genuinely breaks down in float64.
+    if np.linalg.norm(a) < 1e-100 or np.linalg.norm(b) < 1e-100:
         return
     np.testing.assert_allclose(
         dense.cosine(a, b), dense.cosine(3.0 * a, 0.5 * b), atol=1e-9)

@@ -7,7 +7,7 @@ from repro import DNND, ClusterConfig, DNNDConfig, NNDescentConfig
 
 @pytest.fixture(scope="module")
 def result(tiny_dense):
-    cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=81))
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=81), backend="sim")
     dnnd = DNND(tiny_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
     res = dnnd.build()
     dnnd.optimize()

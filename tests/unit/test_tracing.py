@@ -8,7 +8,8 @@ from repro.runtime.tracing import attach_tracer
 
 @pytest.fixture(scope="module")
 def traced_run(small_dense):
-    cfg = DNNDConfig(nnd=NNDescentConfig(k=6, seed=51), batch_size=1 << 11)
+    cfg = DNNDConfig(nnd=NNDescentConfig(k=6, seed=51), batch_size=1 << 11,
+                     backend="sim")
     dnnd = DNND(small_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
     tracer = attach_tracer(dnnd.world)
     result = dnnd.build()
@@ -62,7 +63,8 @@ class TestTracer:
         import numpy as np
 
         def build(trace):
-            cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=52))
+            cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=52),
+                             backend="sim")
             dnnd = DNND(small_dense, cfg,
                         cluster=ClusterConfig(nodes=2, procs_per_node=1))
             if trace:
