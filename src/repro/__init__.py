@@ -75,6 +75,7 @@ from .runtime import (
     HashPartitioner,
     MessageStats,
     MetallStore,
+    MetricsRegistry,
     NetworkModel,
     SimCluster,
     YGMWorld,
@@ -133,6 +134,7 @@ __all__ = [
     "YGMWorld",
     "MetallStore",
     "MessageStats",
+    "MetricsRegistry",
     "NetworkModel",
     "HashPartitioner",
     "BlockPartitioner",

@@ -14,7 +14,14 @@ introspection helpers:
   optional threads),
 - ``repro datasets``  — list the Table 1 stand-ins,
 - ``repro experiments`` — list the reproduced tables/figures and their
-  benchmark targets.
+  benchmark targets,
+- ``repro stats``     — pretty-print a metrics snapshot written by
+  ``construct --metrics-out``.
+
+Observability: ``construct`` (and ``resume``) accept ``--metrics-out
+out.json`` to dump the backend-agnostic metrics snapshot and
+``--trace-out out.trace.json`` to dump a Chrome trace-event file
+loadable in ``ui.perfetto.dev`` / ``chrome://tracing``.
 
 Example session::
 
@@ -106,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sanitize", action="store_true",
                    help="run under the runtime ownership sanitizer "
                         "(repro.analysis): cross-rank state access raises")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot (JSON) here; view "
+                        "with `repro stats FILE`")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event file here (load in "
+                        "ui.perfetto.dev)")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="disable the metrics registry (a shared no-op "
+                        "registry is used instead)")
     p.set_defaults(func=cmd_construct)
 
     p = sub.add_parser("resume",
@@ -124,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution backend for the resumed build")
     p.add_argument("--workers", type=int, default=0,
                    help="thread count for --backend parallel (0 = auto)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot (JSON) here")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event file here")
     p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("optimize", help="Section 4.5 optimizations (executable 2)")
@@ -140,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("stats",
+                       help="pretty-print a --metrics-out snapshot")
+    p.add_argument("metrics_file", help="JSON file written by "
+                                        "`repro construct --metrics-out`")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("datasets", help="list the Table 1 dataset stand-ins")
     p.set_defaults(func=cmd_datasets)
@@ -172,6 +198,25 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
     return None if plan.is_null else plan
 
 
+def _export_observability(result, metrics_out: Optional[str],
+                          trace_out: Optional[str]) -> None:
+    """Write the run's metrics snapshot / Chrome trace where asked."""
+    import json
+
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as f:
+            json.dump(result.metrics.snapshot(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"metrics snapshot written to {metrics_out} "
+              f"(pretty-print with `repro stats {metrics_out}`)")
+    if trace_out:
+        with open(trace_out, "w", encoding="utf-8") as f:
+            json.dump(result.metrics.to_chrome_trace(), f)
+            f.write("\n")
+        print(f"chrome trace written to {trace_out} "
+              f"(load in ui.perfetto.dev)")
+
+
 def cmd_construct(args: argparse.Namespace) -> int:
     data, spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
     comm = (CommOptConfig.unoptimized() if args.unoptimized_comm
@@ -183,7 +228,11 @@ def cmd_construct(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         backend=args.backend,
         workers=args.workers,
+        metrics=not args.no_metrics,
     )
+    if args.no_metrics and (args.metrics_out or args.trace_out):
+        raise ReproError("--metrics-out/--trace-out require metrics; "
+                         "drop --no-metrics")
     fault_plan = _fault_plan_from_args(args)
     dnnd = DNND(data, cfg, cluster=ClusterConfig(
         nodes=args.nodes, procs_per_node=args.procs_per_node),
@@ -201,6 +250,7 @@ def cmd_construct(args: argparse.Namespace) -> int:
     if result.fault_stats.any_faults() or result.recoveries:
         print(result.fault_stats.format_line())
         print(f"crash recoveries: {result.recoveries}")
+    _export_observability(result, args.metrics_out, args.trace_out)
     print(f"store written to {args.store}")
     return 0
 
@@ -215,6 +265,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
         backend=args.backend, workers=args.workers)
     print(f"resumed build finished: {result.iterations} total iterations, "
           f"converged={result.converged}")
+    _export_observability(result, args.metrics_out, args.trace_out)
     if args.store:
         print(f"store written to {args.store}")
     return 0
@@ -264,6 +315,68 @@ def cmd_query(args: argparse.Namespace) -> int:
     print(f"throughput: {stats['n_queries'] / max(elapsed, 1e-9):.0f} qps, "
           f"{stats['mean_distance_evals']:.0f} distance evals/query")
     print(f"self-recall: {self_hits}/{len(idx)}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot (``--metrics-out`` JSON)."""
+    import json
+
+    try:
+        with open(args.metrics_file, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read metrics file: {exc}") from None
+    schema = snap.get("schema")
+    if schema != "repro.metrics/1":
+        raise ReproError(
+            f"{args.metrics_file} is not a repro metrics snapshot "
+            f"(schema={schema!r})")
+    if not snap.get("enabled", False):
+        print("metrics were disabled for this run (empty snapshot)")
+        return 0
+
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    timers = snap.get("timers", {})
+
+    phase_rows = []
+    for name in sorted(timers):
+        if not name.startswith("phase."):
+            continue
+        phase = name[len("phase."):]
+        t = timers[name]
+        sim = gauges.get(f"sim.phase.{phase}.seconds")
+        phase_rows.append([phase, t["count"], f"{t['seconds']:.6f}",
+                           f"{sim:.6f}" if sim is not None else "-"])
+    if phase_rows:
+        print(ascii_table(["phase", "spans", "wall seconds", "sim seconds"],
+                          phase_rows, title="phase timers"))
+        print()
+
+    msg_rows = [[t, f"{counters[f'messages.sent.{t}']:,}",
+                 f"{counters.get(f'messages.bytes.{t}', 0):,}"]
+                for t in sorted(c[len("messages.sent."):] for c in counters
+                                if c.startswith("messages.sent."))]
+    if msg_rows:
+        print(ascii_table(["type", "messages", "bytes"], msg_rows,
+                          title="messages by type"))
+        print()
+
+    skip = ("messages.sent.", "messages.bytes.")
+    other_rows = [[name, f"{counters[name]:,}"]
+                  for name in sorted(counters)
+                  if not name.startswith(skip)
+                  and not (name.startswith("faults.") and counters[name] == 0)]
+    if other_rows:
+        print(ascii_table(["counter", "value"], other_rows,
+                          title="runtime counters"))
+        print()
+
+    gauge_rows = [[name, f"{gauges[name]:.6f}"] for name in sorted(gauges)
+                  if not name.startswith("sim.phase.")]
+    if gauge_rows:
+        print(ascii_table(["gauge", "value"], gauge_rows, title="gauges"))
     return 0
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from ..config import ClusterConfig
 from ..errors import ConfigError, SearchError
 from ..runtime.instrumentation import MessageStats
+from ..runtime.metrics import MetricsRegistry, NULL_METRICS
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
 from ..runtime.transports import LocalTransport, SimCluster
@@ -84,7 +85,8 @@ class DistributedKNNGraphSearcher:
                  seed: int = 0,
                  sanitize: bool | None = None,
                  backend: str | None = None,
-                 workers: int = 0) -> None:
+                 workers: int = 0,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         from ..distances.counting import CountingMetric
 
         if adjacency.n != len(data):
@@ -110,8 +112,9 @@ class DistributedKNNGraphSearcher:
         else:
             self.executor = SimExecutor()
             self.cluster = SimCluster(self.cluster_config, net)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.world = YGMWorld(self.cluster, seed=seed, sanitize=sanitize,
-                              executor=self.executor)
+                              executor=self.executor, metrics=self.metrics)
         self.partitioner = partitioner or HashPartitioner(
             adjacency.n, self.cluster_config.world_size)
         if not 0 <= coordinator < self.cluster_config.world_size:
@@ -166,19 +169,23 @@ class DistributedKNNGraphSearcher:
         self._queries[qid] = state
         evals_before = self.total_distance_evals()
 
-        coord = self.world.ranks[self.coordinator]
-        entries = sample_without_replacement(self._rng, self.n, l_eff)
-        for p in entries:
-            self._send_expand(coord, state, qid, int(p))
+        with self.metrics.span("query", cat="query", qid=qid, l=l_eff):
+            coord = self.world.ranks[self.coordinator]
+            entries = sample_without_replacement(self._rng, self.n, l_eff)
+            for p in entries:
+                self._send_expand(coord, state, qid, int(p))
 
-        # Greedy loop: the barrier is the wait-for-replies primitive;
-        # between barriers the coordinator pops the frontier.
-        while True:
-            self.world.barrier()
-            if state.pending:
-                continue
-            if not self._pop_and_expand(coord, state, qid):
-                break
+            # Greedy loop: the barrier is the wait-for-replies primitive;
+            # between barriers the coordinator pops the frontier.
+            while True:
+                self.world.barrier()
+                if state.pending:
+                    continue
+                if not self._pop_and_expand(coord, state, qid):
+                    break
+        if self.metrics.enabled:
+            self.metrics.inc("search.queries")
+            self.metrics.inc("search.visited", len(state.visited))
 
         out = sorted(((-nd, i) for nd, i in state.results),
                      key=lambda t: (t[0], t[1]))

@@ -37,6 +37,7 @@ from ..errors import ConfigError, RankFailureError, RuntimeStateError, StoreErro
 from ..runtime.faults import FaultPlan, make_injector
 from ..runtime.instrumentation import FaultStats, MessageStats
 from ..runtime.metall import MetallStore
+from ..runtime.metrics import NULL_METRICS, MetricsRegistry
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
 from ..runtime.transports import LocalTransport, SimCluster
@@ -93,6 +94,14 @@ class DNNDResult:
     dnnd: Optional["DNND"] = field(default=None, repr=False, compare=False)
     """Set by :meth:`DNND.resume` so callers can keep driving the
     instance (e.g. run ``optimize()``) after a resumed build."""
+
+    metrics: MetricsRegistry = field(default=NULL_METRICS, repr=False,
+                                     compare=False)
+    """The build's metrics registry (``repro.runtime.metrics``) — the
+    backend-agnostic observability surface.  ``result.metrics.snapshot()``
+    is the JSON export, ``result.metrics.to_chrome_trace()`` the
+    Perfetto-loadable timeline; the shared no-op registry when the build
+    ran with ``DNNDConfig(metrics=False)``."""
 
     def summary(self) -> str:
         """Human-readable build report (used by the CLI and examples)."""
@@ -216,10 +225,18 @@ class DNND:
             self.executor = SimExecutor()
             self.cluster = SimCluster(self.cluster_config, net,
                                       injector=self._injector)
+        # One metrics registry per build (the no-op singleton when the
+        # config turns observability off); the comm layer publishes the
+        # counter aggregates into it at every barrier, the driver adds
+        # wall-clock phase spans and heap/distance totals.
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if self.config.metrics else NULL_METRICS)
         self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
                               seed=self.config.nnd.seed,
                               reliable=reliable, max_retries=max_retries,
-                              sanitize=sanitize, executor=self.executor)
+                              sanitize=sanitize, executor=self.executor,
+                              metrics=self.metrics)
+        self._open_span = None
         self._recoveries = 0
         register_dnnd_handlers(self.world)
         if self.config.batch_exec:
@@ -282,6 +299,23 @@ class DNND:
         sim backend; joins the parallel backend's thread pool).  Safe to
         call more than once; also triggered by garbage collection."""
         self.executor.shutdown()
+
+    def _enter_phase(self, name: str, **args) -> None:
+        """Start phase ``name``: scope message stats to it *and* open a
+        wall-clock span on the metrics timeline.  The previous phase's
+        span is closed first, so phase spans form a strictly sequential,
+        non-overlapping timeline (the golden-trace contract)."""
+        self._close_phase()
+        self.world.set_phase(name)
+        if self.metrics.enabled:
+            span = self.metrics.span(f"phase.{name}", **args)
+            span.__enter__()
+            self._open_span = span
+
+    def _close_phase(self) -> None:
+        if self._open_span is not None:
+            self._open_span.__exit__(None, None, None)
+            self._open_span = None
 
     def _maybe_batch_barrier(self) -> None:
         """Section 4.4: barrier every ``batch_size`` global requests.
@@ -452,6 +486,10 @@ class DNND:
             except RankFailureError:
                 if not recover_on_crash:
                     raise
+                # End the failed phase's span before the recovery span
+                # opens — timeline spans stay sequential even across
+                # crash-recovery cycles.
+                self._close_phase()
                 # The barrier failed under us: roll back to the latest
                 # checkpoint (message/time costs stay on the ledger —
                 # the work wasted by the crash was genuinely spent) and
@@ -461,6 +499,7 @@ class DNND:
                 del per_iter_msgs[max(0, len(update_counts) - n_pre):]
                 continue
             update_counts.append(c)
+            self._publish_build_metrics(update_counts)
             after = self.cluster.stats.snapshot()
             per_iter_msgs.append({
                 t: (after[t][0] - before.get(t, (0, 0))[0],
@@ -474,6 +513,8 @@ class DNND:
                 break
             it += 1
         graph = self._gather_graph()
+        self._publish_build_metrics(update_counts)
+        self._publish_sim_enrichment()
         result = DNNDResult(
             graph=graph,
             iterations=iterations,
@@ -488,11 +529,40 @@ class DNND:
             per_iteration_messages=per_iter_msgs,
             fault_stats=self.world.fault_stats,
             recoveries=self._recoveries,
+            metrics=self.metrics,
         )
         if store_path is not None:
             self._persist(store_path, result)
         self._last_result = result
         return result
+
+    def _publish_build_metrics(self, update_counts: List[int]) -> None:
+        """Driver-level totals the comm layer cannot see: heap update
+        attempts (``heap.updates``, delivery-order invariant under the
+        unoptimized pattern — the conformance metric), successful
+        NN-Descent pushes (``heap.updates.accepted``, order-sensitive
+        for full heaps), and distance evaluations."""
+        m = self.metrics
+        if not m.enabled:
+            return
+        shards = self._shards()
+        m.set_counter("heap.updates", sum(s.push_attempts for s in shards))
+        m.set_counter("heap.updates.accepted", sum(update_counts))
+        m.set_counter("distance.evals", sum(s.metric.count for s in shards))
+
+    def _publish_sim_enrichment(self) -> None:
+        """Sim cost-model decomposition as *enrichment* gauges
+        (``sim.seconds`` / ``sim.phase.<name>.seconds``): deterministic
+        modeled time, only present when the transport carries a real
+        ledger — the parallel backend's phase timing comes from the
+        wall-clock spans instead."""
+        m = self.metrics
+        ledger = self.cluster.ledger
+        if not (m.enabled and ledger.enabled):
+            return
+        m.set_gauge("sim.seconds", ledger.elapsed)
+        for phase, secs in ledger.phase_elapsed.items():
+            m.set_gauge(f"sim.phase.{phase}.seconds", secs)
 
     def _recover(self, checkpoint_path, update_counts: List[int]) -> int:
         """Crash recovery: discard in-flight traffic, repair the crashed
@@ -502,27 +572,29 @@ class DNND:
         replay from; ``update_counts`` is rewritten in place to the
         restored history."""
         self._recoveries += 1
-        self.world.reset_in_flight()
-        if self._injector is not None:
-            self._injector.repair_all()
-        if checkpoint_path is not None and MetallStore.exists(checkpoint_path):
-            with MetallStore.open_read_only(checkpoint_path) as store:
-                meta = store["ckpt_meta"]
-                ids = np.asarray(store["ckpt_ids"])
-                dists = np.asarray(store["ckpt_dists"])
-                flags = np.asarray(store["ckpt_flags"])
-            self._restore_heaps(ids, dists, flags)
-            update_counts[:] = list(meta["update_counts"])
-            return int(meta["iteration"])
-        # No checkpoint yet: rebuild shards and replay initialization.
-        self._distribute()
-        self._init_phase()
-        update_counts[:] = []
-        return 0
+        with self.metrics.span("recover", cat="recovery",
+                               recovery=self._recoveries):
+            self.world.reset_in_flight()
+            if self._injector is not None:
+                self._injector.repair_all()
+            if checkpoint_path is not None and MetallStore.exists(checkpoint_path):
+                with MetallStore.open_read_only(checkpoint_path) as store:
+                    meta = store["ckpt_meta"]
+                    ids = np.asarray(store["ckpt_ids"])
+                    dists = np.asarray(store["ckpt_dists"])
+                    flags = np.asarray(store["ckpt_flags"])
+                self._restore_heaps(ids, dists, flags)
+                update_counts[:] = list(meta["update_counts"])
+                return int(meta["iteration"])
+            # No checkpoint yet: rebuild shards and replay initialization.
+            self._distribute()
+            self._init_phase()
+            update_counts[:] = []
+            return 0
 
     def _init_phase(self) -> None:
         """Algorithm 1 lines 2-5 via the Section 4.1 async pattern."""
-        self.world.set_phase("init")
+        self._enter_phase("init")
         cfg = self.config.nnd
         use_batch = self.config.batch_exec
         if self._parallel:
@@ -607,7 +679,7 @@ class DNND:
         # graph is bit-identical across cluster shapes — the paper's
         # "same quality graphs regardless of the number of compute
         # nodes" observation, strengthened to exact reproducibility.
-        self.world.set_phase("sample")
+        self._enter_phase("sample", iteration=iteration)
         charge = self.cluster.ledger.enabled
 
         def sample_section(ctx: RankContext) -> None:
@@ -635,7 +707,7 @@ class DNND:
         self.world.run_on_all(sample_section)
 
         # ---- reversed-matrix exchange (Section 4.2) --------------------------
-        self.world.set_phase("reverse")
+        self._enter_phase("reverse", iteration=iteration)
 
         def reverse_section(ctx: RankContext) -> None:
             shard = shard_of(ctx)
@@ -678,7 +750,7 @@ class DNND:
         # Reverse entries arrive in a delivery order that depends on the
         # cluster shape; sorting canonicalizes them before the keyed
         # sample so shape-invariance holds here too.
-        self.world.set_phase("union")
+        self._enter_phase("union", iteration=iteration)
 
         def union_section(ctx: RankContext) -> None:
             shard = shard_of(ctx)
@@ -701,7 +773,7 @@ class DNND:
         self.world.run_on_all(union_section)
 
         # ---- neighbor checks (Section 4.3) ----------------------------------
-        self.world.set_phase("neighbor_check")
+        self._enter_phase("neighbor_check", iteration=iteration)
         one_sided = self.config.comm_opts.one_sided
         use_batch = self.config.batch_exec
         handler = "check_opt" if one_sided else "check_unopt"
@@ -818,7 +890,7 @@ class DNND:
     def _gather_graph(self) -> KNNGraph:
         """Collect per-rank heap contents into one global KNNGraph,
         charging the gather's communication cost."""
-        self.world.set_phase("gather")
+        self._enter_phase("gather")
         k = self.config.k
         ids = np.full((self.n, k), EMPTY, dtype=np.int64)
         dists = np.full((self.n, k), np.inf, dtype=np.float64)
@@ -838,6 +910,7 @@ class DNND:
             for gid, row_ids, row_dists in rows:
                 ids[gid] = row_ids
                 dists[gid] = row_dists
+        self._close_phase()
         return KNNGraph(ids, dists)
 
     # -- optimize (Section 4.5, the paper's second executable) --------------------
@@ -854,7 +927,7 @@ class DNND:
         if m < 1.0:
             raise ConfigError(f"pruning_factor must be >= 1.0, got {m}")
         start = self.cluster.ledger.elapsed
-        self.world.set_phase("optimize")
+        self._enter_phase("optimize")
         # Stage 1: seed local merge maps with forward edges, ship reversed
         # edges to their owners.
         def seed_section(ctx: RankContext) -> None:
@@ -903,6 +976,8 @@ class DNND:
                 neighbor_lists[v] = lst[:max_degree]
                 ctx.charge_update(len(lst))
         self.world.barrier()
+        self._close_phase()
+        self._publish_sim_enrichment()
         adjacency = AdjacencyGraph.from_edge_lists(neighbor_lists)
         if getattr(self, "_last_result", None) is not None:
             self._last_result.adjacency = adjacency
@@ -951,15 +1026,17 @@ class DNND:
             "shuffle_reverse_destinations": cfg.shuffle_reverse_destinations,
             "batch_exec": cfg.batch_exec,
         }
-        if MetallStore.exists(checkpoint_path):
-            store = MetallStore.open(checkpoint_path)
-        else:
-            store = MetallStore.create(checkpoint_path)
-        with store:
-            store["ckpt_ids"] = ids
-            store["ckpt_dists"] = dists
-            store["ckpt_flags"] = flags
-            store["ckpt_meta"] = meta
+        with self.metrics.span("checkpoint.write", cat="io",
+                               iteration=iteration):
+            if MetallStore.exists(checkpoint_path):
+                store = MetallStore.open(checkpoint_path)
+            else:
+                store = MetallStore.create(checkpoint_path)
+            with store:
+                store["ckpt_ids"] = ids
+                store["ckpt_dists"] = dists
+                store["ckpt_flags"] = flags
+                store["ckpt_meta"] = meta
 
     def _restore_heaps(self, ids: np.ndarray, dists: np.ndarray,
                        flags: np.ndarray) -> None:

@@ -95,6 +95,16 @@ class LocalShard:
     rev_old: List[List[int]] = field(default_factory=list)
     update_count: int = 0
 
+    # Cumulative neighbor-heap update *attempts* (checked_push calls)
+    # over the whole run — the ``heap.updates`` metric.  Attempts are a
+    # delivery-order-invariant count under the unoptimized pattern
+    # (every delivered feature message is one attempt), unlike
+    # ``update_count`` (successful pushes), whose acceptance of
+    # later-evicted entries depends on arrival order.  Never reset by
+    # :meth:`reset_iteration_scratch`; batch handlers add their exact
+    # scalar-equivalent counts, so the scalar/batch paths agree.
+    push_attempts: int = 0
+
     # Pairs already neighbor-checked at this rank this iteration
     # (``comm_opts.check_dedup``, Section 4.3.2 applied to compute).
     check_seen: set = field(default_factory=set)
@@ -168,6 +178,7 @@ def h_init_request(ctx: RankContext, v_gid: int, u_gid: int, v_feature) -> None:
 def h_init_response(ctx: RankContext, v_gid: int, u_gid: int, d: float) -> None:
     """Runs at owner(v): record the initial neighbor."""
     shard = shard_of(ctx)
+    shard.push_attempts += 1
     shard.heap(v_gid).checked_push(int(u_gid), float(d), True)
     ctx.charge_update()
 
@@ -218,6 +229,7 @@ def h_feature_unopt(ctx: RankContext, recv_gid: int, sender_gid: int, feature) -
     shard = shard_of(ctx)
     d = shard.metric(shard.feature(recv_gid), feature)
     ctx.charge_distance(_dim_of(feature))
+    shard.push_attempts += 1
     shard.update_count += shard.heap(recv_gid).checked_push(int(sender_gid), float(d), True)
     ctx.charge_update()
 
@@ -271,6 +283,7 @@ def h_feature_opt(ctx: RankContext, u2_gid: int, u1_gid: int, feature, bound: fl
         return
     d = shard.metric(shard.feature(u2_gid), feature)
     ctx.charge_distance(_dim_of(feature))
+    shard.push_attempts += 1
     shard.update_count += heap2.checked_push(int(u1_gid), float(d), True)
     ctx.charge_update()
     if opts.distance_pruning and d >= bound:
@@ -285,6 +298,7 @@ def h_feature_opt(ctx: RankContext, u2_gid: int, u1_gid: int, feature, bound: fl
 def h_distance_reply(ctx: RankContext, u1_gid: int, u2_gid: int, d: float) -> None:
     """Runs at owner(u1): Type 3 received; update u1's heap."""
     shard = shard_of(ctx)
+    shard.push_attempts += 1
     shard.update_count += shard.heap(u1_gid).checked_push(int(u2_gid), float(d), True)
     ctx.charge_update()
 
@@ -385,6 +399,7 @@ def h_init_response_batch(ctx: RankContext, args_list: list) -> None:
     li = shard.local_index
     for v, (ids, dists) in groups.items():
         heaps[li[v]].checked_push_batch(ids, dists, True)
+    shard.push_attempts += len(args_list)
     world = ctx.world
     world.cluster.ledger.charge_repeated(
         ctx.rank, world.cluster.net.compute_per_update, len(args_list))
@@ -449,6 +464,7 @@ def h_feature_unopt_batch(ctx: RankContext, args_list: list) -> None:
     A, B = _paired_features(shard, [a[0] for a in args_list],
                             [a[2] for a in args_list])
     dists = shard.metric.rowwise(A, B)  # every message computes -> counted
+    shard.push_attempts += len(args_list)
     world = ctx.world
     ledger = world.cluster.ledger
     heaps = shard.heaps
@@ -584,6 +600,7 @@ def h_feature_opt_batch(ctx: RankContext, args_list: list) -> None:
             send(owner[u1], "distance_reply", (u1, u2, d), nb3)
         close()
         metric.count += evals
+        shard.push_attempts += evals
         shard.update_count += updates
         return
     clocks = ledger.clocks
@@ -615,6 +632,7 @@ def h_feature_opt_batch(ctx: RankContext, args_list: list) -> None:
     clocks[rank] = t
     close()
     metric.count += evals
+    shard.push_attempts += evals
     shard.update_count += updates
 
 
@@ -633,6 +651,7 @@ def h_distance_reply_batch(ctx: RankContext, args_list: list) -> None:
     updates = 0
     for u1, (ids, dists) in groups.items():
         updates += heaps[li[u1]].checked_push_batch(ids, dists, True)
+    shard.push_attempts += len(args_list)
     shard.update_count += updates
     world = ctx.world
     world.cluster.ledger.charge_repeated(

@@ -104,6 +104,11 @@ class Executor:
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = int(workers)
+        #: Sections dispatched (one per ``map_ranks``/``run_ranks`` call)
+        #: — published as the ``executor.dispatches`` metric.  A
+        #: scheduling detail, not a workload invariant: the sim backend
+        #: drains mailboxes inline and legitimately reports fewer.
+        self.dispatches = 0
 
     def map_ranks(self, fn: Callable[[int], int], world_size: int) -> int:
         """Run ``fn(rank)`` over every rank, repeating full passes until
@@ -112,6 +117,7 @@ class Executor:
         repeat-until-stable contract lets delivery chains between ranks
         resolve inside a single dispatch instead of one driver round
         trip per hop."""
+        self.dispatches += 1
         total = 0
         while True:
             ran = 0
@@ -126,6 +132,7 @@ class Executor:
         """Run a driver-side SPMD section ``fn(ctx)`` once per rank
         context.  Under the sanitizer each invocation executes *as* its
         rank, so touching another rank's state raises."""
+        self.dispatches += 1
         if sanitizer is None:
             for ctx in ctxs:
                 fn(ctx)
@@ -209,6 +216,7 @@ class ParallelExecutor(Executor):
                 if ran == 0:
                     return total
 
+        self.dispatches += 1
         chunks = self._chunks(world_size)
         with self._pool_switch_interval():
             # Caller-runs-first: the driver thread works chunk 0 itself
@@ -236,6 +244,7 @@ class ParallelExecutor(Executor):
                     with sanitizer.rank_scope(ctxs[i].rank):
                         fn(ctxs[i])
 
+        self.dispatches += 1
         chunks = self._chunks(len(ctxs))
         with self._pool_switch_interval():
             futures = [self._pool.submit(chunk_task, chunk)

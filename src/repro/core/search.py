@@ -20,6 +20,7 @@ import numpy as np
 
 from ..distances.counting import CountingMetric
 from ..errors import SearchError
+from ..runtime.metrics import MetricsRegistry, NULL_METRICS
 from ..utils.rng import derive_rng
 from ..utils.sampling import sample_without_replacement
 from .graph import AdjacencyGraph, KNNGraph
@@ -68,7 +69,8 @@ class KNNGraphSearcher:
 
     def __init__(self, graph, data, metric: str = "sqeuclidean",
                  entry_forest: Optional[RPTreeForest] = None,
-                 seed: int = 0, batch_exec: bool = True) -> None:
+                 seed: int = 0, batch_exec: bool = True,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         if isinstance(graph, KNNGraph):
             graph = graph.to_adjacency()
         if not isinstance(graph, AdjacencyGraph):
@@ -84,6 +86,7 @@ class KNNGraphSearcher:
         self.metric = CountingMetric(metric)
         self.entry_forest = entry_forest
         self._rng = derive_rng(seed, 0x5EA6C4)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.batch_exec = bool(batch_exec)
         self._use_batch = (self.batch_exec
                            and not self.metric.sparse_input
@@ -98,7 +101,9 @@ class KNNGraphSearcher:
         return KNNGraphSearcher(self.graph, self.data,
                                 metric=self.metric.inner,
                                 entry_forest=self.entry_forest, seed=seed,
-                                batch_exec=self.batch_exec)
+                                batch_exec=self.batch_exec,
+                                metrics=self.metrics if self.metrics.enabled
+                                else None)
 
     # -- single query ----------------------------------------------------------
 
@@ -108,6 +113,16 @@ class KNNGraphSearcher:
         ``q`` need not be in the indexed dataset and ``l`` may exceed the
         graph's ``k`` (Section 3.3).
         """
+        if not self.metrics.enabled:
+            return self._query_impl(q, l, epsilon)
+        with self.metrics.span("query", cat="query", l=l):
+            res = self._query_impl(q, l, epsilon)
+        self.metrics.inc("search.queries")
+        self.metrics.inc("search.visited", res.n_visited)
+        self.metrics.inc("distance.evals", res.n_distance_evals)
+        return res
+
+    def _query_impl(self, q: np.ndarray, l: int, epsilon: float) -> SearchResult:
         if l < 1:
             raise SearchError(f"l must be >= 1, got {l}")
         if epsilon < 0:

@@ -22,6 +22,9 @@ the semantics and — crucially for Figure 4 — measure every message:
   (Section 4: "based on the hash values of the vertex IDs"),
 - :mod:`.metall` — a Metall-style persistent object store,
 - :mod:`.instrumentation` — message statistics by type and phase,
+- :mod:`.metrics` — the backend-agnostic observability surface:
+  thread-safe counters/gauges/timers/histograms, wall-clock phase
+  spans, JSON and Chrome-trace exporters,
 - :mod:`.faults` — deterministic fault injection (message loss /
   duplication / reordering / delay, stragglers, rank crashes) that the
   reliable-delivery mode and checkpoint recovery are tested against.
@@ -29,6 +32,13 @@ the semantics and — crucially for Figure 4 — measure every message:
 
 from .faults import FaultInjector, FaultPlan, make_injector
 from .instrumentation import FaultStats, MessageStats, TypeStats
+from .metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NULL_METRICS,
+    SpanRecord,
+    deterministic_projection,
+)
 from .netmodel import NetworkModel, CostLedger, NullLedger
 from .partition import HashPartitioner, BlockPartitioner, Partitioner
 from .transports import LocalTransport, SimCluster, Transport
@@ -44,6 +54,11 @@ __all__ = [
     "make_injector",
     "MessageStats",
     "TypeStats",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "SpanRecord",
+    "deterministic_projection",
     "NetworkModel",
     "CostLedger",
     "NullLedger",

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
 
 
 @dataclass
@@ -98,6 +101,14 @@ class FaultStats:
             return "faults: none"
         return "faults: " + ", ".join(f"{k}={v:,}" for k, v in sorted(active.items()))
 
+    def publish(self, registry: "MetricsRegistry",
+                prefix: str = "faults.") -> None:
+        """Mirror every counter into the metrics registry as
+        ``faults.<event>``.  Zeros are published too, so fault-free runs
+        and backends without an injector emit the same metric names."""
+        for name, value in self.snapshot().items():
+            registry.set_counter(prefix + name, value)
+
 
 @dataclass
 class MessageStats:
@@ -153,6 +164,27 @@ class MessageStats:
 
     def reset(self) -> None:
         self.by_type.clear()
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Mirror the per-type totals into the metrics registry using the
+        backend-agnostic naming convention (DESIGN.md §12):
+        ``messages.sent.<type>`` / ``messages.bytes.<type>`` per type,
+        plus the ``messages.sent`` / ``bytes.sent`` and off-node
+        aggregates.  Assignment of absolute totals, not increments: the
+        runtime calls this after every barrier and idempotently
+        converges to the authoritative counts."""
+        total_count = total_bytes = off_count = off_bytes = 0
+        for t, s in self.by_type.items():
+            registry.set_counter(f"messages.sent.{t}", s.count)
+            registry.set_counter(f"messages.bytes.{t}", s.bytes)
+            total_count += s.count
+            total_bytes += s.bytes
+            off_count += s.offnode_count
+            off_bytes += s.offnode_bytes
+        registry.set_counter("messages.sent", total_count)
+        registry.set_counter("bytes.sent", total_bytes)
+        registry.set_counter("messages.offnode.sent", off_count)
+        registry.set_counter("messages.offnode.bytes", off_bytes)
 
     def format_table(self, title: str = "messages") -> str:
         """Fixed-width report used by benchmarks and examples."""

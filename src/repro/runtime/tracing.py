@@ -1,21 +1,30 @@
-"""Execution tracing for the simulated runtime — Section 7's ask.
+"""Execution tracing — Section 7's ask, over the metrics registry.
 
 The paper's first future-work item: "further performance profiling is
 required to identify bottlenecks, such as finding how much the
 computation or communication is heavier than the other and
-understanding communication patterns deeply."  The simulated runtime
-makes that cheap: :class:`RuntimeTracer` snapshots the cost ledger and
-message statistics at every barrier and can answer exactly those
-questions afterwards:
+understanding communication patterns deeply."  :class:`RuntimeTracer`
+answers those questions per superstep:
 
 - per-superstep duration and which phase it belonged to,
-- compute vs communication share per phase (from the cost model's
-  charge decomposition),
 - per-rank load imbalance at each barrier,
 - message-type timelines (how Type 2+ traffic decays as the graph
-  converges).
+  converges),
+- fault/recovery event timelines.
 
-Attach with :func:`attach_tracer` before ``DNND.build()``.
+The tracer is a *consumer* of the backend-agnostic metrics registry
+(:mod:`repro.runtime.metrics`): at every barrier it reads the
+``messages.sent.*`` / ``messages.bytes.*`` / ``faults.*`` counters the
+comm layer just published and records the deltas, so it works
+identically under the sim and parallel backends.  The sim cost model
+remains an enrichment, not the data source: superstep durations and
+imbalance come from the transport's ledger, which reports zero
+durations and perfect balance under the parallel backend's
+:class:`~repro.runtime.netmodel.NullLedger`.
+
+Attach with :func:`attach_tracer` before ``DNND.build()``; attaching
+twice returns the existing tracer instead of double-wrapping the
+barrier (each extra wrap used to double-count every superstep).
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from .metrics import MetricsRegistry
 from .transports.base import Transport
 from .ygm import YGMWorld
 
@@ -58,10 +68,13 @@ class RuntimeTracer:
     # -- capture -----------------------------------------------------------
 
     def _on_barrier(self, phase: str, duration: float, imbalance: float) -> None:
-        stats = self.world.cluster.stats
-        counts = {t: s.count for t, s in stats.by_type.items()}
-        nbytes = {t: s.bytes for t, s in stats.by_type.items()}
-        faults = self.world.fault_stats.snapshot()
+        # The comm layer published its aggregates into the registry as
+        # part of the barrier that just returned; the per-superstep
+        # window is the counter delta since the previous barrier.
+        metrics = self.world.metrics
+        counts = metrics.counters_with_prefix("messages.sent.")
+        nbytes = metrics.counters_with_prefix("messages.bytes.")
+        faults = metrics.counters_with_prefix("faults.")
         record = BarrierRecord(
             index=len(self.records),
             phase=phase,
@@ -152,7 +165,17 @@ def attach_tracer(world: YGMWorld) -> RuntimeTracer:
     """Instrument ``world.barrier`` to record a trace; returns the tracer.
 
     The wrapper preserves barrier semantics exactly; it only observes.
+    Idempotent: calling it again on the same world returns the tracer
+    already attached — wrapping the (already wrapped) barrier a second
+    time would fire ``_on_barrier`` twice per superstep and double every
+    record.  A world whose metrics are disabled gets a live registry
+    first: the tracer reads its counters, so it needs a real one.
     """
+    existing = getattr(world, "_tracer", None)
+    if existing is not None:
+        return existing
+    if not world.metrics.enabled:
+        world.metrics = MetricsRegistry()
     tracer = RuntimeTracer(world)
     original_barrier = world.barrier
     cluster: Transport = world.cluster
@@ -165,4 +188,5 @@ def attach_tracer(world: YGMWorld) -> RuntimeTracer:
         return duration
 
     world.barrier = traced_barrier  # type: ignore[method-assign]
+    world._tracer = tracer  # type: ignore[attr-defined]
     return tracer

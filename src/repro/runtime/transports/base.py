@@ -57,6 +57,11 @@ class Transport:
         self.ledger = ledger
         self.stats = MessageStats()
         self.injector = None
+        #: Collective invocations (allreduce/gather/allgather/bcast/
+        #: alltoallv) — driven by the same driver code on every backend,
+        #: so the ``transport.collectives`` metric is conformant across
+        #: sim and parallel.
+        self.collectives = 0
         self._mailboxes: List[Deque[Tuple[int, Any]]] = [
             deque() for _ in range(self.world_size)]
         self._alive = True
@@ -144,6 +149,7 @@ class Transport:
         """Reduce per-rank contributions with ``op`` (default sum); every
         rank receives the result."""
         self._check_alive()
+        self.collectives += 1
         self._require_full(contributions)
         if op is None:
             total: Any = 0
@@ -171,6 +177,7 @@ class Transport:
         the root owns (MPI_Gather's actual contract).
         """
         self._check_alive()
+        self.collectives += 1
         if not 0 <= root < self.world_size:
             raise RuntimeStateError(f"root rank {root} out of range")
         self._require_full(contributions)
@@ -181,6 +188,7 @@ class Transport:
     def allgather(self, contributions: Sequence[Any],
                   item_bytes: int = 8) -> List[List[Any]]:
         self._check_alive()
+        self.collectives += 1
         self._require_full(contributions)
         self._charge_collective(item_bytes * self.world_size)
         gathered = list(contributions)
@@ -188,6 +196,7 @@ class Transport:
 
     def bcast(self, value: Any, root: int = 0, item_bytes: int = 8) -> List[Any]:
         self._check_alive()
+        self.collectives += 1
         if not 0 <= root < self.world_size:
             raise RuntimeStateError(f"root rank {root} out of range")
         self._charge_collective(item_bytes)
@@ -201,6 +210,7 @@ class Transport:
         graph); charges bandwidth for every off-diagonal transfer.
         """
         self._check_alive()
+        self.collectives += 1
         self._require_full(send_lists)
         recv: List[List[Any]] = [[] for _ in range(self.world_size)]
         for src in range(self.world_size):

@@ -73,6 +73,7 @@ from ..errors import (
 )
 from ..utils.rng import derive_rng
 from .instrumentation import FaultStats, MessageStats
+from .metrics import NULL_METRICS, MetricsRegistry
 from .transports.base import Transport
 
 Handler = Callable[..., None]
@@ -193,7 +194,8 @@ class YGMWorld:
                  retry_timeout: int = 4, retry_backoff: float = 2.0,
                  max_retries: int = 32,
                  sanitize: bool | None = None,
-                 executor: Any | None = None) -> None:
+                 executor: Any | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if flush_threshold < 1:
             raise RuntimeStateError("flush_threshold must be >= 1")
         if flush_threshold_bytes < 1:
@@ -207,6 +209,11 @@ class YGMWorld:
         if sanitize is None:
             sanitize = sanitizer_requested()
         self.sanitizer: Sanitizer | None = Sanitizer() if sanitize else None
+        # Metrics registry (None -> the shared no-op singleton).  The
+        # world only *publishes* into it — at barrier granularity, never
+        # per message — so metrics-on costs nothing on the hot path.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else NULL_METRICS)
         self.cluster = cluster
         self.world_size = cluster.world_size
         self.flush_threshold = int(flush_threshold)
@@ -397,6 +404,35 @@ class YGMWorld:
 
     def stats_for(self, phase: str) -> MessageStats:
         return self.phase_stats.get(phase, MessageStats())
+
+    # -- metrics ----------------------------------------------------------------
+
+    def publish_metrics(self) -> None:
+        """Mirror the runtime's authoritative aggregates into the metrics
+        registry.
+
+        Called automatically at the end of every barrier (after the
+        parallel backend's per-rank sink merge, so no handler is in
+        flight).  All values are *assigned* as absolute totals —
+        re-publishing is idempotent, and both backends emit the exact
+        same metric names (the cross-backend conformance contract).
+        """
+        m = self.metrics
+        if not m.enabled:
+            return
+        self.cluster.stats.publish(m)
+        if self.injector is not None:
+            self.injector.publish(m)
+        else:
+            self.fault_stats.publish(m)
+        m.set_counter("executor.tasks", self.handler_invocations)
+        m.set_counter("comm.flushes", self.flush_count)
+        m.set_counter("comm.barriers", self.cluster.ledger.barriers)
+        m.set_counter("transport.collectives",
+                      getattr(self.cluster, "collectives", 0))
+        dispatches = getattr(self._executor, "dispatches", None)
+        m.set_counter("executor.dispatches",
+                      dispatches if dispatches is not None else 0)
 
     # -- sending ------------------------------------------------------------
 
@@ -1051,7 +1087,11 @@ class YGMWorld:
                 if self.reliable:
                     self._reliable_tick()
             self.async_count_since_barrier = 0
-            return self.cluster.ledger.barrier(self.cluster.net, phase or self._phase)
+            duration = self.cluster.ledger.barrier(
+                self.cluster.net, phase or self._phase)
+            if self.metrics.enabled:
+                self.publish_metrics()
+            return duration
         finally:
             self._in_barrier = False
 
@@ -1088,8 +1128,14 @@ class YGMWorld:
                     break
             self._merge_rank_sinks()
             self.async_count_since_barrier = 0
-            return self.cluster.ledger.barrier(
+            duration = self.cluster.ledger.barrier(
                 self.cluster.net, phase or self._phase)
+            # Publishing happens after the sink merge, while no handlers
+            # are in flight — the registry sees the same race-free
+            # aggregates a tracer does.
+            if self.metrics.enabled:
+                self.publish_metrics()
+            return duration
         finally:
             self._in_barrier = False
 

@@ -100,3 +100,55 @@ class TestIntrospection:
         assert run(["experiments"]) == 0
         out = capsys.readouterr().out
         assert "fig4" in out and "bench_fig4_message_savings.py" in out
+
+
+class TestObservability:
+    def test_metrics_and_trace_export(self, store, tmp_path, capsys):
+        import json
+
+        metrics_out = str(tmp_path / "run.json")
+        trace_out = str(tmp_path / "run.trace.json")
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store,
+                  "--metrics-out", metrics_out, "--trace-out", trace_out])
+        assert rc == 0
+        with open(metrics_out) as f:
+            snap = json.load(f)
+        assert snap["schema"] == "repro.metrics/1"
+        assert snap["enabled"] is True
+        assert snap["counters"]["messages.sent"] > 0
+        assert any(name.startswith("phase.") for name in snap["timers"])
+        with open(trace_out) as f:
+            trace = json.load(f)
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_stats_pretty_printer(self, store, tmp_path, capsys):
+        metrics_out = str(tmp_path / "run.json")
+        run(["construct", "--dataset", "deep1b", "--n", "256", "--k", "5",
+             "--nodes", "2", "--store", store, "--metrics-out", metrics_out])
+        capsys.readouterr()
+        assert run(["stats", metrics_out]) == 0
+        out = capsys.readouterr().out
+        assert "phase timers" in out
+        assert "messages by type" in out
+        assert "heap.updates" in out
+
+    def test_stats_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something/else"}')
+        assert run(["stats", str(bogus)]) == 1
+        assert "not a repro metrics snapshot" in capsys.readouterr().err
+
+    def test_no_metrics_conflicts_with_export(self, store, capsys):
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store,
+                  "--no-metrics", "--metrics-out", "/tmp/x.json"])
+        assert rc == 1
+        assert "--no-metrics" in capsys.readouterr().err
+
+    def test_no_metrics_build_succeeds(self, store, capsys):
+        rc = run(["construct", "--dataset", "deep1b", "--n", "256",
+                  "--k", "5", "--nodes", "2", "--store", store,
+                  "--no-metrics"])
+        assert rc == 0
+        assert "constructed deep1b" in capsys.readouterr().out

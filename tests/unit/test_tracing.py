@@ -72,3 +72,54 @@ class TestTracer:
             return dnnd.build().graph
 
         np.testing.assert_array_equal(build(True).ids, build(False).ids)
+
+
+class TestDoubleAttach:
+    """Regression: attaching a tracer twice used to wrap the (already
+    wrapped) barrier again, firing ``_on_barrier`` twice per superstep
+    and double-counting every record."""
+
+    def test_second_attach_returns_existing_tracer(self, tiny_dense):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=53), backend="sim")
+        dnnd = DNND(tiny_dense, cfg,
+                    cluster=ClusterConfig(nodes=2, procs_per_node=1))
+        first = attach_tracer(dnnd.world)
+        second = attach_tracer(dnnd.world)
+        assert second is first
+
+    def test_double_attach_does_not_double_count(self, tiny_dense):
+        def build(attaches):
+            cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=53),
+                             backend="sim")
+            dnnd = DNND(tiny_dense, cfg,
+                        cluster=ClusterConfig(nodes=2, procs_per_node=1))
+            tracer = None
+            for _ in range(attaches):
+                tracer = attach_tracer(dnnd.world)
+            result = dnnd.build()
+            return tracer, result, dnnd
+
+        once_tracer, once_result, once_dnnd = build(1)
+        twice_tracer, twice_result, twice_dnnd = build(3)
+        assert (twice_tracer.total_supersteps()
+                == once_tracer.total_supersteps()
+                == twice_dnnd.cluster.ledger.barriers)
+        # Per-superstep deltas (not just totals) must match: a doubled
+        # wrapper fired a second record with an empty delta window.
+        assert (twice_tracer.message_timeline("type1")
+                == once_tracer.message_timeline("type1"))
+        import numpy as np
+        np.testing.assert_array_equal(once_result.graph.ids,
+                                      twice_result.graph.ids)
+
+    def test_attach_installs_live_registry_when_disabled(self, tiny_dense):
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=5, seed=53), backend="sim",
+                         metrics=False)
+        dnnd = DNND(tiny_dense, cfg,
+                    cluster=ClusterConfig(nodes=2, procs_per_node=1))
+        assert not dnnd.world.metrics.enabled
+        tracer = attach_tracer(dnnd.world)
+        assert dnnd.world.metrics.enabled
+        dnnd.build()
+        assert tracer.total_supersteps() > 0
+        assert sum(tracer.message_timeline("type1")) > 0
