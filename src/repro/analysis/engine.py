@@ -35,6 +35,7 @@ from .registry import (
 
 # Rule modules self-register on import.
 from . import determinism as _determinism  # noqa: F401
+from . import resilience as _resilience  # noqa: F401
 from . import rpc as _rpc  # noqa: F401
 
 _SUPPRESS_RE = re.compile(

@@ -1,0 +1,80 @@
+"""Resilience rules (REP3xx).
+
+The fault-tolerance layer surfaces rank failures as
+:class:`~repro.errors.RankFailureError` from any barrier, on any
+backend.  The whole design rests on the supervisor *acting* on that
+signal: recovering from a checkpoint, excluding the dead ranks, or
+letting the failure propagate to the caller.  An ``except`` clause that
+catches the error and does none of those silently converts a dead rank
+into a corrupted build — the graph completes, with whole shards missing.
+
+REP301  swallowed-rank-failure       an ``except`` handler naming
+                                     ``RankFailureError`` whose body
+                                     neither re-raises nor calls any
+                                     recovery/exclusion machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .config import AnalysisConfig
+from .findings import ERROR, Finding
+from .registry import ProjectContext, call_method_name, rule
+
+#: Method-name fragments that count as "handling" a rank failure: the
+#: supervisor's recovery entry points and the comm layer's exclusion/
+#: re-admission API.  Substring match on purpose — ``_recover``,
+#: ``recover_from_checkpoint``, ``exclude_ranks`` all qualify.
+_RECOVERY_FRAGMENTS = ("recover", "exclude", "readmit", "repair",
+                      "mark_failed", "abort")
+
+
+def _names_rank_failure(exc_type: ast.expr | None) -> bool:
+    """True when the except clause's type expression mentions
+    ``RankFailureError`` (bare name, attribute, or inside a tuple)."""
+    if exc_type is None:
+        return False
+    if isinstance(exc_type, ast.Tuple):
+        return any(_names_rank_failure(elt) for elt in exc_type.elts)
+    if isinstance(exc_type, ast.Name):
+        return exc_type.id == "RankFailureError"
+    if isinstance(exc_type, ast.Attribute):
+        return exc_type.attr == "RankFailureError"
+    return False
+
+
+def _handles_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body re-raises or invokes recovery code."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_method_name(node)
+            if name is not None:
+                lowered = name.lower()
+                if any(frag in lowered for frag in _RECOVERY_FRAGMENTS):
+                    return True
+    return False
+
+
+@rule("REP301", ERROR,
+      "except RankFailureError must recover, exclude, or re-raise")
+def swallowed_rank_failure(project: ProjectContext,
+                           config: AnalysisConfig) -> Iterator[Finding]:
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _names_rank_failure(node.type):
+                continue
+            if _handles_failure(node):
+                continue
+            yield Finding(
+                path=module.path, line=node.lineno, col=node.col_offset + 1,
+                rule="REP301", severity=ERROR,
+                message="RankFailureError caught but neither re-raised nor "
+                        "handled (no recover/exclude/readmit/repair call): "
+                        "a dead rank would silently become a corrupted "
+                        "build")

@@ -99,14 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash RANK at ITERATION (repeatable); requires "
                         "--checkpoint for recovery")
     p.add_argument("--reliable", action="store_true",
-                   help="ack/retransmit delivery (tolerates drop/dup faults)")
+                   help="ack/retransmit delivery (tolerates drop/dup "
+                        "faults; works on both backends)")
     p.add_argument("--max-retries", type=int, default=32,
                    help="retransmit budget per message in --reliable mode")
+    p.add_argument("--failure-timeout", type=int, default=256,
+                   help="heartbeat threshold in delivery rounds before a "
+                        "silent rank is declared failed (--reliable mode; "
+                        "0 disables detection-by-timeout)")
+    p.add_argument("--degraded", action="store_true",
+                   help="on rank failure, continue the build without the "
+                        "dead ranks and repair their neighborhoods when "
+                        "they are re-admitted (instead of checkpoint "
+                        "rollback)")
+    p.add_argument("--max-recovery-attempts", type=int, default=8,
+                   help="consecutive recovery cycles tolerated before the "
+                        "failure propagates")
     p.add_argument("--backend", choices=("sim", "parallel"), default=None,
                    help="execution backend: deterministic cost-modeled "
                         "simulation (sim, default) or shared-memory "
-                        "parallel executor (no cost ledger / faults); "
-                        "default honours REPRO_BACKEND")
+                        "parallel executor; fault injection, reliable "
+                        "delivery, and recovery work on both (only the "
+                        "network cost model is sim-only); default honours "
+                        "REPRO_BACKEND")
     p.add_argument("--workers", type=int, default=0,
                    help="thread count for --backend parallel "
                         "(0 = auto: REPRO_WORKERS or the core count)")
@@ -238,10 +253,13 @@ def cmd_construct(args: argparse.Namespace) -> int:
         nodes=args.nodes, procs_per_node=args.procs_per_node),
         fault_plan=fault_plan, reliable=args.reliable,
         max_retries=args.max_retries,
+        failure_timeout=args.failure_timeout or None,
         sanitize=True if args.sanitize else None)
     result = dnnd.build(store_path=args.store,
                         checkpoint_path=args.checkpoint,
-                        checkpoint_every=args.checkpoint_every)
+                        checkpoint_every=args.checkpoint_every,
+                        degraded=args.degraded,
+                        max_recovery_attempts=args.max_recovery_attempts)
     print(f"constructed {args.dataset} k={args.k}: "
           f"{result.iterations} iterations, converged={result.converged}")
     print(f"simulated time: {format_duration(result.sim_seconds)} "
@@ -250,6 +268,9 @@ def cmd_construct(args: argparse.Namespace) -> int:
     if result.fault_stats.any_faults() or result.recoveries:
         print(result.fault_stats.format_line())
         print(f"crash recoveries: {result.recoveries}")
+    if result.degraded_ranks:
+        print("degraded ranks (excluded, then repaired): "
+              f"{list(result.degraded_ranks)}")
     _export_observability(result, args.metrics_out, args.trace_out)
     print(f"store written to {args.store}")
     return 0

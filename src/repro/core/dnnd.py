@@ -25,6 +25,7 @@ time from the cost model (Figure 3).
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -33,7 +34,8 @@ import numpy as np
 from ..analysis.sanitizer import tag_heap
 from ..config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
 from ..distances.counting import CountingMetric
-from ..errors import ConfigError, RankFailureError, RuntimeStateError, StoreError
+from ..errors import (CheckpointCorruptError, ConfigError, RankFailureError,
+                      RuntimeStateError, StoreCorruptError, StoreError)
 from ..runtime.faults import FaultPlan, make_injector
 from ..runtime.instrumentation import FaultStats, MessageStats
 from ..runtime.metall import MetallStore
@@ -43,7 +45,7 @@ from ..runtime.partition import HashPartitioner, Partitioner
 from ..runtime.transports import LocalTransport, SimCluster
 from ..runtime.ygm import RankContext, YGMWorld
 from .executor import SimExecutor, make_executor, resolve_backend
-from ..types import ID_BYTES
+from ..types import DIST_BYTES, ID_BYTES
 from ..utils.rng import derive_rng
 from ..utils.sampling import sample_without_replacement
 from .dnnd_phases import (LocalShard, register_dnnd_batch_handlers,
@@ -91,6 +93,9 @@ class DNNDResult:
     fault_stats: FaultStats = field(default_factory=FaultStats)
     recoveries: int = 0
     """Checkpoint-recovery cycles the build survived (rank crashes)."""
+    degraded_ranks: tuple = ()
+    """Ranks that spent part of the build excluded (degraded mode) and
+    were re-admitted + repaired before the final graph was gathered."""
     dnnd: Optional["DNND"] = field(default=None, repr=False, compare=False)
     """Set by :meth:`DNND.resume` so callers can keep driving the
     instance (e.g. run ``optimize()``) after a resumed build."""
@@ -132,6 +137,9 @@ class DNNDResult:
             lines.append(self.fault_stats.format_line())
         if self.recoveries:
             lines.append(f"checkpoint recoveries: {self.recoveries}")
+        if self.degraded_ranks:
+            lines.append("degraded ranks (excluded, then repaired): "
+                         f"{list(self.degraded_ranks)}")
         lines.append(self.message_stats.format_table("message totals"))
         return "\n".join(lines)
 
@@ -162,6 +170,15 @@ class DNND:
         the build; see :class:`~repro.runtime.ygm.YGMWorld`.
     max_retries:
         Retransmit budget per message in reliable mode.
+    failure_timeout:
+        Heartbeat threshold for the comm layer's failure detector (in
+        delivery rounds): a rank that holds an unacked frame *and*
+        drains nothing for this long is declared failed and surfaces as
+        :class:`~repro.errors.RankFailureError`.  Only active in
+        reliable mode; ``None`` disables detection-by-timeout.  The
+        default covers several retransmit backoff cycles (the backoff
+        caps at 32 rounds), so a lossy-but-alive link is retried rather
+        than declared dead.
     sanitize:
         Run under the runtime ownership sanitizer
         (:mod:`repro.analysis.sanitizer`): rank-owned heaps and state
@@ -173,11 +190,14 @@ class DNND:
     sim).  The sim backend is the deterministic cost-modeled
     simulation; the parallel backend runs rank sections concurrently on
     a shared-memory thread pool (``config.workers``).  Fault injection,
-    reliable delivery, and the network cost model are sim-only:
-    requesting them with an *explicit* ``backend="parallel"`` raises
+    reliable delivery, failure detection, and supervised recovery work
+    on *both* backends (the transport seam owns them); only the network
+    cost model remains sim-only: requesting ``net=...`` with an
+    *explicit* ``backend="parallel"`` raises
     :class:`~repro.errors.ConfigError`, while a blanket
-    ``REPRO_BACKEND=parallel`` environment default downgrades such runs
-    to sim (so fault-tolerance suites still test what they claim to).
+    ``REPRO_BACKEND=parallel`` environment default downgrades such a
+    run to sim — with a visible :class:`RuntimeWarning` and a
+    ``backend.fallbacks`` counter in the metrics, never silently.
     """
 
     def __init__(self, data, config: DNNDConfig | None = None,
@@ -188,6 +208,7 @@ class DNND:
                  fault_plan: Optional[FaultPlan] = None,
                  reliable: bool = False,
                  max_retries: int = 32,
+                 failure_timeout: int | None = 256,
                  sanitize: bool | None = None) -> None:
         self.data = data
         self.config = config or DNNDConfig()
@@ -197,22 +218,33 @@ class DNND:
             raise ConfigError(
                 f"k={self.config.k} must be smaller than dataset size {self.n}"
             )
+        # One metrics registry per build (the no-op singleton when the
+        # config turns observability off); the comm layer publishes the
+        # counter aggregates into it at every barrier, the driver adds
+        # wall-clock phase spans and heap/distance totals.  Created
+        # before backend resolution so the resolution itself is
+        # observable (``backend.fallbacks``).
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if self.config.metrics else NULL_METRICS)
         backend = resolve_backend(self.config.backend)
-        sim_only = [name for name, wanted in (
-            ("fault_plan", fault_plan is not None),
-            ("reliable delivery", reliable),
-            ("network cost model (net=...)", net is not None),
-        ) if wanted]
-        if backend == "parallel" and sim_only:
+        fallbacks = 0
+        if backend == "parallel" and net is not None:
             if self.config.backend == "parallel":
                 raise ConfigError(
-                    f"{', '.join(sim_only)} require(s) the deterministic "
-                    "sim backend; the parallel executor has no cost "
-                    "ledger or fault clock. Use backend='sim'.")
+                    "the network cost model (net=...) requires the "
+                    "deterministic sim backend; the parallel executor "
+                    "has no cost ledger. Use backend='sim'.")
             # Parallel came from the REPRO_BACKEND environment default:
             # run on sim rather than silently dropping the requested
-            # sim-only feature.
+            # cost model — and say so, audibly and in the metrics.
+            warnings.warn(
+                "REPRO_BACKEND=parallel downgraded to the sim backend: "
+                "a network cost model (net=...) was requested and the "
+                "parallel executor has no cost ledger",
+                RuntimeWarning, stacklevel=2)
             backend = "sim"
+            fallbacks = 1
+        self.metrics.set_counter("backend.fallbacks", fallbacks)
         self.backend = backend
         self._parallel = backend == "parallel"
         self.fault_plan = fault_plan
@@ -220,24 +252,22 @@ class DNND:
         if self._parallel:
             self.executor = make_executor(
                 backend, self.config.workers, self.cluster_config.world_size)
-            self.cluster = LocalTransport(self.cluster_config)
+            self.cluster = LocalTransport(self.cluster_config,
+                                          injector=self._injector)
         else:
             self.executor = SimExecutor()
             self.cluster = SimCluster(self.cluster_config, net,
                                       injector=self._injector)
-        # One metrics registry per build (the no-op singleton when the
-        # config turns observability off); the comm layer publishes the
-        # counter aggregates into it at every barrier, the driver adds
-        # wall-clock phase spans and heap/distance totals.
-        self.metrics: MetricsRegistry = (
-            MetricsRegistry() if self.config.metrics else NULL_METRICS)
         self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
                               seed=self.config.nnd.seed,
                               reliable=reliable, max_retries=max_retries,
+                              failure_timeout=failure_timeout,
                               sanitize=sanitize, executor=self.executor,
                               metrics=self.metrics)
         self._open_span = None
         self._recoveries = 0
+        self._recovery_attempts = 0
+        self._degraded_ranks: set = set()
         register_dnnd_handlers(self.world)
         if self.config.batch_exec:
             register_dnnd_batch_handlers(self.world)
@@ -359,11 +389,15 @@ class DNND:
 
     def _interleaved_vertices(self):
         """Yield ``(ctx, local_index)`` round-robin across ranks, modeling
-        SPMD ranks progressing through their local vertices together."""
+        SPMD ranks progressing through their local vertices together
+        (excluded ranks sit out, as in :meth:`YGMWorld.run_on_all`)."""
         shards = self._shards()
+        excluded = self.world.excluded_ranks
         max_local = max((s.n_local for s in shards), default=0)
         for li in range(max_local):
             for ctx in self.world.ranks:
+                if excluded and ctx.rank in excluded:
+                    continue
                 if li < shard_of(ctx).n_local:
                     yield ctx, li
 
@@ -371,7 +405,9 @@ class DNND:
 
     def build(self, store_path=None, checkpoint_path=None,
               checkpoint_every: int = 0,
-              recover_on_crash: bool = True) -> DNNDResult:
+              recover_on_crash: bool = True,
+              degraded: bool = False,
+              max_recovery_attempts: int = 8) -> DNNDResult:
         """Construct the k-NNG; optionally persist graph + dataset.
 
         Parameters
@@ -394,18 +430,35 @@ class DNND:
             the recovered build identical to a fault-free one.  Set to
             False to let :class:`~repro.errors.RankFailureError`
             propagate instead.
+        degraded:
+            Degraded-mode recovery: instead of rolling back, *exclude*
+            the detected-failed ranks and continue the build without
+            them (their traffic is discarded, their shards contribute
+            nothing to convergence).  Before the final gather the
+            excluded ranks are re-admitted and a neighborhood-repair
+            pass rebuilds their shards (keyed re-initialization +
+            survivor edge donation + bounded extra NN-Descent rounds).
+            Takes precedence over checkpoint rollback when both apply.
+        max_recovery_attempts:
+            Bound on *consecutive* recovery cycles (supervised rollback
+            or degraded exclusion) without a completed iteration; when
+            exceeded the failure propagates.
         """
         if self._built:
             raise RuntimeStateError("build() already ran on this DNND instance")
         if checkpoint_every and checkpoint_path is None:
             raise ConfigError("checkpoint_every requires checkpoint_path")
+        if max_recovery_attempts < 1:
+            raise ConfigError("max_recovery_attempts must be >= 1")
         self._built = True
         self._init_phase()
         return self._run_iterations(
             start_iteration=0, update_counts=[], per_iter_msgs=[],
             store_path=store_path, checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
-            recover_on_crash=recover_on_crash)
+            recover_on_crash=recover_on_crash,
+            degraded=degraded,
+            max_recovery_attempts=max_recovery_attempts)
 
     @classmethod
     def resume(cls, data, checkpoint_path,
@@ -427,11 +480,17 @@ class DNND:
         choice, so a build checkpointed under sim may resume under
         ``backend="parallel"`` and vice versa.
         """
-        with MetallStore.open_read_only(checkpoint_path) as store:
-            meta = store["ckpt_meta"]
-            heap_ids = np.asarray(store["ckpt_ids"])
-            heap_dists = np.asarray(store["ckpt_dists"])
-            heap_flags = np.asarray(store["ckpt_flags"])
+        try:
+            with MetallStore.open_read_only(checkpoint_path,
+                                            verify=True) as store:
+                meta = store["ckpt_meta"]
+                heap_ids = np.asarray(store["ckpt_ids"])
+                heap_dists = np.asarray(store["ckpt_dists"])
+                heap_flags = np.asarray(store["ckpt_flags"])
+        except StoreCorruptError as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint at {checkpoint_path} failed verification "
+                f"on resume: {exc}") from exc
         if meta["n"] != len(data):
             raise ConfigError(
                 f"checkpoint was built on {meta['n']} rows, got {len(data)}"
@@ -469,12 +528,15 @@ class DNND:
                         per_iter_msgs: List[Dict[str, tuple]],
                         store_path, checkpoint_path,
                         checkpoint_every: int,
-                        recover_on_crash: bool = True) -> DNNDResult:
+                        recover_on_crash: bool = True,
+                        degraded: bool = False,
+                        max_recovery_attempts: int = 8) -> DNNDResult:
         cfg = self.config.nnd
         threshold = cfg.delta * cfg.k * self.n
         converged = False
         iterations = start_iteration
         n_pre = len(update_counts)  # history carried in from a resume
+        consecutive_failures = 0
         it = start_iteration
         while it < cfg.max_iters:
             iterations = it + 1
@@ -483,21 +545,36 @@ class DNND:
             before = {t: (s.count, s.bytes) for t, s in self.cluster.stats.by_type.items()}
             try:
                 c = self._iteration(it)
-            except RankFailureError:
-                if not recover_on_crash:
+            except RankFailureError as failure:
+                if not recover_on_crash and not degraded:
                     raise
                 # End the failed phase's span before the recovery span
                 # opens — timeline spans stay sequential even across
                 # crash-recovery cycles.
                 self._close_phase()
+                self._recovery_attempts += 1
+                consecutive_failures += 1
+                if consecutive_failures > max_recovery_attempts:
+                    # The supervisor's patience is bounded: a failure
+                    # storm that never completes an iteration must
+                    # surface, not loop forever.
+                    raise
+                if degraded:
+                    # Write the dead ranks out of the build and replay
+                    # the iteration without them; they are repaired and
+                    # re-admitted before the final gather.
+                    self._exclude_failed(failure.ranks)
+                    continue
                 # The barrier failed under us: roll back to the latest
                 # checkpoint (message/time costs stay on the ledger —
                 # the work wasted by the crash was genuinely spent) and
                 # replay.  Keyed per-iteration randomness guarantees the
                 # replay reconstructs the fault-free trajectory.
+                self._charge_recovery_backoff(consecutive_failures)
                 it = self._recover(checkpoint_path, update_counts)
                 del per_iter_msgs[max(0, len(update_counts) - n_pre):]
                 continue
+            consecutive_failures = 0
             update_counts.append(c)
             self._publish_build_metrics(update_counts)
             after = self.cluster.stats.snapshot()
@@ -512,6 +589,8 @@ class DNND:
                 converged = True
                 break
             it += 1
+        if self._degraded_ranks:
+            self._repair_degraded(update_counts, threshold)
         graph = self._gather_graph()
         self._publish_build_metrics(update_counts)
         self._publish_sim_enrichment()
@@ -529,6 +608,7 @@ class DNND:
             per_iteration_messages=per_iter_msgs,
             fault_stats=self.world.fault_stats,
             recoveries=self._recoveries,
+            degraded_ranks=tuple(sorted(self._degraded_ranks)),
             metrics=self.metrics,
         )
         if store_path is not None:
@@ -549,6 +629,10 @@ class DNND:
         m.set_counter("heap.updates", sum(s.push_attempts for s in shards))
         m.set_counter("heap.updates.accepted", sum(update_counts))
         m.set_counter("distance.evals", sum(s.metric.count for s in shards))
+        # Recovery SLO counters: published on every backend (zeros
+        # included) so fault-free and fault-injected snapshots expose
+        # the same names.
+        m.set_counter("recovery.attempts", self._recovery_attempts)
 
     def _publish_sim_enrichment(self) -> None:
         """Sim cost-model decomposition as *enrichment* gauges
@@ -565,24 +649,31 @@ class DNND:
             m.set_gauge(f"sim.phase.{phase}.seconds", secs)
 
     def _recover(self, checkpoint_path, update_counts: List[int]) -> int:
-        """Crash recovery: discard in-flight traffic, repair the crashed
-        ranks (the replacement-node model), and restore algorithm state
-        from the latest checkpoint — or rerun initialization when the
-        crash predates the first checkpoint.  Returns the iteration to
-        replay from; ``update_counts`` is rewritten in place to the
-        restored history."""
+        """Crash recovery: discard in-flight traffic, repair the failed
+        ranks (the replacement-node model — supervisor marks and
+        injector crashes both clear), and restore algorithm state from
+        the latest checkpoint — or rerun initialization when the crash
+        predates the first checkpoint.  Returns the iteration to replay
+        from; ``update_counts`` is rewritten in place to the restored
+        history."""
         self._recoveries += 1
-        with self.metrics.span("recover", cat="recovery",
+        with self.metrics.span("recovery.duration", cat="recovery",
                                recovery=self._recoveries):
             self.world.reset_in_flight()
-            if self._injector is not None:
-                self._injector.repair_all()
+            self.cluster.repair_all()
             if checkpoint_path is not None and MetallStore.exists(checkpoint_path):
-                with MetallStore.open_read_only(checkpoint_path) as store:
-                    meta = store["ckpt_meta"]
-                    ids = np.asarray(store["ckpt_ids"])
-                    dists = np.asarray(store["ckpt_dists"])
-                    flags = np.asarray(store["ckpt_flags"])
+                try:
+                    with MetallStore.open_read_only(checkpoint_path,
+                                                    verify=True) as store:
+                        meta = store["ckpt_meta"]
+                        ids = np.asarray(store["ckpt_ids"])
+                        dists = np.asarray(store["ckpt_dists"])
+                        flags = np.asarray(store["ckpt_flags"])
+                except StoreCorruptError as exc:
+                    raise CheckpointCorruptError(
+                        f"checkpoint at {checkpoint_path} failed "
+                        f"verification during crash recovery: {exc}"
+                    ) from exc
                 self._restore_heaps(ids, dists, flags)
                 update_counts[:] = list(meta["update_counts"])
                 return int(meta["iteration"])
@@ -591,6 +682,120 @@ class DNND:
             self._init_phase()
             update_counts[:] = []
             return 0
+
+    def _charge_recovery_backoff(self, attempt: int) -> None:
+        """Supervised-recovery backoff: each consecutive failed attempt
+        doubles a small modeled penalty charged to every rank (the
+        replacement node's provisioning time; a wall-clock sleep would
+        be meaningless against the simulated clock and pure waste on
+        the parallel backend, whose ledger discards the charge)."""
+        ledger = self.cluster.ledger
+        if not ledger.enabled:
+            return
+        penalty = 1.0e-3 * (2.0 ** (attempt - 1))
+        for r in range(self.cluster.world_size):
+            ledger.charge(r, penalty)
+
+    def _exclude_failed(self, ranks) -> None:
+        """Degraded mode: write failed ``ranks`` out of the build.  The
+        comm layer discards their traffic and skips them in SPMD
+        sections; their shards' convergence contribution is zeroed here
+        (the allreduce still collects one value per rank)."""
+        ranks = {int(r) for r in ranks} - self._degraded_ranks
+        self._degraded_ranks |= ranks
+        self.world.exclude_ranks(ranks)
+        # In-flight traffic from the failed round may carry messages
+        # from/to the dead ranks; drop all of it and replay the
+        # iteration from its start (keyed randomness makes the replay
+        # emit the same survivor-side messages).
+        self.world.reset_in_flight()
+        for ctx in self.world.ranks:
+            if ctx.rank in self._degraded_ranks:
+                shard_of(ctx).update_count = 0
+
+    def _repair_degraded(self, update_counts: List[int],
+                         threshold: float) -> None:
+        """Degraded-mode epilogue: re-admit the excluded ranks and run
+        the neighborhood-repair pass that rebuilds their shards —
+
+        1. fresh heaps on the repaired ranks (a replacement node comes
+           back with the reloaded feature shard and empty state),
+        2. keyed re-initialization: repaired vertices replay the
+           Algorithm 1 init sampling (same ``derive_rng`` key, so the
+           same candidates as a fault-free init),
+        3. survivor donation: surviving ranks push the edges they
+           already hold that land on repaired vertices,
+        4. bounded extra NN-Descent rounds to knit the repaired
+           neighborhoods back into the graph.
+        """
+        cfg = self.config.nnd
+        repaired = set()
+        with self.metrics.span("recovery.duration", cat="recovery",
+                               mode="degraded-repair",
+                               ranks=sorted(self._degraded_ranks)):
+            self._enter_phase("repair")
+            repaired = self.world.readmit_ranks()
+            san = self.world.sanitizer
+            for ctx in self.world.ranks:
+                if ctx.rank not in repaired:
+                    continue
+                shard = shard_of(ctx)
+                shard.heaps = [NeighborHeap(self.config.k)
+                               for _ in range(shard.n_local)]
+                shard.reset_iteration_scratch()
+                if san is not None:
+                    for heap in shard.heaps:
+                        tag_heap(heap, san, ctx.rank)
+
+            def reinit_section(ctx: RankContext) -> None:
+                if ctx.rank not in repaired:
+                    return
+                shard = shard_of(ctx)
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    rng = derive_rng(cfg.seed, 2, v)
+                    cand = sample_without_replacement(
+                        rng, self.n, min(self.n - 1, cfg.k + 2))
+                    cand = cand[cand != v][:cfg.k]
+                    nb = 2 * ID_BYTES + shard.feature_nbytes(v)
+                    for u in cand:
+                        u = int(u)
+                        ctx.async_call(shard.owner(u), "init_req", v, u,
+                                       shard.feature(v), nbytes=nb,
+                                       msg_type="init_req")
+
+            def donate_section(ctx: RankContext) -> None:
+                if ctx.rank in repaired:
+                    return
+                shard = shard_of(ctx)
+                owner = shard.owner_of
+                for li in range(shard.n_local):
+                    v = int(shard.global_ids[li])
+                    for u, d, _flag in list(shard.heaps[li].entries()):
+                        if owner[u] in repaired:
+                            # u's neighbor list died with its rank; the
+                            # survivor donates the reverse edge (u, v).
+                            ctx.async_call(
+                                owner[u], "init_resp", int(u), v, float(d),
+                                nbytes=2 * ID_BYTES + DIST_BYTES,
+                                msg_type="init_resp")
+
+            self.world.run_on_all(reinit_section)
+            self.world.run_on_all(donate_section)
+            self.world.barrier()
+            # Bounded extra rounds, keyed past the regular iteration
+            # space so their RNG streams are fresh; stop early once the
+            # update counter falls under the convergence threshold.  The
+            # repaired shards restart from reinit + donations, so they
+            # need a few descent rounds — four bounds the epilogue while
+            # typically reaching the fault-free neighborhood quality.
+            for j in range(4):
+                c = self._iteration(cfg.max_iters + 1 + j)
+                update_counts.append(c)
+                self._publish_build_metrics(update_counts)
+                if c < threshold:
+                    break
+            self._close_phase()
 
     def _init_phase(self) -> None:
         """Algorithm 1 lines 2-5 via the Section 4.1 async pattern."""
@@ -815,7 +1020,10 @@ class DNND:
                 rank_triples[ctx.rank] = triples
 
             self.world.run_on_all(check_build_section)
-            longest = max(len(t) for t in rank_triples)
+            # Excluded ranks never ran the build section; their slot
+            # stays None and they emit nothing.
+            longest = max((len(t) for t in rank_triples if t is not None),
+                          default=0)
             chunk = (max(1, self.config.batch_size // ws)
                      if self.config.batch_size else longest)
             start = 0

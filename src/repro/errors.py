@@ -36,6 +36,20 @@ class StoreError(ReproError):
     double-create, unknown attached object, version mismatch."""
 
 
+class StoreCorruptError(StoreError):
+    """A stored object failed integrity verification on load: truncated
+    file, checksum mismatch, or an unparseable payload.  Raised instead
+    of the raw deserialization error so callers can distinguish
+    corruption (restore from an older snapshot) from absence."""
+
+
+class CheckpointCorruptError(StoreCorruptError):
+    """A build checkpoint is unusable: the recovery path verified the
+    snapshot before trusting it and found it corrupt.  Supervised
+    recovery treats this as unrecoverable-from-this-checkpoint rather
+    than crashing mid-restore with a pickle/numpy parse error."""
+
+
 class GraphError(ReproError):
     """A k-NN graph container invariant was violated (shape mismatch,
     duplicate neighbor insertion with inconsistent distance, etc.)."""

@@ -65,9 +65,11 @@ class FaultStats:
     """Counters for injected faults and the recovery work they caused.
 
     The injector (:mod:`.faults`) increments the fault side; the
-    reliable-delivery layer in :class:`~repro.runtime.ygm.YGMWorld`
-    increments the recovery side.  One shared instance per run, so an
-    ablation can report "N drops cost M retransmits" from one object.
+    transport-level reliability layer
+    (:class:`~repro.runtime.transports.base.ReliableDelivery`) and the
+    comm layer's failure detector increment the recovery side.  One
+    shared instance per run, so an ablation can report "N drops cost M
+    retransmits" from one object.
     """
 
     dropped: int = 0
@@ -82,6 +84,10 @@ class FaultStats:
     acks_sent: int = 0
     duplicates_suppressed: int = 0
     retry_budget_exhausted: int = 0
+    #: Rank failures the comm layer *detected* (crashed-set observation
+    #: or heartbeat timeout), each counted once per failure event — the
+    #: numerator of the detection-SLO metrics.
+    detected: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}

@@ -19,11 +19,24 @@ This module reproduces that *lifecycle* in Python:
 
 Arbitrary picklable objects are supported; numpy arrays and dicts of
 arrays get the mmap fast path.
+
+Durability: object files are written to a temporary name and atomically
+renamed into place (a crash mid-write leaves the previous snapshot
+intact, never a half-written object), and every save records the file's
+size and SHA-256 in the manifest.  Loads always check the size;
+``open(path, verify=True)`` additionally re-hashes the file before
+trusting it.  Corruption surfaces as
+:class:`~repro.errors.StoreCorruptError` — distinct from
+:class:`~repro.errors.StoreError` absence/usage failures — so recovery
+code can fall back to an older snapshot instead of crashing on a parse
+error.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import pickle
 import shutil
 from pathlib import Path
@@ -31,7 +44,7 @@ from typing import Any, Dict, Iterator, List
 
 import numpy as np
 
-from ..errors import StoreError
+from ..errors import StoreCorruptError, StoreError
 
 _MANIFEST = "manifest.json"
 _FORMAT_VERSION = 1
@@ -49,10 +62,12 @@ class MetallStore:
             ids = store["graph_ids"]       # np.memmap-backed
     """
 
-    def __init__(self, path: Path, writable: bool, manifest: Dict[str, Any]) -> None:
+    def __init__(self, path: Path, writable: bool, manifest: Dict[str, Any],
+                 verify: bool = False) -> None:
         self._path = Path(path)
         self._writable = writable
         self._manifest = manifest
+        self._verify = verify
         self._cache: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._closed = False
@@ -77,27 +92,36 @@ class MetallStore:
         return store
 
     @classmethod
-    def open(cls, path) -> "MetallStore":
-        """Attach to an existing datastore (``metall::open_only``)."""
-        return cls._open(path, writable=True)
+    def open(cls, path, verify: bool = False) -> "MetallStore":
+        """Attach to an existing datastore (``metall::open_only``).
+
+        ``verify=True`` re-hashes each object file against its recorded
+        SHA-256 before trusting it (recovery paths use this: a restore
+        must detect a corrupt checkpoint instead of restoring garbage).
+        """
+        return cls._open(path, writable=True, verify=verify)
 
     @classmethod
-    def open_read_only(cls, path) -> "MetallStore":
-        return cls._open(path, writable=False)
+    def open_read_only(cls, path, verify: bool = False) -> "MetallStore":
+        return cls._open(path, writable=False, verify=verify)
 
     @classmethod
-    def _open(cls, path, writable: bool) -> "MetallStore":
+    def _open(cls, path, writable: bool, verify: bool = False) -> "MetallStore":
         p = Path(path)
         mf = p / _MANIFEST
         if not mf.exists():
             raise StoreError(f"no datastore at {p}")
-        manifest = json.loads(mf.read_text())
+        try:
+            manifest = json.loads(mf.read_text())
+        except ValueError as exc:
+            raise StoreCorruptError(
+                f"datastore manifest at {mf} is unparseable: {exc}") from exc
         if manifest.get("format_version") != _FORMAT_VERSION:
             raise StoreError(
                 f"datastore format version {manifest.get('format_version')} "
                 f"!= supported {_FORMAT_VERSION}"
             )
-        return cls(p, writable=writable, manifest=manifest)
+        return cls(p, writable=writable, manifest=manifest, verify=verify)
 
     @staticmethod
     def exists(path) -> bool:
@@ -197,19 +221,28 @@ class MetallStore:
 
     def _save(self, name: str, obj: Any) -> Dict[str, Any]:
         if isinstance(obj, np.ndarray):
-            fname = f"{name}.npy"
-            np.save(self._path / fname, obj)
-            return {"kind": "ndarray", "files": [fname]}
-        if isinstance(obj, dict) and obj and all(
+            kind, fname = "ndarray", f"{name}.npy"
+            writer = lambda fh: np.save(fh, obj)  # noqa: E731
+        elif isinstance(obj, dict) and obj and all(
             isinstance(v, np.ndarray) for v in obj.values()
         ):
-            fname = f"{name}.npz"
-            np.savez(self._path / fname, **obj)
-            return {"kind": "npz", "files": [fname]}
-        fname = f"{name}.pkl"
-        with (self._path / fname).open("wb") as fh:
-            pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        return {"kind": "pickle", "files": [fname]}
+            kind, fname = "npz", f"{name}.npz"
+            writer = lambda fh: np.savez(fh, **obj)  # noqa: E731
+        else:
+            kind, fname = "pickle", f"{name}.pkl"
+            writer = lambda fh: pickle.dump(  # noqa: E731
+                obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        # Write-temp-then-rename: a crash mid-write must leave the
+        # previous object version intact, never a truncated file the
+        # next open would mmap/unpickle.
+        fpath = self._path / fname
+        tmp = self._path / (fname + ".tmp")
+        with tmp.open("wb") as fh:
+            writer(fh)
+        digest, nbytes = _file_digest(tmp)
+        os.replace(tmp, fpath)
+        return {"kind": kind, "files": [fname],
+                "bytes": nbytes, "sha256": digest}
 
     def _load(self, name: str, meta: Dict[str, Any]) -> Any:
         kind = meta["kind"]
@@ -217,16 +250,36 @@ class MetallStore:
         fpath = self._path / fname
         if not fpath.exists():
             raise StoreError(f"datastore object file missing: {fpath}")
-        if kind == "ndarray":
-            # mmap-backed, mirroring Metall's lazy paging.
-            mode = "r+" if self._writable else "r"
-            return np.load(fpath, mmap_mode=mode)
-        if kind == "npz":
-            with np.load(fpath) as z:
-                return {k: z[k] for k in z.files}
-        if kind == "pickle":
-            with fpath.open("rb") as fh:
-                return pickle.load(fh)
+        # Size is checked on every load (truncation is the common
+        # corruption); the full re-hash only under verify=True.
+        # Manifests written before checksums were recorded skip both.
+        expected = meta.get("bytes")
+        if expected is not None and fpath.stat().st_size != expected:
+            raise StoreCorruptError(
+                f"object {name!r}: file {fpath} is {fpath.stat().st_size} "
+                f"bytes, manifest records {expected} (truncated or "
+                f"overwritten)")
+        if self._verify and meta.get("sha256") is not None:
+            digest, _ = _file_digest(fpath)
+            if digest != meta["sha256"]:
+                raise StoreCorruptError(
+                    f"object {name!r}: SHA-256 mismatch for {fpath} "
+                    f"(stored payload was modified or corrupted)")
+        try:
+            if kind == "ndarray":
+                # mmap-backed, mirroring Metall's lazy paging.
+                mode = "r+" if self._writable else "r"
+                return np.load(fpath, mmap_mode=mode)
+            if kind == "npz":
+                with np.load(fpath) as z:
+                    return {k: z[k] for k in z.files}
+            if kind == "pickle":
+                with fpath.open("rb") as fh:
+                    return pickle.load(fh)
+        except (ValueError, EOFError, OSError,
+                pickle.UnpicklingError) as exc:
+            raise StoreCorruptError(
+                f"object {name!r}: cannot parse {fpath}: {exc}") from exc
         raise StoreError(f"unknown object kind {kind!r} for {name!r}")
 
     @property
@@ -236,6 +289,17 @@ class MetallStore:
     @property
     def writable(self) -> bool:
         return self._writable
+
+
+def _file_digest(path: Path) -> tuple:
+    """``(sha256_hexdigest, size_in_bytes)`` of a file, streamed."""
+    h = hashlib.sha256()
+    nbytes = 0
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+            nbytes += len(chunk)
+    return h.hexdigest(), nbytes
 
 
 def _validate_name(name: str) -> None:

@@ -15,7 +15,7 @@ Two transports implement it:
 - :class:`~repro.runtime.transports.local.LocalTransport` — a
   shared-memory backend whose mailboxes are safe for concurrent
   producers (rank sections running on the parallel executor), with no
-  cost model and no fault injection.
+  cost model.
 
 Collectives are implemented here once; cost accounting is injected
 through the ``_charge_collective`` / ``_charge_transfer`` hooks so the
@@ -25,17 +25,265 @@ collectives take *per-rank contribution lists* and return per-rank
 results — the driver (which plays the role of the SPMD program counter)
 passes in what each rank would have contributed.  This keeps rank code
 honest: a rank can only use its own slot of the result.
+
+**Fault tolerance lives at this seam.**  Every transport supports:
+
+- *fault injection* — an optional :class:`~repro.runtime.faults.FaultInjector`
+  consulted on remote deliveries (drop/duplicate/delay/crash);
+- *reliable delivery* — :class:`ReliableDelivery`, a per-``(src, dest)``
+  seq/ack/retransmit/dedup state machine attached via
+  :meth:`Transport.enable_reliability`.  It frames payloads as
+  ``("rel", rel_seq, inner)`` and acks as ``("ack", (rel_seq, ...))``;
+  the comm layer unwraps frames while draining;
+- *failure marking* — :meth:`Transport.mark_failed` records ranks the
+  supervisor has declared dead; traffic touching them is discarded
+  (exactly what a dead MPI process does to its peers) and
+  :meth:`Transport.failed_ranks` reports the union of marked and
+  injector-crashed ranks so failure detection is uniform across
+  backends.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, List, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Sequence, Set, Tuple
 
 from ...config import ClusterConfig
-from ...errors import RuntimeStateError
-from ..instrumentation import MessageStats
+from ...errors import FaultToleranceError, RuntimeStateError
+from ..instrumentation import FaultStats, MessageStats
 from ..netmodel import CostLedger, NetworkModel
+
+#: Reliable-delivery wire tags (shared with the YGM layer's other tags).
+REL_TAG = "rel"       # ("rel", rel_seq, inner_payload)
+ACK_TAG = "ack"       # ("ack", (rel_seq, ...))
+
+#: Modeled size of one acked sequence number on the wire.
+ACK_SEQ_BYTES = 4
+
+#: Retransmit backoff is capped so a stuck message spins the barrier loop
+#: a bounded number of rounds per retry instead of 2**attempts.
+MAX_BACKOFF_TICKS = 32
+
+
+class ReliableDelivery:
+    """Transport-level reliable delivery: per-pair sequence numbers,
+    positive acks, backoff retransmit, receiver dedup.
+
+    The state machine is backend-agnostic; what differs per backend is
+    *who calls what from where*:
+
+    - ``send`` runs on the sending rank's execution context (the driver
+      thread under sim, rank ``src``'s worker thread under the parallel
+      executor) and only touches ``src``-owned send state;
+    - ``on_receive`` / ``on_ack`` / ``flush_acks_for`` run while rank
+      ``dest`` drains its own mailbox and only touch ``dest``-owned
+      receive state — so under the parallel executor's ownership rules
+      no additional locking is needed;
+    - ``tick`` (the retransmit clock) and ``sync_fault_stats`` are
+      driver-only, called between delivery rounds when no rank section
+      is in flight.
+
+    Fault counters are accumulated in per-rank cells and folded into the
+    shared :class:`~repro.runtime.instrumentation.FaultStats` by absolute
+    assignment at barriers (``sync_fault_stats``), because ``+=`` on a
+    shared field would race under concurrent rank sections.
+    """
+
+    def __init__(self, transport: "Transport", retry_timeout: int = 4,
+                 retry_backoff: float = 2.0, max_retries: int = 32,
+                 fault_stats: FaultStats | None = None,
+                 stats_for: Callable[[int], MessageStats] | None = None) -> None:
+        self.transport = transport
+        ws = transport.world_size
+        self.world_size = ws
+        self.retry_timeout = int(retry_timeout)
+        self.retry_backoff = float(retry_backoff)
+        self.max_retries = int(max_retries)
+        self.fault_stats: FaultStats = (
+            fault_stats if fault_stats is not None else FaultStats())
+        self._stats_for = (stats_for if stats_for is not None
+                           else (lambda rank: transport.stats))
+        #: Delivery-round clock; advanced by :meth:`tick`.
+        self.clock = 0
+        #: Ranks the supervisor has excluded: sends to them are dropped
+        #: without registering (nothing to await from a dead peer).
+        self.dead: Set[int] = set()
+        # _next[src][dest] -> next per-pair sequence number.
+        self._next: List[List[int]] = [[0] * ws for _ in range(ws)]
+        # _unacked[src][dest] -> {rel_seq: [payload, nbytes, attempts,
+        #                                   sent_tick, first_tick]}
+        self._unacked: List[List[Dict[int, list]]] = [
+            [dict() for _ in range(ws)] for _ in range(ws)]
+        # _seen[dest][src] -> delivered rel_seqs (receiver dedup).
+        self._seen: List[List[set]] = [
+            [set() for _ in range(ws)] for _ in range(ws)]
+        # _ack_pending[receiver][sender] -> rel_seqs to ack this round.
+        self._ack_pending: List[List[List[int]]] = [
+            [[] for _ in range(ws)] for _ in range(ws)]
+        # Per-rank counter cells (see class docstring).
+        self._c_acks = [0] * ws
+        self._c_retransmits = [0] * ws
+        self._c_dups = [0] * ws
+        self._c_exhausted = [0] * ws
+
+    # -- send side (rank-confined to src) -------------------------------------
+
+    def send(self, src: int, dest: int, payload: Any, nbytes: int) -> None:
+        """Frame ``payload`` with the next ``(src, dest)`` sequence
+        number, register it for retransmission, and deliver."""
+        if dest in self.dead:
+            return
+        rel_seq = self._next[src][dest]
+        self._next[src][dest] = rel_seq + 1
+        self._unacked[src][dest][rel_seq] = [
+            payload, nbytes, 0, self.clock, self.clock]
+        self.transport.deliver(src, dest, (REL_TAG, rel_seq, payload))
+
+    # -- receive side (rank-confined to dest) ---------------------------------
+
+    def on_receive(self, dest: int, src: int, rel_seq: int) -> bool:
+        """Record receipt of frame ``rel_seq``; returns True when the
+        inner payload should be processed (first delivery) and False for
+        duplicates.  Always queues a positive ack — the sender needs to
+        stop retransmitting either way."""
+        self._ack_pending[dest][src].append(rel_seq)
+        seen = self._seen[dest][src]
+        if rel_seq in seen:
+            self._c_dups[dest] += 1
+            return False
+        seen.add(rel_seq)
+        return True
+
+    def on_ack(self, owner: int, peer: int, rel_seqs: Iterable[int]) -> None:
+        """Retire acked sequence numbers for ``owner``'s sends to ``peer``."""
+        unacked = self._unacked[owner][peer]
+        for rel_seq in rel_seqs:
+            unacked.pop(rel_seq, None)
+
+    def flush_acks_for(self, receiver: int) -> None:
+        """Ship ``receiver``'s accumulated acks, one batched control
+        message per sender — the piggyback model: acks ride the next
+        delivery round rather than each costing a latency."""
+        row = self._ack_pending[receiver]
+        transport = self.transport
+        net = transport.net
+        for sender in range(self.world_size):
+            seqs = row[sender]
+            if not seqs:
+                continue
+            row[sender] = []
+            offnode = transport.is_offnode(receiver, sender)
+            nbytes = ACK_SEQ_BYTES * len(seqs)
+            self._stats_for(receiver).record("ack", nbytes, offnode)
+            transport.ledger.charge(
+                receiver, net.message_cost(nbytes, offnode))
+            self._c_acks[receiver] += 1
+            transport.deliver(receiver, sender, (ACK_TAG, tuple(seqs)))
+
+    def flush_acks(self) -> None:
+        """Driver-side variant: flush every receiver's pending acks."""
+        for receiver in range(self.world_size):
+            self.flush_acks_for(receiver)
+
+    # -- driver-side clock -----------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the delivery-round clock and retransmit unacked
+        messages whose backoff window expired.  Raises
+        :class:`~repro.errors.FaultToleranceError` past the retry
+        budget.  Driver-only: no rank section may be in flight."""
+        self.clock += 1
+        transport = self.transport
+        for src in range(self.world_size):
+            row = self._unacked[src]
+            for dest in range(self.world_size):
+                unacked = row[dest]
+                if not unacked:
+                    continue
+                offnode = transport.is_offnode(src, dest)
+                for rel_seq, entry in list(unacked.items()):
+                    payload, nbytes, attempts, sent_tick, _first = entry
+                    window = min(
+                        self.retry_timeout * (self.retry_backoff ** attempts),
+                        MAX_BACKOFF_TICKS)
+                    if self.clock - sent_tick < window:
+                        continue
+                    if attempts >= self.max_retries:
+                        self._c_exhausted[src] += 1
+                        self.sync_fault_stats()
+                        raise FaultToleranceError(
+                            f"message {src}->{dest} unacked after "
+                            f"{attempts} retransmits; network unrecoverable",
+                            src=src, dest=dest, attempts=attempts)
+                    entry[2] = attempts + 1
+                    entry[3] = self.clock
+                    self._c_retransmits[src] += 1
+                    self._stats_for(src).record("retransmit", nbytes, offnode)
+                    transport.ledger.charge(
+                        src, transport.net.message_cost(nbytes, offnode))
+                    transport.deliver(src, dest, (REL_TAG, rel_seq, payload))
+
+    def pending(self) -> bool:
+        return any(d for row in self._unacked for d in row)
+
+    def overdue_dests(self, age: int) -> Set[int]:
+        """Destination ranks with at least one frame unacked for
+        ``age`` or more ticks since it was *first* sent — the raw signal
+        the comm layer's failure detector combines with last-progress
+        tracking."""
+        stuck: Set[int] = set()
+        threshold = self.clock - age
+        for src in range(self.world_size):
+            for dest, unacked in enumerate(self._unacked[src]):
+                if dest in stuck or not unacked:
+                    continue
+                for entry in unacked.values():
+                    if entry[4] <= threshold:
+                        stuck.add(dest)
+                        break
+        return stuck
+
+    # -- failure marking / recovery -------------------------------------------
+
+    def mark_dead(self, ranks: Iterable[int]) -> None:
+        """Purge state involving ``ranks`` and drop future sends to them
+        (degraded mode: nothing is owed to or expected from a dead peer).
+        ``_seen`` and ``_next`` survive so a revived rank's new frames
+        are not mistaken for replays of old ones."""
+        for r in ranks:
+            self.dead.add(r)
+            for other in range(self.world_size):
+                self._unacked[r][other].clear()
+                self._unacked[other][r].clear()
+                self._ack_pending[r][other].clear()
+                self._ack_pending[other][r].clear()
+
+    def revive(self, ranks: Iterable[int] | None = None) -> None:
+        if ranks is None:
+            self.dead.clear()
+        else:
+            self.dead.difference_update(ranks)
+
+    def reset(self) -> None:
+        """Discard all in-flight bookkeeping (crash-recovery reset: the
+        driver replays from a checkpoint, so nothing from the failed
+        epoch may be retransmitted or deduplicated against)."""
+        for s in range(self.world_size):
+            for d in range(self.world_size):
+                self._next[s][d] = 0
+                self._unacked[s][d].clear()
+                self._seen[s][d].clear()
+                self._ack_pending[s][d].clear()
+
+    def sync_fault_stats(self) -> None:
+        """Fold the per-rank counter cells into the shared
+        :class:`FaultStats` by absolute assignment (idempotent, safe to
+        repeat at every barrier).  Driver-only."""
+        fs = self.fault_stats
+        fs.acks_sent = sum(self._c_acks)
+        fs.retransmits = sum(self._c_retransmits)
+        fs.duplicates_suppressed = sum(self._c_dups)
+        fs.retry_budget_exhausted = sum(self._c_exhausted)
 
 
 class Transport:
@@ -57,6 +305,15 @@ class Transport:
         self.ledger = ledger
         self.stats = MessageStats()
         self.injector = None
+        #: Reliable-delivery layer; None until
+        #: :meth:`enable_reliability` attaches one.
+        self.reliability: ReliableDelivery | None = None
+        #: Ranks the supervisor has declared failed (degraded mode);
+        #: traffic touching them is discarded.  Kept distinct from the
+        #: injector's crash set: injector crashes are the *simulated
+        #: cause*, marks are the *runtime's verdict* — a backend with no
+        #: injector still marks ranks it detects as dead.
+        self.marked_failed: Set[int] = set()
         #: Collective invocations (allreduce/gather/allgather/bcast/
         #: alltoallv) — driven by the same driver code on every backend,
         #: so the ``transport.collectives`` metric is conformant across
@@ -89,10 +346,14 @@ class Transport:
                 fault_exempt: bool = False) -> None:
         """Enqueue ``item`` into ``dest``'s mailbox (already-flushed
         data).  Subclasses may perturb remote deliveries (fault
-        injection); the base form is an exact FIFO append."""
+        injection); the base form is an exact FIFO append.  Traffic
+        touching a marked-failed rank is discarded on every transport."""
         self._check_alive()
         if not 0 <= dest < self.world_size:
             raise RuntimeStateError(f"destination rank {dest} out of range")
+        if self.marked_failed and (src in self.marked_failed
+                                   or dest in self.marked_failed):
+            return
         self._mailboxes[dest].append((src, item))
 
     def self_append(self, rank: int) -> Callable[[Tuple[int, Any]], None]:
@@ -106,6 +367,48 @@ class Transport:
         """Advance injected-delay clocks one tick; returns how many
         held messages were released (0 on transports without faults)."""
         return 0
+
+    # -- reliability and failure marking ---------------------------------------
+
+    def enable_reliability(self, retry_timeout: int = 4,
+                           retry_backoff: float = 2.0, max_retries: int = 32,
+                           fault_stats: FaultStats | None = None,
+                           stats_for: Callable[[int], MessageStats] | None = None,
+                           ) -> ReliableDelivery:
+        """Attach (and return) a :class:`ReliableDelivery` layer.  The
+        comm layer calls this when constructed with ``reliable=True``;
+        the transport holds the reference so failure marking and repair
+        stay coherent with the reliability state."""
+        self.reliability = ReliableDelivery(
+            self, retry_timeout=retry_timeout, retry_backoff=retry_backoff,
+            max_retries=max_retries, fault_stats=fault_stats,
+            stats_for=stats_for)
+        return self.reliability
+
+    def mark_failed(self, ranks: Iterable[int]) -> None:
+        """Record ``ranks`` as dead: their traffic is discarded and the
+        reliability layer (when attached) stops awaiting their acks."""
+        ranks = set(ranks)
+        self.marked_failed |= ranks
+        if self.reliability is not None:
+            self.reliability.mark_dead(ranks)
+
+    def failed_ranks(self) -> Set[int]:
+        """The union of supervisor-marked and injector-crashed ranks —
+        the uniform failure signal every backend reports."""
+        failed = set(self.marked_failed)
+        if self.injector is not None:
+            failed |= self.injector.crashed
+        return failed
+
+    def repair_all(self) -> None:
+        """Re-admit every failed rank: clear marks, revive the
+        reliability layer's dead set, and repair injector crashes."""
+        self.marked_failed.clear()
+        if self.reliability is not None:
+            self.reliability.revive()
+        if self.injector is not None:
+            self.injector.repair_all()
 
     def clear_mailboxes(self) -> None:
         """Discard all undelivered traffic (crash-recovery reset)."""

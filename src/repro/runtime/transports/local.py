@@ -16,22 +16,36 @@ Concurrency contract (the PR-2 ownership rules, now load-bearing):
 - all other per-rank state (send buffers, RNGs, shards, heaps) is
   owned by exactly one rank and only ever touched from that rank's
   section — the mailboxes are the *only* cross-rank channel,
-- collectives and ``clear_mailboxes`` are driver-only operations,
-  called between phases when no rank section is running.
+- collectives, ``clear_mailboxes``, and ``release_due_faults`` are
+  driver-only operations, called between phases/rounds when no rank
+  section is running.
 
-Sim-only features are structurally absent rather than silently ignored:
-the constructor refuses a fault injector, and the ledger is a
-:class:`~repro.runtime.netmodel.NullLedger` (no cost model — the
-backend's figure of merit is the host wall clock, not simulated
-seconds).  Requesting those features on the parallel backend raises
-:class:`~repro.errors.ConfigError` at :class:`~repro.core.dnnd.DNND`
-construction.
+Fault injection is supported: the injector's RNG and statistics are
+shared mutable state reached from concurrent producers, so every
+consultation is serialized through one lock.  Delivery under faults is
+therefore linearized but *not* deterministic — thread scheduling decides
+the order producers draw injector decisions, so two runs under the same
+plan see different per-message fault schedules (crash schedules remain
+deterministic: they advance driver-side per iteration).  Reliable
+delivery masks whichever schedule occurs, which is exactly the
+equivalence the conformance suite pins.  Reorder/stall decorations are
+not consulted here: parallel delivery order is already
+scheduler-dependent and there is no modeled clock to charge stalls to.
+
+The cost model stays sim-only: the ledger is a
+:class:`~repro.runtime.netmodel.NullLedger` (the backend's figure of
+merit is the host wall clock, not simulated seconds) and passing a
+``net`` model raises :class:`~repro.errors.ConfigError`.
 """
 
 from __future__ import annotations
 
+import threading
+from typing import Any
+
 from ...config import ClusterConfig
-from ...errors import ConfigError
+from ...errors import ConfigError, RuntimeStateError
+from ..faults import FaultInjector
 from ..netmodel import NetworkModel, NullLedger
 from .base import Transport
 
@@ -52,10 +66,16 @@ class LocalTransport(Transport):
         attached so code that reads constants (e.g. scalar handlers
         calling ``ctx.charge_distance``) keeps working against the
         discarding ledger.
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; when set,
+        remote deliveries consult it (under the fault lock) for
+        drop/duplicate/delay decisions and traffic touching a crashed
+        rank is discarded.
     """
 
     def __init__(self, config: ClusterConfig,
-                 net: NetworkModel | None = None) -> None:
+                 net: NetworkModel | None = None,
+                 injector: FaultInjector | None = None) -> None:
         if net is not None:
             raise ConfigError(
                 "the cost model is sim-only: NetworkModel constants have "
@@ -63,3 +83,54 @@ class LocalTransport(Transport):
                 "for cost-modeled runs)")
         super().__init__(config, None,
                          NullLedger(world_size=config.world_size))
+        self.injector = injector
+        self._fault_lock = threading.Lock()
+
+    def deliver(self, src: int, dest: int, item: Any,
+                fault_exempt: bool = False) -> None:
+        self._check_alive()
+        if not 0 <= dest < self.world_size:
+            raise RuntimeStateError(f"destination rank {dest} out of range")
+        if self.marked_failed and (src in self.marked_failed
+                                   or dest in self.marked_failed):
+            return
+        inj = self.injector
+        if inj is not None and not fault_exempt:
+            # One lock serializes every injector consultation: the RNG
+            # stream and fault counters are shared state reached from
+            # concurrent producer threads.
+            with self._fault_lock:
+                if inj.is_crashed(src) or inj.is_crashed(dest):
+                    inj.stats.crash_dropped += 1
+                    return
+                delays = inj.on_deliver(src, dest) if src != dest else None
+                if delays is not None:
+                    for delay in delays:
+                        if delay == 0:
+                            self._mailboxes[dest].append((src, item))
+                        else:
+                            inj.hold(delay, src, dest, item)
+                    return
+        self._mailboxes[dest].append((src, item))
+
+    def release_due_faults(self) -> int:
+        """Advance the injector's delay clock one tick and deliver any
+        now-due delayed messages.  Driver-only (called between barrier
+        rounds with no rank section in flight); the lock still guards
+        against a straggling producer mid-``deliver``."""
+        inj = self.injector
+        if inj is None:
+            return 0
+        with self._fault_lock:
+            due = inj.tick()
+            released = 0
+            for src, dest, item in due:
+                if inj.is_crashed(src) or inj.is_crashed(dest):
+                    inj.stats.crash_dropped += 1
+                    continue
+                if self.marked_failed and (src in self.marked_failed
+                                           or dest in self.marked_failed):
+                    continue
+                self._mailboxes[dest].append((src, item))
+                released += 1
+            return released

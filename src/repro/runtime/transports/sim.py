@@ -62,6 +62,9 @@ class SimCluster(Transport):
         self._check_alive()
         if not 0 <= dest < self.world_size:
             raise RuntimeStateError(f"destination rank {dest} out of range")
+        if self.marked_failed and (src in self.marked_failed
+                                   or dest in self.marked_failed):
+            return
         inj = self.injector
         if inj is not None and not fault_exempt:
             if inj.is_crashed(src) or inj.is_crashed(dest):
@@ -86,6 +89,9 @@ class SimCluster(Transport):
         for src, dest, item in due:
             if inj.is_crashed(src) or inj.is_crashed(dest):
                 inj.stats.crash_dropped += 1
+                continue
+            if self.marked_failed and (src in self.marked_failed
+                                       or dest in self.marked_failed):
                 continue
             self._mailboxes[dest].append((src, item))
         return len(due)

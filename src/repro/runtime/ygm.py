@@ -28,10 +28,14 @@ further async calls and charge modeled compute time.
 
 **Reliable delivery mode.**  With a fault injector attached to the
 cluster (:mod:`.faults`) the network may drop, duplicate, delay, or
-reorder traffic.  ``reliable=True`` turns on a TCP-style recovery layer
-so handler effects stay *effectively-once*:
+reorder traffic.  ``reliable=True`` attaches the transport-level
+recovery layer (:class:`~repro.runtime.transports.base.ReliableDelivery`
+— backend-agnostic: it works identically over :class:`SimCluster` and
+:class:`LocalTransport`) so handler effects stay *effectively-once*:
 
-- every remote message carries a per-``(src, dest)`` sequence number,
+- every remote wire item is framed with a per-``(src, dest)`` sequence
+  number (the sim backend frames individual calls; the parallel backend
+  frames whole flush envelopes as single reliable units),
 - receivers acknowledge sequence numbers positively; acks are batched
   per peer and piggybacked at the end of each delivery round,
 - unacknowledged messages are retransmitted after a timeout (measured
@@ -41,6 +45,16 @@ so handler effects stay *effectively-once*:
   corrupting the build,
 - receivers remember delivered sequence numbers and suppress duplicate
   handler invocations (retransmits and injected duplicates alike).
+
+**Failure detection.**  Every barrier surfaces
+:class:`~repro.errors.RankFailureError` uniformly from any transport
+when a rank is known dead (injector crash set or supervisor mark), and —
+with ``failure_timeout`` configured in reliable mode — when the
+heartbeat detector sees a rank with an overdue unacked frame that has
+made no delivery progress for that many rounds.  Detections are counted
+in ``fault_stats.detected``; the DNND supervisor decides whether to
+recover, exclude (degraded mode via :meth:`YGMWorld.exclude_ranks`), or
+abort.
 
 Every message additionally carries a *global send sequence* number (one
 counter per world, stamped at ``async_call`` time, exposed to handlers
@@ -65,12 +79,7 @@ from typing import Any, Callable, Dict, List, Tuple
 import numpy as np
 
 from ..analysis.sanitizer import OwnedState, Sanitizer, sanitizer_requested
-from ..errors import (
-    ConfigError,
-    FaultToleranceError,
-    RankFailureError,
-    RuntimeStateError,
-)
+from ..errors import RankFailureError, RuntimeStateError
 from ..utils.rng import derive_rng
 from .instrumentation import FaultStats, MessageStats
 from .metrics import NULL_METRICS, MetricsRegistry
@@ -78,10 +87,12 @@ from .transports.base import Transport
 
 Handler = Callable[..., None]
 
-# Mailbox payload tags.  SimCluster is payload-agnostic; these are the
-# YGM layer's wire formats.
+# Mailbox payload tags.  Transports are payload-agnostic; these are the
+# YGM layer's wire formats.  The reliability frames ("rel"/"ack") are
+# owned by the transport layer (transports.base) and wrap any of the
+# other items as their inner payload.
 _CALL = "call"        # ("call", send_seq, handler, args)
-_REL = "rel"          # ("rel", rel_seq, send_seq, handler, args)
+_REL = "rel"          # ("rel", rel_seq, inner_payload)
 _ACK = "ack"          # ("ack", (rel_seq, ...))
 _BATCH = "bflush"     # ("bflush", [(handler, args, send_seq, nbytes), ...])
 # Parallel-executor wire formats: flushes ship one handler-homogeneous
@@ -89,13 +100,6 @@ _BATCH = "bflush"     # ("bflush", [(handler, args, send_seq, nbytes), ...])
 # plus at most one scalar envelope preserving send order and stamps.
 _HBATCH = "hflush"    # ("hflush", handler, [args, ...])
 _SBATCH = "sflush"    # ("sflush", [(handler, args, send_seq), ...])
-
-# Modeled size of one acked sequence number on the wire.
-_ACK_SEQ_BYTES = 4
-
-# Retransmit backoff is capped so a stuck message spins the barrier loop
-# a bounded number of rounds per retry instead of 2**attempts.
-_MAX_BACKOFF_TICKS = 32
 
 
 class RankContext:
@@ -177,15 +181,22 @@ class YGMWorld:
     max_retries:
         Retransmit budget per message; exceeding it raises
         :class:`~repro.errors.FaultToleranceError`.
+    failure_timeout:
+        Delivery rounds without progress after which a rank with an
+        overdue unacked frame is declared failed
+        (:class:`~repro.errors.RankFailureError`).  ``None`` (default)
+        disables the heartbeat detector; it needs ``reliable=True`` for
+        the ack signal.
     executor:
         Scheduling policy for per-rank sections (duck-typed — see
         :mod:`repro.core.executor`).  ``None`` or a non-parallel
         executor keeps the historical inline deterministic behaviour
         byte-for-byte.  A parallel executor switches the comm layer to
         per-rank send-sequence counters and statistics sinks (merged at
-        each barrier) and drains rank mailboxes concurrently; reliable
-        delivery and fault injection are sim-only and raise
-        :class:`~repro.errors.ConfigError` when combined with it.
+        each barrier) and drains rank mailboxes concurrently.  Reliable
+        delivery and fault injection work on both: the parallel backend
+        frames flush envelopes as single reliable units and serializes
+        injector decisions through the transport's fault lock.
     """
 
     def __init__(self, cluster: Transport, flush_threshold: int = 1024,
@@ -193,6 +204,7 @@ class YGMWorld:
                  seed: int = 0, reliable: bool = False,
                  retry_timeout: int = 4, retry_backoff: float = 2.0,
                  max_retries: int = 32,
+                 failure_timeout: int | None = None,
                  sanitize: bool | None = None,
                  executor: Any | None = None,
                  metrics: MetricsRegistry | None = None) -> None:
@@ -204,6 +216,8 @@ class YGMWorld:
             raise RuntimeStateError("retry_timeout must be >= 1")
         if max_retries < 1:
             raise RuntimeStateError("max_retries must be >= 1")
+        if failure_timeout is not None and failure_timeout < 1:
+            raise RuntimeStateError("failure_timeout must be >= 1")
         # Ownership sanitizer (repro.analysis): None when off, so every
         # runtime guard is a single attribute test.
         if sanitize is None:
@@ -256,16 +270,6 @@ class YGMWorld:
                               and getattr(executor, "parallel", False))
         self._tls = threading.local()
         if self._parallel:
-            if reliable:
-                raise ConfigError(
-                    "reliable delivery is sim-only: the parallel executor "
-                    "has no delivery-round clock to drive the ack/"
-                    "retransmit layer (use backend='sim')")
-            if getattr(cluster, "injector", None) is not None:
-                raise ConfigError(
-                    "fault injection is sim-only: the parallel executor "
-                    "cannot honour deterministic drop/delay schedules "
-                    "(use backend='sim')")
             ws = cluster.world_size
             # Per-rank send sequences: rank r stamps cnt * ws + r, so
             # stamps stay globally unique without a shared counter.
@@ -301,7 +305,8 @@ class YGMWorld:
             # of one per momentarily-empty mailbox.
             self._rank_groups: List[Dict[str, list]] = [
                 {} for _ in range(ws)]
-        # Reliable-delivery state (allocated lazily; None when off).
+        # Reliable delivery: the transport-level state machine (shared by
+        # both backends — see transports.base.ReliableDelivery).
         self.reliable = bool(reliable)
         self.retry_timeout = int(retry_timeout)
         self.retry_backoff = float(retry_backoff)
@@ -311,25 +316,26 @@ class YGMWorld:
         self.fault_stats: FaultStats = (
             injector.stats if injector is not None else FaultStats())
         if self.reliable:
-            # _rel_next[src][dest] -> next per-pair sequence number.
-            self._rel_next = [[0] * self.world_size
-                              for _ in range(self.world_size)]
-            # _rel_unacked[src][dest] -> {rel_seq: [handler, args, send_seq,
-            #                                       nbytes, attempts, sent_tick]}
-            self._rel_unacked: List[List[Dict[int, list]]] = [
-                [dict() for _ in range(self.world_size)]
-                for _ in range(self.world_size)
-            ]
-            # _rel_seen[dest][src] -> delivered rel_seqs (receiver dedup).
-            self._rel_seen: List[List[set]] = [
-                [set() for _ in range(self.world_size)]
-                for _ in range(self.world_size)
-            ]
-            # _ack_pending[receiver][sender] -> rel_seqs to ack this round.
-            self._ack_pending: List[List[List[int]]] = [
-                [[] for _ in range(self.world_size)]
-                for _ in range(self.world_size)
-            ]
+            # Control-traffic stats sinks: the shared transport stats
+            # under sim (driver thread only), per-rank sinks under the
+            # parallel executor (ack flushes run on rank threads).
+            stats_for = ((lambda r: self._rank_stats[r]) if self._parallel
+                         else None)
+            self._rel = cluster.enable_reliability(
+                retry_timeout=self.retry_timeout,
+                retry_backoff=self.retry_backoff,
+                max_retries=self.max_retries,
+                fault_stats=self.fault_stats,
+                stats_for=stats_for)
+        else:
+            self._rel = None
+        # Failure detection (heartbeat) and degraded-mode state.
+        self.failure_timeout = (None if failure_timeout is None
+                                else int(failure_timeout))
+        self._last_progress = [0] * self.world_size
+        #: Ranks the supervisor has excluded from the build (degraded
+        #: mode); SPMD sections skip them until readmit_ranks().
+        self.excluded_ranks: set = set()
 
     @property
     def injector(self):
@@ -433,6 +439,10 @@ class YGMWorld:
         dispatches = getattr(self._executor, "dispatches", None)
         m.set_counter("executor.dispatches",
                       dispatches if dispatches is not None else 0)
+        # Degraded-mode visibility: how many ranks are currently
+        # excluded from the build (0 outside degraded mode — published
+        # unconditionally so both backends emit the same names).
+        m.set_gauge("degraded.ranks", float(len(self.excluded_ranks)))
 
     # -- sending ------------------------------------------------------------
 
@@ -739,9 +749,14 @@ class YGMWorld:
         counts_src = self._pbuf_count[src]
         buffer_bytes_src = self._buffer_bytes[src]
         offrow = self._offnode[src]
-        # No injector under the parallel executor (rejected at
-        # construction), so local delivery is a plain mailbox append.
-        local_deliver = self.cluster.self_append(src)
+        if self.injector is None:
+            # Injector-free local delivery is a plain mailbox append
+            # (deliver()'s checks cannot fire — mirrors emit_run).
+            local_deliver = self.cluster.self_append(src)
+        else:
+            deliver = self.cluster.deliver
+            local_deliver = (lambda item:
+                             deliver(src, src, item[1]))
         flush = self._flush_parallel
         ft = self.flush_threshold
         ftb = self.flush_threshold_bytes
@@ -796,19 +811,31 @@ class YGMWorld:
         handler (the drain adopts the args list wholesale) plus at most
         one scalar envelope preserving send order and stamps.  The cost
         ledger is sim-only, so no charge here; rank-confined, so drain
-        tasks flush their own buffers mid-round."""
+        tasks flush their own buffers mid-round.
+
+        Under reliable delivery each envelope is framed as ONE reliable
+        unit — a dropped envelope is retransmitted and a duplicated one
+        deduplicated wholesale (retransmit byte accounting carries 0:
+        the parallel backend has no modeled byte costs)."""
         pb = self._pbuf[src][dest]
         sc = self._pbuf_scalar[src][dest]
         if not pb and not sc:
             return
         self._rank_flush[src] += 1
+        rel = self._rel
         deliver = self.cluster.deliver
         if pb:
             for h, lst in pb.items():
-                deliver(src, dest, (_HBATCH, h, lst))
+                if rel is not None:
+                    rel.send(src, dest, (_HBATCH, h, lst), 0)
+                else:
+                    deliver(src, dest, (_HBATCH, h, lst))
             pb.clear()
         if sc:
-            deliver(src, dest, (_SBATCH, sc))
+            if rel is not None:
+                rel.send(src, dest, (_SBATCH, sc), 0)
+            else:
+                deliver(src, dest, (_SBATCH, sc))
             self._pbuf_scalar[src][dest] = []
         self._pbuf_count[src][dest] = 0
         self._buffer_bytes[src][dest] = 0
@@ -849,14 +876,10 @@ class YGMWorld:
             order = inj.maybe_reorder(len(buf))
             if order is not None:
                 buf = [buf[int(i)] for i in order]
+        rel = self._rel
         for handler, args, seq, msg_nbytes in buf:
-            if self.reliable:
-                rel_seq = self._rel_next[src][dest]
-                self._rel_next[src][dest] = rel_seq + 1
-                self._rel_unacked[src][dest][rel_seq] = [
-                    handler, args, seq, msg_nbytes, 0, self._tick]
-                self.cluster.deliver(src, dest,
-                                     (_REL, rel_seq, seq, handler, args))
+            if rel is not None:
+                rel.send(src, dest, (_CALL, seq, handler, args), msg_nbytes)
             else:
                 self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
         self._buffers[src][dest] = []
@@ -888,11 +911,15 @@ class YGMWorld:
         ran = 0
         batch_handlers = self._batch_handlers
         handlers = self._handlers
+        rel = self._rel
         for rank in range(self.world_size):
             ctx = self.ranks[rank]
             # Snapshot the queue length so messages enqueued by handlers
             # in this round are processed in a later round (fair order).
             pending = self.cluster.mailbox_len(rank)
+            if pending:
+                # Heartbeat signal: the rank is draining traffic.
+                self._last_progress[rank] = self._tick
             run_handler: str | None = None
             run_args: list = []
             for _ in range(pending):
@@ -901,6 +928,16 @@ class YGMWorld:
                     break
                 src, payload = item
                 tag = payload[0]
+                if tag == _REL:
+                    # Reliability frame: ack/dedup at the transport
+                    # layer, then fall through with the inner payload.
+                    if not rel.on_receive(rank, src, payload[1]):
+                        continue
+                    payload = payload[2]
+                    tag = payload[0]
+                elif tag == _ACK:
+                    rel.on_ack(rank, src, payload[1])
+                    continue
                 if tag == _BATCH:
                     # A flushed buffer delivered whole: same entries, in
                     # the same order, as per-message delivery would give.
@@ -939,23 +976,7 @@ class YGMWorld:
                         self.handler_invocations += 1
                         ran += 1
                     continue
-                if tag == _CALL:
-                    _tag, seq, handler, args = payload
-                elif tag == _REL:
-                    _tag, rel_seq, seq, handler, args = payload
-                    # Positive ack regardless of dedup outcome: the
-                    # sender needs to stop retransmitting either way.
-                    self._ack_pending[rank][src].append(rel_seq)
-                    seen = self._rel_seen[rank][src]
-                    if rel_seq in seen:
-                        self.fault_stats.duplicates_suppressed += 1
-                        continue
-                    seen.add(rel_seq)
-                else:  # _ACK
-                    unacked = self._rel_unacked[rank][src]
-                    for rel_seq in payload[1]:
-                        unacked.pop(rel_seq, None)
-                    continue
+                _tag, seq, handler, args = payload
                 if handler in batch_handlers:
                     if run_handler is not None and run_handler != handler:
                         ran += self._run_batch(ctx, run_handler, run_args)
@@ -975,8 +996,8 @@ class YGMWorld:
                 ran += 1
             if run_handler is not None:
                 ran += self._run_batch(ctx, run_handler, run_args)
-        if self.reliable:
-            self._flush_acks()
+        if rel is not None:
+            rel.flush_acks()
         return ran
 
     def _run_batch(self, ctx: RankContext, handler: str,
@@ -987,67 +1008,44 @@ class YGMWorld:
         self.handler_invocations += n
         return n
 
-    def _flush_acks(self) -> None:
-        """Ship this round's accumulated acks, one batched control
-        message per (receiver, sender) pair — the piggyback model: acks
-        ride the next flush rather than each costing a latency."""
-        net = self.cluster.net
-        for receiver in range(self.world_size):
-            row = self._ack_pending[receiver]
-            for sender in range(self.world_size):
-                seqs = row[sender]
-                if not seqs:
-                    continue
-                row[sender] = []
-                offnode = self.cluster.is_offnode(receiver, sender)
-                nbytes = _ACK_SEQ_BYTES * len(seqs)
-                self.cluster.stats.record("ack", nbytes, offnode)
-                self.cluster.ledger.charge(
-                    receiver, net.message_cost(nbytes, offnode))
-                self.fault_stats.acks_sent += 1
-                self.cluster.deliver(receiver, sender, (_ACK, tuple(seqs)))
-
-    def _reliable_tick(self) -> None:
-        """Retransmit unacked messages whose backoff window expired."""
-        for src in range(self.world_size):
-            for dest in range(self.world_size):
-                unacked = self._rel_unacked[src][dest]
-                if not unacked:
-                    continue
-                offnode = self.cluster.is_offnode(src, dest)
-                for rel_seq, entry in list(unacked.items()):
-                    handler, args, seq, nbytes, attempts, sent_tick = entry
-                    window = min(
-                        self.retry_timeout * (self.retry_backoff ** attempts),
-                        _MAX_BACKOFF_TICKS)
-                    if self._tick - sent_tick < window:
-                        continue
-                    if attempts >= self.max_retries:
-                        self.fault_stats.retry_budget_exhausted += 1
-                        raise FaultToleranceError(
-                            f"message {handler!r} {src}->{dest} unacked after "
-                            f"{attempts} retransmits; network unrecoverable",
-                            src=src, dest=dest, attempts=attempts)
-                    entry[4] = attempts + 1
-                    entry[5] = self._tick
-                    self.fault_stats.retransmits += 1
-                    self.cluster.stats.record("retransmit", nbytes, offnode)
-                    self.cluster.ledger.charge(
-                        src, self.cluster.net.message_cost(nbytes, offnode))
-                    self.cluster.deliver(src, dest,
-                                         (_REL, rel_seq, seq, handler, args))
-
     def _reliable_pending(self) -> bool:
-        return self.reliable and any(
-            self._rel_unacked[s][d]
-            for s in range(self.world_size)
-            for d in range(self.world_size)
-        )
+        return self._rel is not None and self._rel.pending()
 
     def _check_crashed(self) -> None:
-        inj = self.injector
-        if inj is not None and inj.crashed:
-            raise RankFailureError(inj.crashed)
+        """Uniform failure surfacing: raise
+        :class:`~repro.errors.RankFailureError` when the transport knows
+        of a dead rank the supervisor has not excluded (injector crash
+        set or supervisor mark, on any backend)."""
+        cluster = self.cluster
+        inj = cluster.injector
+        if (inj is None or not inj.crashed) and not cluster.marked_failed:
+            return
+        failed = cluster.failed_ranks() - self.excluded_ranks
+        if failed:
+            self.fault_stats.detected += len(failed)
+            raise RankFailureError(failed)
+
+    def _check_failure_timeout(self) -> None:
+        """Heartbeat detector: a rank holding up an unacked frame for
+        ``failure_timeout`` delivery rounds that has also drained
+        nothing for that long is declared failed — the transport marks
+        it (purging its reliability state so peers stop waiting) and the
+        barrier surfaces :class:`~repro.errors.RankFailureError`."""
+        ft = self.failure_timeout
+        rel = self._rel
+        if ft is None or rel is None:
+            return
+        stuck = rel.overdue_dests(ft)
+        if not stuck:
+            return
+        tick = self._tick
+        failed = {r for r in stuck
+                  if tick - self._last_progress[r] >= ft
+                  and r not in self.excluded_ranks}
+        if failed:
+            self.cluster.mark_failed(failed)
+            self.fault_stats.detected += len(failed)
+            raise RankFailureError(failed)
 
     def barrier(self, phase: str | None = None) -> float:
         """Flush everything and run handlers until global quiescence, then
@@ -1066,6 +1064,7 @@ class YGMWorld:
             raise RuntimeStateError("nested barrier (handler called barrier)")
         self._in_barrier = True
         inj = self.injector
+        rel = self._rel
         try:
             while True:
                 self._check_crashed()
@@ -1084,8 +1083,11 @@ class YGMWorld:
                 # messages and retransmit overdue unacked ones.
                 self._tick += 1
                 self.cluster.release_due_faults()
-                if self.reliable:
-                    self._reliable_tick()
+                if rel is not None:
+                    rel.tick()
+                self._check_failure_timeout()
+            if rel is not None:
+                rel.sync_fault_stats()
             self.async_count_since_barrier = 0
             duration = self.cluster.ledger.barrier(
                 self.cluster.net, phase or self._phase)
@@ -1114,18 +1116,37 @@ class YGMWorld:
             collect = self._drain_rank
             execute = self._execute_groups_rank
             ws = self.world_size
+            cluster = self.cluster
+            rel = self._rel
+            inj = self.injector
             self.flush_all()
             while True:
+                self._check_crashed()
                 executor.map_ranks(collect, ws)
                 ran = executor.map_ranks(execute, ws)
                 # All tasks have joined, so every in-flight message is
-                # sitting in a mailbox, a send buffer, or a group.
-                # ran == 0 means every group was empty when the execute
-                # pass looked (the collect pass found nothing to batch),
-                # so empty mailboxes + empty buffers IS quiescence.
-                if (ran == 0 and self.cluster.all_quiescent()
-                        and not self._has_buffered()):
+                # sitting in a mailbox, a send buffer, a group, the
+                # injector's delay queue, or the reliability layer's
+                # unacked window.  ran == 0 means every group was empty
+                # when the execute pass looked (the collect pass found
+                # nothing to batch), so empty mailboxes + empty buffers
+                # + no pending recovery work IS quiescence.
+                if (ran == 0 and cluster.all_quiescent()
+                        and not self._has_buffered()
+                        and (rel is None or not rel.pending())
+                        and (inj is None or inj.pending_delayed() == 0)):
                     break
+                # Advance delivery time between rounds — driver-only,
+                # with no rank section in flight: release due delayed
+                # messages, retransmit overdue unacked frames, and run
+                # the failure detector.
+                self._tick += 1
+                cluster.release_due_faults()
+                if rel is not None:
+                    rel.tick()
+                self._check_failure_timeout()
+            if rel is not None:
+                rel.sync_fault_stats()
             self._merge_rank_sinks()
             self.async_count_since_barrier = 0
             duration = self.cluster.ledger.barrier(
@@ -1145,10 +1166,12 @@ class YGMWorld:
         per-rank delivery section, run concurrently across ranks inside
         :meth:`_barrier_parallel`.
 
-        A lean :meth:`_process_round` body: only ``_CALL`` / ``_BATCH``
-        wire tags can occur (reliable delivery and fault injection are
-        sim-only and rejected at construction), and every counter goes
-        to a per-rank sink merged at the barrier.  Everything touched —
+        A lean :meth:`_process_round` body: ``_HBATCH`` / ``_SBATCH`` /
+        ``_CALL`` wire items, optionally framed by the transport
+        reliability layer (``_REL`` frames are acked/deduped then
+        unwrapped; ``_ACK`` frames retire this rank's unacked sends),
+        and every counter goes to a per-rank sink merged at the barrier.
+        Everything touched —
         this rank's mailbox, shard, send-side buffers, and group
         accumulator — is owned by ``rank``, so the task may flush its
         own buffers mid-drain; messages appended to *other* ranks'
@@ -1173,6 +1196,7 @@ class YGMWorld:
         tls = self._tls
         counts = self._pbuf_count[rank]
         flush = self._flush_parallel
+        rel = self._rel
         ws = self.world_size
         invoked = 0
         moved = 0
@@ -1180,12 +1204,16 @@ class YGMWorld:
         pending = cluster.mailbox_len(rank)
         while True:
             if pending == 0:
-                # Push out this rank's buffered sends, then re-check —
-                # scalar handlers (and concurrent peers) may have
-                # appended in the meantime.
+                # Push out this rank's buffered sends and pending acks,
+                # then re-check — scalar handlers (and concurrent peers)
+                # may have appended in the meantime.
                 for dest in range(ws):
                     if counts[dest]:
                         flush(rank, dest)
+                if rel is not None:
+                    # Rank-confined ack flush: acks for frames this rank
+                    # received go out to the senders' mailboxes.
+                    rel.flush_acks_for(rank)
                 pending = cluster.mailbox_len(rank)
                 if pending == 0:
                     break
@@ -1198,6 +1226,16 @@ class YGMWorld:
             moved += 1
             _src, payload = item
             tag = payload[0]
+            if tag == _REL:
+                # Reliability frame: ack/dedup at the transport layer,
+                # then fall through with the inner payload.
+                if not rel.on_receive(rank, _src, payload[1]):
+                    continue
+                payload = payload[2]
+                tag = payload[0]
+            elif tag == _ACK:
+                rel.on_ack(rank, _src, payload[1])
+                continue
             if tag == _HBATCH:
                 # Handler-homogeneous envelope: adopt the args list
                 # wholesale (first arrival) or extend — no entry scan.
@@ -1241,6 +1279,9 @@ class YGMWorld:
                 tls.cms = None
             invoked += 1
         self._rank_handled[rank] += invoked
+        if moved:
+            # Heartbeat signal: this rank drained traffic this round.
+            self._last_progress[rank] = self._tick
         return moved
 
     def _execute_groups_rank(self, rank: int) -> int:
@@ -1321,32 +1362,53 @@ class YGMWorld:
                     self._pbuf_scalar[r][d] = []
                     self._pbuf_count[r][d] = 0
                 self._rank_groups[r].clear()
-        if self.reliable:
-            for s in range(self.world_size):
-                for d in range(self.world_size):
-                    self._rel_next[s][d] = 0
-                    self._rel_unacked[s][d].clear()
-                    self._rel_seen[s][d].clear()
-                    self._ack_pending[s][d].clear()
+        if self._rel is not None:
+            self._rel.reset()
+
+    # -- degraded mode ----------------------------------------------------------
+
+    def exclude_ranks(self, ranks) -> None:
+        """Degraded mode: remove ``ranks`` from the build.  The
+        transport discards their traffic, the reliability layer stops
+        awaiting their acks (and drops sends to them), and SPMD sections
+        skip them until :meth:`readmit_ranks`.  The supervisor owns the
+        application-state consequences (zeroing their contribution to
+        convergence counters, repairing their shards on re-admission)."""
+        ranks = {int(r) for r in ranks}
+        self.excluded_ranks |= ranks
+        self.cluster.mark_failed(ranks)
+
+    def readmit_ranks(self) -> set:
+        """End degraded mode: clear failure marks, revive the excluded
+        ranks, and return them (the caller runs the neighborhood-repair
+        pass that rebuilds their application state)."""
+        ranks = set(self.excluded_ranks)
+        self.excluded_ranks.clear()
+        self.cluster.repair_all()
+        return ranks
 
     # -- SPMD driver helpers ------------------------------------------------------
 
     def run_on_all(self, fn: Callable[[RankContext], None]) -> None:
-        """Run ``fn`` once per rank (the SPMD program section between
-        barriers).  Under the sanitizer each invocation executes *as*
-        its rank, so touching another rank's state raises."""
+        """Run ``fn`` once per live rank (the SPMD program section
+        between barriers; excluded ranks are skipped in degraded mode).
+        Under the sanitizer each invocation executes *as* its rank, so
+        touching another rank's state raises."""
+        ctxs = self.ranks
+        if self.excluded_ranks:
+            ctxs = [c for c in ctxs if c.rank not in self.excluded_ranks]
         if self._parallel:
             # Rank sections run concurrently; the executor joins every
             # future before returning (exceptions propagate) and applies
             # the sanitizer's rank scope per worker thread.
-            self._executor.run_ranks(fn, self.ranks, self.sanitizer)
+            self._executor.run_ranks(fn, ctxs, self.sanitizer)
             return
         san = self.sanitizer
         if san is None:
-            for ctx in self.ranks:
+            for ctx in ctxs:
                 fn(ctx)
         else:
-            for ctx in self.ranks:
+            for ctx in ctxs:
                 with san.rank_scope(ctx.rank):
                     fn(ctx)
 

@@ -1,0 +1,28 @@
+"""Fixture: swallowed rank failures (REP301 3x)."""
+
+import logging
+
+from repro.errors import RankFailureError, RuntimeStateError
+
+log = logging.getLogger(__name__)
+
+
+def swallow_pass(world):
+    try:
+        world.barrier()
+    except RankFailureError:
+        pass  # dead rank ignored: the build continues with holes
+
+
+def swallow_log_only(world):
+    try:
+        world.barrier()
+    except RankFailureError as exc:
+        log.warning("rank died: %s", exc)  # logged, never handled
+
+
+def swallow_in_tuple(world):
+    try:
+        world.barrier()
+    except (RuntimeStateError, RankFailureError):
+        return None

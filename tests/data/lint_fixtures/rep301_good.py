@@ -1,0 +1,36 @@
+"""Fixture: rank failures routed to recovery or re-raised (REP301 0x)."""
+
+import logging
+
+from repro import errors
+
+log = logging.getLogger(__name__)
+
+
+def reraise(world):
+    try:
+        world.barrier()
+    except errors.RankFailureError:
+        log.warning("rank failure, propagating to the supervisor")
+        raise
+
+
+def recover(world, supervisor):
+    try:
+        world.barrier()
+    except errors.RankFailureError as exc:
+        supervisor.recover_from_checkpoint(exc.ranks)
+
+
+def degrade(world):
+    try:
+        world.barrier()
+    except errors.RankFailureError as exc:
+        world.exclude_ranks(exc.ranks)
+
+
+def wrap(world):
+    try:
+        world.barrier()
+    except errors.RankFailureError as exc:
+        raise RuntimeError("build aborted by rank failure") from exc

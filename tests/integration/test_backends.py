@@ -1,10 +1,13 @@
 """Execution-backend contract: sim vs parallel.
 
 The sim backend is the deterministic cost-modeled default; the parallel
-backend must build graphs of equivalent quality (recall@k within ±0.01)
-without the sim-only features (cost ledger, fault injection, reliable
-delivery), which must fail loudly — not silently no-op — when requested.
+backend must build graphs of equivalent quality (recall@k within ±0.01).
+Fault injection, reliable delivery, and recovery work on *both*
+backends; only the network cost model remains sim-only and must fail
+loudly — not silently no-op — when requested under parallel.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -51,33 +54,52 @@ class TestRecallParity:
         dnnd.close()
 
 
-class TestSimOnlyFeaturesRejected:
-    """Fault injection, reliable delivery, and the cost model are
-    sim-only; an *explicit* parallel request combined with them is a
-    configuration contradiction and raises."""
+class TestFaultsWorkOnParallel:
+    """Fault injection and reliable delivery moved into the transport
+    seam: requesting them under the parallel backend builds a real
+    graph instead of raising ConfigError."""
 
-    def test_fault_plan_rejected(self, tiny_dense):
-        with pytest.raises(ConfigError, match="sim"):
-            build(tiny_dense, "parallel",
-                  fault_plan=FaultPlan(drop_rate=0.1, seed=1))
+    def test_fault_plan_accepted(self, tiny_dense):
+        result = build(tiny_dense, "parallel", workers=2, reliable=True,
+                       fault_plan=FaultPlan(drop_rate=0.1, seed=1))
+        assert result.graph.ids.shape == (len(tiny_dense), K)
+        assert result.fault_stats.dropped > 0
 
-    def test_reliable_rejected(self, tiny_dense):
-        with pytest.raises(ConfigError, match="sim"):
-            build(tiny_dense, "parallel", reliable=True)
+    def test_reliable_accepted(self, tiny_dense):
+        result = build(tiny_dense, "parallel", workers=2, reliable=True)
+        assert result.graph.ids.shape == (len(tiny_dense), K)
+
+
+class TestSimOnlyNetModel:
+    """The network cost model is the one remaining sim-only feature:
+    it needs the deterministic cost ledger the thread pool cannot keep."""
 
     def test_net_model_rejected(self, tiny_dense):
         with pytest.raises(ConfigError, match="sim"):
             build(tiny_dense, "parallel", net=NetworkModel())
 
-    def test_env_parallel_with_sim_only_falls_back(self, tiny_dense,
-                                                   monkeypatch):
+    def test_env_parallel_with_net_falls_back(self, tiny_dense,
+                                              monkeypatch):
         """When parallel comes from REPRO_BACKEND (not explicit config),
-        a sim-only feature wins and the build runs on sim instead of
-        raising or silently dropping the feature."""
+        the cost model wins: the build runs on sim, warns audibly, and
+        records the downgrade in the metrics."""
         monkeypatch.setenv("REPRO_BACKEND", "parallel")
         cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=1))
-        dnnd = DNND(tiny_dense, cfg, cluster=CLUSTER, reliable=True)
+        with pytest.warns(RuntimeWarning, match="downgraded"):
+            dnnd = DNND(tiny_dense, cfg, cluster=CLUSTER,
+                        net=NetworkModel())
         assert dnnd.backend == "sim"
+        snap = dnnd.metrics.snapshot()
+        assert snap["counters"]["backend.fallbacks"] == 1
+        dnnd.close()
+
+    def test_no_warning_without_fallback(self, tiny_dense):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            dnnd = DNND(tiny_dense,
+                        DNNDConfig(nnd=NNDescentConfig(k=4, seed=1)),
+                        cluster=CLUSTER)
+        assert dnnd.metrics.snapshot()["counters"]["backend.fallbacks"] == 0
         dnnd.close()
 
 

@@ -16,7 +16,7 @@ from repro import (
     MetallStore,
     NNDescentConfig,
 )
-from repro.errors import ConfigError
+from repro.errors import CheckpointCorruptError, ConfigError
 
 
 def config(k=6, seed=43, max_iters=30):
@@ -142,3 +142,55 @@ class TestResume:
         assert resumed.dnnd is not None
         adjacency = resumed.dnnd.optimize()
         adjacency.validate()
+
+
+class TestCheckpointCorruption:
+    """Hardened checkpoint I/O: a damaged checkpoint must surface as
+    CheckpointCorruptError from resume and from crash recovery — never
+    restore garbage, never crash on a parse error."""
+
+    def _write_checkpoint(self, small_dense, tmp_path):
+        ckpt = tmp_path / "ckpt_corrupt"
+        dnnd = DNND(small_dense, config(),
+                    cluster=ClusterConfig(nodes=2, procs_per_node=2))
+        dnnd.build(checkpoint_path=ckpt, checkpoint_every=1)
+        dnnd.close()
+        return ckpt
+
+    def _flip_tail_byte(self, ckpt):
+        victim = sorted(ckpt.glob("*.npy"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+
+    def test_resume_rejects_corrupt_checkpoint(self, small_dense, tmp_path):
+        ckpt = self._write_checkpoint(small_dense, tmp_path)
+        self._flip_tail_byte(ckpt)
+        with pytest.raises(CheckpointCorruptError, match="resume"):
+            DNND.resume(small_dense, ckpt,
+                        cluster=ClusterConfig(nodes=2, procs_per_node=2))
+
+    def test_recovery_rejects_corrupt_checkpoint(self, small_dense,
+                                                 tmp_path):
+        """A crash whose checkpoint was damaged while the build ran:
+        the supervisor must report corruption, not restore it."""
+        from repro import FaultPlan
+
+        ckpt = tmp_path / "ckpt_crash_corrupt"
+        dnnd = DNND(small_dense, config(),
+                    cluster=ClusterConfig(nodes=2, procs_per_node=2),
+                    fault_plan=FaultPlan().with_crash(rank=1, at_iteration=2))
+        orig = dnnd._write_checkpoint
+
+        def write_then_damage(path, iteration, counts):
+            orig(path, iteration, counts)
+            self._flip_tail_byte(ckpt)
+
+        dnnd._write_checkpoint = write_then_damage
+        with pytest.raises(CheckpointCorruptError, match="recovery"):
+            dnnd.build(checkpoint_path=ckpt, checkpoint_every=1)
+
+    def test_corruption_error_is_config_distinct(self):
+        """CheckpointCorruptError chains from the store layer and is not
+        a ConfigError: callers distinguish bad input from bad state."""
+        assert not issubclass(CheckpointCorruptError, ConfigError)

@@ -1,0 +1,90 @@
+"""Resilience rules (REP3xx) against the fixtures and inline snippets."""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, run_analysis
+
+FIXTURES = Path(__file__).resolve().parents[1] / "data" / "lint_fixtures"
+CONFIG = AnalysisConfig(exclude=(), sim_paths=("lint_fixtures",))
+
+
+def _lint(path, rule="REP301"):
+    return run_analysis([str(path)], CONFIG, select=(rule,))
+
+
+def test_bad_fixture_fires():
+    findings = _lint(FIXTURES / "rep301_bad.py")
+    assert len(findings) == 3
+    assert all(f.rule == "REP301" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_good_fixture_silent():
+    assert _lint(FIXTURES / "rep301_good.py") == []
+
+
+def test_message_names_the_contract():
+    (first, *_) = _lint(FIXTURES / "rep301_bad.py")
+    assert "RankFailureError" in first.message
+    assert "recover" in first.message
+
+
+def test_tuple_clause_is_caught(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def f(world):\n"
+        "    try:\n"
+        "        world.barrier()\n"
+        "    except (OSError, RankFailureError):\n"
+        "        return -1\n")
+    findings = _lint(f)
+    assert [x.rule for x in findings] == ["REP301"]
+    assert findings[0].line == 4
+
+
+def test_attribute_reference_is_caught(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "from repro import errors\n\n\n"
+        "def f(world):\n"
+        "    try:\n"
+        "        world.barrier()\n"
+        "    except errors.RankFailureError:\n"
+        "        pass\n")
+    assert [x.rule for x in _lint(f)] == ["REP301"]
+
+
+def test_nested_recovery_call_passes(tmp_path):
+    """A recovery call inside a conditional still counts as handling."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def f(world, retry):\n"
+        "    try:\n"
+        "        world.barrier()\n"
+        "    except RankFailureError as exc:\n"
+        "        if retry:\n"
+        "            world.exclude_ranks(exc.ranks)\n")
+    assert _lint(f) == []
+
+
+def test_bare_except_not_flagged(tmp_path):
+    """REP301 targets the named contract, not generic except hygiene."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def f(world):\n"
+        "    try:\n"
+        "        world.barrier()\n"
+        "    except Exception:\n"
+        "        pass\n")
+    assert _lint(f) == []
+
+
+def test_suppression_works(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "def f(world):\n"
+        "    try:\n"
+        "        world.barrier()\n"
+        "    except RankFailureError:  # repro: ignore[REP301]\n"
+        "        pass\n")
+    assert _lint(f) == []

@@ -4,7 +4,8 @@ the YGMWorld reliable-delivery layer under injected faults."""
 import pytest
 
 from repro.config import ClusterConfig
-from repro.errors import ConfigError, FaultToleranceError, RankFailureError
+from repro.errors import (ConfigError, FaultToleranceError,
+                          RankFailureError, RuntimeStateError)
 from repro.runtime.faults import FaultInjector, FaultPlan, make_injector
 from repro.runtime.simmpi import SimCluster
 from repro.runtime.ygm import YGMWorld
@@ -227,3 +228,94 @@ class TestReliableDelivery:
         world.barrier()
         assert world.stats.by_type["ack"].count >= 1
         assert world.fault_stats.acks_sent >= 1
+
+
+class TestFailureDetection:
+    """Heartbeat/last-progress failure detector in the comm layer."""
+
+    def test_silent_rank_detected_by_timeout(self):
+        """A rank that never acks and never sends counts as failed once
+        the timeout elapses — well before the retransmit budget runs
+        out (max_retries=32 with doubling backoff takes far longer)."""
+        world, _calls = make_world(FaultPlan(drop_rate=1.0), reliable=True,
+                                   retry_timeout=1, failure_timeout=8)
+        world.async_call(0, 1, "note", 0, nbytes=8)
+        with pytest.raises(RankFailureError) as exc:
+            world.barrier()
+        assert 1 in exc.value.ranks
+        assert world.fault_stats.detected >= 1
+
+    def test_timeout_none_leaves_budget_exhaustion(self):
+        world, _calls = make_world(FaultPlan(drop_rate=1.0), reliable=True,
+                                   retry_timeout=1, max_retries=3,
+                                   failure_timeout=None)
+        world.async_call(0, 1, "note", 0, nbytes=8)
+        with pytest.raises(FaultToleranceError):
+            world.barrier()
+
+    def test_lossy_but_alive_link_not_declared_dead(self):
+        """Heavy-but-recoverable loss must ride out retransmits: the
+        timeout covers several backoff cycles, so a live rank that
+        keeps acking (eventually) is never detected as failed."""
+        world, calls = make_world(FaultPlan(seed=5, drop_rate=0.3),
+                                  reliable=True, retry_timeout=1,
+                                  failure_timeout=256)
+        for i in range(20):
+            world.async_call(0, 1, "note", i, nbytes=8)
+        world.barrier()
+        assert len(calls) == 20
+        assert world.fault_stats.detected == 0
+
+    def test_failure_timeout_validated(self):
+        with pytest.raises(RuntimeStateError):
+            make_world(reliable=True, failure_timeout=0)
+
+
+class TestExcludeReadmit:
+    """Degraded-mode comm surface: exclusion, then re-admission."""
+
+    def _failed_world(self):
+        plan = FaultPlan(crashes=((0, 1),))
+        world, calls = make_world(plan)
+        world.injector.advance_iteration(0)
+        world.async_call(0, 1, "note", 0, nbytes=8)
+        with pytest.raises(RankFailureError):
+            world.barrier()
+        return world, calls
+
+    def test_excluded_rank_no_longer_fails_barriers(self):
+        world, calls = self._failed_world()
+        world.exclude_ranks({1})
+        world.reset_in_flight()
+        world.async_call(0, 2, "note", 7, nbytes=8)
+        world.barrier()  # does not raise
+        assert (2, 7) in calls
+        assert world.excluded_ranks == {1}
+
+    def test_run_on_all_skips_excluded(self):
+        world, _calls = self._failed_world()
+        world.exclude_ranks({1})
+        world.reset_in_flight()
+        visited = []
+        world.run_on_all(lambda ctx: visited.append(ctx.rank))
+        assert 1 not in visited
+        assert sorted(visited) == [0, 2, 3]
+
+    def test_readmit_restores_full_world(self):
+        world, calls = self._failed_world()
+        world.exclude_ranks({1})
+        world.reset_in_flight()
+        returned = world.readmit_ranks()
+        assert returned == {1}
+        assert world.excluded_ranks == set()
+        world.async_call(0, 1, "note", 9, nbytes=8)
+        world.barrier()
+        assert (1, 9) in calls
+
+    def test_detected_counter_counts_each_failure_once(self):
+        world, _calls = self._failed_world()
+        assert world.fault_stats.detected == 1
+        world.exclude_ranks({1})
+        world.reset_in_flight()
+        world.barrier()
+        assert world.fault_stats.detected == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import StoreCorruptError, StoreError
 from repro.runtime.metall import MetallStore
 
 
@@ -189,3 +189,69 @@ class TestDurability:
         path = tmp_path / "ds"
         with MetallStore.create(path) as store:
             assert store.path == path
+
+
+class TestCorruptionDetection:
+    """Checksummed, atomically-replaced object files: truncation and
+    bit-rot must surface as StoreCorruptError, never a parse crash."""
+
+    @staticmethod
+    def _create(tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["arr"] = np.arange(64, dtype=np.int64)
+            store["meta"] = {"k": np.ones(4)}
+        return path
+
+    def test_no_temp_files_after_snapshot(self, tmp_path):
+        path = self._create(tmp_path)
+        assert not list(path.glob("*.tmp"))
+
+    def test_truncation_detected_on_load(self, tmp_path):
+        path = self._create(tmp_path)
+        f = path / "arr.npy"
+        f.write_bytes(f.read_bytes()[:-16])
+        with MetallStore.open_read_only(path) as store:
+            with pytest.raises(StoreCorruptError, match="truncated"):
+                store["arr"]
+
+    def test_bitrot_detected_under_verify(self, tmp_path):
+        path = self._create(tmp_path)
+        f = path / "arr.npy"
+        raw = bytearray(f.read_bytes())
+        raw[-1] ^= 0xFF  # same size, different content
+        f.write_bytes(bytes(raw))
+        with MetallStore.open_read_only(path, verify=True) as store:
+            with pytest.raises(StoreCorruptError, match="SHA-256"):
+                store["arr"]
+
+    def test_bitrot_passes_size_check_without_verify(self, tmp_path):
+        """The cheap always-on check is size-only; the flipped tail byte
+        still *parses* — verify=True is what catches it (above)."""
+        path = self._create(tmp_path)
+        f = path / "arr.npy"
+        raw = bytearray(f.read_bytes())
+        raw[-1] ^= 0xFF
+        f.write_bytes(bytes(raw))
+        with MetallStore.open_read_only(path) as store:
+            store["arr"]  # no exception
+
+    def test_unparseable_pickle_detected(self, tmp_path):
+        path = tmp_path / "ds"
+        with MetallStore.create(path) as store:
+            store["obj"] = {"a": 1, "b": [2, 3]}
+        f = path / "obj.pkl"
+        f.write_bytes(b"\x80" + b"\x00" * (f.stat().st_size - 1))
+        with MetallStore.open_read_only(path) as store:
+            with pytest.raises(StoreCorruptError, match="cannot parse"):
+                store["obj"]
+
+    def test_garbage_manifest_detected(self, tmp_path):
+        path = self._create(tmp_path)
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreCorruptError, match="manifest"):
+            MetallStore.open_read_only(path)
+
+    def test_corrupt_is_a_store_error(self):
+        """Recovery code catching StoreError still sees corruption."""
+        assert issubclass(StoreCorruptError, StoreError)
