@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from .config import AnalysisConfig, load_config
 from .engine import run_analysis
+from .findings import to_sarif
 from .registry import RULES
 
 
@@ -34,7 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "
                              "[tool.repro.analysis] paths in pyproject.toml)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format; 'sarif' emits a SARIF 2.1.0 "
+                             "log for GitHub code scanning")
     parser.add_argument("--select", default="",
                         help="comma-separated rule ids to run (default: all)")
     parser.add_argument("--sim-paths", default=None,
@@ -59,7 +63,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             paths=config.paths, exclude=config.exclude,
             sim_paths=tuple(s.strip() for s in args.sim_paths.split(",")
                             if s.strip()),
-            select=config.select, root=config.root)
+            select=config.select, lock_order=config.lock_order,
+            root=config.root)
     select = tuple(s.strip().upper() for s in args.select.split(",")
                    if s.strip())
     unknown = [s for s in select if s not in RULES]
@@ -71,6 +76,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     findings = run_analysis(paths, config, select=select)
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "sarif":
+        rule_meta = {rule_id: {"severity": fn.severity, "summary": fn.summary}
+                     for rule_id, fn in RULES.items()}
+        print(json.dumps(to_sarif(findings, rules=rule_meta), indent=2))
     else:
         for f in findings:
             print(f.format())

@@ -19,6 +19,10 @@ _DEFAULT_EXCLUDE = ("*/lint_fixtures/*", "*.egg-info/*", "*/__pycache__/*")
 # paths: the cost model owns time there.  eval/ and cli timing is real
 # wall-clock by design.
 _DEFAULT_SIM_PATHS = ("repro/runtime", "repro/core")
+# Declared lock hierarchy for REP404 (outermost first): the transport's
+# fault lock is acquired before any registry/metrics lock, never after.
+# Mirrors the committed pyproject's ``lock-order``.
+_DEFAULT_LOCK_ORDER = ("_fault_lock", "_lock")
 
 
 @dataclass(frozen=True)
@@ -30,6 +34,12 @@ class AnalysisConfig:
     sim_paths: Tuple[str, ...] = _DEFAULT_SIM_PATHS
     select: Tuple[str, ...] = ()
     """Rule ids to run; empty means all registered rules."""
+
+    lock_order: Tuple[str, ...] = _DEFAULT_LOCK_ORDER
+    """Declared lock hierarchy, outermost first (REP404): nested
+    acquisitions must follow this order, and no listed lock may be
+    re-acquired while already held.  Lock names match on the last dotted
+    segment of the ``with`` context expression."""
 
     root: Optional[Path] = field(default=None, compare=False)
     """Directory holding the pyproject this config came from (None when
@@ -74,6 +84,7 @@ def load_config(start: Optional[Path] = None) -> AnalysisConfig:
         exclude=_strings("exclude", _DEFAULT_EXCLUDE),
         sim_paths=_strings("sim_paths", _DEFAULT_SIM_PATHS),
         select=_strings("select", ()),
+        lock_order=_strings("lock_order", _DEFAULT_LOCK_ORDER),
         root=pyproject.parent,
     )
 

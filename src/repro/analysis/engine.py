@@ -33,11 +33,6 @@ from .registry import (
     free_variables,
 )
 
-# Rule modules self-register on import.
-from . import determinism as _determinism  # noqa: F401
-from . import resilience as _resilience  # noqa: F401
-from . import rpc as _rpc  # noqa: F401
-
 _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
 
@@ -48,6 +43,11 @@ _HANDLER_NAME_SLOTS = (1, 2)
 #: ``async_visit(src_rank, key, "visitor", *args)`` — the visitor name
 #: is always the third positional argument (the key may be a string).
 _VISITOR_NAME_SLOT = 2
+
+#: Executor entry points whose first positional argument is a function
+#: that will run in task scope (concurrently with the driver and with
+#: other ranks) — collected into ``ProjectContext.executor_tasks``.
+_TASK_METHODS = frozenset({"submit", "map_ranks", "run_ranks", "run_on_all"})
 
 
 def collect_files(paths: Sequence[str],
@@ -109,14 +109,15 @@ def _function_info(module: SourceModule, node: ast.AST,
         return FunctionInfo(
             name=node.name, path=module.path, line=node.lineno,
             min_args=required, max_args=maximum,
-            free_vars=free_variables(module, node.name, node.lineno))
+            free_vars=free_variables(module, node.name, node.lineno),
+            node=node, module=module)
     if isinstance(node, ast.Lambda):
         required, maximum = arity_of(node.args)
         return FunctionInfo(
             name=name, path=module.path, line=node.lineno,
             min_args=required, max_args=maximum,
             free_vars=free_variables(module, "lambda", node.lineno),
-            is_lambda=True)
+            is_lambda=True, node=node, module=module)
     return None
 
 
@@ -132,6 +133,16 @@ def _collect_registrations(module: SourceModule,
             if info is not None:
                 project.functions.setdefault(node.name, []).append(info)
             defs.setdefault(node.name, []).append(node)
+
+    # One-hop method aliases (``collect = self._drain_rank``): lets a
+    # task submitted through a local name resolve to the method it was
+    # bound from.
+    attr_aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)):
+            attr_aliases[node.targets[0].id] = node.value.attr
 
     def bind(registry: Dict[str, List[HandlerInfo]], name: str,
              value: ast.expr, call: ast.Call) -> None:
@@ -149,6 +160,8 @@ def _collect_registrations(module: SourceModule,
             if len(locals_found) == 1:
                 info.func = locals_found[0]
                 info.line = locals_found[0].line
+            elif not locals_found and value.id in attr_aliases:
+                info.func_name = attr_aliases[value.id]
         elif isinstance(value, ast.Attribute):
             info.func_name = value.attr
         registry.setdefault(name, []).append(info)
@@ -177,6 +190,20 @@ def _collect_registrations(module: SourceModule,
             target = node.args[0]
             if isinstance(target, ast.Constant) and isinstance(target.value, str):
                 bind(project.visitors, target.value, node.args[1], node)
+        elif method in _TASK_METHODS and node.args:
+            target = node.args[0]
+            label = (target.id if isinstance(target, ast.Name)
+                     else target.attr if isinstance(target, ast.Attribute)
+                     else "<lambda>")
+            bind(project.executor_tasks, label, target, node)
+        elif method == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    label = (kw.value.id if isinstance(kw.value, ast.Name)
+                             else kw.value.attr
+                             if isinstance(kw.value, ast.Attribute)
+                             else "<lambda>")
+                    bind(project.executor_tasks, label, kw.value, node)
 
 
 def _collect_call_sites(module: SourceModule,
@@ -224,7 +251,7 @@ def build_project(modules: List[SourceModule]) -> ProjectContext:
     # Late-bind cross-module handler functions (registered by bare name
     # whose def lives in another analyzed file).
     for registry in (project.handlers, project.visitors,
-                     project.batch_handlers):
+                     project.batch_handlers, project.executor_tasks):
         for infos in registry.values():
             for info in infos:
                 if info.func is None and info.func_name is not None:
@@ -232,6 +259,213 @@ def build_project(modules: List[SourceModule]) -> ProjectContext:
                     if len(candidates) == 1:
                         info.func = candidates[0]
     return project
+
+
+# -- light intra-function dataflow (shared by the REP4xx rules) -------------
+#
+# The concurrency rules need three approximate facts about a function
+# body: which names reach *shared* state (module/class-level bindings,
+# ``global`` declarations, and one-hop local aliases of either), which
+# statements execute under a lock, and what the leftmost base of an
+# attribute/subscript chain is.  All three are deliberately syntactic —
+# no type inference — tuned so the repo's sanctioned idioms (rank-indexed
+# instance state, driver-side absolute-assignment folds) stay silent.
+
+
+def base_of(expr: ast.expr) -> Optional[ast.expr]:
+    """The leftmost base of an attribute/subscript chain
+    (``a.b[k].c`` -> the ``a`` node); None for non-chain expressions."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr
+
+
+def bound_names(target: ast.expr) -> Iterator[str]:
+    """Names a target expression *binds* — descends tuple/list/starred
+    destructuring but stops at attribute/subscript targets, which mutate
+    an object without rebinding any name (``self.x = v`` binds nothing,
+    ``a, (b, c) = v`` binds a/b/c)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from bound_names(target.value)
+
+
+def is_class_state(expr: ast.expr) -> bool:
+    """True when a chain is rooted at the *class* rather than the
+    instance: ``cls.x``, ``type(self).x``, ``self.__class__.x``."""
+    seen_class_attr = False
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        if isinstance(expr, ast.Attribute) and expr.attr == "__class__":
+            seen_class_attr = True
+        expr = expr.value
+    if isinstance(expr, ast.Name) and expr.id == "cls":
+        return True
+    if (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name)
+            and expr.func.id == "type"):
+        return True
+    return seen_class_attr
+
+
+def module_bindings(module: SourceModule) -> frozenset:
+    """Names bound at module top level — assignments, imports, and class
+    definitions.  These are the objects every thread in the process can
+    reach, i.e. the linter's notion of shared state.  Function defs are
+    excluded: mutating attributes hung off a function object is not an
+    idiom this repo uses."""
+    names: set = set()
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(bound_names(target))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                            ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(stmt, ast.ClassDef):
+            names.add(stmt.name)
+    return frozenset(names)
+
+
+def own_scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes:
+    names bound inside a nested def/lambda belong to *that* scope, so
+    scope-sensitive facts (local bindings, driver mutations) must not
+    see them."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def global_declarations(fn: ast.AST) -> frozenset:
+    """Names the function declares ``global`` (writes go to module scope)."""
+    names: set = set()
+    for node in own_scope_walk(fn):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return frozenset(names)
+
+
+def local_bindings(fn: ast.AST) -> frozenset:
+    """Names bound inside the function — parameters, assignment/loop/
+    with targets — which therefore *shadow* same-named module bindings
+    (unless declared global)."""
+    names: set = set()
+    args = fn.args if isinstance(
+        fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)) else None
+    if args is not None:
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            names.add(a.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+    for node in own_scope_walk(fn):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign,
+                               ast.NamedExpr)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [item.optional_vars for item in node.items
+                       if item.optional_vars is not None]
+        for target in targets:
+            names.update(bound_names(target))
+    return frozenset(names - global_declarations(fn))
+
+
+def shared_name_resolver(fn: ast.AST, module: SourceModule):
+    """Build a predicate ``shared(expr) -> bool``: does this chain's base
+    resolve to shared state?
+
+    Resolution is assignment-tracking with one-hop attribute aliasing:
+    module-level bindings and ``global`` names are shared unless locally
+    shadowed; a local assigned *from* a shared chain (``d = TABLE`` or
+    ``d = STATS.cells``) becomes shared itself; class-rooted chains
+    (``cls.x``, ``type(self).x``) are always shared.
+    """
+    mod_names = module_bindings(module)
+    globals_ = global_declarations(fn)
+    locals_ = local_bindings(fn)
+
+    aliases: set = set()
+
+    def base_shared(expr: ast.expr) -> bool:
+        if is_class_state(expr):
+            return True
+        base = base_of(expr)
+        if not isinstance(base, ast.Name):
+            return False
+        name = base.id
+        if name in globals_ or name in aliases:
+            return True
+        return name in mod_names and name not in locals_
+
+    # Fixed-point over one-hop aliases, in syntactic order; two passes
+    # catch alias-of-alias chains without a full worklist.
+    for _ in range(2):
+        changed = False
+        for node in own_scope_walk(fn):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value,
+                                   (ast.Name, ast.Attribute, ast.Subscript))
+                    and base_shared(node.value)):
+                if node.targets[0].id not in aliases:
+                    aliases.add(node.targets[0].id)
+                    changed = True
+        if not changed:
+            break
+
+    return base_shared
+
+
+def is_lockish(expr: ast.expr, config: AnalysisConfig) -> Optional[str]:
+    """The lock name when ``expr`` looks like a lock acquisition context
+    (``with self._lock:``, ``with LOCK:``, ``with lock_for(k):``) —
+    the last dotted segment either contains "lock" or appears in the
+    declared ``lock-order`` hierarchy.  None otherwise."""
+    node = expr
+    if isinstance(node, ast.Call):
+        node = node.func
+    name: Optional[str] = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is None:
+        return None
+    if "lock" in name.lower() or name in config.lock_order:
+        return name
+    return None
+
+
+def lock_guarded(fn: ast.AST, config: AnalysisConfig) -> frozenset:
+    """``id()`` of every AST node lexically inside a ``with <lock>:``
+    block — the lock-context set the mutation rules consult before
+    reporting."""
+    guarded: set = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(is_lockish(item.context_expr, config)
+                   for item in node.items):
+                for stmt in node.body:
+                    guarded.update(id(sub) for sub in ast.walk(stmt))
+    return frozenset(guarded)
 
 
 def _suppressed(finding: Finding, modules: Dict[str, SourceModule]) -> bool:
@@ -264,3 +498,11 @@ def run_analysis(paths: Sequence[str], config: Optional[AnalysisConfig] = None,
     findings = [f for f in findings if not _suppressed(f, by_path)]
     findings.sort(key=lambda f: f.sort_key)
     return findings
+
+
+# Rule modules self-register on import.  Imported at the bottom because
+# the concurrency module imports this module's dataflow helpers.
+from . import concurrency as _concurrency  # noqa: E402,F401
+from . import determinism as _determinism  # noqa: E402,F401
+from . import resilience as _resilience  # noqa: E402,F401
+from . import rpc as _rpc  # noqa: E402,F401

@@ -8,7 +8,8 @@ text format is the usual ``path:line:col: RULE [severity] message``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple, Union
+from pathlib import PurePath
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
 #: Severity levels.  Both fail the lint run (the repo must be clean);
 #: the distinction tells a reader whether the rule is exact (``error``)
@@ -45,3 +46,77 @@ class Finding:
     @property
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
+
+
+#: SARIF 2.1.0 constants (the schema GitHub code scanning ingests).
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def to_sarif(findings: Sequence[Finding],
+             rules: "Mapping[str, Mapping[str, str]] | None" = None,
+             tool_name: str = "repro.analysis") -> Dict[str, Any]:
+    """Findings as a SARIF 2.1.0 log (one run), for GitHub code scanning.
+
+    ``rules`` maps rule id -> ``{"severity": ..., "summary": ...}`` and
+    populates ``tool.driver.rules``; the CLI passes the live registry so
+    this module stays import-cycle-free.  Rules that appear only in
+    ``findings`` are still emitted (with empty metadata) so every
+    result's ``ruleId`` resolves.
+    """
+    rules = dict(rules or {})
+    rule_ids = sorted(set(rules) | {f.rule for f in findings})
+    driver_rules = []
+    for rule_id in rule_ids:
+        meta = dict(rules.get(rule_id, {}))
+        entry: Dict[str, Any] = {"id": rule_id}
+        if meta.get("summary"):
+            entry["shortDescription"] = {"text": meta["summary"]}
+        entry["defaultConfiguration"] = {
+            "level": _sarif_level(meta.get("severity", ERROR)),
+        }
+        driver_rules.append(entry)
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [_sarif_result(f, index) for f in findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "rules": driver_rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def _sarif_level(severity: str) -> str:
+    return {ERROR: "error", WARNING: "warning"}.get(severity, "note")
+
+
+def _sarif_result(finding: Finding,
+                  rule_index: Mapping[str, int]) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    # SARIF URIs are always forward-slashed, even for
+                    # findings produced on Windows paths.
+                    "uri": PurePath(
+                        finding.path.replace("\\", "/")).as_posix(),
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; ast columns are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }

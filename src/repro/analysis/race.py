@@ -1,0 +1,258 @@
+"""Barrier-epoch race sanitizer — the dynamic half of the REP4xx family.
+
+The parallel backend's thread-safety story is *epoch discipline*, not
+fine-grained locking: between two barrier dispatches every shared cell
+(a mailbox, a metrics counter, a fault-injector consultation) must be
+touched either by a single thread, or by several threads that share an
+ordering lock.  The static REP4xx rules (:mod:`repro.analysis.
+concurrency`) check the code shape; this module checks the actual
+execution.
+
+With ``REPRO_SANITIZE=race`` the runtime attaches a
+:class:`RaceSanitizer` to the transport, the executor, and the metrics
+registry.  Instrumented sites call :meth:`RaceSanitizer.access` with a
+hashable *cell* key; the sanitizer stamps the access with the current
+barrier epoch, the accessing thread, and the thread's lockset (the
+:class:`TrackedLock` proxies it currently holds).  Two accesses to the
+same cell conflict when they happen in the *same epoch* from *different
+threads*, at least one is a write, and their locksets are disjoint —
+the classic lockset-refined happens-before check, with the barrier
+epoch standing in for the vector clock (the executor's dispatch
+boundaries are the only ordering edges the runtime promises).
+
+Crucially this does **not** require the two accesses to overlap in
+wall-clock time: a same-epoch conflict is a discipline violation even
+when the scheduler happened to serialize it this run, so seeded
+true-positive races are caught deterministically.
+
+When the mode is off no object carries a sanitizer (the hooks are a
+single ``is None`` test, the same zero-overhead contract as the fault
+injector and the ownership sanitizer) and builds are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+from ..errors import RaceConditionError
+
+__all__ = [
+    "Access",
+    "RaceReport",
+    "RaceSanitizer",
+    "TrackedLock",
+    "race_requested",
+]
+
+_RACE_VALUE = "race"
+
+
+def race_requested(env: Optional[Mapping[str, str]] = None) -> bool:
+    """True when ``REPRO_SANITIZE=race`` asks for the race sanitizer.
+
+    The value ``race`` is deliberately *not* one of the truthy values
+    the ownership sanitizer accepts (``1/true/yes/on``), so the two
+    dynamic modes are independent: ``REPRO_SANITIZE=1`` enables
+    ownership checks only, ``REPRO_SANITIZE=race`` enables race checks
+    only.
+    """
+    environ = os.environ if env is None else env
+    return environ.get("REPRO_SANITIZE", "").strip().lower() == _RACE_VALUE
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded touch of a shared cell."""
+
+    cell: Hashable
+    thread: int
+    epoch: int
+    write: bool
+    lockset: FrozenSet[str]
+    location: str
+
+    def describe(self) -> str:
+        kind = "write" if self.write else "read"
+        locks = ",".join(sorted(self.lockset)) if self.lockset else "-"
+        return (f"{kind} at {self.location} "
+                f"[thread={self.thread} epoch={self.epoch} locks={locks}]")
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """A detected same-epoch conflict, with both access locations."""
+
+    cell: Hashable
+    first: Access
+    second: Access
+
+    def format(self) -> str:
+        return (
+            f"race on cell {self.cell!r} in barrier epoch "
+            f"{self.second.epoch}: conflicting accesses from two threads "
+            f"with no common lock\n"
+            f"  first:  {self.first.describe()}\n"
+            f"  second: {self.second.describe()}"
+        )
+
+
+class TrackedLock:
+    """A drop-in ``threading.Lock`` proxy that maintains the owning
+    sanitizer's per-thread lockset.
+
+    Instrumented code swaps its real lock for a tracked one at attach
+    time (see :meth:`RaceSanitizer.tracked_lock`); accesses made while
+    the lock is held carry its name in their lockset, which is what
+    lets two lock-ordered accesses to one cell *not* count as a race.
+    """
+
+    __slots__ = ("_sanitizer", "_lock", "name")
+
+    def __init__(self, sanitizer: "RaceSanitizer", name: str,
+                 lock: Optional[threading.Lock] = None) -> None:
+        self._sanitizer = sanitizer
+        self._lock = lock if lock is not None else threading.Lock()
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._push_lock(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._pop_lock(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class RaceSanitizer:
+    """Lockset + barrier-epoch conflict detector.
+
+    The executor advances the epoch at *both* edges of every parallel
+    dispatch (``begin_dispatch``/``end_dispatch``), so driver-only code
+    running between dispatches can never share an epoch with task code
+    — exactly the ordering the barrier provides.  Within one dispatch,
+    ranks chunked onto the same worker thread run sequentially and
+    share a thread id, so their accesses do not conflict either; only
+    genuinely unordered cross-thread sharing is reported.
+
+    ``raise_on_race`` (default True) raises
+    :class:`~repro.errors.RaceConditionError` at the second access;
+    either way every conflict is appended to :attr:`races` so test
+    harnesses can run in collect mode and assert on the reports.
+    """
+
+    def __init__(self, *, raise_on_race: bool = True,
+                 capture_stacks: bool = True) -> None:
+        self.raise_on_race = raise_on_race
+        self.capture_stacks = capture_stacks
+        self.races: List[RaceReport] = []
+        self.epoch = 0
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        # cell -> (epoch, accesses recorded in that epoch)
+        self._cells: Dict[Hashable, Tuple[int, List[Access]]] = {}
+
+    # -- lockset bookkeeping (called by TrackedLock) --------------------
+
+    def _push_lock(self, name: str) -> None:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        held.append(name)
+
+    def _pop_lock(self, name: str) -> None:
+        held = getattr(self._tls, "held", None)
+        if held and name in held:
+            held.remove(name)
+
+    def lockset(self) -> FrozenSet[str]:
+        """The set of tracked locks held by the calling thread."""
+        held = getattr(self._tls, "held", None)
+        return frozenset(held) if held else frozenset()
+
+    def tracked_lock(self, name: str,
+                     lock: Optional[threading.Lock] = None) -> TrackedLock:
+        """Wrap ``lock`` (or a fresh one) so acquisitions feed the
+        calling thread's lockset."""
+        return TrackedLock(self, name, lock)
+
+    # -- epoch edges (called by the executor at dispatch boundaries) ----
+
+    def begin_dispatch(self) -> None:
+        self._advance()
+
+    def end_dispatch(self) -> None:
+        self._advance()
+
+    def _advance(self) -> None:
+        with self._lock:
+            self.epoch += 1
+            self._cells.clear()
+
+    # -- the instrumented-site entry point ------------------------------
+
+    def access(self, cell: Hashable, *, write: bool = True) -> None:
+        """Record one touch of ``cell`` and report a conflict if another
+        thread touched it in the same epoch without a common lock."""
+        thread = threading.get_ident()
+        lockset = self.lockset()
+        conflict: Optional[RaceReport] = None
+        with self._lock:
+            epoch = self.epoch
+            entry = self._cells.get(cell)
+            if entry is None or entry[0] != epoch:
+                accesses: List[Access] = []
+                self._cells[cell] = (epoch, accesses)
+            else:
+                accesses = entry[1]
+            other_side: Optional[Access] = None
+            for prior in accesses:
+                if (prior.thread == thread and prior.write == write
+                        and prior.lockset == lockset):
+                    # This thread already recorded an equivalent access
+                    # this epoch; any conflict was detected then (or
+                    # will be, at the other thread's first record).
+                    return
+                if (other_side is None and prior.thread != thread
+                        and (write or prior.write)
+                        and not (lockset & prior.lockset)):
+                    other_side = prior
+            record = Access(
+                cell=cell, thread=thread, epoch=epoch, write=write,
+                lockset=lockset, location=self._location(),
+            )
+            accesses.append(record)
+            if other_side is not None:
+                conflict = RaceReport(cell=cell, first=other_side,
+                                      second=record)
+                self.races.append(conflict)
+        if conflict is not None and self.raise_on_race:
+            raise RaceConditionError(
+                conflict.format(), cell=cell,
+                first=conflict.first, second=conflict.second,
+            )
+
+    def _location(self) -> str:
+        if not self.capture_stacks:
+            return "<stacks off>"
+        here = __file__
+        for frame in reversed(traceback.extract_stack(limit=12)):
+            if frame.filename != here:
+                return f"{frame.filename}:{frame.lineno} in {frame.name}"
+        return "<unknown>"

@@ -59,6 +59,11 @@ class FunctionInfo:
     max_args: float
     free_vars: Tuple[str, ...] = ()
     is_lambda: bool = False
+    #: The def/lambda AST node and its module — populated by the engine
+    #: so body-analyzing rules (the REP4xx concurrency family) can run
+    #: intra-function dataflow without re-locating the definition.
+    node: Optional[ast.AST] = None
+    module: Optional["SourceModule"] = None
 
 
 @dataclass
@@ -101,6 +106,12 @@ class ProjectContext:
     batch_handlers: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
     functions: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
     call_sites: List[CallSite] = field(default_factory=list)
+    #: Functions handed to an executor — ``submit``/``map_ranks``/
+    #: ``run_ranks``/``run_on_all`` first arguments and
+    #: ``Thread(target=...)`` — i.e. code that may run concurrently with
+    #: the driver and with other ranks.  The REP4xx concurrency rules
+    #: treat these exactly like registered handlers ("concurrent scope").
+    executor_tasks: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
 
 
 RuleFn = Callable[[ProjectContext, AnalysisConfig], Iterator[Finding]]

@@ -102,6 +102,13 @@ class Executor:
     parallel = False
     backend = "sim"
 
+    #: Attached :class:`repro.analysis.race.RaceSanitizer` under
+    #: ``REPRO_SANITIZE=race``; ``None`` otherwise.  The parallel
+    #: executor advances its barrier epoch at both edges of every
+    #: dispatch, which is what separates driver-only code from task
+    #: code in the sanitizer's happens-before model.
+    race = None
+
     def __init__(self, workers: int = 1) -> None:
         self.workers = int(workers)
         #: Sections dispatched (one per ``map_ranks``/``run_ranks`` call)
@@ -218,16 +225,24 @@ class ParallelExecutor(Executor):
 
         self.dispatches += 1
         chunks = self._chunks(world_size)
-        with self._pool_switch_interval():
-            # Caller-runs-first: the driver thread works chunk 0 itself
-            # instead of sleeping on futures — one fewer future per
-            # dispatch, and the whole dispatch is thread-free when the
-            # effective width is 1.
-            futures = [self._pool.submit(chunk_task, chunk)
-                       for chunk in chunks[1:]]
-            total = chunk_task(chunks[0])
-            # result() re-raises worker exceptions on the driver thread.
-            return total + sum(f.result() for f in futures)
+        race = self.race
+        if race is not None:
+            race.begin_dispatch()
+        try:
+            with self._pool_switch_interval():
+                # Caller-runs-first: the driver thread works chunk 0
+                # itself instead of sleeping on futures — one fewer
+                # future per dispatch, and the whole dispatch is
+                # thread-free when the effective width is 1.
+                futures = [self._pool.submit(chunk_task, chunk)
+                           for chunk in chunks[1:]]
+                total = chunk_task(chunks[0])
+                # result() re-raises worker exceptions on the driver
+                # thread.
+                return total + sum(f.result() for f in futures)
+        finally:
+            if race is not None:
+                race.end_dispatch()
 
     def run_ranks(self, fn: Callable[[Any], None], ctxs: Iterable[Any],
                   sanitizer: Any = None) -> None:
@@ -246,12 +261,19 @@ class ParallelExecutor(Executor):
 
         self.dispatches += 1
         chunks = self._chunks(len(ctxs))
-        with self._pool_switch_interval():
-            futures = [self._pool.submit(chunk_task, chunk)
-                       for chunk in chunks[1:]]
-            chunk_task(chunks[0])
-            for f in futures:
-                f.result()
+        race = self.race
+        if race is not None:
+            race.begin_dispatch()
+        try:
+            with self._pool_switch_interval():
+                futures = [self._pool.submit(chunk_task, chunk)
+                           for chunk in chunks[1:]]
+                chunk_task(chunks[0])
+                for f in futures:
+                    f.result()
+        finally:
+            if race is not None:
+                race.end_dispatch()
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)

@@ -136,6 +136,17 @@ class MetricsRegistry:
     #: when handed the null registry.
     enabled = True
 
+    #: Attached :class:`repro.analysis.race.RaceSanitizer` under
+    #: ``REPRO_SANITIZE=race``; ``None`` otherwise.  Never set on the
+    #: shared :data:`NULL_METRICS` singleton.  Only the absolute
+    #: *publication* writers (:meth:`set_counter`/:meth:`set_gauge`) are
+    #: stamped: publication is a driver-at-barrier responsibility, and
+    #: the registry's internal lock is deliberately *not* part of the
+    #: lockset — mutual exclusion does not excuse publishing from task
+    #: scope.  ``inc``/``observe``/``span`` are legitimate from
+    #: concurrent threads (threaded query engines) and stay unhooked.
+    race = None
+
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._lock = threading.Lock()
@@ -166,10 +177,16 @@ class MetricsRegistry:
         re-publishing after every barrier converges to the same totals
         no matter how supersteps interleaved.
         """
+        race = self.race
+        if race is not None:
+            race.access(("metric", name), write=True)
         with self._lock:
             self._counters[name] = int(value)
 
     def set_gauge(self, name: str, value: float) -> None:
+        race = self.race
+        if race is not None:
+            race.access(("metric", name), write=True)
         with self._lock:
             self._gauges[name] = float(value)
 

@@ -297,6 +297,12 @@ class Transport:
     (``None`` unless the transport supports fault injection).
     """
 
+    #: Attached :class:`repro.analysis.race.RaceSanitizer` under
+    #: ``REPRO_SANITIZE=race``; ``None`` otherwise.  Kept as a class
+    #: attribute so the off mode costs nothing per instance and hooks
+    #: reduce to a single ``is None`` test.
+    race = None
+
     def __init__(self, config: ClusterConfig, net: NetworkModel | None,
                  ledger: CostLedger) -> None:
         self.config = config
@@ -324,6 +330,12 @@ class Transport:
         self._alive = True
 
     # -- lifecycle -----------------------------------------------------------
+
+    def attach_race(self, race) -> None:
+        """Attach a race sanitizer (``REPRO_SANITIZE=race``).  Subclasses
+        with internal locks additionally swap them for tracked proxies so
+        lock-ordered accesses carry the lock in their lockset."""
+        self.race = race
 
     def shutdown(self) -> None:
         self._alive = False
@@ -411,7 +423,14 @@ class Transport:
             self.injector.repair_all()
 
     def clear_mailboxes(self) -> None:
-        """Discard all undelivered traffic (crash-recovery reset)."""
+        """Discard all undelivered traffic (crash-recovery reset).
+        Driver-only: under the race sanitizer this writes every mailbox
+        cell, so a reset overlapping a rank section's drain is reported
+        as the race it would be."""
+        race = self.race
+        if race is not None:
+            for rank in range(self.world_size):
+                race.access(("mailbox", rank), write=True)
         for mb in self._mailboxes:
             mb.clear()
 

@@ -100,6 +100,12 @@ class LocalTransport(Transport):
             # stream and fault counters are shared state reached from
             # concurrent producer threads.
             with self._fault_lock:
+                race = self.race
+                if race is not None:
+                    # The injector is one shared cell; the tracked fault
+                    # lock in the lockset is what keeps concurrent
+                    # producers from reporting against each other.
+                    race.access(("injector",), write=True)
                 if inj.is_crashed(src) or inj.is_crashed(dest):
                     inj.stats.crash_dropped += 1
                     return
@@ -113,6 +119,30 @@ class LocalTransport(Transport):
                     return
         self._mailboxes[dest].append((src, item))
 
+    def attach_race(self, race: Any) -> None:
+        """Attach the race sanitizer: record the instance and swap the
+        fault lock for a tracked one so injector consultations carry it
+        in their lockset."""
+        super().attach_race(race)
+        self._fault_lock = race.tracked_lock("transport.fault_lock",
+                                             self._fault_lock)
+
+    def drain_one(self, rank: int) -> Any:
+        """Pop the oldest pending item for ``rank``.
+
+        Mailboxes are multiple-producer / single-consumer: any thread
+        may append, only the owning rank's section pops.  Under the race
+        sanitizer each pop records a write on the rank's mailbox cell,
+        so a second concurrent consumer (or a driver-side reset during a
+        dispatch) is reported with both stacks.  The base class's
+        unhooked ``drain_one`` keeps the sim hot path untouched.
+        """
+        race = self.race
+        if race is not None:
+            race.access(("mailbox", rank), write=True)
+        mb = self._mailboxes[rank]
+        return mb.popleft() if mb else None
+
     def release_due_faults(self) -> int:
         """Advance the injector's delay clock one tick and deliver any
         now-due delayed messages.  Driver-only (called between barrier
@@ -122,6 +152,9 @@ class LocalTransport(Transport):
         if inj is None:
             return 0
         with self._fault_lock:
+            race = self.race
+            if race is not None:
+                race.access(("injector",), write=True)
             due = inj.tick()
             released = 0
             for src, dest, item in due:

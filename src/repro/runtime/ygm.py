@@ -78,6 +78,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.race import RaceSanitizer, race_requested
 from ..analysis.sanitizer import OwnedState, Sanitizer, sanitizer_requested
 from ..errors import RankFailureError, RuntimeStateError
 from ..utils.rng import derive_rng
@@ -206,6 +207,7 @@ class YGMWorld:
                  max_retries: int = 32,
                  failure_timeout: int | None = None,
                  sanitize: bool | None = None,
+                 race: "bool | RaceSanitizer | None" = None,
                  executor: Any | None = None,
                  metrics: MetricsRegistry | None = None) -> None:
         if flush_threshold < 1:
@@ -223,6 +225,24 @@ class YGMWorld:
         if sanitize is None:
             sanitize = sanitizer_requested()
         self.sanitizer: Sanitizer | None = Sanitizer() if sanitize else None
+        # Race sanitizer (REPRO_SANITIZE=race): barrier-epoch + lockset
+        # conflict detection over the transport's mailboxes, the
+        # executor's dispatch boundaries, and the metrics registry's
+        # publication cells.  Attached only when requested, so the off
+        # mode leaves every instrumented object carrying its class-level
+        # ``race = None`` and nothing else changes.
+        self.race: RaceSanitizer | None = None
+        if race is None:
+            race = race_requested()
+        if race is True:
+            race = RaceSanitizer()
+        if isinstance(race, RaceSanitizer):
+            self.race = race
+            cluster.attach_race(race)
+            if executor is not None:
+                executor.race = race
+            if metrics is not None and metrics.enabled:
+                metrics.race = race
         # Metrics registry (None -> the shared no-op singleton).  The
         # world only *publishes* into it — at barrier granularity, never
         # per message — so metrics-on costs nothing on the hot path.

@@ -1,0 +1,23 @@
+"""Fixture: unlocked shared-state mutation from concurrent scope (REP401 3x)."""
+
+PENDING = []
+TOTALS = {"built": 0}
+CACHE = {}
+
+
+def _h_record(ctx, key):
+    TOTALS[key] += 1  # read-modify-write on a module-level dict
+
+
+def _h_enqueue(ctx, item):
+    PENDING.append(item)  # mutating call on a module-level list
+
+
+def _task_evict(key):
+    del CACHE[key]  # del on shared state from executor-task scope
+
+
+def setup(world, pool):
+    world.register_handler("record", _h_record)
+    world.register_handler("enqueue", _h_enqueue)
+    pool.submit(_task_evict)

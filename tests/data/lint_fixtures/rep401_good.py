@@ -1,0 +1,38 @@
+"""Fixture: sanctioned shared-state access patterns (REP401 0x).
+
+Plain assignment is the absolute-assignment fold; mutations under a
+lock are synchronized; locals are rank-owned, not shared.
+"""
+
+import threading
+
+TOTALS = {"built": 0}
+SNAPSHOT = None
+_LOCK = threading.Lock()
+
+
+def _h_fold(ctx, key, value):
+    TOTALS[key] = value  # absolute assignment: last-writer-safe
+
+
+def _h_locked(ctx, item):
+    with _LOCK:
+        TOTALS["built"] += 1  # read-modify-write, but under the lock
+
+
+def _h_local(ctx, items):
+    batch = []  # rank-local: each handler invocation owns it
+    batch.append(items)
+    counts = {}
+    counts["n"] = len(batch)
+
+
+def setup(world):
+    world.register_handler("fold", _h_fold)
+    world.register_handler("locked", _h_locked)
+    world.register_handler("local", _h_local)
+
+
+def driver_side(key):
+    # Not registered anywhere: driver scope may mutate freely.
+    del TOTALS[key]

@@ -1,0 +1,26 @@
+"""Fixture: non-atomic check-then-act on shared mappings (REP402 3x)."""
+
+SEEN = {}
+HEAPS = {}
+SLOTS = {}
+
+
+def _h_count(ctx, key):
+    if key in SEEN:
+        SEEN[key] += 1  # another thread can del between check and act
+
+
+def _h_init(ctx, rank):
+    if rank not in HEAPS:
+        HEAPS[rank] = []  # two threads can both pass the test
+
+
+def _h_drop(ctx, key):
+    if key in SLOTS:
+        SLOTS.pop(key)  # .pop after the membership test is still racy
+
+
+def setup(world):
+    world.register_handler("count", _h_count)
+    world.register_handler("init", _h_init)
+    world.register_handler("drop", _h_drop)

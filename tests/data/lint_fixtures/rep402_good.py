@@ -1,0 +1,38 @@
+"""Fixture: atomic alternatives to check-then-act (REP402 0x)."""
+
+import threading
+
+SEEN = {}
+HEAPS = {}
+_LOCK = threading.Lock()
+
+
+def _h_count(ctx, key):
+    # setdefault is one dict operation: no window between check and act.
+    SEEN.setdefault(key, 0)
+
+
+def _h_init(ctx, rank):
+    with _LOCK:
+        if rank not in HEAPS:  # check and act under one lock
+            HEAPS[rank] = []
+
+
+def _h_local(ctx, keys):
+    local = {}  # rank-owned mapping: no other thread can interleave
+    for key in keys:
+        if key in local:
+            local[key] += 1
+
+
+def _h_read_only(ctx, key):
+    if key in SEEN:
+        return SEEN[key]  # membership test guarding a *read* is fine
+    return 0
+
+
+def setup(world):
+    world.register_handler("count", _h_count)
+    world.register_handler("init", _h_init)
+    world.register_handler("local", _h_local)
+    world.register_handler("read", _h_read_only)

@@ -1,0 +1,30 @@
+"""Fixture: closures capturing driver-mutable locals (REP403 3x)."""
+
+
+def register_shards(world):
+    for shard in range(4):
+        def _h_shard(ctx, key):
+            return (shard, key)  # reads the cell at run time: last shard
+
+        world.register_handler("shard", _h_shard)
+
+
+def submit_emitter(world, pool):
+    mode = "optimized"
+
+    def _task_emit():
+        return mode  # driver flips mode below before the task runs
+
+    pool.submit(_task_emit)
+    mode = "fallback"
+
+
+def register_total(world):
+    total = 0
+
+    def _h_total(ctx, n):
+        return total  # races the driver's accumulation
+
+    world.register_handler("total", _h_total)
+    total += 1
+    return total

@@ -1,0 +1,27 @@
+"""Fixture: value-bound and stable captures (REP403 0x)."""
+
+
+def register_shards(world):
+    for shard in range(4):
+        def _h_shard(ctx, key, shard=shard):  # bound at def time
+            return (shard, key)
+
+        world.register_handler("shard", _h_shard)
+
+
+def submit_emitter(world, pool):
+    mode = "optimized" if world.rank == 0 else "fallback"
+
+    def _task_emit():
+        return mode  # assigned once, before the def: stable by run time
+
+    pool.submit(_task_emit)
+
+
+def register_total(world, start):
+    base = start + 1  # init-then-capture, never touched again
+
+    def _h_total(ctx, n):
+        return base + n
+
+    world.register_handler("total", _h_total)

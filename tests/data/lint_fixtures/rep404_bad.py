@@ -1,0 +1,21 @@
+"""Fixture: lock-order inversions and re-acquisition (REP404 3x).
+
+The declared hierarchy (pyproject ``lock-order``) is ``_fault_lock``
+before ``_lock``, outermost first.
+"""
+
+
+class Transport:
+    def inverted(self):
+        with self._lock:
+            with self._fault_lock:  # inner lock held, outer acquired
+                return self.pending
+
+    def reentrant(self):
+        with self._fault_lock:
+            with self._fault_lock:  # threading.Lock is not reentrant
+                return self.pending
+
+    def inverted_multi_item(self):
+        with self._lock, self._fault_lock:  # same inversion, one with
+            return self.pending

@@ -1,0 +1,27 @@
+"""Fixture: lock nesting that follows the declared hierarchy (REP404 0x)."""
+
+
+class Transport:
+    def ordered(self):
+        with self._fault_lock:
+            with self._lock:  # outermost-first, as declared
+                return self.pending
+
+    def ordered_multi_item(self):
+        with self._fault_lock, self._lock:
+            return self.pending
+
+    def sequential(self):
+        with self._lock:
+            first = self.pending
+        with self._fault_lock:  # not nested: no ordering constraint
+            return first
+
+    def nested_def_is_independent(self):
+        with self._lock:
+            def later():
+                # Runs after `sequential`'s with-block exits, not under
+                # the enclosing stack.
+                with self._fault_lock:
+                    return self.pending
+            return later

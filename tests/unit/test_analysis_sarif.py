@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 export (``--format sarif``) for GitHub code scanning."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Finding, to_sarif
+from repro.analysis.__main__ import main
+from repro.analysis.findings import SARIF_SCHEMA, SARIF_VERSION
+
+FIXTURES = Path(__file__).resolve().parents[1] / "data" / "lint_fixtures"
+
+SAMPLE = [
+    Finding(path="src/a.py", line=10, col=4, rule="REP401",
+            severity="error", message="shared mutation"),
+    Finding(path="src\\b.py", line=3, col=0, rule="REP102",
+            severity="warning", message="wall clock"),
+]
+RULE_META = {
+    "REP401": {"severity": "error", "summary": "shared-state mutation"},
+    "REP102": {"severity": "warning", "summary": "wall-clock read"},
+    "REP405": {"severity": "error", "summary": "metrics publication"},
+}
+
+
+def test_top_level_shape():
+    doc = to_sarif(SAMPLE, rules=RULE_META)
+    assert doc["$schema"] == SARIF_SCHEMA
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert len(doc["runs"]) == 1
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro.analysis"
+
+
+def test_rules_catalogue_sorted_and_indexed():
+    doc = to_sarif(SAMPLE, rules=RULE_META)
+    driver = doc["runs"][0]["tool"]["driver"]
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == sorted(ids)
+    assert "REP405" in ids  # catalogue includes rules with no findings
+    for result in doc["runs"][0]["results"]:
+        assert ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_result_shape_and_level_mapping():
+    doc = to_sarif(SAMPLE, rules=RULE_META)
+    by_rule = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    err = by_rule["REP401"]
+    assert err["level"] == "error"
+    assert err["message"]["text"] == "shared mutation"
+    loc = err["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/a.py"
+    assert loc["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert loc["region"]["startLine"] == 10
+    assert loc["region"]["startColumn"] == 5  # SARIF columns are 1-based
+    assert by_rule["REP102"]["level"] == "warning"
+
+
+def test_windows_paths_normalized_to_posix_uris():
+    doc = to_sarif(SAMPLE)
+    uris = {r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in doc["runs"][0]["results"]}
+    assert "src/b.py" in uris
+
+
+def test_findings_without_metadata_still_resolve():
+    doc = to_sarif(SAMPLE, rules=None)
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert [r["id"] for r in driver["rules"]] == ["REP102", "REP401"]
+    assert all("defaultConfiguration" in r for r in driver["rules"])
+
+
+def test_empty_run_is_valid():
+    doc = to_sarif([], rules=RULE_META)
+    assert doc["runs"][0]["results"] == []
+    assert len(doc["runs"][0]["tool"]["driver"]["rules"]) == 3
+
+
+def test_cli_format_sarif_round_trips(capsys):
+    rc = main(["--format", "sarif", "--select", "REP401",
+               str(FIXTURES / "rep401_bad.py")])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert len(results) == 3
+    assert {r["ruleId"] for r in results} == {"REP401"}
+
+
+def test_cli_format_sarif_clean_exit(capsys):
+    rc = main(["--format", "sarif", "--select", "REP401",
+               str(FIXTURES / "rep401_good.py")])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []

@@ -1,0 +1,291 @@
+"""Barrier-epoch race sanitizer (``REPRO_SANITIZE=race``)."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DNND, ClusterConfig, DNNDConfig, NNDescentConfig
+from repro.analysis.race import RaceSanitizer, TrackedLock, race_requested
+from repro.config import ClusterConfig as CC
+from repro.core.executor import Executor, ParallelExecutor
+from repro.errors import RaceConditionError
+from repro.runtime.metrics import NULL_METRICS, MetricsRegistry
+from repro.runtime.transports.base import Transport
+from repro.runtime.transports.local import LocalTransport
+from repro.runtime.ygm import YGMWorld
+
+
+def _from_thread(fn):
+    """Run ``fn`` on a fresh thread, re-raising anything it raised."""
+    box = {}
+
+    def runner():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["exc"] = exc
+
+    t = threading.Thread(target=runner)
+    t.start()
+    t.join()
+    if "exc" in box:
+        raise box["exc"]
+
+
+class TestRaceRequested:
+    def test_race_value(self):
+        assert race_requested({"REPRO_SANITIZE": "race"})
+        assert race_requested({"REPRO_SANITIZE": " RACE "})
+
+    def test_other_values_do_not_enable(self):
+        # "1" is the *ownership* sanitizer; the modes are independent.
+        assert not race_requested({"REPRO_SANITIZE": "1"})
+        assert not race_requested({"REPRO_SANITIZE": "true"})
+        assert not race_requested({})
+        assert not race_requested({"REPRO_SANITIZE": ""})
+
+
+class TestConflictDetection:
+    def test_same_thread_is_never_a_race(self):
+        san = RaceSanitizer()
+        for _ in range(5):
+            san.access(("cell",), write=True)
+        assert san.races == []
+
+    def test_cross_thread_same_epoch_write_write(self):
+        """Detection is epoch-based: no wall-clock overlap is needed."""
+        san = RaceSanitizer(raise_on_race=False)
+        san.access(("cell",), write=True)
+        _from_thread(lambda: san.access(("cell",), write=True))
+        assert len(san.races) == 1
+        report = san.races[0]
+        assert report.first.thread != report.second.thread
+        assert report.first.epoch == report.second.epoch
+        assert "race on cell" in report.format()
+
+    def test_write_read_conflicts_too(self):
+        san = RaceSanitizer(raise_on_race=False)
+        san.access(("cell",), write=True)
+        _from_thread(lambda: san.access(("cell",), write=False))
+        assert len(san.races) == 1
+
+    def test_read_read_is_clean(self):
+        san = RaceSanitizer()
+        san.access(("cell",), write=False)
+        _from_thread(lambda: san.access(("cell",), write=False))
+        assert san.races == []
+
+    def test_distinct_cells_are_independent(self):
+        san = RaceSanitizer()
+        san.access(("cell", 0), write=True)
+        _from_thread(lambda: san.access(("cell", 1), write=True))
+        assert san.races == []
+
+    def test_dispatch_edges_separate_epochs(self):
+        """Driver code between dispatches never shares an epoch with
+        task code: the epoch advances at both edges."""
+        san = RaceSanitizer()
+        san.begin_dispatch()
+        _from_thread(lambda: san.access(("cell",), write=True))
+        san.end_dispatch()
+        san.access(("cell",), write=True)  # driver side, next epoch
+        assert san.races == []
+
+    def test_duplicate_accesses_report_once(self):
+        san = RaceSanitizer(raise_on_race=False)
+        san.access(("cell",), write=True)
+        san.access(("cell",), write=True)
+
+        def other():
+            san.access(("cell",), write=True)
+            san.access(("cell",), write=True)
+
+        _from_thread(other)
+        assert len(san.races) == 1
+
+    def test_raise_mode_carries_both_sides(self):
+        san = RaceSanitizer()
+        san.access(("counter",), write=True)
+        with pytest.raises(RaceConditionError) as info:
+            _from_thread(lambda: san.access(("counter",), write=True))
+        assert info.value.cell == ("counter",)
+        assert info.value.first is not None
+        assert info.value.second is not None
+
+
+class TestLocksets:
+    def test_common_tracked_lock_suppresses(self):
+        san = RaceSanitizer()
+        lock = san.tracked_lock("shared")
+
+        def touch():
+            with lock:
+                san.access(("cell",), write=True)
+
+        touch()
+        _from_thread(touch)
+        assert san.races == []
+
+    def test_disjoint_locks_still_conflict(self):
+        san = RaceSanitizer(raise_on_race=False)
+        a, b = san.tracked_lock("a"), san.tracked_lock("b")
+        with a:
+            san.access(("cell",), write=True)
+
+        def other():
+            with b:
+                san.access(("cell",), write=True)
+
+        _from_thread(other)
+        assert len(san.races) == 1
+
+    def test_tracked_lock_wraps_existing_lock(self):
+        san = RaceSanitizer()
+        raw = threading.Lock()
+        tracked = san.tracked_lock("wrapped", raw)
+        assert isinstance(tracked, TrackedLock)
+        with tracked:
+            assert raw.locked()
+            assert "wrapped" in san.lockset()
+        assert not raw.locked()
+        assert san.lockset() == frozenset()
+
+
+class TestParallelExecutorIntegration:
+    @pytest.fixture()
+    def wide_executor(self, monkeypatch):
+        """Chunk width is capped at the core count; force 4 lanes so the
+        seeded race has real cross-thread sharing."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        ex = ParallelExecutor(workers=4)
+        yield ex
+        ex.shutdown()
+
+    def test_seeded_unsynchronized_counter_is_caught(self, wide_executor):
+        """The seeded true positive: every rank bumps one shared counter
+        with no lock.  The sanitizer must flag it."""
+        san = RaceSanitizer(raise_on_race=False)
+        wide_executor.race = san
+        counter = [0]
+
+        def bump(rank):
+            san.access(("counter",), write=True)
+            counter[0] += 1
+            return 0
+
+        wide_executor.map_ranks(bump, 8)
+        assert len(san.races) >= 1
+        assert all(r.cell == ("counter",) for r in san.races)
+
+    def test_seeded_race_raises_in_raise_mode(self, wide_executor):
+        san = RaceSanitizer()
+        wide_executor.race = san
+
+        def bump(rank):
+            san.access(("counter",), write=True)
+            return 0
+
+        with pytest.raises(RaceConditionError):
+            wide_executor.map_ranks(bump, 8)
+
+    def test_per_rank_cells_are_clean(self, wide_executor):
+        """The sanctioned pattern — rank-owned cells — stays silent."""
+        san = RaceSanitizer()
+        wide_executor.race = san
+
+        def bump(rank):
+            san.access(("cell", rank), write=True)
+            return 0
+
+        wide_executor.map_ranks(bump, 8)
+        wide_executor.run_ranks(
+            lambda ctx: san.access(("cell", ctx), write=True), range(8))
+        assert san.races == []
+        assert san.epoch == 4  # two dispatches, both edges advance
+
+    def test_off_mode_is_unhooked(self):
+        assert Executor.race is None
+        assert Transport.race is None
+        assert MetricsRegistry.race is None
+
+
+class TestWorldAttachment:
+    def _world(self, **kw):
+        cluster = LocalTransport(CC(nodes=2, procs_per_node=2))
+        ex = ParallelExecutor(workers=2)
+        return YGMWorld(cluster, executor=ex, **kw), cluster, ex
+
+    def test_race_true_attaches_everywhere(self):
+        metrics = MetricsRegistry()
+        world, cluster, ex = self._world(race=True, metrics=metrics)
+        assert isinstance(world.race, RaceSanitizer)
+        assert cluster.race is world.race
+        assert ex.race is world.race
+        assert metrics.race is world.race
+        assert isinstance(cluster._fault_lock, TrackedLock)
+
+    def test_explicit_instance_is_used(self):
+        san = RaceSanitizer(raise_on_race=False)
+        world, cluster, ex = self._world(race=san)
+        assert world.race is san
+        assert cluster.race is san
+
+    def test_null_metrics_never_carries_a_sanitizer(self):
+        world, _, _ = self._world(race=True)
+        assert world.metrics is NULL_METRICS
+        assert NULL_METRICS.race is None
+
+    def test_env_enables_and_false_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "race")
+        world, _, _ = self._world()
+        assert isinstance(world.race, RaceSanitizer)
+        world_off, cluster_off, _ = self._world(race=False)
+        assert world_off.race is None
+        assert cluster_off.race is None
+
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        world, cluster, ex = self._world()
+        assert world.race is None
+        assert cluster.race is None
+        assert ex.race is None
+
+
+def _build(data, **kw):
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=6, rho=0.8, delta=0.0, max_iters=4, seed=3),
+        backend="parallel",
+        workers=2,
+    )
+    return DNND(data, cfg,
+                cluster=ClusterConfig(nodes=2, procs_per_node=2), **kw)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(11)
+        return rng.standard_normal((48, 8)).astype(np.float32)
+
+    def test_parallel_build_reports_no_races(self, data, monkeypatch):
+        """The shipped runtime must be race-clean under the sanitizer."""
+        monkeypatch.setenv("REPRO_SANITIZE", "race")
+        dnnd = _build(data)
+        result = dnnd.build()
+        san = dnnd.world.race
+        assert isinstance(san, RaceSanitizer)
+        assert san.races == []
+        assert san.epoch > 0  # the instrumentation actually ran
+        assert result.graph.ids.shape[1] == 6
+
+    def test_sanitizer_does_not_change_the_graph(self, data, monkeypatch):
+        """Race mode only observes: the built graph is bit-identical to
+        an uninstrumented parallel build."""
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = _build(data).build()
+        monkeypatch.setenv("REPRO_SANITIZE", "race")
+        checked = _build(data).build()
+        np.testing.assert_array_equal(plain.graph.ids, checked.graph.ids)
+        np.testing.assert_array_equal(plain.graph.dists, checked.graph.dists)
