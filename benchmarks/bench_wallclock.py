@@ -17,11 +17,21 @@ Besides the scalar-vs-batched comparison (always run under the sim
 backend, whose bit-identity contract it asserts), the bench times the
 batched engine under each requested ``--backend`` and records recall
 against brute force, so the JSON captures the execution-backend
-trade-off: sim is deterministic and cost-modeled, parallel must be at
-least as fast with recall@k within +-0.01.  A third section times
-metrics-on vs metrics-off (``DNNDConfig.metrics``): the default-on
-observability layer must cost <2% wall clock (and zero simulation
-divergence) because it only synchronizes counters at barriers.
+trade-off: sim is deterministic and cost-modeled, parallel and process
+must be at least as fast with recall@k within +-0.01.  A third section
+times metrics-on vs metrics-off (``DNNDConfig.metrics``): the
+default-on observability layer must cost <2% wall clock (and zero
+simulation divergence) because it only synchronizes counters at
+barriers.
+
+The **scale axis** (``--quick`` shrinks it, ``--xl`` extends it) is the
+process backend's reason to exist: at n=50k+ the GIL caps the parallel
+backend at ~1x while worker processes scale with the core count.  The
+record always includes ``cpu_count`` because the result is
+machine-bound: on a single-core runner the process backend *cannot*
+beat sim (IPC overhead, no parallelism to buy it back), so the
+process-vs-sim perf gate only fails on machines with >=2 cores —
+elsewhere the measurement is recorded and annotated, not asserted.
 
 Writes ``BENCH_wallclock.json`` at the repository root.  Timing is
 best-of-N (``--repeats``, default 3): the minimum over repeats is the
@@ -56,6 +66,14 @@ OUT_PATH = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
 #: two engines run the exact same simulated workload.
 FULL_SIZES = [(500, 16), (2000, 32)]
 QUICK_SIZES = [(400, 16)]
+
+#: Scale axis (batched engine only — the scalar path is hopeless here):
+#: the n=50k-500k range the process backend opens.  ``--quick`` runs a
+#: small stand-in so CI exercises the code path; ``--xl`` extends the
+#: sweep for real machines with cores + minutes to spend.
+SCALE_SIZES = [(50_000, 16)]
+SCALE_SIZES_QUICK = [(8_000, 16)]
+SCALE_SIZES_XL = [(50_000, 16), (200_000, 16)]
 K = 10
 SEED = 0
 
@@ -129,7 +147,7 @@ def run_backends(sizes, repeats: int, backends, workers: int):
         truth = KNNGraph(ids, dists)
         per_backend = {}
         for backend in backends:
-            w = workers if backend == "parallel" else 0
+            w = workers if backend in ("parallel", "process") else 0
             secs, result = _time_build(data, True, repeats, backend, w)
             per_backend[backend] = {
                 "seconds": round(secs, 4),
@@ -140,13 +158,48 @@ def run_backends(sizes, repeats: int, backends, workers: int):
                   f"recall@{K} {per_backend[backend]['recall']:.4f}")
         row = {"n": n, "dim": dim, "k": K, "workers": workers,
                "backends": per_backend}
-        if "sim" in per_backend and "parallel" in per_backend:
-            row["parallel_speedup"] = round(
+        for contender in ("parallel", "process"):
+            if "sim" in per_backend and contender in per_backend:
+                row[f"{contender}_speedup"] = round(
+                    per_backend["sim"]["seconds"]
+                    / per_backend[contender]["seconds"], 3)
+                row[f"{contender}_recall_delta"] = round(
+                    per_backend[contender]["recall"]
+                    - per_backend["sim"]["recall"], 4)
+        if "parallel_speedup" in row:  # legacy keys, kept for tooling
+            row["recall_delta"] = row["parallel_recall_delta"]
+        rows.append(row)
+    return rows
+
+
+def run_scale(sizes, backends, workers: int):
+    """The large-n axis: batched engine, one timed build per backend
+    (no repeats — a single n=50k build is minutes, and the comparison
+    is between backends on the *same* machine in the same session).
+    Recall against brute force is skipped: the O(n^2) ground truth at
+    n=50k costs more than every build combined."""
+    rows = []
+    for n, dim in sizes:
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((n, dim)).astype(np.float64)
+        per_backend = {}
+        for backend in backends:
+            w = workers if backend in ("parallel", "process") else 0
+            secs, result = _time_build(data, True, 1, backend, w)
+            per_backend[backend] = {
+                "seconds": round(secs, 4),
+                "iterations": result.iterations,
+                "distance_evals": result.distance_evals,
+            }
+            print(f"n={n:6d} d={dim:3d}  backend={backend:8s} "
+                  f"workers={w:2d}  {secs:8.2f}s  "
+                  f"iters {result.iterations}")
+        row = {"n": n, "dim": dim, "k": K, "workers": workers,
+               "backends": per_backend}
+        if "sim" in per_backend and "process" in per_backend:
+            row["process_speedup"] = round(
                 per_backend["sim"]["seconds"]
-                / per_backend["parallel"]["seconds"], 3)
-            row["recall_delta"] = round(
-                per_backend["parallel"]["recall"]
-                - per_backend["sim"]["recall"], 4)
+                / per_backend["process"]["seconds"], 3)
         rows.append(row)
     return rows
 
@@ -205,26 +258,47 @@ def main(argv=None) -> int:
                     help="small instance only (CI perf smoke)")
     ap.add_argument("--repeats", type=int, default=3,
                     help="timing repeats; best-of-N is reported")
-    ap.add_argument("--backend", action="append", choices=["sim", "parallel"],
+    ap.add_argument("--backend", action="append",
+                    choices=["sim", "parallel", "process"],
                     help="execution backend(s) for the backend-comparison "
-                         "section; repeatable (default: both)")
+                         "and scale sections; repeatable (default: all)")
     ap.add_argument("--workers", type=int, default=4,
-                    help="worker count for the parallel backend")
+                    help="worker count for the parallel/process backends "
+                         "in the small-axis comparison")
+    ap.add_argument("--scale-workers", type=int, default=8,
+                    help="worker count for the scale axis (the paper "
+                         "regime: one worker process per core)")
+    ap.add_argument("--xl", action="store_true",
+                    help="extend the scale axis to n=200k (multi-core "
+                         "machines with minutes to spend)")
+    ap.add_argument("--no-scale", action="store_true",
+                    help="skip the large-n scale axis entirely")
     args = ap.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
-    backends = args.backend or ["sim", "parallel"]
+    backends = args.backend or ["sim", "parallel", "process"]
+    cpu_count = os.cpu_count() or 1
     rows = run(sizes, max(1, args.repeats))
     backend_rows = run_backends(sizes, max(1, args.repeats), backends,
                                 args.workers)
     metrics_rows = run_metrics_overhead(sizes, max(1, args.repeats))
+    scale_rows = []
+    if not args.no_scale:
+        scale_sizes = (SCALE_SIZES_QUICK if args.quick
+                       else SCALE_SIZES_XL if args.xl else SCALE_SIZES)
+        scale_rows = run_scale(
+            scale_sizes,
+            [b for b in backends if b in ("sim", "process")],
+            args.scale_workers)
     payload = {
         "benchmark": "wallclock scalar-vs-batched execution engine",
         "repeats": max(1, args.repeats),
         "quick": bool(args.quick),
+        "cpu_count": cpu_count,
         "results": rows,
         "backend_results": backend_rows,
         "metrics_overhead": metrics_rows,
+        "scale_results": scale_rows,
     }
     with open(OUT_PATH, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -243,10 +317,28 @@ def main(argv=None) -> int:
             print(f"FAIL: parallel backend slower than sim at "
                   f"n={last['n']}, d={last['dim']}")
             return 1
-        if abs(last.get("recall_delta", 0.0)) > 0.01:
-            print(f"FAIL: parallel recall deviates from sim by "
-                  f"{last['recall_delta']}")
-            return 1
+        for contender in ("parallel", "process"):
+            delta = last.get(f"{contender}_recall_delta", 0.0)
+            if abs(delta) > 0.01:
+                print(f"FAIL: {contender} recall deviates from sim by "
+                      f"{delta}")
+                return 1
+    if scale_rows:
+        # Process-vs-sim perf gate, core-count-aware: worker processes
+        # can only beat the inline sim when the machine has cores for
+        # them — on a single-core runner the IPC tax buys nothing, so
+        # the measurement is recorded but not asserted.
+        last = scale_rows[-1]
+        speedup = last.get("process_speedup")
+        if speedup is not None:
+            if not args.quick and cpu_count >= 2 and speedup < 1.0:
+                print(f"FAIL: process backend slower than sim at "
+                      f"n={last['n']} with {cpu_count} cores "
+                      f"(speedup {speedup}x)")
+                return 1
+            if cpu_count < 2:
+                print(f"note: single-core machine — process speedup "
+                      f"{speedup}x recorded, gate not asserted")
     # Observability cost gate: <2% on full runs; quick/CI runs get a
     # noise margin because sub-second builds make relative timing
     # jitter-dominated on shared runners.

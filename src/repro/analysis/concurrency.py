@@ -10,12 +10,23 @@ those conventions, using the engine's light intra-function dataflow
 (:func:`~repro.analysis.engine.shared_name_resolver`,
 :func:`~repro.analysis.engine.lock_guarded`).
 
-"Concurrent scope" means a function that can run off the driver thread:
-a registered handler/visitor/batch handler (delivered inside a barrier,
-concurrently with other ranks' sections under the parallel executor) or
-a function handed to an executor (``submit``/``map_ranks``/``run_ranks``/
-``run_on_all``/``Thread(target=...)`` — collected by the engine into
+"Concurrent scope" means a function that can run off the driver thread
+*in the driver's address space*: a registered handler/visitor/batch
+handler (delivered inside a barrier, concurrently with other ranks'
+sections under the parallel executor) or a function handed to an
+executor (``submit``/``map_ranks``/``run_ranks``/``run_on_all``/
+``Thread(target=...)`` — collected by the engine into
 ``ProjectContext.executor_tasks``).
+
+Worker *process* entry points (``Process(target=...)``, collected into
+``ProjectContext.process_tasks``) are **not** concurrent scope: the
+target runs in its own address space (forked copy or spawn re-import),
+so module/class state it mutates is private to that worker, closures
+resolve against the worker's copy of the cell, and metrics registries
+it touches are worker-local shadows — none of the thread-interleaving
+hazards REP401/402/403/405 model exist across a process boundary.  A
+function handed to *both* ``Thread`` and ``Process`` is still checked
+(its thread registration keeps it in scope).
 
 - **REP401** — read-modify-write (augmented assignment, mutating method
   call, ``del``) on module/class-level shared state from concurrent
@@ -86,9 +97,19 @@ def _finding(module: SourceModule, node: ast.AST, rule_id: str,
 
 def _concurrent_functions(
         project: ProjectContext) -> Iterator[Tuple[FunctionInfo, str]]:
-    """Every function that can run off the driver thread, deduplicated
-    (one function may be registered under several names), tagged
-    ``"handler"`` or ``"task"``."""
+    """Every function that can run off the driver thread in the
+    driver's address space, deduplicated (one function may be
+    registered under several names), tagged ``"handler"`` or
+    ``"task"``.
+
+    ``project.process_tasks`` is deliberately absent: a ``Process``
+    target's writes land in the worker's own (forked or re-imported)
+    copy of every module/class binding, so there is no thread to
+    interleave with — applying the REP4xx shapes there would flag
+    perfectly safe worker bookkeeping.  Functions that are *also*
+    registered as handlers or thread tasks still flow through the
+    sources below.
+    """
     seen: Set[int] = set()
     sources = (
         ("handler", project.handlers),

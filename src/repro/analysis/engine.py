@@ -196,14 +196,23 @@ def _collect_registrations(module: SourceModule,
                      else target.attr if isinstance(target, ast.Attribute)
                      else "<lambda>")
             bind(project.executor_tasks, label, target, node)
-        elif method == "Thread":
+        elif method in ("Thread", "Process"):
+            # Thread targets share the driver's address space and join
+            # ``executor_tasks`` (REP4xx concurrent scope).  Process
+            # targets run in their own address space — forked copy or
+            # spawn re-import — so the thread-interleaving rules do not
+            # apply; they are collected separately into
+            # ``process_tasks`` so rules can still reason about worker
+            # entry points.
+            registry = (project.executor_tasks if method == "Thread"
+                        else project.process_tasks)
             for kw in node.keywords:
                 if kw.arg == "target":
                     label = (kw.value.id if isinstance(kw.value, ast.Name)
                              else kw.value.attr
                              if isinstance(kw.value, ast.Attribute)
                              else "<lambda>")
-                    bind(project.executor_tasks, label, kw.value, node)
+                    bind(registry, label, kw.value, node)
 
 
 def _collect_call_sites(module: SourceModule,
@@ -251,7 +260,8 @@ def build_project(modules: List[SourceModule]) -> ProjectContext:
     # Late-bind cross-module handler functions (registered by bare name
     # whose def lives in another analyzed file).
     for registry in (project.handlers, project.visitors,
-                     project.batch_handlers, project.executor_tasks):
+                     project.batch_handlers, project.executor_tasks,
+                     project.process_tasks):
         for infos in registry.values():
             for info in infos:
                 if info.func is None and info.func_name is not None:

@@ -112,6 +112,15 @@ class ProjectContext:
     #: the driver and with other ranks.  The REP4xx concurrency rules
     #: treat these exactly like registered handlers ("concurrent scope").
     executor_tasks: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
+    #: Worker *process* entry points — ``Process(target=...)`` first-class
+    #: targets (``multiprocessing`` / a start-method context).  Kept out
+    #: of ``executor_tasks`` on purpose: a process target runs in its own
+    #: address space (forked copy or spawn re-import), so the REP4xx
+    #: thread-interleaving rules do not apply to it — module/class state
+    #: it mutates is private to the worker, and the only cross-process
+    #: channels are pickled pipes/queues.  Determinism rules still see
+    #: these functions through ``functions``/``handlers``.
+    process_tasks: Dict[str, List[HandlerInfo]] = field(default_factory=dict)
 
 
 RuleFn = Callable[[ProjectContext, AnalysisConfig], Iterator[Finding]]

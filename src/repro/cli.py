@@ -115,16 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-recovery-attempts", type=int, default=8,
                    help="consecutive recovery cycles tolerated before the "
                         "failure propagates")
-    p.add_argument("--backend", choices=("sim", "parallel"), default=None,
+    p.add_argument("--backend", choices=("sim", "parallel", "process"),
+                   default=None,
                    help="execution backend: deterministic cost-modeled "
-                        "simulation (sim, default) or shared-memory "
-                        "parallel executor; fault injection, reliable "
-                        "delivery, and recovery work on both (only the "
-                        "network cost model is sim-only); default honours "
+                        "simulation (sim, default), shared-memory "
+                        "parallel executor, or multi-process workers "
+                        "with the dataset in shared memory (process); "
+                        "crash injection and recovery work everywhere, "
+                        "network fault plans / reliable delivery / the "
+                        "cost model are sim-only; default honours "
                         "REPRO_BACKEND")
     p.add_argument("--workers", type=int, default=0,
-                   help="thread count for --backend parallel "
-                        "(0 = auto: REPRO_WORKERS or the core count)")
+                   help="thread count (--backend parallel) or process "
+                        "count (--backend process); 0 = auto: "
+                        "REPRO_WORKERS or the core count")
     p.add_argument("--sanitize", action="store_true",
                    help="run under the runtime ownership sanitizer "
                         "(repro.analysis): cross-rank state access raises")
@@ -151,10 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs-per-node", type=int, default=2)
     p.add_argument("--store", default=None,
                    help="persist the finished graph here")
-    p.add_argument("--backend", choices=("sim", "parallel"), default=None,
+    p.add_argument("--backend", choices=("sim", "parallel", "process"),
+                   default=None,
                    help="execution backend for the resumed build")
     p.add_argument("--workers", type=int, default=0,
-                   help="thread count for --backend parallel (0 = auto)")
+                   help="thread count (parallel) or process count "
+                        "(process); 0 = auto")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write the metrics snapshot (JSON) here")
     p.add_argument("--trace-out", default=None, metavar="FILE",

@@ -140,15 +140,19 @@ class DNNDConfig:
 
     backend: str | None = None
     """Execution backend: ``"sim"`` (deterministic inline simulation
-    with the cost model — the default) or ``"parallel"`` (shared-memory
-    executor running rank sections concurrently; no cost ledger / fault
-    injection).  ``None`` defers to the ``REPRO_BACKEND`` environment
-    variable, falling back to ``"sim"``."""
+    with the cost model — the default), ``"parallel"`` (shared-memory
+    executor running rank sections concurrently; no cost ledger /
+    network fault injection), or ``"process"`` (per-rank worker
+    processes with the dataset in shared memory; crash injection native,
+    network fault plans / cost model / reliable delivery sim-only).
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable,
+    falling back to ``"sim"``."""
 
     workers: int = 0
-    """Thread count for the parallel backend; ``0`` means auto
-    (``REPRO_WORKERS`` if set, else the machine's core count), always
-    capped at the cluster's world size.  Ignored by the sim backend."""
+    """Thread count (parallel backend) or process count (process
+    backend); ``0`` means auto (``REPRO_WORKERS`` if set, else the
+    machine's core count), always capped at the cluster's world size.
+    Ignored by the sim backend."""
 
     metrics: bool = True
     """Backend-agnostic observability (``repro.runtime.metrics``):
@@ -161,9 +165,9 @@ class DNNDConfig:
     def __post_init__(self) -> None:
         _require(self.batch_size >= 0, "batch_size must be >= 0")
         _require(self.pruning_factor >= 1.0, "pruning_factor (m) must be >= 1.0")
-        _require(self.backend in (None, "sim", "parallel"),
-                 f"backend must be None, 'sim', or 'parallel', "
-                 f"got {self.backend!r}")
+        _require(self.backend in (None, "sim", "parallel", "process"),
+                 f"backend must be None, 'sim', 'parallel', or "
+                 f"'process', got {self.backend!r}")
         _require(self.workers >= 0, "workers must be >= 0 (0 = auto)")
 
     @property

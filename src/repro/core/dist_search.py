@@ -95,6 +95,17 @@ class DistributedKNNGraphSearcher:
             )
         self.cluster_config = cluster or ClusterConfig(nodes=2, procs_per_node=2)
         backend_name = resolve_backend(backend)
+        if backend_name == "process":
+            # Query search is coordinator-driven: every hop re-enters the
+            # driver, so there is no long-running per-rank section worth a
+            # worker process.  Runs on the thread-parallel executor when
+            # explicitly requested, on sim when the environment chose.
+            if backend == "process":
+                raise ConfigError(
+                    "the process backend covers graph construction "
+                    "(DNND.build); distributed search is coordinator-"
+                    "driven and supports backend='sim' or 'parallel'.")
+            backend_name = "sim"
         if backend_name == "parallel" and net is not None:
             if backend == "parallel":
                 raise ConfigError(

@@ -31,7 +31,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..analysis.sanitizer import tag_heap
+from ..analysis.race import race_requested
+from ..analysis.sanitizer import sanitizer_requested, tag_heap
 from ..config import ClusterConfig, CommOptConfig, DNNDConfig, NNDescentConfig
 from ..distances.counting import CountingMetric
 from ..errors import (CheckpointCorruptError, ConfigError, RankFailureError,
@@ -42,7 +43,8 @@ from ..runtime.metall import MetallStore
 from ..runtime.metrics import NULL_METRICS, MetricsRegistry
 from ..runtime.netmodel import NetworkModel
 from ..runtime.partition import HashPartitioner, Partitioner
-from ..runtime.transports import LocalTransport, SimCluster
+from ..runtime.transports import (LocalTransport, ProcessTransport,
+                                  ProcessWorld, SharedArrayOwner, SimCluster)
 from ..runtime.ygm import RankContext, YGMWorld
 from .executor import SimExecutor, make_executor, resolve_backend
 from ..types import DIST_BYTES, ID_BYTES
@@ -57,6 +59,41 @@ from .nndescent import _union_with_sample
 #: Shared no-op context for driver sections when the sanitizer is off —
 #: module-level so the hot loops allocate nothing per vertex.
 _NULL_SCOPE = contextlib.nullcontext()
+
+
+def _process_blocker(net, fault_plan: Optional[FaultPlan], reliable: bool,
+                     sanitize: bool | None, sparse: bool) -> Optional[str]:
+    """Name the sim-only feature that blocks the process backend, or
+    ``None`` when the configuration can run on worker processes.  Crash
+    plans are *not* blockers — the process world kills the owning worker
+    natively; only message-level network fault injection is sim-bound."""
+    if net is not None:
+        return "the network cost model (net=...)"
+    if fault_plan is not None and (
+            fault_plan.drop_rate or fault_plan.dup_rate
+            or fault_plan.reorder_rate or fault_plan.delay_rate
+            or fault_plan.stall_rate):
+        return "network fault injection (drop/dup/reorder/delay/stall)"
+    if reliable:
+        return "reliable delivery (reliable=True)"
+    if sanitize or (sanitize is None
+                    and (sanitizer_requested() or race_requested())):
+        return "the runtime sanitizer (REPRO_SANITIZE)"
+    if sparse:
+        return ("a sparse dataset (shared-memory segments hold one "
+                "dense matrix)")
+    return None
+
+
+def _process_teardown(cluster, shm_owner):
+    """Process-backend teardown closure: stop the workers, then unlink
+    the shared-memory dataset segment (both idempotent).  A free
+    function over the two resources — not a bound method — so the
+    executor's finalizer holds no reference to the :class:`DNND`."""
+    def teardown() -> None:
+        cluster.shutdown()
+        shm_owner.close()
+    return teardown
 
 
 @dataclass
@@ -244,35 +281,82 @@ class DNND:
                 RuntimeWarning, stacklevel=2)
             backend = "sim"
             fallbacks = 1
+        self._sparse = getattr(CountingMetric(self.config.nnd.metric), "sparse_input")
+        if backend == "process":
+            blocker = _process_blocker(net, fault_plan, reliable, sanitize,
+                                       self._sparse)
+            if blocker is not None:
+                if self.config.backend == "process":
+                    raise ConfigError(
+                        f"{blocker} requires the deterministic sim "
+                        f"backend; the process backend runs ranks in "
+                        f"worker processes without a cost ledger or "
+                        f"network fault hooks. Use backend='sim'.")
+                # Process came from the REPRO_BACKEND environment
+                # default: downgrade to sim rather than silently
+                # dropping the requested feature — audibly and in the
+                # metrics, same contract as the parallel fallback.
+                warnings.warn(
+                    f"REPRO_BACKEND=process downgraded to the sim "
+                    f"backend: {blocker} is sim-only",
+                    RuntimeWarning, stacklevel=2)
+                backend = "sim"
+                fallbacks = 1
         self.metrics.set_counter("backend.fallbacks", fallbacks)
         self.backend = backend
         self._parallel = backend == "parallel"
+        self._process = backend == "process"
         self.fault_plan = fault_plan
-        self._injector = make_injector(fault_plan, self.cluster_config.world_size)
-        if self._parallel:
+        self._flush_threshold = int(flush_threshold)
+        self._shm_owner: Optional[SharedArrayOwner] = None
+        if self._process:
+            # Crash plans are handled natively by the process world
+            # (SIGKILL at the planned iteration); the message-level
+            # injector is a sim/parallel transport hook.
+            self._injector = None
             self.executor = make_executor(
                 backend, self.config.workers, self.cluster_config.world_size)
-            self.cluster = LocalTransport(self.cluster_config,
-                                          injector=self._injector)
+            self._shm_owner = SharedArrayOwner(
+                np.ascontiguousarray(np.asarray(self.data)))
+            self.cluster = ProcessTransport(self.cluster_config,
+                                            workers=self.executor.workers)
+            self.world = ProcessWorld(self.cluster, executor=self.executor,
+                                      metrics=self.metrics,
+                                      fault_plan=fault_plan,
+                                      seed=self.config.nnd.seed)
+            # The teardown closure captures only the transport and the
+            # segment owner — never ``self`` — so the executor's
+            # GC finalizer cannot keep the whole build alive.
+            self.executor.bind(
+                _process_teardown(self.cluster, self._shm_owner))
         else:
-            self.executor = SimExecutor()
-            self.cluster = SimCluster(self.cluster_config, net,
-                                      injector=self._injector)
-        self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
-                              seed=self.config.nnd.seed,
-                              reliable=reliable, max_retries=max_retries,
-                              failure_timeout=failure_timeout,
-                              sanitize=sanitize, executor=self.executor,
-                              metrics=self.metrics)
+            self._injector = make_injector(fault_plan, self.cluster_config.world_size)
+            if self._parallel:
+                self.executor = make_executor(
+                    backend, self.config.workers, self.cluster_config.world_size)
+                self.cluster = LocalTransport(self.cluster_config,
+                                              injector=self._injector)
+            else:
+                self.executor = SimExecutor()
+                self.cluster = SimCluster(self.cluster_config, net,
+                                          injector=self._injector)
+            self.world = YGMWorld(self.cluster, flush_threshold=flush_threshold,
+                                  seed=self.config.nnd.seed,
+                                  reliable=reliable, max_retries=max_retries,
+                                  failure_timeout=failure_timeout,
+                                  sanitize=sanitize, executor=self.executor,
+                                  metrics=self.metrics)
         self._open_span = None
         self._recoveries = 0
         self._recovery_attempts = 0
         self._degraded_ranks: set = set()
-        register_dnnd_handlers(self.world)
-        if self.config.batch_exec:
-            register_dnnd_batch_handlers(self.world)
+        if not self._process:
+            # Process workers register their own handler set (the
+            # shared-memory variants) inside each worker process.
+            register_dnnd_handlers(self.world)
+            if self.config.batch_exec:
+                register_dnnd_batch_handlers(self.world)
         self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
-        self._sparse = getattr(CountingMetric(self.config.nnd.metric), "sparse_input")
         self._built = False
         self._distribute()
 
@@ -281,6 +365,21 @@ class DNND:
     def _distribute(self) -> None:
         """Scatter feature rows to owner ranks (not timed: the paper
         excludes data loading from construction time)."""
+        if self._process:
+            # First call spawns the worker fabric (each worker maps the
+            # shared dataset segment and builds its owned shards in its
+            # bootstrap); recovery calls rebroadcast a shard rebuild.
+            if not self.cluster.started:
+                self.cluster.start(
+                    ("repro.core.dnnd_process", "bootstrap"),
+                    {"spec": self._shm_owner.spec,
+                     "config": self.config,
+                     "partitioner": self.partitioner,
+                     "n": self.n,
+                     "flush_threshold": self._flush_threshold})
+            else:
+                self.world.command("build_shards")
+            return
         cfg = self.config
         san = self.world.sanitizer
         # One shared read-only owner table: owner_of[gid] == owner(gid),
@@ -542,6 +641,10 @@ class DNND:
             iterations = it + 1
             if self._injector is not None:
                 self._injector.advance_iteration(it)
+            elif self._process and self.fault_plan is not None:
+                # Planned crashes fire here as real SIGKILLs on the
+                # owning worker; detection surfaces at the next barrier.
+                self.world.advance_iteration(it)
             before = {t: (s.count, s.bytes) for t, s in self.cluster.stats.by_type.items()}
             try:
                 c = self._iteration(it)
@@ -594,6 +697,11 @@ class DNND:
         graph = self._gather_graph()
         self._publish_build_metrics(update_counts)
         self._publish_sim_enrichment()
+        if self._process:
+            distance_evals = sum(
+                t[1] for t in self.world.shard_totals().values())
+        else:
+            distance_evals = sum(s.metric.count for s in self._shards())
         result = DNNDResult(
             graph=graph,
             iterations=iterations,
@@ -603,7 +711,7 @@ class DNND:
             phase_stats=dict(self.world.phase_stats),
             sim_seconds=self.cluster.ledger.elapsed,
             phase_seconds=dict(self.cluster.ledger.phase_elapsed),
-            distance_evals=sum(s.metric.count for s in self._shards()),
+            distance_evals=distance_evals,
             world_size=self.cluster.world_size,
             per_iteration_messages=per_iter_msgs,
             fault_stats=self.world.fault_stats,
@@ -624,6 +732,13 @@ class DNND:
         for full heaps), and distance evaluations."""
         m = self.metrics
         if not m.enabled:
+            return
+        if self._process:
+            totals = self.world.shard_totals().values()
+            m.set_counter("heap.updates", sum(t[0] for t in totals))
+            m.set_counter("heap.updates.accepted", sum(update_counts))
+            m.set_counter("distance.evals", sum(t[1] for t in totals))
+            m.set_counter("recovery.attempts", self._recovery_attempts)
             return
         shards = self._shards()
         m.set_counter("heap.updates", sum(s.push_attempts for s in shards))
@@ -709,6 +824,11 @@ class DNND:
         # iteration from its start (keyed randomness makes the replay
         # emit the same survivor-side messages).
         self.world.reset_in_flight()
+        if self._process:
+            # The worker-side "exclude" broadcast already zeroed the
+            # excluded shards' convergence counters (dead workers' ranks
+            # report nothing until respawned at readmission).
+            return
         for ctx in self.world.ranks:
             if ctx.rank in self._degraded_ranks:
                 shard_of(ctx).update_count = 0
@@ -735,6 +855,25 @@ class DNND:
                                ranks=sorted(self._degraded_ranks)):
             self._enter_phase("repair")
             repaired = self.world.readmit_ranks()
+            if self._process:
+                # Same three repair stages, run worker-side: fresh heaps
+                # on repaired ranks (respawned workers already rebuilt
+                # their shards from the shared segment — the reset is
+                # idempotent), keyed re-initialization, and survivor
+                # edge donation.
+                rlist = sorted(repaired)
+                self.world.run_section("repair_reset", {"ranks": rlist})
+                self.world.run_section("repair_reinit", {"ranks": rlist})
+                self.world.run_section("repair_donate", {"ranks": rlist})
+                self.world.barrier()
+                for j in range(4):
+                    c = self._iteration(cfg.max_iters + 1 + j)
+                    update_counts.append(c)
+                    self._publish_build_metrics(update_counts)
+                    if c < threshold:
+                        break
+                self._close_phase()
+                return
             san = self.world.sanitizer
             for ctx in self.world.ranks:
                 if ctx.rank not in repaired:
@@ -802,6 +941,10 @@ class DNND:
         self._enter_phase("init")
         cfg = self.config.nnd
         use_batch = self.config.batch_exec
+        if self._process:
+            self.world.run_section("init")
+            self.world.barrier()
+            return
         if self._parallel:
             # Parallel backend: each rank emits all of its vertices'
             # init requests in one section (candidates are keyed by
@@ -873,8 +1016,41 @@ class DNND:
             self._maybe_batch_barrier()
         self.world.barrier()
 
+    def _iteration_process(self, iteration: int) -> int:
+        """One NN-Descent round on the process backend: the same phase
+        sequence as :meth:`_iteration`, with each section broadcast to
+        the worker fabric instead of run on driver-side rank contexts
+        (workers mirror the parallel-branch section bodies over their
+        owned ranks)."""
+        ws = self.cluster.world_size
+        self._enter_phase("sample", iteration=iteration)
+        self.world.run_section("sample", {"iteration": iteration})
+        self._enter_phase("reverse", iteration=iteration)
+        self.world.run_section("reverse", {"iteration": iteration})
+        self.world.barrier()
+        self._enter_phase("union", iteration=iteration)
+        self.world.run_section("union", {"iteration": iteration})
+        self._enter_phase("neighbor_check", iteration=iteration)
+        one_sided = self.config.comm_opts.one_sided
+        longest = max(self.world.run_section(
+            "check_build", {"one_sided": one_sided}).values(), default=0)
+        chunk = (max(1, self.config.batch_size // ws)
+                 if self.config.batch_size else longest)
+        start = 0
+        while start < longest:
+            stop = start + chunk
+            self.world.run_section("check_emit",
+                                   {"start": start, "stop": stop})
+            self.world.barrier()
+            start = stop
+        totals = self.world.shard_totals()
+        return int(self.cluster.allreduce_sum(
+            [totals.get(r, (0, 0, 0))[2] for r in range(ws)]))
+
     def _iteration(self, iteration: int) -> int:
         """One NN-Descent round; returns the allreduced update counter."""
+        if self._process:
+            return self._iteration_process(iteration)
         cfg = self.config.nnd
         sample_n = cfg.sample_size
 
@@ -1102,14 +1278,20 @@ class DNND:
         k = self.config.k
         ids = np.full((self.n, k), EMPTY, dtype=np.int64)
         dists = np.full((self.n, k), np.inf, dtype=np.float64)
-        contributions = []
-        for ctx in self.world.ranks:
-            shard = shard_of(ctx)
-            rows = []
-            for li in range(shard.n_local):
-                row_ids, row_dists, _ = shard.heaps[li].sorted_arrays()
-                rows.append((int(shard.global_ids[li]), row_ids, row_dists))
-            contributions.append(rows)
+        if self._process:
+            contributions = [[] for _ in range(self.cluster.world_size)]
+            for per_worker in self.world.command("gather_rows").values():
+                for rank, rows in per_worker.items():
+                    contributions[int(rank)] = rows
+        else:
+            contributions = []
+            for ctx in self.world.ranks:
+                shard = shard_of(ctx)
+                rows = []
+                for li in range(shard.n_local):
+                    row_ids, row_dists, _ = shard.heaps[li].sorted_arrays()
+                    rows.append((int(shard.global_ids[li]), row_ids, row_dists))
+                contributions.append(rows)
         per_rank_bytes = max(1, (self.n // self.cluster.world_size) * k * (ID_BYTES + 4))
         # gather follows MPI root semantics: only result[root] holds data.
         gathered = self.cluster.gather(contributions, root=0,
@@ -1136,6 +1318,26 @@ class DNND:
             raise ConfigError(f"pruning_factor must be >= 1.0, got {m}")
         start = self.cluster.ledger.elapsed
         self._enter_phase("optimize")
+        if self._process:
+            self.world.run_section("opt_seed")
+            self.world.run_section("opt_rev")
+            self.world.barrier()
+            max_degree = int(np.ceil(self.config.k * m))
+            neighbor_lists = [None] * self.n
+            for per_worker in self.world.command(
+                    "opt_collect", {"max_degree": max_degree}).values():
+                for v, lst in per_worker.items():
+                    neighbor_lists[int(v)] = [tuple(e) for e in lst]
+            self.world.barrier()
+            self._close_phase()
+            self._publish_sim_enrichment()
+            adjacency = AdjacencyGraph.from_edge_lists(neighbor_lists)
+            if getattr(self, "_last_result", None) is not None:
+                self._last_result.adjacency = adjacency
+                self._last_result.optimize_sim_seconds = (
+                    self.cluster.ledger.elapsed - start)
+                self._last_result.sim_seconds = self.cluster.ledger.elapsed
+            return adjacency
         # Stage 1: seed local merge maps with forward edges, ship reversed
         # edges to their owners.
         def seed_section(ctx: RankContext) -> None:
@@ -1204,13 +1406,20 @@ class DNND:
         ids = np.full((self.n, k), -1, dtype=np.int64)
         dists = np.full((self.n, k), np.inf, dtype=np.float64)
         flags = np.zeros((self.n, k), dtype=bool)
-        for shard in self._shards():
-            for li in range(shard.n_local):
-                gid = int(shard.global_ids[li])
-                heap = shard.heaps[li]
-                ids[gid] = heap.ids
-                dists[gid] = heap.dists
-                flags[gid] = heap.flags
+        if self._process:
+            for per_worker in self.world.command("ckpt_get").values():
+                for _rank, (gids, r_ids, r_dists, r_flags) in per_worker.items():
+                    ids[gids] = r_ids
+                    dists[gids] = r_dists
+                    flags[gids] = r_flags
+        else:
+            for shard in self._shards():
+                for li in range(shard.n_local):
+                    gid = int(shard.global_ids[li])
+                    heap = shard.heaps[li]
+                    ids[gid] = heap.ids
+                    dists[gid] = heap.dists
+                    flags[gid] = heap.flags
         cfg = self.config
         meta = {
             "iteration": iteration,
@@ -1253,6 +1462,16 @@ class DNND:
                 f"checkpoint heap shape {ids.shape} does not match "
                 f"(n={self.n}, k={self.config.k})"
             )
+        if self._process:
+            # Per-worker sliced restore: each worker receives only its
+            # owned ranks' heap rows, not the full (n, k) arrays.
+            for w in self.cluster.alive_workers():
+                heaps = {}
+                for rank in self.cluster.owned_by[w]:
+                    gids = self.partitioner.local_ids(rank)
+                    heaps[rank] = (ids[gids], dists[gids], flags[gids])
+                self.cluster.command_one(w, "ckpt_set", {"heaps": heaps})
+            return
         for shard in self._shards():
             for li in range(shard.n_local):
                 gid = int(shard.global_ids[li])

@@ -47,7 +47,7 @@ from ..errors import ConfigError
 _POOL_SWITCH_INTERVAL = 0.02
 
 #: Backends accepted by :func:`resolve_backend` / ``DNNDConfig.backend``.
-BACKENDS = ("sim", "parallel")
+BACKENDS = ("sim", "parallel", "process")
 
 #: Environment knobs honoured when the config leaves the choice open.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -279,10 +279,48 @@ class ParallelExecutor(Executor):
         self._pool.shutdown(wait=True)
 
 
+class ProcessExecutor(Executor):
+    """Executor facade for the process backend.
+
+    The real scheduling lives in
+    :class:`repro.runtime.transports.process.ProcessTransport`: worker
+    *processes* hold persistent per-rank state (shards, heaps, comm
+    worlds) between barriers and the driver broadcasts named sections to
+    them, so there is nothing for ``map_ranks``/``run_ranks`` to do on
+    the driver side.  This class keeps the executor seam uniform — the
+    backend name, worker count, ``executor.dispatches`` metric (bumped
+    by the process world per broadcast section), and teardown hook all
+    flow through the same object the other backends use."""
+
+    parallel = True
+    backend = "process"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def bind(self, teardown: Callable[[], None]) -> None:
+        """Attach the transport/shared-memory teardown callback invoked
+        by :meth:`shutdown` (idempotent by contract of the callee).
+        Registered as a GC finalizer so dropping the last reference to
+        the executor also stops the worker processes — ``teardown``
+        must therefore not capture its owner (a closure over the
+        transport + segment owner, not a bound method)."""
+        self._finalizer = weakref.finalize(self, teardown)
+
+    def shutdown(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+
+
 def make_executor(backend: str, workers: int, world_size: int,
                   env: Optional[Dict[str, str]] = None) -> Executor:
     """Build the executor for a resolved backend name."""
     backend = resolve_backend(backend, env)
     if backend == "sim":
         return SimExecutor()
+    if backend == "process":
+        return ProcessExecutor(resolve_workers(workers, world_size, env))
     return ParallelExecutor(resolve_workers(workers, world_size, env))

@@ -1,0 +1,819 @@
+"""Process transport: per-rank worker processes + shared-memory datasets.
+
+The third execution backend (``backend="process"``) escapes the GIL by
+giving every rank real OS-process parallelism:
+
+- the **dataset** (and any other read-only numpy array) lives in a
+  ``multiprocessing.shared_memory`` segment created once by the driver
+  and mapped zero-copy into every worker (:class:`SharedArrayOwner` /
+  :func:`attach_shared_array`);
+- each **worker process** owns a contiguous-stride subset of ranks
+  (``rank % nworkers``) and runs a full, *non-parallel*
+  :class:`~repro.runtime.ygm.YGMWorld` over a :class:`WorkerTransport`:
+  messages between co-resident ranks stay in-process deque appends,
+  messages to ranks owned by another worker travel as pickled frames
+  ``(epoch, dest, src, payload)`` over that worker's ``mp.Queue`` inbox
+  — the payloads are exactly the ``call``/``bflush``/``hflush``
+  envelopes the comm layer already produces, so the wire format is the
+  sim wire format, serialized;
+- the **driver** keeps the SPMD program counter: it broadcasts commands
+  over per-worker pipes (:class:`ProcessTransport`), and
+  :class:`ProcessWorld` gives the DNND driver the same barrier /
+  phase / metrics / fault surface :class:`YGMWorld` does.
+
+Quiescence across processes is a counting protocol: a barrier loops
+``__round__`` commands, each worker drains its inbox + runs local
+delivery rounds until locally idle and reports
+``(frames_sent, frames_received, handlers_run)``; the barrier completes
+when no worker ran a handler **and** the global sent/received frame
+counts agree (frames still sitting in a queue's feeder thread keep the
+counts unequal).  Counters and frames are stamped with an **epoch**:
+``reset_in_flight`` bumps the epoch and zeroes the counters everywhere,
+so frames lost inside a crashed worker (or stale frames from before a
+recovery) can never wedge or corrupt a later barrier — stale-epoch
+frames are discarded on ingest without being counted.
+
+Failure semantics: a worker that dies (or is killed by a crash-plan
+fault) is detected at the next command round-trip (broken pipe / EOF /
+liveness sweep); *all* ranks it owned are marked failed and surface as
+one :class:`~repro.errors.RankFailureError` through the same supervisor
+path the sim backend uses.  ``repair_all`` respawns dead workers, whose
+bootstrap rebuilds rank state from the shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import multiprocessing
+import os
+import queue as queue_mod
+import signal
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...config import ClusterConfig
+from ...errors import ConfigError, RankFailureError, RuntimeStateError
+from ..instrumentation import FaultStats, MessageStats
+from ..metrics import NULL_METRICS, MetricsRegistry
+from ..netmodel import NetworkModel, NullLedger
+from .base import Transport
+
+#: Environment override for the multiprocessing start method.
+START_ENV = "REPRO_PROCESS_START"
+
+#: Runtime-level worker commands (everything else goes to the app's
+#: ``dispatch``).  Dunder-framed so application command names can never
+#: collide with them.
+CMD_ROUND = "__round__"
+CMD_RESET = "__reset__"
+CMD_STOP = "__stop__"
+CMD_PING = "__ping__"
+
+
+def _start_method(requested: str | None = None) -> str:
+    """Pick the mp start method: explicit arg > env > fork-if-available.
+
+    ``fork`` keeps worker spawn cheap (no re-import, inherits the page
+    cache); platforms without it (Windows, some macOS configs) fall
+    back to ``spawn``, which works because workers rebuild all state
+    from their pickled bootstrap parameters + the shm segment.
+    """
+    method = requested or os.environ.get(START_ENV, "")
+    if method:
+        if method not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                f"unsupported multiprocessing start method {method!r}; "
+                f"available: {multiprocessing.get_all_start_methods()}")
+        return method
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+def _weak_shutdown_guard(transport: "ProcessTransport") -> Callable[[], None]:
+    """An atexit callback that shuts the transport down *if it is still
+    alive* — holding only a weak reference, so registering it never
+    pins the transport (and its worker pool) until interpreter exit."""
+    ref = weakref.ref(transport)
+
+    def guard() -> None:
+        t = ref()
+        if t is not None:
+            t.shutdown()
+    return guard
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory dataset segments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Pickle-friendly handle to a shared-memory numpy array: everything
+    a worker needs to map the segment zero-copy."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArrayOwner:
+    """Driver-side owner of one shared-memory numpy segment.
+
+    The owner creates the segment, copies the array in once, and is the
+    *only* party that ever unlinks it.  Cleanup is layered so the
+    segment cannot leak: context-manager exit, explicit :meth:`close`,
+    and an ``atexit`` guard for builds that die mid-flight all funnel
+    into the same idempotent teardown.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(array)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, int(arr.nbytes)))
+        self._view: Optional[np.ndarray] = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=self._shm.buf)
+        self._view[...] = arr
+        self.spec = SharedArraySpec(self._shm.name, tuple(arr.shape),
+                                    arr.dtype.str)
+        self._closed = False
+        atexit.register(self.close)
+
+    @property
+    def view(self) -> np.ndarray:
+        if self._view is None:
+            raise RuntimeStateError("shared array already closed")
+        return self._view
+
+    def close(self) -> None:
+        """Close + unlink the segment.  Idempotent; never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        self._view = None
+        try:
+            self._shm.close()
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def __enter__(self) -> "SharedArrayOwner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def attach_shared_array(spec: SharedArraySpec):
+    """Worker-side zero-copy attach.  Returns ``(shm, view)``.
+
+    The worker must keep ``shm`` alive as long as ``view`` is used and
+    must *never* unlink — only the owner does.  Workers inherit the
+    driver's resource-tracker process (both fork and spawn pass the
+    tracker fd down), whose cache is a per-type *set*: the attach-side
+    ``register`` collapses into the owner's entry and the owner's
+    ``unlink`` performs the single ``unregister``, so no extra
+    bookkeeping is needed here — an attach-side ``unregister`` would
+    instead strip the owner's entry and make the final ``unlink`` race
+    the tracker.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, view
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class WorkerTransport(Transport):
+    """The transport a worker's in-process :class:`YGMWorld` runs over.
+
+    It is a full ``world_size``-wide transport (so rank ids, topology,
+    and off-node accounting match the sim backend exactly), but only the
+    *owned* ranks' mailboxes ever fill: a delivery to a rank owned by
+    another worker is serialized as an epoch-stamped frame onto that
+    worker's inbox queue instead.
+    """
+
+    def __init__(self, config: ClusterConfig, owned, worker_of,
+                 outboxes, worker_id: int) -> None:
+        super().__init__(config, None,
+                         NullLedger(world_size=config.world_size))
+        self.worker_id = int(worker_id)
+        self.owned: FrozenSet[int] = frozenset(int(r) for r in owned)
+        self._worker_of: List[int] = list(worker_of)
+        self._outboxes = outboxes
+        self.epoch = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Enter ``epoch``: zero the frame counters.  Frames stamped
+        with any other epoch are discarded on ingest."""
+        self.epoch = int(epoch)
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def deliver(self, src: int, dest: int, item: Any,
+                fault_exempt: bool = False) -> None:
+        self._check_alive()
+        if not 0 <= dest < self.world_size:
+            raise RuntimeStateError(f"destination rank {dest} out of range")
+        if self.marked_failed and (src in self.marked_failed
+                                   or dest in self.marked_failed):
+            return
+        if dest in self.owned:
+            self._mailboxes[dest].append((src, item))
+            return
+        self.frames_sent += 1
+        self._outboxes[self._worker_of[dest]].put(
+            (self.epoch, dest, src, item))
+
+    def ingest(self, inbox) -> int:
+        """Drain every frame currently in ``inbox`` (non-blocking) into
+        the local mailboxes.  Returns the number of frames that produced
+        local work; every *current-epoch* frame counts as received even
+        if its destination has since been marked failed (the sender
+        counted it as sent), stale-epoch frames count as nothing."""
+        appended = 0
+        while True:
+            try:
+                epoch, dest, src, item = inbox.get_nowait()
+            except queue_mod.Empty:
+                return appended
+            if epoch != self.epoch:
+                continue
+            self.frames_received += 1
+            if self.marked_failed and dest in self.marked_failed:
+                continue
+            self._mailboxes[dest].append((src, item))
+            appended += 1
+
+
+class WorkerComm:
+    """Worker-side runtime glue between the command loop, the inbox
+    queue, and the in-process :class:`YGMWorld`."""
+
+    def __init__(self, worker_id: int, nworkers: int, owned,
+                 transport: WorkerTransport, inbox,
+                 config: ClusterConfig) -> None:
+        self.worker_id = int(worker_id)
+        self.nworkers = int(nworkers)
+        self.owned: List[int] = [int(r) for r in owned]
+        self.transport = transport
+        self.inbox = inbox
+        self.config = config
+
+    def round(self, world) -> Tuple[int, int, int]:
+        """One barrier round: ingest + flush + deliver until locally
+        idle; report ``(frames_sent, frames_received, handlers_run)``
+        cumulative for the current epoch / this round respectively."""
+        activity = 0
+        while True:
+            ingested = self.transport.ingest(self.inbox)
+            world.flush_all()
+            ran = world._process_round()
+            activity += ran
+            if ingested == 0 and ran == 0 and not world._has_buffered():
+                break
+        return (self.transport.frames_sent, self.transport.frames_received,
+                activity)
+
+    def reset(self, epoch: int, world) -> None:
+        """Epoch change: discard everything in flight, locally and in
+        the inbox, then zero the frame counters."""
+        while True:
+            try:
+                self.inbox.get_nowait()
+            except queue_mod.Empty:
+                break
+        self.transport.begin_epoch(epoch)
+        world.reset_in_flight()
+
+
+def worker_main(worker_id: int, nworkers: int, config: ClusterConfig,
+                conn, inboxes, bootstrap: Tuple[str, str], params: dict,
+                start_epoch: int) -> None:
+    """Entry point of one rank-worker process.
+
+    ``bootstrap`` names ``(module, function)``; the function is imported
+    in the child and called as ``fn(comm, params)``.  It must return an
+    *app* object exposing ``world`` (the in-process :class:`YGMWorld`)
+    and ``dispatch(cmd, payload)``; every non-runtime command received
+    on the pipe is forwarded to it.  Replies are ``("ok", value)`` or
+    ``("error", formatted_traceback)`` — the driver re-raises the
+    latter with the worker traceback embedded.
+    """
+    owned = [r for r in range(config.world_size)
+             if r % nworkers == worker_id]
+    worker_of = [r % nworkers for r in range(config.world_size)]
+    transport = WorkerTransport(config, owned, worker_of, inboxes, worker_id)
+    transport.begin_epoch(start_epoch)
+    comm = WorkerComm(worker_id, nworkers, owned, transport,
+                      inboxes[worker_id], config)
+    module = importlib.import_module(bootstrap[0])
+    app = getattr(module, bootstrap[1])(comm, params)
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if cmd == CMD_STOP:
+                conn.send(("ok", None))
+                break
+            if cmd == CMD_PING:
+                conn.send(("ok", worker_id))
+            elif cmd == CMD_ROUND:
+                conn.send(("ok", comm.round(app.world)))
+            elif cmd == CMD_RESET:
+                comm.reset(payload["epoch"], app.world)
+                app.on_reset()
+                conn.send(("ok", None))
+            else:
+                conn.send(("ok", app.dispatch(cmd, payload)))
+        except Exception:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+class ProcessTransport(Transport):
+    """Driver-side transport: owns the worker pool, the command pipes,
+    the inbox queues, and the epoch.
+
+    Rank → worker mapping is ``rank % nworkers`` (strided, so
+    consecutive ranks land on different workers and per-node topology
+    stays mixed, like round-robin MPI placement).  Collectives run on
+    the driver over per-rank contribution lists — the same contract as
+    every other transport, so ``transport.collectives`` is conformant.
+    """
+
+    def __init__(self, config: ClusterConfig, net: NetworkModel | None = None,
+                 workers: int = 0, start_method: str | None = None) -> None:
+        if net is not None:
+            raise ConfigError(
+                "the process transport has no cost model; the network "
+                "model is a simulation feature (use backend='sim')")
+        super().__init__(config, None,
+                         NullLedger(world_size=config.world_size))
+        ws = config.world_size
+        self.nworkers = max(1, min(int(workers) if workers else ws, ws))
+        self.worker_of: List[int] = [r % self.nworkers for r in range(ws)]
+        self.owned_by: List[List[int]] = [
+            [r for r in range(ws) if r % self.nworkers == w]
+            for w in range(self.nworkers)]
+        self._ctx = multiprocessing.get_context(_start_method(start_method))
+        self.epoch = 0
+        self._procs: List[Any] = [None] * self.nworkers
+        self._conns: List[Any] = [None] * self.nworkers
+        self._inboxes = [self._ctx.Queue() for _ in range(self.nworkers)]
+        self.dead_workers: Set[int] = set()
+        #: Weak ref to a bound method called with the worker id when a
+        #: dead worker is detected, before its ranks are marked failed
+        #: (ProcessWorld folds that worker's last stats export into its
+        #: base here).  Weak so the transport never keeps the world —
+        #: and through it the executor — alive: the executor's GC
+        #: finalizer is what shuts this transport down.
+        self._death_hook: Optional["weakref.WeakMethod"] = None
+        self._bootstrap: Optional[Tuple[str, str]] = None
+        self._params: Optional[dict] = None
+        self.started = False
+        # atexit must not hold a strong reference either (it would pin
+        # the transport until interpreter exit and defeat GC teardown);
+        # shutdown() discards the guard.
+        self._atexit_guard = _weak_shutdown_guard(self)
+        atexit.register(self._atexit_guard)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def set_death_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a *bound method* to call (with the worker id) when a
+        dead worker is first detected.  Stored weakly — see
+        ``_death_hook``."""
+        self._death_hook = weakref.WeakMethod(hook)
+
+    def start(self, bootstrap: Tuple[str, str], params: dict) -> None:
+        """Spawn the full worker pool; each worker runs ``bootstrap``."""
+        if self.started:
+            raise RuntimeStateError("process transport already started")
+        self._bootstrap = bootstrap
+        self._params = params
+        self.started = True
+        for w in range(self.nworkers):
+            self._spawn(w)
+
+    def _spawn(self, w: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(w, self.nworkers, self.config, child_conn, self._inboxes,
+                  self._bootstrap, self._params, self.epoch),
+            name=f"repro-rank-worker-{w}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._procs[w] = proc
+        self._conns[w] = parent_conn
+
+    def shutdown(self) -> None:
+        if not self._alive:
+            return
+        for w in range(self.nworkers):
+            conn = self._conns[w]
+            if conn is None or w in self.dead_workers:
+                continue
+            try:
+                conn.send((CMD_STOP, None))
+            except (BrokenPipeError, OSError):
+                pass
+        for w, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        for q in self._inboxes:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        try:
+            atexit.unregister(self._atexit_guard)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+        super().shutdown()
+
+    # -- failure detection / injection ---------------------------------------
+
+    def _on_worker_death(self, w: int) -> Set[int]:
+        """Record worker ``w`` as dead; mark all its ranks failed.
+        Returns the ranks newly marked."""
+        if w in self.dead_workers:
+            return set()
+        self.dead_workers.add(w)
+        hook = self._death_hook() if self._death_hook is not None else None
+        if hook is not None:
+            hook(w)
+        newly = set(self.owned_by[w]) - self.marked_failed
+        self.mark_failed(self.owned_by[w])
+        conn = self._conns[w]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._conns[w] = None
+        return newly
+
+    def kill_rank(self, rank: int) -> None:
+        """SIGKILL the worker owning ``rank`` (crash-plan injection).
+        Every rank co-resident in that worker dies with it — real
+        process-failure semantics."""
+        w = self.worker_of[int(rank)]
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=10)
+        self._on_worker_death(w)
+
+    def liveness_sweep(self) -> None:
+        """Detect workers that died without a command in flight."""
+        for w in range(self.nworkers):
+            if w in self.dead_workers:
+                continue
+            proc = self._procs[w]
+            if proc is not None and not proc.is_alive():
+                self._on_worker_death(w)
+
+    def repair_all(self) -> None:
+        """Clear failure marks and respawn dead workers.  Respawned
+        workers bootstrap from scratch (shm attach + fresh rank state)
+        at the *current* epoch; their old inbox queues are reused —
+        any stale frames in them are from a previous epoch and are
+        discarded on ingest."""
+        super().repair_all()
+        for w in sorted(self.dead_workers):
+            self._spawn(w)
+        self.dead_workers.clear()
+
+    # -- command fabric ------------------------------------------------------
+
+    def alive_workers(self) -> List[int]:
+        return [w for w in range(self.nworkers) if w not in self.dead_workers]
+
+    def command_all(self, cmd: str, payload: Any = None) -> Dict[int, Any]:
+        """Broadcast ``(cmd, payload)`` to every live worker and collect
+        replies.  Workers found dead on the way are recorded (their
+        ranks marked failed) and simply absent from the result — the
+        caller decides whether that is a :class:`RankFailureError`."""
+        self._check_alive()
+        self.liveness_sweep()
+        sent = []
+        for w in self.alive_workers():
+            try:
+                self._conns[w].send((cmd, payload))
+                sent.append(w)
+            except (BrokenPipeError, OSError):
+                self._on_worker_death(w)
+        results: Dict[int, Any] = {}
+        for w in sent:
+            try:
+                status, value = self._conns[w].recv()
+            except (EOFError, OSError):
+                self._on_worker_death(w)
+                continue
+            if status == "error":
+                raise RuntimeStateError(
+                    f"worker {w} failed running {cmd!r}:\n{value}")
+            results[w] = value
+        return results
+
+    def command_one(self, w: int, cmd: str, payload: Any = None) -> Any:
+        """Send ``(cmd, payload)`` to one worker; ``None`` if it died."""
+        self._check_alive()
+        if w in self.dead_workers:
+            return None
+        try:
+            self._conns[w].send((cmd, payload))
+            status, value = self._conns[w].recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self._on_worker_death(w)
+            return None
+        if status == "error":
+            raise RuntimeStateError(
+                f"worker {w} failed running {cmd!r}:\n{value}")
+        return value
+
+    def bump_epoch(self) -> None:
+        """Advance the epoch and reset every live worker into it: they
+        drain + discard their inboxes, zero frame counters, and clear
+        their worlds' in-flight buffers."""
+        self.epoch += 1
+        self.command_all(CMD_RESET, {"epoch": self.epoch})
+
+
+def _stats_export_empty() -> dict:
+    return {"stats": {}, "phases": {}, "flushes": 0, "invocations": 0}
+
+
+def _fold_type_stats(into: Dict[str, list], types: Dict[str, tuple]) -> None:
+    for msg_type, (count, nbytes, ocount, obytes) in types.items():
+        cell = into.setdefault(msg_type, [0, 0, 0, 0])
+        cell[0] += count
+        cell[1] += nbytes
+        cell[2] += ocount
+        cell[3] += obytes
+
+
+class ProcessWorld:
+    """The driver's comm-layer facade for the process backend.
+
+    Presents the slice of the :class:`YGMWorld` surface the DNND driver
+    uses — barriers, phases, metrics publication, fault bookkeeping,
+    exclusion/readmission, in-flight reset — implemented as command
+    broadcasts to the worker pool.  Message statistics are *rebuilt in
+    place* from per-worker cumulative exports at every barrier (the
+    aggregate objects are captured by reference in ``DNNDResult``), with
+    per-worker bases folded in when a worker dies so a respawned
+    worker's zeroed counters never erase history.
+    """
+
+    #: The process backend never runs the ownership sanitizer (it is a
+    #: sim/parallel debugging feature); driver sections check this.
+    sanitizer = None
+    race = None
+
+    def __init__(self, cluster: ProcessTransport, executor=None,
+                 metrics: MetricsRegistry | None = None,
+                 fault_plan=None, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.world_size = cluster.world_size
+        self.executor = executor
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else NULL_METRICS)
+        self.fault_stats = FaultStats()
+        self.fault_plan = fault_plan
+        self._fired_crashes: Set[Tuple[int, int]] = set()
+        self.excluded_ranks: Set[int] = set()
+        self.phase_stats: Dict[str, MessageStats] = {}
+        self._phase = "default"
+        self.flush_count = 0
+        self.handler_invocations = 0
+        self.seed = int(seed)
+        # Per-worker cumulative stat exports: ``_last`` is the current
+        # incarnation's latest export, ``_base`` the folded total of all
+        # previous incarnations (updated by the transport's death hook).
+        self._last: Dict[int, dict] = {}
+        self._base: Dict[int, dict] = {}
+        # Same two-level scheme for per-rank shard totals
+        # (push_attempts, distance evals): rank -> [pushes, evals].
+        self._totals_last: Dict[int, list] = {}
+        self._totals_base: Dict[int, list] = {}
+        self._totals_rank_of: Dict[int, int] = {
+            r: cluster.worker_of[r] for r in range(self.world_size)}
+        cluster.set_death_hook(self._fold_dead_worker)
+
+    # -- death-time folding ---------------------------------------------------
+
+    def _fold_dead_worker(self, w: int) -> None:
+        last = self._last.pop(w, None)
+        if last is not None:
+            base = self._base.setdefault(w, _stats_export_empty())
+            _fold_type_stats(base["stats"], last["stats"])
+            for phase, types in last["phases"].items():
+                _fold_type_stats(base["phases"].setdefault(phase, {}),
+                                 types)
+            base["flushes"] += last["flushes"]
+            base["invocations"] += last["invocations"]
+        for rank in self.cluster.owned_by[w]:
+            cur = self._totals_last.pop(rank, None)
+            if cur is not None:
+                cell = self._totals_base.setdefault(rank, [0, 0])
+                cell[0] += cur[0]
+                cell[1] += cur[1]
+
+    # -- stats synchronization ------------------------------------------------
+
+    def _sync_stats(self) -> None:
+        for w, export in self.cluster.command_all("export_stats").items():
+            self._last[w] = export
+        merged: Dict[str, list] = {}
+        merged_phases: Dict[str, Dict[str, list]] = {}
+        flushes = 0
+        invocations = 0
+        for source in (self._base, self._last):
+            for export in source.values():
+                _fold_type_stats(merged, {
+                    t: tuple(v) for t, v in export["stats"].items()})
+                for phase, types in export["phases"].items():
+                    _fold_type_stats(
+                        merged_phases.setdefault(phase, {}),
+                        {t: tuple(v) for t, v in types.items()})
+                flushes += export["flushes"]
+                invocations += export["invocations"]
+        self._rebuild(self.cluster.stats, merged)
+        for phase, types in merged_phases.items():
+            self._rebuild(self.phase_stats.setdefault(phase, MessageStats()),
+                          types)
+        self.flush_count = flushes
+        self.handler_invocations = invocations
+
+    @staticmethod
+    def _rebuild(stats: MessageStats, types: Dict[str, list]) -> None:
+        """Overwrite ``stats`` in place with the merged totals (the
+        object identity must survive — results hold references)."""
+        stats.reset()
+        for msg_type, (count, nbytes, ocount, obytes) in types.items():
+            stats.record_many(msg_type, count, nbytes, ocount, obytes)
+
+    def shard_totals(self) -> Dict[int, Tuple[int, int, int]]:
+        """Per-rank ``(push_attempts, distance_evals, update_count)``.
+        The first two are cumulative (base + current incarnation); the
+        update count is the current iteration's and never folded."""
+        current: Dict[int, Tuple[int, int, int]] = {}
+        for _w, entries in self.cluster.command_all("shard_totals").items():
+            for rank, pushes, evals, updates in entries:
+                current[rank] = (pushes, evals, updates)
+                self._totals_last[rank] = [pushes, evals]
+        out: Dict[int, Tuple[int, int, int]] = {}
+        for rank in range(self.world_size):
+            base = self._totals_base.get(rank, (0, 0))
+            pushes, evals, updates = current.get(rank, (0, 0, 0))
+            out[rank] = (base[0] + pushes, base[1] + evals, updates)
+        return out
+
+    # -- barrier / quiescence -------------------------------------------------
+
+    def barrier(self, phase: str | None = None) -> float:
+        """Run ``__round__`` commands until the cluster is quiescent:
+        no worker ran a handler and global frame counts agree."""
+        while True:
+            rounds = self.cluster.command_all(CMD_ROUND)
+            self._check_crashed()
+            activity = sum(a for (_s, _r, a) in rounds.values())
+            frames_sent = sum(s for (s, _r, _a) in rounds.values())
+            frames_recv = sum(r for (_s, r, _a) in rounds.values())
+            if activity == 0 and frames_sent == frames_recv:
+                break
+        self._sync_stats()
+        elapsed = self.cluster.ledger.barrier(self.cluster.net, phase)
+        self.publish_metrics()
+        return elapsed
+
+    def _check_crashed(self) -> None:
+        failed = self.cluster.failed_ranks() - self.excluded_ranks
+        if failed:
+            self.fault_stats.detected += len(failed)
+            raise RankFailureError(failed)
+
+    # -- driver command surface ----------------------------------------------
+
+    def run_section(self, name: str, params: dict | None = None
+                    ) -> Dict[int, Any]:
+        """Run the named SPMD section on every live worker (each covers
+        its owned, non-excluded ranks); failures surface exactly like a
+        crashed rank at a sim barrier."""
+        if self.executor is not None:
+            self.executor.dispatches += 1
+        results = self.cluster.command_all(
+            "section", {"name": name, "params": params or {}})
+        self._check_crashed()
+        return results
+
+    def command(self, cmd: str, payload: Any = None) -> Dict[int, Any]:
+        results = self.cluster.command_all(cmd, payload)
+        self._check_crashed()
+        return results
+
+    def set_phase(self, phase: str) -> None:
+        self._phase = phase
+        self.phase_stats.setdefault(phase, MessageStats())
+        self.cluster.command_all("set_phase", {"phase": phase})
+
+    # -- fault tolerance surface ----------------------------------------------
+
+    def advance_iteration(self, iteration: int) -> None:
+        """Fire scheduled crash-plan kills for ``iteration`` (each once):
+        the owning worker is SIGKILLed — detection happens at the next
+        command round-trip, like a peer noticing a dead MPI rank."""
+        if self.fault_plan is None:
+            return
+        for it, rank in self.fault_plan.crashes:
+            if it == iteration and (it, rank) not in self._fired_crashes:
+                self._fired_crashes.add((it, rank))
+                self.fault_stats.crashes += 1
+                self.cluster.kill_rank(rank)
+
+    def reset_in_flight(self) -> None:
+        """Abandon every in-flight message cluster-wide by entering a
+        new epoch (stale frames — including any lost inside a dead
+        worker — are excluded from all future quiescence counting)."""
+        self.cluster.bump_epoch()
+
+    def exclude_ranks(self, ranks) -> None:
+        ranks = {int(r) for r in ranks}
+        self.excluded_ranks |= ranks
+        self.cluster.mark_failed(ranks)
+        self.cluster.command_all("exclude", {"ranks": sorted(ranks)})
+
+    def readmit_ranks(self) -> set:
+        """End degraded mode: respawn dead workers, clear failure marks
+        everywhere, and return the set of previously excluded ranks."""
+        repaired = set(self.excluded_ranks)
+        self.excluded_ranks = set()
+        self.cluster.repair_all()
+        self.cluster.command_all("readmit", {})
+        return repaired
+
+    # -- metrics --------------------------------------------------------------
+
+    def publish_metrics(self) -> None:
+        """Synchronize the registry from runtime aggregates — the same
+        names, in the same publication style (absolute assignment), as
+        :meth:`YGMWorld.publish_metrics`."""
+        m = self.metrics
+        if not m.enabled:
+            return
+        self.cluster.stats.publish(m)
+        self.fault_stats.publish(m)
+        if self.fault_plan is not None:
+            # Sim publishes this through its injector; crash plans are
+            # the injector analogue here and nothing is ever delayed.
+            m.set_gauge("faults.pending_delayed", 0.0)
+        m.set_counter("executor.tasks", self.handler_invocations)
+        m.set_counter("comm.flushes", self.flush_count)
+        m.set_counter("comm.barriers", self.cluster.ledger.barriers)
+        m.set_counter("transport.collectives",
+                      getattr(self.cluster, "collectives", 0))
+        m.set_counter("executor.dispatches",
+                      getattr(self.executor, "dispatches", None) or 0)
+        m.set_gauge("degraded.ranks", float(len(self.excluded_ranks)))

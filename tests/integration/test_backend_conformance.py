@@ -1,6 +1,6 @@
-"""Cross-backend conformance: sim and parallel must agree observably.
+"""Cross-backend conformance: sim, parallel, and process must agree.
 
-The observability contract (DESIGN.md §12): both execution backends
+The observability contract (DESIGN.md §12): all execution backends
 emit the *same metric names*, and the order-insensitive subset — message
 counts and bytes by type, heap update attempts, distance evaluations,
 handler invocations, collective calls — must be *value-identical* for a
@@ -27,7 +27,7 @@ from repro.config import CommOptConfig
 from repro.core.search import KNNGraphSearcher
 from repro.eval.recall import recall_at_k
 
-BACKENDS = ("sim", "parallel")
+BACKENDS = ("sim", "parallel", "process")
 
 #: Exact-value conformance set: names (or name prefixes) whose values
 #: must be identical across backends in the order-invariant envelope.
@@ -58,8 +58,12 @@ def _build(data, backend: str):
     )
     dnnd = DNND(data, cfg,
                 cluster=ClusterConfig(nodes=2, procs_per_node=2))
-    result = dnnd.build()
-    return result
+    try:
+        return dnnd.build()
+    finally:
+        # Results (graph, metrics) outlive the build; closing here
+        # stops the process backend's workers and unlinks its segment.
+        dnnd.close()
 
 
 @pytest.fixture(scope="module")

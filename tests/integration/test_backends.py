@@ -103,6 +103,53 @@ class TestSimOnlyNetModel:
         dnnd.close()
 
 
+class TestSimOnlyFeaturesOnProcess:
+    """Sim-only features under the process backend: explicit requests
+    fail loudly, environment-selected requests fall back to sim with a
+    warning and a ``backend.fallbacks`` record — the same contract the
+    parallel backend keeps for the cost model.  Crash plans are *not*
+    sim-only: the process world kills the owning worker natively."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(net=NetworkModel()),
+        dict(reliable=True),
+        dict(fault_plan=FaultPlan(drop_rate=0.1, seed=1)),
+    ], ids=("net", "reliable", "drop-plan"))
+    def test_explicit_process_rejected(self, tiny_dense, kwargs):
+        with pytest.raises(ConfigError, match="sim"):
+            build(tiny_dense, "process", workers=2, **kwargs)
+
+    def test_env_process_with_sim_only_falls_back(self, tiny_dense,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=1))
+        with pytest.warns(RuntimeWarning, match="downgraded"):
+            dnnd = DNND(tiny_dense, cfg, cluster=CLUSTER, reliable=True)
+        assert dnnd.backend == "sim"
+        snap = dnnd.metrics.snapshot()
+        assert snap["counters"]["backend.fallbacks"] == 1
+        dnnd.close()
+
+    def test_env_process_without_blockers_sticks(self, tiny_dense,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            dnnd = DNND(tiny_dense,
+                        DNNDConfig(nnd=NNDescentConfig(k=4, seed=1)),
+                        cluster=CLUSTER)
+        assert dnnd.backend == "process"
+        assert dnnd.metrics.snapshot()["counters"]["backend.fallbacks"] == 0
+        dnnd.close()
+
+    def test_crash_plan_accepted_natively(self, tiny_dense):
+        result = build(tiny_dense, "process", workers=4,
+                       fault_plan=FaultPlan(crashes=((2, 1),)))
+        assert result.graph.ids.shape == (len(tiny_dense), K)
+        assert result.fault_stats.crashes == 1
+
+
 class TestSanitizerUnderParallel:
     def test_sanitized_parallel_build(self, tiny_dense):
         """The ownership sanitizer must find no cross-rank state access
@@ -124,7 +171,8 @@ ORDER_INVARIANT = dict(
 
 
 class TestCheckpointRoundTripPerBackend:
-    @pytest.mark.parametrize("backend,workers", [("sim", 0), ("parallel", 1)])
+    @pytest.mark.parametrize("backend,workers",
+                             [("sim", 0), ("parallel", 1), ("process", 2)])
     def test_resume_equals_uninterrupted(self, small_dense, tmp_path,
                                          backend, workers):
         cfg = DNNDConfig(

@@ -172,6 +172,95 @@ class TestDegradedModeConformance:
         assert snap["gauges"]["degraded.ranks"] == 0.0
 
 
+#: Crash-only conformance set: the process backend kills the owning
+#: worker natively, but message-level network faults (drop/dup/delay)
+#: and reliable delivery are sim/parallel-only — so its conformance
+#: envelope is a pure-crash plan.  ``workers=4`` gives one rank per
+#: worker, so the planned SIGKILL takes down exactly the planned rank.
+CRASH_BACKENDS = ("sim", "process")
+CRASH_PLAN = FaultPlan(seed=17).with_crash(rank=1, at_iteration=2)
+
+
+@pytest.fixture(scope="module")
+def crash_only_runs(small_dense, tmp_path_factory):
+    """Per backend: a pure-crash plan, supervised checkpoint recovery."""
+    out = {}
+    for b in CRASH_BACKENDS:
+        ckpt = tmp_path_factory.mktemp(f"crash_only_{b}") / "ckpt"
+        dnnd = _dnnd(small_dense, b, fault_plan=CRASH_PLAN)
+        try:
+            out[b] = dnnd.build(checkpoint_path=ckpt, checkpoint_every=1)
+        finally:
+            dnnd.close()
+    return out
+
+
+@pytest.fixture(scope="module")
+def degraded_only_runs(small_dense):
+    """Per backend: the same crash handled by exclusion + repair."""
+    out = {}
+    for b in CRASH_BACKENDS:
+        dnnd = _dnnd(small_dense, b, fault_plan=CRASH_PLAN)
+        try:
+            out[b] = dnnd.build(degraded=True)
+        finally:
+            dnnd.close()
+    return out
+
+
+class TestProcessCrashConformance:
+    """PR 6's supervised/degraded recovery bars, re-run with real
+    worker-process deaths: the planned crash SIGKILLs the owning
+    worker, detection surfaces through the same RankFailureError path,
+    and recovery lands on the identical graph."""
+
+    @pytest.mark.parametrize("backend", CRASH_BACKENDS)
+    def test_crash_recovers_to_identical_graph(self, crash_only_runs,
+                                               reference, backend):
+        result = crash_only_runs[backend]
+        assert result.recoveries == 1
+        np.testing.assert_array_equal(result.graph.ids, reference.graph.ids)
+        np.testing.assert_allclose(result.graph.dists,
+                                   reference.graph.dists, rtol=0, atol=0)
+
+    @pytest.mark.parametrize("backend", CRASH_BACKENDS)
+    def test_crash_metrics_populated(self, crash_only_runs, backend):
+        snap = crash_only_runs[backend].metrics.snapshot()
+        assert snap["counters"]["faults.crashes"] == 1
+        assert snap["counters"]["faults.detected"] >= 1
+        assert snap["counters"]["recovery.attempts"] == 1
+        spans = [s.name for s in crash_only_runs[backend].metrics.spans]
+        assert "recovery.duration" in spans
+
+    def test_counter_name_sets_identical(self, crash_only_runs):
+        ref = set(crash_only_runs["sim"].metrics.snapshot()["counters"])
+        got = set(crash_only_runs["process"].metrics.snapshot()["counters"])
+        assert got == ref
+
+    @pytest.mark.parametrize("backend", CRASH_BACKENDS)
+    def test_degraded_completes_with_exclusion_then_repair(
+            self, degraded_only_runs, backend):
+        result = degraded_only_runs[backend]
+        assert result.degraded_ranks == (1,)
+        assert result.recoveries == 0
+        assert np.all(result.graph.ids >= 0)
+
+    @pytest.mark.parametrize("backend", CRASH_BACKENDS)
+    def test_degraded_recall_within_envelope(self, degraded_only_runs,
+                                             reference, small_dense,
+                                             backend):
+        truth = brute_force_knn_graph(small_dense, k=K)
+        ref = graph_recall(reference.graph, truth)
+        got = graph_recall(degraded_only_runs[backend].graph, truth)
+        assert got >= ref - DEGRADED_EPSILON
+
+    @pytest.mark.parametrize("backend", CRASH_BACKENDS)
+    def test_degraded_gauge_returns_to_zero(self, degraded_only_runs,
+                                            backend):
+        snap = degraded_only_runs[backend].metrics.snapshot()
+        assert snap["gauges"]["degraded.ranks"] == 0.0
+
+
 class TestRecoveryObservabilityNames:
     RECOVERY_COUNTERS = ("faults.detected", "recovery.attempts",
                          "backend.fallbacks")

@@ -1,0 +1,124 @@
+"""Pickle round-trip properties for the process backend's wire frames.
+
+The process transport ships the comm layer's existing flush envelopes —
+``call`` / ``bflush`` / ``hflush`` / ``sflush`` (plus the reliability
+``rel`` / ``ack`` wrappers) — as pickled cross-worker frames
+``(epoch, dest, src, payload)`` on a ``multiprocessing.Queue``.  The
+wire format therefore *is* the sim wire format, serialized: every
+envelope shape the comm layer can produce must survive
+pickle.dumps/loads bit-exactly, including numpy scalar and array
+payload members (gids travel as ``np.int64``, features as ndarrays)."""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _np_scalars():
+    return st.one_of(
+        st.integers(-2**31, 2**31 - 1).map(np.int64),
+        st.floats(allow_nan=False, width=64).map(np.float64),
+    )
+
+
+def _atoms():
+    return st.one_of(
+        st.integers(-2**62, 2**62),
+        st.floats(allow_nan=False),
+        st.text(max_size=8),
+        st.booleans(),
+        st.none(),
+        _np_scalars(),
+    )
+
+
+def _args():
+    """A handler payload: a tuple of atoms or small nested tuples."""
+    return st.tuples(*[st.one_of(_atoms(), st.tuples(_atoms(), _atoms()))
+                       for _ in range(2)])
+
+
+_HANDLER = st.sampled_from(
+    ["init_req", "init_resp", "rev_new", "rev_old", "check_unopt",
+     "feature_unopt", "check_opt", "feature_opt", "distance_reply",
+     "opt_rev_edge"])
+_SEQ = st.integers(0, 2**31)
+
+
+def _call_env():
+    return st.tuples(st.just("call"), _SEQ, _HANDLER, _args())
+
+
+def _sflush_env():
+    entries = st.lists(st.tuples(_HANDLER, _args(), _SEQ), max_size=6)
+    return st.tuples(st.just("sflush"), entries)
+
+
+def _bflush_env():
+    entries = st.lists(
+        st.tuples(_HANDLER, _args(), _SEQ, st.integers(0, 4096)), max_size=6)
+    return st.tuples(st.just("bflush"), entries)
+
+
+def _hflush_env():
+    return st.tuples(st.just("hflush"), _HANDLER,
+                     st.lists(_args(), max_size=6))
+
+
+def _plain_envelopes():
+    return st.one_of(_call_env(), _sflush_env(), _bflush_env(),
+                     _hflush_env())
+
+
+def _envelopes():
+    """All envelope tags, including reliability wrappers around each."""
+    rel = st.tuples(st.just("rel"), _SEQ, _plain_envelopes())
+    ack = st.tuples(st.just("ack"),
+                    st.lists(_SEQ, max_size=8).map(tuple))
+    return st.one_of(_plain_envelopes(), rel, ack)
+
+
+def _frames():
+    """The cross-worker queue frame: (epoch, dest, src, envelope)."""
+    return st.tuples(st.integers(0, 100), st.integers(0, 63),
+                     st.integers(0, 63), _envelopes())
+
+
+def _eq(a, b) -> bool:
+    """Structural equality that treats numpy scalars/arrays by value."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and np.array_equal(a, b))
+    if isinstance(a, (tuple, list)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(_eq(x, y) for x, y in zip(a, b)))
+    if a is None or b is None:
+        return a is b
+    return bool(a == b) and type(a) is type(b)
+
+
+@given(frame=_frames())
+@settings(max_examples=200, deadline=None)
+def test_frame_pickle_round_trip(frame):
+    assert _eq(pickle.loads(pickle.dumps(frame)), frame)
+
+
+@given(env=_envelopes())
+@settings(max_examples=200, deadline=None)
+def test_envelope_pickle_round_trip(env):
+    assert _eq(pickle.loads(pickle.dumps(env)), env)
+
+
+def test_feature_row_payload_round_trip():
+    """The unoptimized pattern ships raw feature rows inside envelopes
+    on sim/parallel; a pickled copy must stay bit-identical so the
+    process backend's distances match to the last ulp."""
+    rng = np.random.default_rng(3)
+    row = rng.normal(size=32)
+    env = ("hflush", "feature_unopt",
+           [(np.int64(7), row), (np.int64(9), row[::2].copy())])
+    out = pickle.loads(pickle.dumps(env))
+    assert _eq(out, env)
+    assert out[2][0][1].tobytes() == row.tobytes()

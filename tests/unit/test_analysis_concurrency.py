@@ -143,6 +143,51 @@ def test_thread_target_is_concurrent_scope(tmp_path):
     assert [x.rule for x in _lint(f, "REP401")] == ["REP401"]
 
 
+def test_process_target_is_not_concurrent_scope(tmp_path):
+    """A ``Process`` target runs in its own address space — module
+    state it mutates is the worker's private copy, so the REP4xx
+    thread rules must stay silent (process-worker scope, not thread
+    scope)."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import multiprocessing\n"
+        "FRAMES = []\n\n\n"
+        "def _worker_main(w):\n"
+        "    FRAMES.append(w)\n\n\n"
+        "def spawn(ctx):\n"
+        "    ctx.Process(target=_worker_main, args=(0,)).start()\n")
+    assert _lint(f, "REP401") == []
+
+
+def test_process_target_metrics_publication_allowed(tmp_path):
+    """Worker-local metrics shadows are not the driver's registry;
+    REP405 applies to thread scope only."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import multiprocessing\n\n\n"
+        "def _worker_main(metrics):\n"
+        "    metrics.set_counter('x', 1)\n\n\n"
+        "def spawn():\n"
+        "    multiprocessing.Process(target=_worker_main).start()\n")
+    assert _lint(f, "REP405") == []
+
+
+def test_thread_and_process_target_still_checked(tmp_path):
+    """Registration under ``Thread`` keeps a dual-use function in
+    concurrent scope even when it is also a process target."""
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import multiprocessing\n"
+        "import threading\n"
+        "EVENTS = []\n\n\n"
+        "def _pump():\n"
+        "    EVENTS.append(1)\n\n\n"
+        "def run():\n"
+        "    multiprocessing.Process(target=_pump).start()\n"
+        "    threading.Thread(target=_pump).start()\n")
+    assert [x.rule for x in _lint(f, "REP401")] == ["REP401"]
+
+
 def test_unregistered_function_is_driver_scope(tmp_path):
     f = tmp_path / "mod.py"
     f.write_text(

@@ -6,12 +6,19 @@ import pytest
 from repro import ClusterConfig, DNND, DNNDConfig, NNDescentConfig
 from repro.core.dnnd import _fingerprint
 from repro.core.dnnd_phases import shard_of
+from repro.core.executor import resolve_backend
 
 
 @pytest.fixture()
 def dnnd(tiny_dense):
     cfg = DNNDConfig(nnd=NNDescentConfig(k=4, seed=99))
-    return DNND(tiny_dense, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    if resolve_backend(cfg.backend) == "process":
+        pytest.skip("white-box shard introspection needs driver-resident "
+                    "rank state; the process backend keeps it in workers")
+    d = DNND(tiny_dense, cfg,
+             cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    yield d
+    d.close()
 
 
 class TestInterleaving:
