@@ -8,6 +8,9 @@ introspection helpers:
 
 - ``repro construct`` — build a k-NNG with DNND on a simulated cluster
   and persist graph + dataset,
+- ``repro repartition`` — build, then re-home rows with the post-build
+  locality pass (explicit assignment from the graph) and report the
+  edge-cut improvement,
 - ``repro optimize``  — reopen a store, apply the Section 4.5
   optimizations, persist the searchable graph,
 - ``repro query``     — reopen a store and run queries (epsilon dial,
@@ -51,6 +54,7 @@ from .eval.parallel_query import ParallelQueryEngine
 from .eval.tables import ascii_table
 from .runtime.faults import FaultPlan
 from .runtime.metall import MetallStore
+from .runtime.partition import PARTITIONER_NAMES, make_partitioner
 from .utils.timing import format_duration
 
 
@@ -77,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unoptimized-comm", action="store_true",
                    help="use the Figure 1a message pattern")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--partitioner", choices=PARTITIONER_NAMES,
+                   default="hash",
+                   help="row placement policy: splitmix64 hashing "
+                        "(hash, default, bit-identical with earlier "
+                        "releases), contiguous blocks (block), or "
+                        "locality-aware rp-tree leaf packing (rptree)")
     p.add_argument("--store", required=True, help="datastore directory")
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint store path (enables crash recovery)")
@@ -153,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--procs-per-node", type=int, default=2)
+    p.add_argument("--partitioner", choices=PARTITIONER_NAMES,
+                   default=None,
+                   help="assert the checkpoint was built with this "
+                        "partitioner (a mismatch aborts instead of "
+                        "silently re-homing rows)")
     p.add_argument("--store", default=None,
                    help="persist the finished graph here")
     p.add_argument("--backend", choices=("sim", "parallel", "process"),
@@ -166,6 +181,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write a Chrome trace-event file here")
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "repartition",
+        help="build a k-NNG, then re-home rows for graph locality")
+    p.add_argument("--dataset", default="deep1b",
+                   choices=sorted(PAPER_DATASETS))
+    p.add_argument("--n", type=int, default=2000, help="stand-in size")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--rho", type=float, default=0.8)
+    p.add_argument("--delta", type=float, default=0.001)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--procs-per-node", type=int, default=2)
+    p.add_argument("--batch-size", type=int, default=1 << 13)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--partitioner", choices=PARTITIONER_NAMES,
+                   default="hash",
+                   help="initial placement for the build phase; the "
+                        "repartition pass then computes an explicit "
+                        "locality assignment from the built graph")
+    p.add_argument("--store", default=None,
+                   help="persist the re-homed graph + dataset here")
+    p.add_argument("--backend", choices=("sim", "parallel", "process"),
+                   default=None,
+                   help="execution backend (default honours REPRO_BACKEND)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="thread/process count; 0 = auto")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the metrics snapshot (JSON) here")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event file here")
+    p.set_defaults(func=cmd_repartition)
 
     p = sub.add_parser("optimize", help="Section 4.5 optimizations (executable 2)")
     p.add_argument("--store", required=True)
@@ -238,6 +284,21 @@ def _export_observability(result, metrics_out: Optional[str],
               f"(load in ui.perfetto.dev)")
 
 
+def _partitioner_from_args(args: argparse.Namespace, data,
+                           cluster: ClusterConfig):
+    """``--partitioner`` → a Partitioner, or None for the hash default.
+
+    Returning None for ``hash`` keeps the construct path byte-identical
+    with releases that predate the flag (DNND builds its own
+    HashPartitioner).
+    """
+    if args.partitioner == "hash":
+        return None
+    return make_partitioner(args.partitioner, len(data),
+                            cluster.world_size, data=np.asarray(data),
+                            seed=args.seed)
+
+
 def cmd_construct(args: argparse.Namespace) -> int:
     data, spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
     comm = (CommOptConfig.unoptimized() if args.unoptimized_comm
@@ -255,8 +316,10 @@ def cmd_construct(args: argparse.Namespace) -> int:
         raise ReproError("--metrics-out/--trace-out require metrics; "
                          "drop --no-metrics")
     fault_plan = _fault_plan_from_args(args)
-    dnnd = DNND(data, cfg, cluster=ClusterConfig(
-        nodes=args.nodes, procs_per_node=args.procs_per_node),
+    cluster = ClusterConfig(nodes=args.nodes,
+                            procs_per_node=args.procs_per_node)
+    dnnd = DNND(data, cfg, cluster=cluster,
+        partitioner=_partitioner_from_args(args, data, cluster),
         fault_plan=fault_plan, reliable=args.reliable,
         max_retries=args.max_retries,
         failure_timeout=args.failure_timeout or None,
@@ -289,12 +352,45 @@ def cmd_resume(args: argparse.Namespace) -> int:
         cluster=ClusterConfig(nodes=args.nodes,
                               procs_per_node=args.procs_per_node),
         store_path=args.store,
-        backend=args.backend, workers=args.workers)
+        backend=args.backend, workers=args.workers,
+        partitioner=args.partitioner)
     print(f"resumed build finished: {result.iterations} total iterations, "
           f"converged={result.converged}")
     _export_observability(result, args.metrics_out, args.trace_out)
     if args.store:
         print(f"store written to {args.store}")
+    return 0
+
+
+def cmd_repartition(args: argparse.Namespace) -> int:
+    data, spec = load_dataset(args.dataset, n=args.n, seed=args.seed)
+    cfg = DNNDConfig(
+        nnd=NNDescentConfig(k=args.k, rho=args.rho, delta=args.delta,
+                            metric=spec.metric, seed=args.seed),
+        batch_size=args.batch_size,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    cluster = ClusterConfig(nodes=args.nodes,
+                            procs_per_node=args.procs_per_node)
+    dnnd = DNND(data, cfg, cluster=cluster,
+                partitioner=_partitioner_from_args(args, data, cluster))
+    result = dnnd.build()
+    built_under = dnnd.partitioner.kind
+    before = dnnd.metrics.snapshot()["gauges"].get("partition.edge_cut")
+    dnnd.repartition()
+    after = dnnd.metrics.snapshot()["gauges"].get("partition.edge_cut")
+    print(f"built {args.dataset} k={args.k} under {built_under}: "
+          f"{result.iterations} iterations, converged={result.converged}")
+    if before is not None and after is not None:
+        print(f"edge cut: {before:.4f} -> {after:.4f} "
+              f"({dnnd.partitioner.kind}/{dnnd.partitioner.source} "
+              f"assignment, imbalance "
+              f"{dnnd.partitioner.max_imbalance():.3f})")
+    if args.store:
+        dnnd._persist(args.store, result)
+        print(f"store written to {args.store}")
+    _export_observability(result, args.metrics_out, args.trace_out)
     return 0
 
 

@@ -128,6 +128,17 @@ class DistributedKNNGraphSearcher:
                               executor=self.executor, metrics=self.metrics)
         self.partitioner = partitioner or HashPartitioner(
             adjacency.n, self.cluster_config.world_size)
+        # The partitioner is the routing table: a repartitioned build
+        # hands its (explicit) partitioner in here, and a mismatch with
+        # the graph or cluster must fail loudly, not mis-route expands.
+        if (self.partitioner.n != adjacency.n
+                or self.partitioner.world_size
+                != self.cluster_config.world_size):
+            raise ConfigError(
+                f"partitioner covers n={self.partitioner.n}, "
+                f"world_size={self.partitioner.world_size}; the searcher "
+                f"has n={adjacency.n}, "
+                f"world_size={self.cluster_config.world_size}")
         if not 0 <= coordinator < self.cluster_config.world_size:
             raise SearchError(f"coordinator rank {coordinator} out of range")
         self.coordinator = coordinator

@@ -42,7 +42,11 @@ from ..runtime.instrumentation import FaultStats, MessageStats
 from ..runtime.metall import MetallStore
 from ..runtime.metrics import NULL_METRICS, MetricsRegistry
 from ..runtime.netmodel import NetworkModel
-from ..runtime.partition import HashPartitioner, Partitioner
+from ..runtime.partition import (ExplicitPartitioner, HashPartitioner,
+                                 Partitioner, edge_cut_fraction,
+                                 graph_locality_assignment,
+                                 partitioner_from_spec, partitioner_spec,
+                                 spec_matches)
 from ..runtime.transports import (LocalTransport, ProcessTransport,
                                   ProcessWorld, SharedArrayOwner, SimCluster)
 from ..runtime.ygm import RankContext, YGMWorld
@@ -359,6 +363,9 @@ class DNND:
         self.partitioner = partitioner or HashPartitioner(self.n, self.cluster_config.world_size)
         self._built = False
         self._distribute()
+        if self.metrics.enabled:
+            self.metrics.set_gauge("partition.imbalance",
+                                   self.partitioner.max_imbalance())
 
     # -- setup -----------------------------------------------------------------
 
@@ -378,7 +385,11 @@ class DNND:
                      "n": self.n,
                      "flush_threshold": self._flush_threshold})
             else:
-                self.world.command("build_shards")
+                # Rebroadcast the (possibly repartitioned) ownership
+                # layer with the rebuild: workers swap their partitioner
+                # and owner table, then rebuild their owned shards.
+                self.world.command("set_partitioner",
+                                   {"partitioner": self.partitioner})
             return
         cfg = self.config
         san = self.world.sanitizer
@@ -568,16 +579,25 @@ class DNND:
                fault_plan: Optional[FaultPlan] = None,
                reliable: bool = False,
                backend: str | None = None,
-               workers: int = 0) -> DNNDResult:
+               workers: int = 0,
+               partitioner: "str | Partitioner | None" = None) -> DNNDResult:
         """Continue an interrupted build from a checkpoint store.
 
         ``data`` must be the same dataset the original build ran on
         (the checkpoint records its fingerprint and refuses otherwise).
-        The cluster shape may differ — hash partitioning reassigns
-        vertices deterministically.  The execution backend is likewise
-        free: checkpoints record algorithm state, not the execution
-        choice, so a build checkpointed under sim may resume under
-        ``backend="parallel"`` and vice versa.
+        The cluster shape may differ for the parametric partitioners —
+        hash/block reassign vertices deterministically at the new size —
+        but an explicit assignment table is pinned to its world size.
+        The execution backend is likewise free: checkpoints record
+        algorithm state, not the execution choice, so a build
+        checkpointed under sim may resume under ``backend="parallel"``
+        and vice versa.
+
+        ``partitioner`` optionally *asserts* the ownership layer: a name
+        (``"hash"``/``"block"``/``"rptree"``) or instance that conflicts
+        with the one recorded in the checkpoint raises
+        :class:`~repro.errors.ConfigError` — resume always reconstructs
+        the stored ownership, never silently reassigns it.
         """
         try:
             with MetallStore.open_read_only(checkpoint_path,
@@ -608,8 +628,37 @@ class DNND:
             backend=backend,
             workers=workers,
         )
+        cluster_config = cluster or ClusterConfig()
+        spec = meta.get("partitioner")
+        if spec is None:
+            # Pre-partitioner-layer checkpoint: hash was the only form.
+            spec = {"type": "hash", "n": int(meta["n"]),
+                    "world_size": cluster_config.world_size}
+        if partitioner is not None and not spec_matches(spec, partitioner):
+            stored = spec.get("source") or spec["type"]
+            wanted = (partitioner if isinstance(partitioner, str)
+                      else getattr(partitioner, "source", partitioner.kind))
+            raise ConfigError(
+                f"checkpoint at {checkpoint_path} was built with the "
+                f"{stored!r} partitioner; resume requested {wanted!r}. "
+                f"Resume must reuse the stored ownership — omit the "
+                f"partitioner argument to reconstruct it automatically.")
+        if spec["type"] in ("hash", "block"):
+            # Parametric ownership reassigns deterministically at the
+            # (possibly different) resumed cluster size.
+            restored = partitioner_from_spec(
+                {**spec, "world_size": cluster_config.world_size})
+        else:
+            if int(spec["world_size"]) != cluster_config.world_size:
+                raise ConfigError(
+                    f"checkpoint pins an explicit id->rank assignment for "
+                    f"{spec['world_size']} ranks; the resumed cluster has "
+                    f"{cluster_config.world_size}. Resume with the "
+                    f"original cluster shape.")
+            restored = partitioner_from_spec(spec)
         dnnd = cls(data, config, cluster=cluster, net=net,
-                   fault_plan=fault_plan, reliable=reliable)
+                   fault_plan=fault_plan, reliable=reliable,
+                   partitioner=restored)
         dnnd._built = True
         dnnd._restore_heaps(heap_ids, heap_dists, heap_flags)
         result = dnnd._run_iterations(
@@ -696,6 +745,7 @@ class DNND:
             self._repair_degraded(update_counts, threshold)
         graph = self._gather_graph()
         self._publish_build_metrics(update_counts)
+        self._publish_partition_metrics(graph.ids)
         self._publish_sim_enrichment()
         if self._process:
             distance_evals = sum(
@@ -748,6 +798,17 @@ class DNND:
         # included) so fault-free and fault-injected snapshots expose
         # the same names.
         m.set_counter("recovery.attempts", self._recovery_attempts)
+
+    def _publish_partition_metrics(self, neighbor_ids: np.ndarray) -> None:
+        """Partition-layer gauges: placement balance and the fraction of
+        graph edges crossing a rank boundary.  Driver-side and O(n*k),
+        so every backend publishes the same names from the same code."""
+        m = self.metrics
+        if not m.enabled:
+            return
+        m.set_gauge("partition.imbalance", self.partitioner.max_imbalance())
+        m.set_gauge("partition.edge_cut",
+                    edge_cut_fraction(self.partitioner, neighbor_ids))
 
     def _publish_sim_enrichment(self) -> None:
         """Sim cost-model decomposition as *enrichment* gauges
@@ -1395,10 +1456,60 @@ class DNND:
             self._last_result.sim_seconds = self.cluster.ledger.elapsed
         return adjacency
 
+    # -- repartitioning (locality pass) -----------------------------------------
+
+    def repartition(self, partitioner: Optional[Partitioner] = None
+                    ) -> KNNGraph:
+        """Post-build locality pass: re-home rows and heap state.
+
+        Measures the edge cut of the built graph under the current
+        partitioner, computes a better explicit assignment (a
+        capacity-bounded BFS over the graph so neighbors co-locate,
+        unless ``partitioner`` overrides it), redistributes feature rows
+        and neighbor heaps to the new owners on every backend, and
+        returns the re-homed graph.  The instance's partitioner follows,
+        so subsequent :meth:`optimize`, checkpoints, and searchers built
+        from :attr:`partitioner` route against the new ownership.
+
+        Failure semantics: the heap snapshot is taken *before* any
+        ownership changes, so a rank failure mid-redistribution can
+        always be repaired by re-running :meth:`_distribute` +
+        :meth:`_restore_heaps` from the in-memory snapshot — the
+        existing supervised-recovery machinery, with the snapshot in
+        place of the Metall checkpoint.
+        """
+        if not self._built:
+            raise RuntimeStateError("repartition() requires build() first")
+        ids, dists, flags = self._collect_heap_state()
+        if partitioner is None:
+            assignment = graph_locality_assignment(
+                ids, self.cluster.world_size)
+            partitioner = ExplicitPartitioner(
+                assignment, self.cluster.world_size, source="repartition")
+        elif (partitioner.n != self.n
+              or partitioner.world_size != self.cluster.world_size):
+            raise ConfigError(
+                f"repartition target covers n={partitioner.n}, "
+                f"world_size={partitioner.world_size}; this build has "
+                f"n={self.n}, world_size={self.cluster.world_size}")
+        self._enter_phase("repartition")
+        self.partitioner = partitioner
+        self._distribute()
+        self._restore_heaps(ids, dists, flags)
+        self.world.barrier()
+        self._close_phase()
+        graph = self._gather_graph()
+        self._publish_partition_metrics(graph.ids)
+        self._publish_sim_enrichment()
+        result = getattr(self, "_last_result", None)
+        if result is not None:
+            result.graph = graph
+            result.sim_seconds = self.cluster.ledger.elapsed
+        return graph
+
     # -- checkpointing ----------------------------------------------------------
 
-    def _write_checkpoint(self, checkpoint_path, iteration: int,
-                          update_counts: List[int]) -> None:
+    def _collect_heap_state(self):
         """Snapshot raw heap state (ids/dists/flags in *heap order* —
         slot order feeds the keyed sampling, so exact restoration makes
         a resumed build bit-identical to an uninterrupted one)."""
@@ -1420,12 +1531,21 @@ class DNND:
                     ids[gid] = heap.ids
                     dists[gid] = heap.dists
                     flags[gid] = heap.flags
+        return ids, dists, flags
+
+    def _write_checkpoint(self, checkpoint_path, iteration: int,
+                          update_counts: List[int]) -> None:
+        """Persist the heap snapshot plus everything needed to rebuild
+        an identical driver: algorithm config *and* the partitioner
+        (type + parameters, or the full assignment table), so resume
+        and recovery reconstruct identical ownership."""
+        ids, dists, flags = self._collect_heap_state()
         cfg = self.config
         meta = {
             "iteration": iteration,
             "update_counts": list(update_counts),
             "n": self.n,
-            "k": k,
+            "k": cfg.k,
             "data_fingerprint": _fingerprint(self.data),
             "nnd": {
                 "k": cfg.nnd.k, "rho": cfg.nnd.rho, "delta": cfg.nnd.delta,
@@ -1442,6 +1562,7 @@ class DNND:
             "pruning_factor": cfg.pruning_factor,
             "shuffle_reverse_destinations": cfg.shuffle_reverse_destinations,
             "batch_exec": cfg.batch_exec,
+            "partitioner": partitioner_spec(self.partitioner),
         }
         with self.metrics.span("checkpoint.write", cat="io",
                                iteration=iteration):

@@ -332,6 +332,7 @@ class ProcessDNNDApp:
         self._check_triples: Dict[int, list] = {}
         self._commands = {
             "build_shards": self._cmd_build_shards,
+            "set_partitioner": self._cmd_set_partitioner,
             "section": self._cmd_section,
             "set_phase": self._cmd_set_phase,
             "export_stats": self._cmd_export_stats,
@@ -412,6 +413,16 @@ class ProcessDNNDApp:
                 owner_of=self._owner_table,
             )
 
+    def _cmd_set_partitioner(self, payload: dict) -> None:
+        """Swap the ownership layer (the repartition pass): install the
+        new partitioner, recompute the owner table, and rebuild the
+        owned shards under the new assignment.  Heap contents are
+        restored separately via ``ckpt_set``."""
+        self.partitioner = payload["partitioner"]
+        self._owner_table = self.partitioner.owner_array(
+            np.arange(self.n, dtype=np.int64)).tolist()
+        self._cmd_build_shards({})
+
     def _cmd_section(self, payload: dict) -> Any:
         name = payload["name"]
         fn = self._sections.get(name)
@@ -435,6 +446,7 @@ class ProcessDNNDApp:
                 for phase, ms in world.phase_stats.items()},
             "flushes": world.flush_count,
             "invocations": world.handler_invocations,
+            "locals": world.local_delivery_count,
         }
 
     def _cmd_shard_totals(self, payload: dict) -> list:

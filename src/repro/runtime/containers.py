@@ -20,10 +20,10 @@ All mutation is fire-and-forget; reads require a preceding
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import RuntimeStateError
-from .partition import splitmix64
+from .partition import Partitioner, splitmix64
 from .ygm import RankContext, YGMWorld
 
 _REGISTRY_KEY = "_ygm_containers"
@@ -94,17 +94,37 @@ def _ensure_handlers(world: YGMWorld) -> None:
     world._containers_registered = True  # type: ignore[attr-defined]
 
 
+#: An ownership policy for container keys: either a callable mapping a
+#: key to its owning rank, or a :class:`Partitioner` (whose ``owner``
+#: is used directly — suitable when keys are vertex ids below ``n``).
+OwnerPolicy = Union[Callable[[Any], int], Partitioner]
+
+
 class _ContainerBase:
     _kind = "map"
 
-    def __init__(self, world: YGMWorld, name: str) -> None:
+    def __init__(self, world: YGMWorld, name: str,
+                 owner: Optional[OwnerPolicy] = None) -> None:
         _ensure_handlers(world)
         self.world = world
         self.cid = f"{type(self).__name__}:{name}"
+        if isinstance(owner, Partitioner):
+            self._owner_fn: Optional[Callable[[Any], int]] = owner.owner
+        else:
+            self._owner_fn = owner
 
     def _owner_of(self, key: Any) -> int:
-        return int(splitmix64(hash(key) & ((1 << 63) - 1))
-                   % self.world.world_size)
+        # Default: splitmix64 over the (salted-hash-masked) key — the
+        # historical behavior, bit-identical when no policy is injected.
+        if self._owner_fn is None:
+            return int(splitmix64(hash(key) & ((1 << 63) - 1))
+                       % self.world.world_size)
+        rank = int(self._owner_fn(key))
+        if not 0 <= rank < self.world.world_size:
+            raise RuntimeStateError(
+                f"owner policy for {self.cid} returned rank {rank}, "
+                f"outside [0, {self.world.world_size})")
+        return rank
 
     def _local(self, rank: int):
         return _container_state(self.world.ranks[rank], self.cid, self._kind)
@@ -145,10 +165,16 @@ class DistributedBag(_ContainerBase):
 
 
 class DistributedCounter(_ContainerBase):
-    """Owner-partitioned counting map (``ygm::container::counting_set``)."""
+    """Owner-partitioned counting map (``ygm::container::counting_set``).
 
-    def __init__(self, world: YGMWorld, name: str = "counter") -> None:
-        super().__init__(world, name)
+    ``owner`` injects the ownership policy (callable or
+    :class:`Partitioner`); the default splitmix64-over-``hash(key)``
+    placement is unchanged.
+    """
+
+    def __init__(self, world: YGMWorld, name: str = "counter",
+                 owner: Optional[OwnerPolicy] = None) -> None:
+        super().__init__(world, name, owner=owner)
 
     def async_add(self, src_rank: int, key: Any, amount: int = 1,
                   nbytes: int = 12) -> None:
@@ -183,10 +209,15 @@ class DistributedMap(_ContainerBase):
     rank's buffer happened to flush first.  ``async_visit`` callbacks
     still run in delivery order; use :class:`DistributedCounter` or a
     commutative visitor when concurrent updates must merge.
+
+    ``owner`` injects the ownership policy (callable or
+    :class:`Partitioner`); the default splitmix64-over-``hash(key)``
+    placement is unchanged.
     """
 
-    def __init__(self, world: YGMWorld, name: str = "map") -> None:
-        super().__init__(world, name)
+    def __init__(self, world: YGMWorld, name: str = "map",
+                 owner: Optional[OwnerPolicy] = None) -> None:
+        super().__init__(world, name, owner=owner)
 
     def async_insert(self, src_rank: int, key: Any, value: Any,
                      nbytes: int = 16) -> None:

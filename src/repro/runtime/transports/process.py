@@ -582,7 +582,8 @@ class ProcessTransport(Transport):
 
 
 def _stats_export_empty() -> dict:
-    return {"stats": {}, "phases": {}, "flushes": 0, "invocations": 0}
+    return {"stats": {}, "phases": {}, "flushes": 0, "invocations": 0,
+            "locals": 0}
 
 
 def _fold_type_stats(into: Dict[str, list], types: Dict[str, tuple]) -> None:
@@ -628,6 +629,7 @@ class ProcessWorld:
         self._phase = "default"
         self.flush_count = 0
         self.handler_invocations = 0
+        self.local_deliveries = 0
         self.seed = int(seed)
         # Per-worker cumulative stat exports: ``_last`` is the current
         # incarnation's latest export, ``_base`` the folded total of all
@@ -654,6 +656,7 @@ class ProcessWorld:
                                  types)
             base["flushes"] += last["flushes"]
             base["invocations"] += last["invocations"]
+            base["locals"] += last.get("locals", 0)
         for rank in self.cluster.owned_by[w]:
             cur = self._totals_last.pop(rank, None)
             if cur is not None:
@@ -670,6 +673,7 @@ class ProcessWorld:
         merged_phases: Dict[str, Dict[str, list]] = {}
         flushes = 0
         invocations = 0
+        local_deliveries = 0
         for source in (self._base, self._last):
             for export in source.values():
                 _fold_type_stats(merged, {
@@ -680,12 +684,14 @@ class ProcessWorld:
                         {t: tuple(v) for t, v in types.items()})
                 flushes += export["flushes"]
                 invocations += export["invocations"]
+                local_deliveries += export.get("locals", 0)
         self._rebuild(self.cluster.stats, merged)
         for phase, types in merged_phases.items():
             self._rebuild(self.phase_stats.setdefault(phase, MessageStats()),
                           types)
         self.flush_count = flushes
         self.handler_invocations = invocations
+        self.local_deliveries = local_deliveries
 
     @staticmethod
     def _rebuild(stats: MessageStats, types: Dict[str, list]) -> None:
@@ -816,4 +822,9 @@ class ProcessWorld:
                       getattr(self.cluster, "collectives", 0))
         m.set_counter("executor.dispatches",
                       getattr(self.executor, "dispatches", None) or 0)
+        # Locality split, folded from per-worker exports at _sync_stats —
+        # same names as YGMWorld.publish_metrics (conformance contract).
+        m.set_counter("comm.local_deliveries", self.local_deliveries)
+        m.set_counter("comm.remote_deliveries",
+                      self.cluster.stats.total_count())
         m.set_gauge("degraded.ranks", float(len(self.excluded_ranks)))

@@ -276,6 +276,11 @@ class YGMWorld:
         self.async_count_since_barrier = 0
         self.flush_count = 0
         self.handler_invocations = 0
+        # Self-sends (src == dest) never touch the wire or the message
+        # stats; counting them separately is what makes the partition
+        # layer's locality measurable: comm.local_deliveries vs
+        # comm.remote_deliveries at every barrier.
+        self.local_deliveries = 0
         self._in_barrier = False
         self._phase = "default"
         self.phase_stats: Dict[str, MessageStats] = {}
@@ -300,6 +305,7 @@ class YGMWorld:
             self._rank_async = [0] * ws
             self._rank_flush = [0] * ws
             self._rank_handled = [0] * ws
+            self._rank_local = [0] * ws
             self._rank_stats = [MessageStats() for _ in range(ws)]
             self._rank_phase_stats: List[Dict[str, MessageStats]] = [
                 {} for _ in range(ws)]
@@ -431,6 +437,16 @@ class YGMWorld:
     def stats_for(self, phase: str) -> MessageStats:
         return self.phase_stats.get(phase, MessageStats())
 
+    @property
+    def local_delivery_count(self) -> int:
+        """Total self-sends (src == dest) so far.  Under the parallel
+        executor the per-rank sinks are summed — read at barrier
+        granularity (publish/export time), when no handler is in
+        flight."""
+        if self._parallel:
+            return self.local_deliveries + sum(self._rank_local)
+        return self.local_deliveries
+
     # -- metrics ----------------------------------------------------------------
 
     def publish_metrics(self) -> None:
@@ -459,6 +475,12 @@ class YGMWorld:
         dispatches = getattr(self._executor, "dispatches", None)
         m.set_counter("executor.dispatches",
                       dispatches if dispatches is not None else 0)
+        # Locality split: self-sends vs wire messages.  Published on
+        # every backend (the process world mirrors the same names), so
+        # the partition layer's effect is directly comparable.
+        m.set_counter("comm.local_deliveries", self.local_delivery_count)
+        m.set_counter("comm.remote_deliveries",
+                      self.cluster.stats.total_count())
         # Degraded-mode visibility: how many ranks are currently
         # excluded from the build (0 outside degraded mode — published
         # unconditionally so both backends emit the same names).
@@ -496,6 +518,7 @@ class YGMWorld:
         else:
             # Local async call: no wire traffic, but still deferred
             # delivery (YGM runs even self-messages from the queue).
+            self.local_deliveries += 1
             self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
 
     def _async_call_parallel(self, src: int, dest: int, handler: str,
@@ -531,6 +554,7 @@ class YGMWorld:
             if cnt >= self.flush_threshold or nb >= self.flush_threshold_bytes:
                 self._flush_parallel(src, dest)
         else:
+            self._rank_local[src] += 1
             self.cluster.deliver(src, dest, (_CALL, seq, handler, args))
 
     def block_emitter(self, src: int, msg_type: str = "other"):
@@ -604,6 +628,9 @@ class YGMWorld:
             world._send_seq = next_seq
             world.async_count_since_barrier += next_seq - start_seq
             total_c = on_c + off_c
+            # Every stamped message that was not on/off-node was a
+            # self-send: the local-delivery count falls out for free.
+            world.local_deliveries += (next_seq - start_seq) - total_c
             if total_c:
                 total_b = on_b + off_b
                 world.cluster.stats.record_many(
@@ -680,6 +707,7 @@ class YGMWorld:
             world._rank_send_seq[src] = next_cnt
             world._rank_async[src] += next_cnt - start_cnt
             total_c = on_c + off_c
+            world._rank_local[src] += (next_cnt - start_cnt) - total_c
             if total_c:
                 total_b = on_b + off_b
                 world._rank_stats[src].record_many(
@@ -752,6 +780,7 @@ class YGMWorld:
         self._send_seq = seq
         self.async_count_since_barrier += seq - start_seq
         total_c = on_c + off_c
+        self.local_deliveries += (seq - start_seq) - total_c
         if total_c:
             self.cluster.stats.record_many(
                 msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)
@@ -818,6 +847,7 @@ class YGMWorld:
         self._rank_send_seq[src] = cnt
         self._rank_async[src] += cnt - start_cnt
         total_c = on_c + off_c
+        self._rank_local[src] += (cnt - start_cnt) - total_c
         if total_c:
             self._rank_stats[src].record_many(
                 msg_type, total_c, total_c * nbytes, off_c, off_c * nbytes)

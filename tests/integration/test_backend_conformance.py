@@ -18,6 +18,8 @@ on arrival order even when the converged graph does not).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -26,8 +28,14 @@ from repro.baselines.bruteforce import brute_force_neighbors
 from repro.config import CommOptConfig
 from repro.core.search import KNNGraphSearcher
 from repro.eval.recall import recall_at_k
+from repro.runtime.partition import make_partitioner
 
 BACKENDS = ("sim", "parallel", "process")
+
+#: The whole suite is partitioner-generic: every backend builds under
+#: the same placement, so cross-backend agreement must hold whichever
+#: partitioner CI's conformance matrix selects (REPRO_PARTITIONER).
+PARTITIONER = os.environ.get("REPRO_PARTITIONER", "hash")
 
 #: Exact-value conformance set: names (or name prefixes) whose values
 #: must be identical across backends in the order-invariant envelope.
@@ -56,8 +64,11 @@ def _build(data, backend: str):
         backend=backend,
         workers=4,
     )
-    dnnd = DNND(data, cfg,
-                cluster=ClusterConfig(nodes=2, procs_per_node=2))
+    cluster = ClusterConfig(nodes=2, procs_per_node=2)
+    dnnd = DNND(data, cfg, cluster=cluster,
+                partitioner=make_partitioner(
+                    PARTITIONER, len(data), cluster.world_size,
+                    data=data, seed=3))
     try:
         return dnnd.build()
     finally:

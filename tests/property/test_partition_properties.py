@@ -4,7 +4,16 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.partition import BlockPartitioner, HashPartitioner
+from repro.runtime.partition import (
+    BlockPartitioner,
+    ExplicitPartitioner,
+    HashPartitioner,
+    edge_cut_fraction,
+    graph_locality_assignment,
+    partitioner_from_spec,
+    partitioner_spec,
+    spec_matches,
+)
 
 
 @given(n=st.integers(1, 2000), p=st.integers(1, 32))
@@ -54,6 +63,74 @@ def test_hash_balance_bound(n, p):
     # With n >> p, hash partitioning keeps the imbalance modest.
     part = HashPartitioner(n, p)
     assert part.max_imbalance() < 1.6
+
+
+@st.composite
+def _assignments(draw):
+    ws = draw(st.integers(1, 8))
+    table = draw(st.lists(st.integers(0, ws - 1), min_size=1, max_size=400))
+    return np.asarray(table, dtype=np.int64), ws
+
+
+@given(_assignments())
+@settings(max_examples=80, deadline=None)
+def test_explicit_spec_round_trip_is_identity(case):
+    """Any explicit table survives spec → JSON → spec reconstruction."""
+    import json
+
+    table, ws = case
+    p = ExplicitPartitioner(table, ws, source="repartition")
+    spec = json.loads(json.dumps(partitioner_spec(p)))
+    q = partitioner_from_spec(spec)
+    assert isinstance(q, ExplicitPartitioner)
+    assert (q.n, q.world_size, q.source) == (p.n, p.world_size, "repartition")
+    np.testing.assert_array_equal(q.assignment, p.assignment)
+    assert spec_matches(spec, q)
+
+
+@given(_assignments())
+@settings(max_examples=60, deadline=None)
+def test_explicit_local_ids_are_a_partition(case):
+    table, ws = case
+    p = ExplicitPartitioner(table, ws)
+    seen = np.zeros(p.n, dtype=int)
+    for r in range(ws):
+        for g in p.local_ids(r):
+            seen[g] += 1
+            assert p.owner(int(g)) == r
+    assert (seen == 1).all()
+
+
+@given(n=st.integers(1, 300), p=st.integers(1, 16), seed=st.integers(0, 50))
+@settings(max_examples=60, deadline=None)
+def test_hash_spec_round_trip_same_ownership(n, p, seed):
+    part = HashPartitioner(n, p)
+    back = partitioner_from_spec(partitioner_spec(part))
+    ids = np.arange(n)
+    np.testing.assert_array_equal(back.owner_array(ids),
+                                  part.owner_array(ids))
+    assert spec_matches(partitioner_spec(part), "hash")
+
+
+@given(n=st.integers(2, 200), k=st.integers(1, 8), ws=st.integers(1, 8),
+       seed=st.integers(0, 20))
+@settings(max_examples=60, deadline=None)
+def test_locality_assignment_total_and_balanced(n, k, ws, seed):
+    """The repartition BFS always yields a near-perfectly balanced,
+    total assignment, whatever the graph shape (padding included)."""
+    rng = np.random.default_rng(seed)
+    knn = rng.integers(-1, n, size=(n, k))
+    a = graph_locality_assignment(knn, ws)
+    assert a.shape == (n,)
+    assert a.min() >= 0 and a.max() < ws
+    counts = np.bincount(a, minlength=ws)
+    # Running-capacity packing: every region is ceil(remaining/left).
+    assert counts.max() <= -(-n // ws) + 1
+
+    cut = edge_cut_fraction(ExplicitPartitioner(a, ws), knn)
+    assert 0.0 <= cut <= 1.0
+    if ws == 1:
+        assert cut == 0.0
 
 
 @given(n=st.integers(1, 500), p=st.integers(1, 8), scale=st.integers(2, 4))

@@ -1,12 +1,21 @@
-"""Hash/block partitioners — Section 4's vertex distribution."""
+"""Partitioners — Section 4's vertex distribution plus locality placement."""
 
 import numpy as np
 import pytest
 
 from repro.errors import PartitionError
 from repro.runtime.partition import (
+    PARTITIONER_NAMES,
     BlockPartitioner,
+    ExplicitPartitioner,
     HashPartitioner,
+    RPTreePartitioner,
+    edge_cut_fraction,
+    graph_locality_assignment,
+    make_partitioner,
+    partitioner_from_spec,
+    partitioner_spec,
+    spec_matches,
     splitmix64,
     splitmix64_array,
 )
@@ -117,3 +126,249 @@ class TestBlockPartitioner:
         p = BlockPartitioner(10, 2)
         with pytest.raises(PartitionError):
             p.owner(-1)
+
+    @pytest.mark.parametrize("n,ws", [(7, 4), (9, 4), (10, 3), (13, 5),
+                                      (100, 7), (5, 4)])
+    def test_skewed_counts_cover_everything(self, n, ws):
+        # ceil-division blocks: every rank gets block or fewer, the sum
+        # is exactly n, and nothing is lost when n % ws != 0.
+        p = BlockPartitioner(n, ws)
+        counts = p.counts()
+        assert sum(counts) == n
+        block = -(-n // ws)
+        assert max(counts) <= block
+        union = np.concatenate([p.local_ids(r) for r in range(ws)])
+        assert sorted(union.tolist()) == list(range(n))
+
+    @pytest.mark.parametrize("n,ws", [(7, 4), (9, 4), (13, 5), (5, 4)])
+    def test_skewed_max_imbalance(self, n, ws):
+        p = BlockPartitioner(n, ws)
+        counts = p.counts()
+        expected = max(counts) / (n / ws)
+        assert p.max_imbalance() == pytest.approx(expected)
+
+    def test_empty_tail_ranks(self):
+        # n=5, ws=4 -> blocks of 2: counts 2,2,1,0. The empty rank must
+        # still answer local_ids without error.
+        p = BlockPartitioner(5, 4)
+        assert p.counts() == [2, 2, 1, 0]
+        assert len(p.local_ids(3)) == 0
+
+
+class TestExplicitPartitioner:
+    def test_owner_follows_table(self):
+        table = np.array([2, 0, 1, 1, 0, 2])
+        p = ExplicitPartitioner(table, 3)
+        for v, r in enumerate(table):
+            assert p.owner(v) == r
+        np.testing.assert_array_equal(p.owner_array(np.arange(6)), table)
+
+    def test_counts_and_local_ids(self):
+        p = ExplicitPartitioner(np.array([1, 1, 1, 0]), 2)
+        assert p.counts() == [1, 3]
+        assert p.local_ids(0).tolist() == [3]
+        assert p.local_ids(1).tolist() == [0, 1, 2]
+
+    def test_rejects_out_of_range_ranks(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner(np.array([0, 3]), 3)
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner(np.array([-1, 0]), 3)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner(np.zeros((2, 2), dtype=np.int64), 2)
+
+    def test_out_of_range_vertex(self):
+        p = ExplicitPartitioner(np.array([0, 1]), 2)
+        with pytest.raises(PartitionError):
+            p.owner(2)
+        with pytest.raises(PartitionError):
+            p.owner_array(np.array([5]))
+
+    def test_source_tag(self):
+        p = ExplicitPartitioner(np.array([0]), 1, source="repartition")
+        assert p.source == "repartition"
+        assert p.kind == "explicit"
+
+
+class TestRPTreePartitioner:
+    def _clustered(self, n=240, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = rng.standard_normal((6, 8)) * 10
+        return (centers[np.arange(n) % 6]
+                + 0.1 * rng.standard_normal((n, 8)))
+
+    def test_is_a_partition(self):
+        p = RPTreePartitioner(self._clustered(), 4, seed=3)
+        union = np.concatenate([p.local_ids(r) for r in range(4)])
+        assert sorted(union.tolist()) == list(range(240))
+
+    def test_balance_bound(self):
+        data = self._clustered(n=500)
+        p = RPTreePartitioner(data, 4, seed=1)
+        bound = 1 + (p.leaf_size - 1) * 4 / 500
+        assert p.max_imbalance() <= bound + 1e-9
+
+    def test_deterministic(self):
+        data = self._clustered()
+        a = RPTreePartitioner(data, 4, seed=5)
+        b = RPTreePartitioner(data, 4, seed=5)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_beats_hash_on_clustered_edge_cut(self):
+        # The reason the partitioner exists: co-located clusters mean a
+        # much lower cut than uniform hashing on the true-neighbor graph.
+        data = self._clustered(n=300, seed=2)
+        diffs = ((data[:, None, :] - data[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(diffs, np.inf)
+        knn = np.argsort(diffs, axis=1)[:, :6]
+        rp = RPTreePartitioner(data, 4, seed=2)
+        hp = HashPartitioner(300, 4)
+        assert (edge_cut_fraction(rp, knn)
+                < 0.5 * edge_cut_fraction(hp, knn))
+
+    def test_rejects_sparse_like_data(self):
+        with pytest.raises(PartitionError):
+            RPTreePartitioner(np.zeros(8), 2)
+
+
+class TestMakePartitioner:
+    def test_names(self):
+        assert PARTITIONER_NAMES == ("hash", "block", "rptree")
+
+    def test_factory_kinds(self):
+        data = np.random.default_rng(0).standard_normal((40, 4))
+        for name in PARTITIONER_NAMES:
+            p = make_partitioner(name, 40, 2, data=data, seed=1)
+            assert p.kind == name
+
+    def test_rptree_requires_data(self):
+        with pytest.raises(PartitionError):
+            make_partitioner("rptree", 10, 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(PartitionError):
+            make_partitioner("metis", 10, 2)
+
+
+class TestPartitionerSpec:
+    def test_hash_block_compact(self):
+        for cls, kind in ((HashPartitioner, "hash"),
+                          (BlockPartitioner, "block")):
+            spec = partitioner_spec(cls(100, 4))
+            assert spec == {"type": kind, "n": 100, "world_size": 4}
+
+    def test_round_trip_preserves_ownership(self):
+        data = np.random.default_rng(1).standard_normal((60, 4))
+        for name in PARTITIONER_NAMES:
+            p = make_partitioner(name, 60, 3, data=data, seed=2)
+            q = partitioner_from_spec(partitioner_spec(p))
+            np.testing.assert_array_equal(q.owner_array(np.arange(60)),
+                                          p.owner_array(np.arange(60)))
+
+    def test_explicit_spec_json_serializable(self):
+        import json
+
+        p = ExplicitPartitioner(np.array([0, 1, 1, 0]), 2, source="rptree")
+        spec = json.loads(json.dumps(partitioner_spec(p)))
+        q = partitioner_from_spec(spec)
+        assert isinstance(q, ExplicitPartitioner)
+        assert q.source == "rptree"
+        np.testing.assert_array_equal(q.assignment, p.assignment)
+
+    def test_spec_matches_name_and_source(self):
+        data = np.random.default_rng(2).standard_normal((40, 4))
+        spec = partitioner_spec(RPTreePartitioner(data, 2, seed=0))
+        assert spec_matches(spec, "rptree")       # provenance
+        assert spec_matches(spec, "explicit")     # stored type
+        assert not spec_matches(spec, "hash")
+        hash_spec = partitioner_spec(HashPartitioner(40, 2))
+        assert spec_matches(hash_spec, "hash")
+        assert not spec_matches(hash_spec, "block")
+
+    def test_spec_matches_instance(self):
+        p = HashPartitioner(50, 2)
+        assert spec_matches(partitioner_spec(p), HashPartitioner(50, 2))
+        assert not spec_matches(partitioner_spec(p), HashPartitioner(50, 4))
+        assert not spec_matches(partitioner_spec(p), BlockPartitioner(50, 2))
+
+    def test_unknown_spec_type(self):
+        with pytest.raises(PartitionError):
+            partitioner_from_spec({"type": "metis", "n": 10, "world_size": 2})
+
+
+class TestEdgeCutFraction:
+    def test_all_local(self):
+        # Blocks of 2 on a ring of mutual pairs that never cross blocks.
+        knn = np.array([[1], [0], [3], [2]])
+        p = BlockPartitioner(4, 2)
+        assert edge_cut_fraction(p, knn) == 0.0
+
+    def test_all_remote(self):
+        knn = np.array([[2], [3], [0], [1]])  # every edge crosses
+        p = BlockPartitioner(4, 2)
+        assert edge_cut_fraction(p, knn) == 1.0
+
+    def test_padding_skipped(self):
+        knn = np.array([[1, -1], [0, -1], [3, -1], [2, -1]])
+        p = BlockPartitioner(4, 2)
+        assert edge_cut_fraction(p, knn) == 0.0
+
+    def test_all_padding(self):
+        knn = np.full((3, 2), -1)
+        p = BlockPartitioner(3, 1)
+        assert edge_cut_fraction(p, knn) == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(PartitionError):
+            edge_cut_fraction(BlockPartitioner(3, 1), np.array([0, 1, 2]))
+
+
+class TestGraphLocalityAssignment:
+    def test_is_balanced_partition(self):
+        rng = np.random.default_rng(0)
+        knn = rng.integers(0, 100, size=(100, 5))
+        a = graph_locality_assignment(knn, 4)
+        assert a.shape == (100,)
+        assert a.min() >= 0 and a.max() < 4
+        counts = np.bincount(a, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        knn = rng.integers(0, 80, size=(80, 4))
+        np.testing.assert_array_equal(graph_locality_assignment(knn, 3),
+                                      graph_locality_assignment(knn, 3))
+
+    def test_two_components_split_cleanly(self):
+        # Two disjoint 4-cliques on 2 ranks: BFS regions follow the
+        # components, so the cut is exactly zero.
+        knn = np.array([
+            [1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2],
+            [5, 6, 7], [4, 6, 7], [4, 5, 7], [4, 5, 6],
+        ])
+        a = graph_locality_assignment(knn, 2)
+        p = ExplicitPartitioner(a, 2)
+        assert edge_cut_fraction(p, knn) == 0.0
+
+    def test_improves_on_hash(self):
+        # Clustered k-NN graph: the BFS assignment must beat hashing.
+        rng = np.random.default_rng(3)
+        n, c = 120, 6
+        knn = np.empty((n, 4), dtype=np.int64)
+        for v in range(n):
+            members = np.flatnonzero(np.arange(n) % c == v % c)
+            knn[v] = rng.choice(members[members != v], size=4, replace=False)
+        better = ExplicitPartitioner(graph_locality_assignment(knn, 3), 3)
+        assert (edge_cut_fraction(better, knn)
+                < edge_cut_fraction(HashPartitioner(n, 3), knn))
+
+    def test_padding_tolerated(self):
+        knn = np.array([[1, -1], [0, -1], [-1, -1]])
+        a = graph_locality_assignment(knn, 2)
+        assert a.min() >= 0 and a.max() < 2
+
+    def test_single_rank(self):
+        knn = np.array([[1], [0]])
+        assert graph_locality_assignment(knn, 1).tolist() == [0, 0]
