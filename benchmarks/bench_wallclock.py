@@ -24,6 +24,13 @@ default-on observability layer must cost <2% wall clock (and zero
 simulation divergence) because it only synchronizes counters at
 barriers.
 
+The **kernel axis** (``kernel_results``) compares the rowwise distance
+kernels against the blocked tiled-GEMM kernels (DESIGN.md section 17)
+on float32 data at the issue's acceptance instance n=2000 d=32 — run
+even under ``--quick`` because perf-smoke CI gates blocked >= 1.0x on
+the kernel-bound pairwise workload and recall parity within 0.005 on
+the full build.
+
 The **scale axis** (``--quick`` shrinks it, ``--xl`` extends it) is the
 process backend's reason to exist: at n=50k+ the GIL caps the parallel
 backend at ~1x while worker processes scale with the core count.  The
@@ -74,18 +81,27 @@ QUICK_SIZES = [(400, 16)]
 SCALE_SIZES = [(50_000, 16)]
 SCALE_SIZES_QUICK = [(8_000, 16)]
 SCALE_SIZES_XL = [(50_000, 16), (200_000, 16)]
+
+#: Kernel axis (rowwise vs blocked, DESIGN.md section 17): the issue's
+#: acceptance instance runs even under ``--quick`` because the CI
+#: perf-smoke job gates blocked >= 1.0x at n=2000 d=32.  float32 is the
+#: regime the blocked kernels exist for — native-dtype GEMM halves the
+#: memory traffic the rowwise kernels spend upcasting to float64.
+KERNEL_SIZES = [(2000, 32)]
 K = 10
 SEED = 0
 
 
 def _build(data: np.ndarray, batch_exec: bool, backend: str = "sim",
-           workers: int = 0, metrics: bool = True):
+           workers: int = 0, metrics: bool = True,
+           kernel: str | None = "rowwise"):
     cfg = DNNDConfig(
         nnd=NNDescentConfig(k=K, metric="sqeuclidean", seed=SEED),
         comm_opts=CommOptConfig.optimized(),
         batch_size=1 << 13,
         batch_exec=batch_exec,
         backend=backend,
+        kernel=kernel,
         workers=workers,
         metrics=metrics,
     )
@@ -98,13 +114,14 @@ def _build(data: np.ndarray, batch_exec: bool, backend: str = "sim",
 
 def _time_build(data: np.ndarray, batch_exec: bool, repeats: int,
                 backend: str = "sim", workers: int = 0,
-                metrics: bool = True):
+                metrics: bool = True, kernel: str | None = "rowwise"):
     """(best wall seconds, last BuildResult)."""
     best = float("inf")
     result = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        result = _build(data, batch_exec, backend, workers, metrics)
+        result = _build(data, batch_exec, backend, workers, metrics,
+                        kernel=kernel)
         best = min(best, time.perf_counter() - t0)
     return best, result
 
@@ -204,6 +221,62 @@ def run_scale(sizes, backends, workers: int):
     return rows
 
 
+def run_kernels(repeats: int):
+    """Kernel axis: rowwise vs blocked (DESIGN.md section 17).
+
+    Two measurements per instance on float32 data:
+
+    - the **gated** one is the kernel-bound workload — brute-force
+      pairwise distances — where the blocked tiled GEMM is the whole
+      story and must be at least as fast as the rowwise kernels;
+    - the full DNND build is **recorded** alongside (its hot path is
+      paired-rows distances with no matrix-product structure, so the
+      kernel choice moves it little either way), with the recall delta
+      between the two builds, which must sit inside the 0.005 parity
+      gate the conformance suite pins.
+    """
+    rows = []
+    for n, dim in KERNEL_SIZES:
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((n, dim)).astype(np.float32)
+        ids, dists = brute_force_neighbors(data, data, K, exclude_self=True)
+        truth = KNNGraph(ids, dists)
+        per_kernel = {}
+        for kernel in ("rowwise", "blocked"):
+            best = float("inf")
+            for _ in range(max(3, repeats)):
+                t0 = time.perf_counter()
+                brute_force_neighbors(data, data, K, exclude_self=True,
+                                      kernel=kernel)
+                best = min(best, time.perf_counter() - t0)
+            t_build, r_build = _time_build(data, True, repeats,
+                                           kernel=kernel)
+            snap = r_build.metrics.snapshot()["counters"]
+            per_kernel[kernel] = {
+                "pairwise_seconds": round(best, 4),
+                "build_seconds": round(t_build, 4),
+                "recall": round(graph_recall(r_build.graph, truth), 4),
+                "tile_flops": snap["kernel.tile_flops"],
+                "kernel_fallbacks": snap["kernel.fallbacks"],
+            }
+            print(f"n={n:5d} d={dim:3d}  kernel={kernel:8s} "
+                  f"pairwise {best:7.4f}s  build {t_build:7.2f}s  "
+                  f"recall@{K} {per_kernel[kernel]['recall']:.4f}")
+        row = {"n": n, "dim": dim, "k": K, "dtype": "float32",
+               "kernels": per_kernel,
+               "blocked_speedup": round(
+                   per_kernel["rowwise"]["pairwise_seconds"]
+                   / per_kernel["blocked"]["pairwise_seconds"], 3),
+               "recall_delta": round(
+                   per_kernel["blocked"]["recall"]
+                   - per_kernel["rowwise"]["recall"], 4)}
+        rows.append(row)
+        print(f"n={n:5d} d={dim:3d}  blocked pairwise speedup "
+              f"{row['blocked_speedup']:5.2f}x  recall delta "
+              f"{row['recall_delta']:+.4f}")
+    return rows
+
+
 def run_metrics_overhead(sizes, repeats: int):
     """Metrics-on vs metrics-off: the observability layer's cost.
 
@@ -281,6 +354,7 @@ def main(argv=None) -> int:
     rows = run(sizes, max(1, args.repeats))
     backend_rows = run_backends(sizes, max(1, args.repeats), backends,
                                 args.workers)
+    kernel_rows = run_kernels(max(1, args.repeats))
     metrics_rows = run_metrics_overhead(sizes, max(1, args.repeats))
     scale_rows = []
     if not args.no_scale:
@@ -297,6 +371,7 @@ def main(argv=None) -> int:
         "cpu_count": cpu_count,
         "results": rows,
         "backend_results": backend_rows,
+        "kernel_results": kernel_rows,
         "metrics_overhead": metrics_rows,
         "scale_results": scale_rows,
     }
@@ -309,6 +384,20 @@ def main(argv=None) -> int:
     if slow:
         print(f"FAIL: batched engine slower than scalar at {slow}")
         return 1
+    # Kernel-axis gate (runs in quick mode too — this is the perf-smoke
+    # contract): the blocked tiled GEMM must be at least as fast as the
+    # rowwise kernels on the kernel-bound pairwise workload, and the
+    # blocked build's recall must sit inside the 0.005 parity gate.
+    for row in kernel_rows:
+        if row["blocked_speedup"] < 1.0:
+            print(f"FAIL: blocked kernel slower than rowwise at "
+                  f"n={row['n']}, d={row['dim']} "
+                  f"(speedup {row['blocked_speedup']}x)")
+            return 1
+        if abs(row["recall_delta"]) > 0.005:
+            print(f"FAIL: blocked-kernel recall deviates from rowwise "
+                  f"by {row['recall_delta']} at n={row['n']}")
+            return 1
     if not args.quick and len(backend_rows) > 1:
         # The backend contract is asserted only at the largest instance:
         # small ones are dominated by fixed costs, not the message path.

@@ -14,14 +14,13 @@ import numpy as np
 
 from ..core.graph import KNNGraph
 from ..distances.counting import CountingMetric
-from ..distances.registry import get_metric
 from ..errors import DatasetError
 from ..utils.arrays import chunk_ranges
 
 
 def brute_force_neighbors(data, queries, k: int, metric="sqeuclidean",
-                          block: int = 512,
-                          exclude_self: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+                          block: int = 512, exclude_self: bool = False,
+                          kernel: str | None = None) -> Tuple[np.ndarray, np.ndarray]:
     """Exact ``k`` nearest neighbors of each query row.
 
     Parameters
@@ -33,13 +32,19 @@ def brute_force_neighbors(data, queries, k: int, metric="sqeuclidean",
     exclude_self:
         When queries *are* the dataset (graph ground truth), exclude the
         identity match ``i == j``.
+    kernel:
+        ``"rowwise"`` / ``"blocked"`` batched-kernel choice (``None``
+        defers to ``REPRO_KERNEL``).  The result ids are kernel-invariant
+        up to distance ties; distances may differ within the documented
+        ulp bounds (DESIGN.md section 17).
 
     Returns
     -------
     ids, dists:
         ``(nq, k)`` arrays, ascending by distance; ties broken by id.
     """
-    m = get_metric(metric)
+    cm = CountingMetric(metric, kernel=kernel)
+    m = cm.inner
     n = len(data)
     nq = len(queries)
     if k < 1:
@@ -55,7 +60,7 @@ def brute_force_neighbors(data, queries, k: int, metric="sqeuclidean",
                 for j in range(n):
                     d_block[qi - lo, j] = m.scalar(queries[qi], data[j])
         else:
-            d_block = m.block(np.asarray(queries)[lo:hi], np.asarray(data))
+            d_block = cm.block(np.asarray(queries)[lo:hi], np.asarray(data))
         if exclude_self:
             for qi in range(lo, hi):
                 if qi < n:
@@ -72,10 +77,12 @@ def brute_force_neighbors(data, queries, k: int, metric="sqeuclidean",
 
 
 def brute_force_knn_graph(data, k: int, metric="sqeuclidean",
-                          block: int = 512) -> KNNGraph:
+                          block: int = 512,
+                          kernel: str | None = None) -> KNNGraph:
     """Exact k-NN *graph* of a dataset (self-matches excluded)."""
     ids, dists = brute_force_neighbors(
-        data, data, k=k, metric=metric, block=block, exclude_self=True
+        data, data, k=k, metric=metric, block=block, exclude_self=True,
+        kernel=kernel,
     )
     return KNNGraph(ids, dists)
 
@@ -86,10 +93,11 @@ def brute_force_distance_evals(n: int) -> int:
     return n * (n - 1) // 2
 
 
-def counting_brute_force(data, k: int, metric="sqeuclidean") -> Tuple[KNNGraph, int]:
+def counting_brute_force(data, k: int, metric="sqeuclidean",
+                         kernel: str | None = None) -> Tuple[KNNGraph, int]:
     """Brute-force graph plus the exact distance-eval count, for the
     cost-comparison benchmarks."""
-    counter = CountingMetric(metric)
+    counter = CountingMetric(metric, kernel=kernel)
     n = len(data)
     ids = np.empty((n, k), dtype=np.int64)
     dists = np.empty((n, k), dtype=np.float64)

@@ -135,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "network fault plans / reliable delivery / the "
                         "cost model are sim-only; default honours "
                         "REPRO_BACKEND")
+    p.add_argument("--kernel", choices=("rowwise", "blocked"),
+                   default=None,
+                   help="batched distance-kernel implementation: "
+                        "bit-exact per-row kernels (rowwise, default) "
+                        "or tiled-GEMM kernels (blocked; recall-parity "
+                        "gated for metrics that reassociate reductions); "
+                        "default honours REPRO_KERNEL")
     p.add_argument("--workers", type=int, default=0,
                    help="thread count (--backend parallel) or process "
                         "count (--backend process); 0 = auto: "
@@ -309,6 +316,7 @@ def cmd_construct(args: argparse.Namespace) -> int:
         comm_opts=comm,
         batch_size=args.batch_size,
         backend=args.backend,
+        kernel=args.kernel,
         workers=args.workers,
         metrics=not args.no_metrics,
     )

@@ -148,6 +148,15 @@ class DNNDConfig:
     ``None`` defers to the ``REPRO_BACKEND`` environment variable,
     falling back to ``"sim"``."""
 
+    kernel: str | None = None
+    """Batched distance-kernel implementation: ``"rowwise"`` (bit-exact
+    per-row kernels, the default and the golden-trace oracle) or
+    ``"blocked"`` (tiled-GEMM kernels of ``repro.distances.blocked``;
+    recall-parity-gated rather than bit-identical for metrics whose
+    blocked form reassociates reductions — see DESIGN.md section 17).
+    ``None`` defers to the ``REPRO_KERNEL`` environment variable,
+    falling back to ``"rowwise"``."""
+
     workers: int = 0
     """Thread count (parallel backend) or process count (process
     backend); ``0`` means auto (``REPRO_WORKERS`` if set, else the
@@ -168,6 +177,9 @@ class DNNDConfig:
         _require(self.backend in (None, "sim", "parallel", "process"),
                  f"backend must be None, 'sim', 'parallel', or "
                  f"'process', got {self.backend!r}")
+        _require(self.kernel in (None, "rowwise", "blocked"),
+                 f"kernel must be None, 'rowwise', or 'blocked', "
+                 f"got {self.kernel!r}")
         _require(self.workers >= 0, "workers must be >= 0 (0 = auto)")
 
     @property

@@ -414,7 +414,7 @@ class DNND:
                 local_index={int(g): i for i, g in enumerate(gids)},
                 features=feats,
                 heaps=[NeighborHeap(cfg.k) for _ in range(len(gids))],
-                metric=CountingMetric(cfg.nnd.metric),
+                metric=CountingMetric(cfg.nnd.metric, kernel=cfg.kernel),
                 config=cfg,
                 sparse=self._sparse,
                 feature_nbytes_dense=dense_bytes,
@@ -784,16 +784,27 @@ class DNND:
         if not m.enabled:
             return
         if self._process:
-            totals = self.world.shard_totals().values()
+            totals = list(self.world.shard_totals().values())
             m.set_counter("heap.updates", sum(t[0] for t in totals))
             m.set_counter("heap.updates.accepted", sum(update_counts))
             m.set_counter("distance.evals", sum(t[1] for t in totals))
+            m.set_counter("kernel.tile_flops",
+                          sum(t[3] for t in totals if len(t) > 3))
+            m.set_counter("kernel.fallbacks",
+                          sum(t[4] for t in totals if len(t) > 4))
             m.set_counter("recovery.attempts", self._recovery_attempts)
             return
         shards = self._shards()
         m.set_counter("heap.updates", sum(s.push_attempts for s in shards))
         m.set_counter("heap.updates.accepted", sum(update_counts))
         m.set_counter("distance.evals", sum(s.metric.count for s in shards))
+        # Kernel-layer tallies (DESIGN.md section 17): zero under the
+        # default rowwise kernel, so the snapshot names stay stable
+        # across kernel choices (same contract as the recovery zeros).
+        m.set_counter("kernel.tile_flops",
+                      sum(s.metric.tile_flops for s in shards))
+        m.set_counter("kernel.fallbacks",
+                      sum(s.metric.kernel_fallbacks for s in shards))
         # Recovery SLO counters: published on every backend (zeros
         # included) so fault-free and fault-injected snapshots expose
         # the same names.

@@ -406,7 +406,7 @@ class ProcessDNNDApp:
                 local_index={int(g): i for i, g in enumerate(gids)},
                 features=feats,
                 heaps=[NeighborHeap(cfg.k) for _ in range(len(gids))],
-                metric=CountingMetric(cfg.nnd.metric),
+                metric=CountingMetric(cfg.nnd.metric, kernel=cfg.kernel),
                 config=cfg,
                 sparse=False,
                 feature_nbytes_dense=dense_bytes,
@@ -451,7 +451,8 @@ class ProcessDNNDApp:
 
     def _cmd_shard_totals(self, payload: dict) -> list:
         return [(rank, shard.push_attempts, shard.metric.count,
-                 shard.update_count)
+                 shard.update_count, shard.metric.tile_flops,
+                 shard.metric.kernel_fallbacks)
                 for rank, shard in self._owned_shards()]
 
     def _cmd_exclude(self, payload: dict) -> None:

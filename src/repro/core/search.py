@@ -65,12 +65,18 @@ class KNNGraphSearcher:
         Bit-identical to the scalar path (the kernel is row-exact and
         the accept/push decisions replay sequentially); automatically
         falls back for sparse metrics or non-array datasets.
+    kernel:
+        Batched kernel implementation for the frontier expansion:
+        ``"rowwise"`` (bit-exact, the default) or ``"blocked"``
+        (tiled GEMM, DESIGN.md section 17); ``None`` defers to
+        ``REPRO_KERNEL``.
     """
 
     def __init__(self, graph, data, metric: str = "sqeuclidean",
                  entry_forest: Optional[RPTreeForest] = None,
                  seed: int = 0, batch_exec: bool = True,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None,
+                 kernel: str | None = None) -> None:
         if isinstance(graph, KNNGraph):
             graph = graph.to_adjacency()
         if not isinstance(graph, AdjacencyGraph):
@@ -83,7 +89,7 @@ class KNNGraphSearcher:
             )
         self.graph = graph
         self.data = data
-        self.metric = CountingMetric(metric)
+        self.metric = CountingMetric(metric, kernel=kernel)
         self.entry_forest = entry_forest
         self._rng = derive_rng(seed, 0x5EA6C4)
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -103,7 +109,8 @@ class KNNGraphSearcher:
                                 entry_forest=self.entry_forest, seed=seed,
                                 batch_exec=self.batch_exec,
                                 metrics=self.metrics if self.metrics.enabled
-                                else None)
+                                else None,
+                                kernel=self.metric.kernel)
 
     # -- single query ----------------------------------------------------------
 

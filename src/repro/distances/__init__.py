@@ -9,6 +9,9 @@ Jaccard (Table 1).  This subpackage provides:
 - batched metrics (``theta_batch(A, b)`` / pairwise blocks) for the
   vectorized shared-memory baseline and brute-force ground truth,
 - a registry keyed by metric name,
+- blocked tiled-GEMM kernels behind an ``xp`` array-module seam
+  (``repro.distances.blocked``), selected per build via
+  ``DNNDConfig.kernel`` / ``REPRO_KERNEL``,
 - a counting wrapper used to compare construction cost between algorithms
   in distance evaluations (platform-independent work units).
 """
@@ -19,8 +22,18 @@ from .registry import (
     list_metrics,
     register_metric,
 )
+from .blocked import (
+    ArrayModule,
+    KernelBundle,
+    NormCache,
+    blocked_metrics,
+    make_kernels,
+    resolve_array_module,
+    resolve_kernel,
+    tile_size_for,
+)
 from .counting import CountingMetric
-from . import dense, sparse
+from . import blocked, dense, sparse
 
 __all__ = [
     "Metric",
@@ -28,6 +41,15 @@ __all__ = [
     "list_metrics",
     "register_metric",
     "CountingMetric",
+    "ArrayModule",
+    "KernelBundle",
+    "NormCache",
+    "blocked_metrics",
+    "make_kernels",
+    "resolve_array_module",
+    "resolve_kernel",
+    "tile_size_for",
+    "blocked",
     "dense",
     "sparse",
 ]

@@ -636,8 +636,9 @@ class ProcessWorld:
         # previous incarnations (updated by the transport's death hook).
         self._last: Dict[int, dict] = {}
         self._base: Dict[int, dict] = {}
-        # Same two-level scheme for per-rank shard totals
-        # (push_attempts, distance evals): rank -> [pushes, evals].
+        # Same two-level scheme for per-rank shard totals (cumulative
+        # push attempts, distance evals, kernel tile flops, kernel
+        # fallbacks): rank -> [pushes, evals, tile_flops, fallbacks].
         self._totals_last: Dict[int, list] = {}
         self._totals_base: Dict[int, list] = {}
         self._totals_rank_of: Dict[int, int] = {
@@ -660,9 +661,9 @@ class ProcessWorld:
         for rank in self.cluster.owned_by[w]:
             cur = self._totals_last.pop(rank, None)
             if cur is not None:
-                cell = self._totals_base.setdefault(rank, [0, 0])
-                cell[0] += cur[0]
-                cell[1] += cur[1]
+                cell = self._totals_base.setdefault(rank, [0, 0, 0, 0])
+                for i, val in enumerate(cur):
+                    cell[i] += val
 
     # -- stats synchronization ------------------------------------------------
 
@@ -701,20 +702,23 @@ class ProcessWorld:
         for msg_type, (count, nbytes, ocount, obytes) in types.items():
             stats.record_many(msg_type, count, nbytes, ocount, obytes)
 
-    def shard_totals(self) -> Dict[int, Tuple[int, int, int]]:
-        """Per-rank ``(push_attempts, distance_evals, update_count)``.
-        The first two are cumulative (base + current incarnation); the
-        update count is the current iteration's and never folded."""
-        current: Dict[int, Tuple[int, int, int]] = {}
+    def shard_totals(self) -> Dict[int, Tuple[int, int, int, int, int]]:
+        """Per-rank ``(push_attempts, distance_evals, update_count,
+        kernel_tile_flops, kernel_fallbacks)``.  All but the update
+        count are cumulative (base + current incarnation); the update
+        count is the current iteration's and never folded."""
+        current: Dict[int, Tuple[int, ...]] = {}
         for _w, entries in self.cluster.command_all("shard_totals").items():
-            for rank, pushes, evals, updates in entries:
-                current[rank] = (pushes, evals, updates)
-                self._totals_last[rank] = [pushes, evals]
-        out: Dict[int, Tuple[int, int, int]] = {}
+            for rank, pushes, evals, updates, flops, falls in entries:
+                current[rank] = (pushes, evals, updates, flops, falls)
+                self._totals_last[rank] = [pushes, evals, flops, falls]
+        out: Dict[int, Tuple[int, int, int, int, int]] = {}
         for rank in range(self.world_size):
-            base = self._totals_base.get(rank, (0, 0))
-            pushes, evals, updates = current.get(rank, (0, 0, 0))
-            out[rank] = (base[0] + pushes, base[1] + evals, updates)
+            base = self._totals_base.get(rank, (0, 0, 0, 0))
+            pushes, evals, updates, flops, falls = current.get(
+                rank, (0, 0, 0, 0, 0))
+            out[rank] = (base[0] + pushes, base[1] + evals, updates,
+                         base[2] + flops, base[3] + falls)
         return out
 
     # -- barrier / quiescence -------------------------------------------------

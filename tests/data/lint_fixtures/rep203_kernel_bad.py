@@ -1,0 +1,30 @@
+"""Fixture: kernel helper capturing an enclosing mutable local (REP203 1x).
+
+``calls`` is a factory-body local, not a factory parameter — on a real
+cluster each rank's copy counts only its own invocations, so the helper
+is not a pure batch variant.
+"""
+
+
+def make_sq_kernels(ops, cache, stats, tile):
+    calls = []
+
+    def sq_pairwise(A, B):
+        calls.append((len(A), len(B)))
+        return ops.pairwise(cache, stats, tile, A, B)
+
+    def sq_rowwise(a, b):
+        return ops.rowwise(stats, a, b)
+
+    def sq_one_to_many(q, X):
+        return ops.one_to_many(cache, stats, q, X)
+
+    return register_kernel(
+        "sqeuclidean", ops=ops, cache=cache, stats=stats,
+        pairwise=sq_pairwise, rowwise=sq_rowwise,
+        one_to_many=sq_one_to_many)
+
+
+def register_kernel(name, *, pairwise, rowwise, one_to_many,
+                    ops, cache, stats):
+    return (name, pairwise, rowwise, one_to_many, ops, cache, stats)

@@ -1,0 +1,22 @@
+"""Fixture: kernel helpers bind only factory parameters (clean REP203)."""
+
+
+def make_sq_kernels(ops, cache, stats, tile):
+    def sq_pairwise(A, B):
+        return ops.pairwise(cache, stats, tile, A, B)
+
+    def sq_rowwise(a, b):
+        return ops.rowwise(stats, a, b)
+
+    def sq_one_to_many(q, X):
+        return ops.one_to_many(cache, stats, q, X)
+
+    return register_kernel(
+        "sqeuclidean", ops=ops, cache=cache, stats=stats,
+        pairwise=sq_pairwise, rowwise=sq_rowwise,
+        one_to_many=sq_one_to_many)
+
+
+def register_kernel(name, *, pairwise, rowwise, one_to_many,
+                    ops, cache, stats):
+    return (name, pairwise, rowwise, one_to_many, ops, cache, stats)

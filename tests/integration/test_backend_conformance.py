@@ -14,6 +14,17 @@ and excluded here: ``comm.flushes`` / ``comm.barriers`` (the backends
 structure supersteps differently), ``executor.dispatches`` (a
 scheduling detail), ``heap.updates.accepted`` (accepted pushes depend
 on arrival order even when the converged graph does not).
+
+The kernel axis (``REPRO_KERNEL``, DESIGN.md §17): under the default
+``rowwise`` kernel every distance is a pure per-row function, so the
+full bit-identity contract above applies.  Under ``blocked`` the
+kernels compute in the native input dtype (float32 here), which
+quantizes distances coarsely enough that *exact ties* occur; tie
+acceptance depends on message arrival order, so backends with
+scheduling freedom may legitimately diverge on tied candidates.  The
+contract weakens exactly as the issue specifies: neighbor-set overlap
+and end-to-end recall must agree within 0.005, and the order-invariant
+counters within a matching envelope, instead of bit-for-bit.
 """
 
 from __future__ import annotations
@@ -36,6 +47,16 @@ BACKENDS = ("sim", "parallel", "process")
 #: the same placement, so cross-backend agreement must hold whichever
 #: partitioner CI's conformance matrix selects (REPRO_PARTITIONER).
 PARTITIONER = os.environ.get("REPRO_PARTITIONER", "hash")
+
+#: Kernel axis of the CI matrix: "rowwise" (default) keeps the strict
+#: bit-identity contract; "blocked" weakens the order-sensitive
+#: assertions to the recall-parity gate (see module docstring).
+KERNEL = os.environ.get("REPRO_KERNEL", "rowwise")
+EXACT = KERNEL == "rowwise"
+
+#: Maximum divergence tolerated under the blocked kernel: neighbor-set
+#: overlap and recall within 0.005 of sim (the issue's parity gate).
+PARITY = 0.005
 
 #: Exact-value conformance set: names (or name prefixes) whose values
 #: must be identical across backends in the order-invariant envelope.
@@ -62,6 +83,7 @@ def _build(data, backend: str):
         comm_opts=CommOptConfig.unoptimized(),
         batch_size=1 << 12,
         backend=backend,
+        kernel=KERNEL,
         workers=4,
     )
     cluster = ClusterConfig(nodes=2, procs_per_node=2)
@@ -107,15 +129,26 @@ class TestBackendConformance:
     def test_final_graph_identical_to_sim(self, runs, backend):
         ref = runs["sim"].graph
         got = runs[backend].graph
-        np.testing.assert_array_equal(got.ids, ref.ids)
-        np.testing.assert_allclose(got.dists, ref.dists, rtol=0, atol=0)
+        if EXACT:
+            np.testing.assert_array_equal(got.ids, ref.ids)
+            np.testing.assert_allclose(got.dists, ref.dists, rtol=0, atol=0)
+        else:
+            # Blocked kernel: float32 distance ties make tied candidates
+            # arrival-order dependent; gate neighbor-set overlap instead.
+            overlap = np.mean([
+                len(set(a) & set(b)) / len(a)
+                for a, b in zip(got.ids, ref.ids)])
+            assert overlap >= 1.0 - PARITY
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_recall_identical_on_seeded_queries(self, runs, small_dense,
                                                 query_set, backend):
         ref = _recall(runs["sim"], small_dense, query_set)
         got = _recall(runs[backend], small_dense, query_set)
-        assert got == ref
+        if EXACT:
+            assert got == ref
+        else:
+            assert abs(got - ref) <= PARITY
         assert got > 0.8  # the graphs must also be *good*, not just equal
 
     @pytest.mark.parametrize("backend", BACKENDS)
@@ -131,7 +164,18 @@ class TestBackendConformance:
             runs["sim"].metrics.snapshot()["counters"])
         got = _conformant_counters(
             runs[backend].metrics.snapshot()["counters"])
-        assert got == ref
+        if EXACT:
+            assert got == ref
+        else:
+            # Tied-candidate divergence perturbs later iterations'
+            # new/old lists, so traffic totals track the parity gate
+            # rather than matching exactly.
+            assert set(got) == set(ref)
+            for name, value in ref.items():
+                if value == 0:
+                    assert got[name] == 0
+                else:
+                    assert abs(got[name] - value) / value <= 0.02
         # The set is non-trivial: real traffic flowed through it.
         assert ref["messages.sent"] > 0
         assert ref["heap.updates"] > 0

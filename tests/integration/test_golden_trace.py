@@ -30,12 +30,14 @@ GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
 
 
 def canonical_build():
-    """The pinned build: every parameter fixed, sim backend only."""
+    """The pinned build: every parameter fixed, sim backend and rowwise
+    kernel only (both pinned so CI matrix env vars cannot leak in)."""
     data = gaussian_mixture(200, 10, n_clusters=5, cluster_std=0.15, seed=42)
     cfg = DNNDConfig(
         nnd=NNDescentConfig(k=6, rho=0.8, delta=0.001, max_iters=8, seed=1),
         batch_size=1 << 12,
         backend="sim",
+        kernel="rowwise",
     )
     dnnd = DNND(data, cfg, cluster=ClusterConfig(nodes=2, procs_per_node=2))
     return dnnd.build()
